@@ -1,0 +1,126 @@
+"""Ablation benches for design choices called out in the paper.
+
+* §3.2.1 — repetition levels (classic Dremel) vs delimiters (extended format):
+  the extended format stores at most one level stream per column, so its level
+  bytes are smaller for array-heavy data.
+* §4.1  — value encoding on vs off: encoding numeric domains is the reason the
+  columnar layouts shrink the ``sensors`` dataset so dramatically.
+* §4.5.3 — the concurrent-merge cap: the scheduler defers merges beyond the cap.
+"""
+
+from __future__ import annotations
+
+from repro.core import DremelShredder, RecordShredder, Schema
+from repro.columnar.common import encode_column_chunk
+from repro.bench.reporting import print_figure
+from repro.datasets import make_generator
+from repro.encoding import bitpacking, rle
+from repro.lsm.merge_policy import MergeScheduler
+
+
+def _level_bits_extended(columns) -> tuple:
+    bits = 0
+    rle_bytes = 0
+    for shredded in columns.values():
+        width = bitpacking.bit_width_for(shredded.column.max_level_value)
+        bits += len(shredded.defs) * width
+        rle_bytes += len(rle.encode(shredded.defs, width))
+    return bits, rle_bytes
+
+
+def _level_bits_classic(shredder: DremelShredder) -> int:
+    bits = 0
+    for column in shredder.columns.values():
+        rep_width = bitpacking.bit_width_for(column.max_repetition)
+        def_width = bitpacking.bit_width_for(column.max_definition)
+        bits += len(column.triplets) * (rep_width + def_width)
+    return bits
+
+
+def test_ablation_levels_repetition_vs_delimiters(benchmark):
+    documents = list(make_generator("sensors", 400))
+
+    def run():
+        classic_schema = Schema()
+        classic = DremelShredder(classic_schema)
+        for document in documents:
+            classic.shred(document["id"], document)
+        extended_schema = Schema()
+        extended = RecordShredder(extended_schema)
+        for document in documents:
+            extended.shred(document["id"], document)
+        extended_bits, extended_rle = _level_bits_extended(extended.finish())
+        return (
+            _level_bits_classic(classic),
+            classic.total_level_bytes(),
+            extended_bits,
+            extended_rle,
+        )
+
+    classic_bits, classic_rle, extended_bits, extended_rle = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print_figure(
+        "Ablation §3.2.1 — level streams: repetition levels vs delimiters",
+        ["format", "raw level bits", "RLE-encoded bytes"],
+        [
+            ["classic Dremel (rep + def)", classic_bits, classic_rle],
+            ["extended (def + delimiters)", extended_bits, extended_rle],
+        ],
+    )
+    # The paper's §3.2.1 argument: repetition levels plus definition levels
+    # occupy more bits than needed; replacing them with delimiters shrinks the
+    # raw level information.  (After RLE the two can land close together —
+    # both are reported above — so the assertion targets the raw bits.)
+    assert extended_bits < classic_bits
+
+
+def test_ablation_value_encoding(benchmark):
+    documents = list(make_generator("sensors", 400))
+
+    def run():
+        schema = Schema()
+        shredder = RecordShredder(schema)
+        for document in documents:
+            shredder.shred(document["id"], document)
+        columns = shredder.finish()
+        encoded = sum(len(encode_column_chunk(c)) for c in columns.values())
+        plain = 0
+        for shredded in columns.values():
+            plain += len(shredded.defs) * 4
+            for value in shredded.values:
+                plain += len(value) if isinstance(value, str) else 8
+        return encoded, plain
+
+    encoded, plain = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_figure(
+        "Ablation §4.1 — column bytes with and without value encoding",
+        ["variant", "bytes"],
+        [["encoded (delta/RLE/delta-strings)", encoded], ["plain (fixed width)", plain]],
+    )
+    assert encoded < plain / 2  # numeric domains compress well
+
+
+def test_ablation_concurrent_merge_cap(benchmark):
+    def run():
+        capped = MergeScheduler(max_concurrent_merges=1)
+        uncapped = MergeScheduler(max_concurrent_merges=8)
+        capped_started = 0
+        uncapped_started = 0
+        for _ in range(8):
+            if capped.try_start():
+                capped_started += 1
+            if uncapped.try_start():
+                uncapped_started += 1
+        return capped, uncapped, capped_started, uncapped_started
+
+    capped, uncapped, capped_started, uncapped_started = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print_figure(
+        "Ablation §4.5.3 — concurrent merge cap",
+        ["scheduler", "started", "deferred"],
+        [["cap = 1", capped_started, capped.deferred], ["cap = 8", uncapped_started, uncapped.deferred]],
+    )
+    assert capped_started == 1 and capped.deferred == 7
+    assert uncapped_started == 8 and uncapped.deferred == 0

@@ -1,0 +1,71 @@
+"""Figure 12a: on-disk storage size after ingestion, per dataset and layout.
+
+Expected shape (paper §6.2):
+
+* ``cell``     — APAX/AMAX clearly smaller than Open/VB (encoding + no field names);
+* ``sensors``  — the columnar layouts win by the largest factor (numeric domains);
+* ``tweet_1``  — text-heavy and very wide: APAX loses its advantage (few values
+  per minipage) and can exceed VB; AMAX stays comparable to VB;
+* ``wos``      — Open is the largest (recursive format + embedded field names);
+* ``tweet_2*`` — includes the two secondary indexes, whose size is layout-independent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import print_figure
+
+
+def _sizes(fixtures):
+    return {layout: fixture.load.storage_payload_bytes for layout, fixture in fixtures.items()}
+
+
+def test_fig12a_storage_sizes(
+    benchmark, cell_fixtures, sensors_fixtures, tweet1_fixtures, wos_fixtures, tweet2_fixtures
+):
+    datasets = {
+        "cell": cell_fixtures,
+        "sensors": sensors_fixtures,
+        "tweet_1": tweet1_fixtures,
+        "wos": wos_fixtures,
+        "tweet_2*": tweet2_fixtures,
+    }
+    sizes = benchmark.pedantic(
+        lambda: {name: _sizes(fixtures) for name, fixtures in datasets.items()},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name, by_layout in sizes.items():
+        rows.append(
+            [name]
+            + [round(by_layout[layout] / 1024, 1) for layout in ("open", "vector", "apax", "amax")]
+        )
+    print_figure(
+        "Figure 12a — Storage size after ingestion (KiB, payload bytes)",
+        ["dataset", "open", "vector", "apax", "amax"],
+        rows,
+    )
+
+    cell = sizes["cell"]
+    sensors = sizes["sensors"]
+    tweet1 = sizes["tweet_1"]
+    wos = sizes["wos"]
+
+    # cell: columnar layouts materially smaller than the row layouts.
+    assert cell["amax"] < cell["open"]
+    assert cell["apax"] < cell["open"]
+    # sensors: the columnar advantage is largest for numeric data.
+    assert sensors["amax"] < sensors["vector"]
+    assert (sensors["open"] / sensors["amax"]) > (cell["open"] / cell["amax"])
+    # tweet_1: wide text data — the columnar advantage over VB shrinks compared
+    # to the numeric sensors dataset (the paper's APAX even loses to VB there;
+    # the synthetic text compresses better than real tweets, so we assert the
+    # relative trend rather than the absolute reversal).
+    assert (tweet1["apax"] / tweet1["vector"]) > (sensors["apax"] / sensors["vector"])
+    # wos: the Open layout is the largest of the four.
+    assert wos["open"] == max(wos.values())
+    # VB is smaller than Open everywhere (compaction of field names).
+    for by_layout in sizes.values():
+        assert by_layout["vector"] <= by_layout["open"]

@@ -1,0 +1,134 @@
+"""Figure 16: impact of the number of columns accessed (APAX vs AMAX).
+
+Scan-based queries count the non-NULL appearances of 1–10 columns; the
+expected shape (§6.4.5) is that AMAX's cost grows with the number of columns
+accessed (every extra column means extra megapages to read) while APAX is flat
+(the whole leaf page is read regardless).  Index-based variants at low
+selectivity are far less sensitive to the number of columns for both layouts.
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_query
+from repro.bench.queries import tweet2_range_count
+from repro.bench.reporting import print_figure
+from repro.query import Call, Field, Query, Var
+
+BASE_TS = 1_460_000_000_000
+
+#: Columns of the synthetic tweet_2 dataset picked "at random" (fixed here for
+#: reproducibility), varying in type and sparsity like the paper's selection.
+CANDIDATE_FIELDS = [
+    "text",
+    "lang",
+    "retweet_count",
+    "user.name",
+    "user.followers_count",
+    "meta_00",
+    "meta_05",
+    "meta_11",
+    "entities.hashtags[*].text",
+    "timestamp",
+]
+
+
+def count_columns_query(dataset: str, num_columns: int, index_range=None) -> Query:
+    """Count non-NULL appearances of the first ``num_columns`` candidate fields."""
+    query = Query(dataset, "t")
+    if index_range is not None:
+        low, high = index_range
+        query.use_index("timestamp", low, high)
+    aggregates = []
+    for position, path in enumerate(CANDIDATE_FIELDS[:num_columns]):
+        aggregates.append(
+            (f"c{position}", "count", Call("length", Call("coalesce", Field(Var("t"), path), "")))
+        )
+    query.aggregate(aggregates)
+    return query
+
+
+def _scan_series(fixtures, column_counts):
+    series = {}
+    for layout in ("apax", "amax"):
+        fixture = fixtures[layout]
+        times = []
+        pages = []
+        for num_columns in column_counts:
+            result = run_query(
+                fixture, lambda name, n=num_columns: count_columns_query(name, n)
+            )
+            times.append(result.seconds)
+            pages.append(result.pages_read)
+        series[layout] = (times, pages)
+    return series
+
+
+def test_fig16a_scan_column_scaling(benchmark, tweet2_fixtures):
+    column_counts = (1, 2, 4, 6, 8, 10)
+    series = benchmark.pedantic(
+        lambda: _scan_series(tweet2_fixtures, column_counts), rounds=1, iterations=1
+    )
+    rows = []
+    for index, num_columns in enumerate(column_counts):
+        rows.append(
+            [
+                num_columns,
+                round(series["apax"][0][index], 4),
+                round(series["amax"][0][index], 4),
+                series["apax"][1][index],
+                series["amax"][1][index],
+            ]
+        )
+    print_figure(
+        "Figure 16a — scan-based queries reading 1..10 columns",
+        ["# columns", "apax (s)", "amax (s)", "apax pages", "amax pages"],
+        rows,
+    )
+    apax_pages = series["apax"][1]
+    amax_pages = series["amax"][1]
+    # AMAX reads more pages as more columns are requested; APAX reads the whole
+    # leaf page regardless of the projection.
+    assert amax_pages[-1] > amax_pages[0]
+    assert apax_pages[-1] <= apax_pages[0] * 1.2
+    # Reading one column is cheaper under AMAX than reading ten.
+    assert series["amax"][0][-1] >= series["amax"][0][0]
+
+
+def test_fig16bcd_index_column_scaling(benchmark, tweet2_fixtures):
+    total = next(iter(tweet2_fixtures.values())).load.records
+    selectivities = (0.001, 0.01)
+    column_counts = (1, 2, 10)
+
+    def run_all():
+        results = {}
+        for selectivity in selectivities:
+            span = max(1, int(total * selectivity))
+            low = BASE_TS + (total // 3) * 1000
+            high = low + span * 1000 - 1
+            for num_columns in column_counts:
+                for layout in ("apax", "amax"):
+                    result = run_query(
+                        tweet2_fixtures[layout],
+                        lambda name, n=num_columns, lo=low, hi=high: count_columns_query(
+                            name, n, index_range=(lo, hi)
+                        ),
+                    )
+                    results[(selectivity, num_columns, layout)] = result
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [f"{selectivity:.3%}", num_columns, layout, round(result.seconds, 4), result.pages_read]
+        for (selectivity, num_columns, layout), result in results.items()
+    ]
+    print_figure(
+        "Figure 16b–d — index-based queries, 1/2/10 columns at 0.1 % and 1 % selectivity",
+        ["selectivity", "# columns", "layout", "seconds", "pages"],
+        rows,
+    )
+    # Index-based execution is much less sensitive to the number of columns
+    # than scan-based execution for AMAX (compare 10 columns vs 1 column).
+    for selectivity in selectivities:
+        one = results[(selectivity, 1, "amax")].seconds
+        ten = results[(selectivity, 10, "amax")].seconds
+        assert ten < max(one * 6, one + 0.5)

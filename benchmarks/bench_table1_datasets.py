@@ -1,0 +1,57 @@
+"""Table 1: dataset summary (records, average record size, inferred columns, type).
+
+The paper's Table 1 characterizes the five evaluation datasets.  This bench
+regenerates the same rows for the synthetic stand-ins: record count, average
+record size (JSON bytes), number of inferred columns, and the dominant value
+type, and checks the relative shape (tweet_1 has by far the most columns, cell
+the fewest; cell records are the smallest, wos the largest).
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import print_figure
+from repro.core import Schema
+from repro.datasets import GENERATORS, make_generator
+from repro.model import estimate_json_size
+
+SIZES = {"cell": 2000, "sensors": 500, "tweet_1": 400, "wos": 200, "tweet_2": 600}
+
+
+def summarize(name: str, num_records: int) -> dict:
+    generator = make_generator(name, num_records)
+    schema = Schema()
+    total_bytes = 0
+    count = 0
+    for document in generator:
+        schema.observe(document)
+        total_bytes += estimate_json_size(document)
+        count += 1
+    return {
+        "dataset": name,
+        "records": count,
+        "avg_record_bytes": total_bytes // max(count, 1),
+        "columns": schema.num_columns,
+        "dominant_type": GENERATORS[name].dominant_type,
+    }
+
+
+def test_table1_dataset_summary(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [summarize(name, SIZES[name]) for name in SIZES],
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(
+        "Table 1 — Datasets summary (synthetic stand-ins)",
+        ["dataset", "# records", "avg record size (B)", "# columns", "dominant type"],
+        [
+            [r["dataset"], r["records"], r["avg_record_bytes"], r["columns"], r["dominant_type"]]
+            for r in rows
+        ],
+    )
+    by_name = {r["dataset"]: r for r in rows}
+    # Shape checks mirroring Table 1.
+    assert by_name["tweet_1"]["columns"] > by_name["wos"]["columns"] > by_name["cell"]["columns"]
+    assert by_name["cell"]["avg_record_bytes"] < by_name["tweet_2"]["avg_record_bytes"]
+    assert by_name["wos"]["avg_record_bytes"] > by_name["tweet_2"]["avg_record_bytes"]
+    assert by_name["cell"]["columns"] <= 10

@@ -1,0 +1,75 @@
+"""Secondary indexes under an update-intensive social-media workload.
+
+Reproduces the paper's tweet_2 scenario (§6.3.2 / §6.4.5) at a small scale: a
+timestamp secondary index plus a primary-key index, a 50 % uniform update
+workload, and range COUNT queries answered with and without the index.
+
+Run with::
+
+    python examples/secondary_index_updates.py [num_records]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench import load_dataset, run_query, update_workload
+from repro.bench.queries import tweet2_range_count
+from repro.bench.reporting import print_figure
+
+BASE_TS = 1_460_000_000_000
+
+
+def main(num_records: int = 2000) -> None:
+    rows = []
+    fixtures = {}
+    for layout in ("vector", "amax"):
+        fixture = load_dataset(
+            layout,
+            "tweet_2",
+            num_records=num_records,
+            secondary_indexes={"timestamp": "timestamp"},
+            primary_key_index=True,
+        )
+        fixtures[layout] = fixture
+        update_seconds = update_workload(fixture, update_fraction=0.5)
+        dataset = fixture.store.dataset("tweet_2")
+        rows.append(
+            [
+                layout,
+                round(fixture.load.seconds, 3),
+                round(update_seconds, 3),
+                dataset.point_lookups_performed,
+                round(dataset.secondary_indexes["timestamp"].size_bytes / 1024, 1),
+            ]
+        )
+    print_figure(
+        "Ingestion with secondary indexes (insert, then 50% updates)",
+        ["layout", "insert s", "update s", "point lookups", "timestamp index KiB"],
+        rows,
+    )
+
+    low = BASE_TS + (num_records // 3) * 1000
+    for selectivity, span in (("0.5%", max(1, num_records // 200)), ("10%", num_records // 10)):
+        high = low + span * 1000 - 1
+        table = []
+        for layout, fixture in fixtures.items():
+            indexed = run_query(
+                fixture, lambda name: tweet2_range_count(name, low, high, use_index=True)
+            )
+            scanned = run_query(
+                fixture, lambda name: tweet2_range_count(name, low, high, use_index=False)
+            )
+            table.append(
+                [layout, indexed.rows[0]["count"], round(indexed.seconds, 4), round(scanned.seconds, 4)]
+            )
+        print_figure(
+            f"Range COUNT at {selectivity} selectivity: index vs scan",
+            ["layout", "count", "index s", "scan s"],
+            table,
+        )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2000)

@@ -1,0 +1,30 @@
+"""repro — Columnar Formats for Schemaless LSM-based Document Stores.
+
+A pure-Python reproduction of the VLDB 2022 paper by Alkowaileet and Carey.
+The package implements a schemaless LSM-based document store whose on-disk
+components can use row-major layouts (``open``, ``vector``) or the paper's
+columnar layouts (``apax``, ``amax``), built on an extended Dremel format with
+union types, plus an analytical query engine with interpreted and
+code-generating executors.
+
+Quickstart::
+
+    from repro import Datastore
+
+    store = Datastore()
+    gamers = store.create_dataset("gamers", layout="amax")
+    gamers.insert({"id": 1, "name": {"first": "Ann"}, "games": [{"title": "NBA"}]})
+    gamers.flush_all()
+
+    from repro.query import Query
+    result = Query("gamers").count().execute(store)
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from .model import FieldPath, ReproError
+from .store import Datastore, StoreConfig
+
+__all__ = ["Datastore", "FieldPath", "ReproError", "StoreConfig", "__version__"]

@@ -1,0 +1,32 @@
+"""Benchmark harness: dataset loading, query timing, and paper-style reporting."""
+
+from .harness import (
+    LAYOUTS,
+    LayoutFixture,
+    LoadResult,
+    QueryResult,
+    default_config,
+    load_all_layouts,
+    load_dataset,
+    run_query,
+    update_workload,
+)
+from .queries import QUERY_SUITES, tweet2_range_count
+from .reporting import format_table, print_figure, speedup_summary
+
+__all__ = [
+    "LAYOUTS",
+    "LayoutFixture",
+    "LoadResult",
+    "QUERY_SUITES",
+    "QueryResult",
+    "default_config",
+    "format_table",
+    "load_all_layouts",
+    "load_dataset",
+    "print_figure",
+    "run_query",
+    "speedup_summary",
+    "tweet2_range_count",
+    "update_workload",
+]

@@ -1,0 +1,224 @@
+"""The paper's evaluation queries (Table 2 and Appendix A), as Query builders.
+
+Each function returns a :class:`~repro.query.plan.Query` for the given dataset
+name; the benchmark harness runs them under the four layouts and both
+executors.  Queries follow the SQL++ listed in the paper's appendix, adapted
+to the synthetic datasets' field names.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..query import Call, Field, Query, SomeSatisfies, Var
+
+
+# -- cell ----------------------------------------------------------------------------
+
+
+def cell_q1(dataset: str) -> Query:
+    """Q1: SELECT COUNT(*)"""
+    return Query(dataset, "c").count()
+
+
+def cell_q2(dataset: str) -> Query:
+    """Q2: top-10 callers with the longest call durations."""
+    return (
+        Query(dataset, "c")
+        .group_by(key=("caller", "caller"), aggregates=[("m", "max", "duration")])
+        .order_by("m", descending=True)
+        .limit(10)
+    )
+
+
+def cell_q3(dataset: str) -> Query:
+    """Q3: number of calls with duration >= 600 seconds."""
+    return Query(dataset, "c").where(Field(Var("c"), "duration") >= 600).count()
+
+
+# -- sensors --------------------------------------------------------------------------
+
+
+def sensors_q1(dataset: str) -> Query:
+    """Q1: COUNT(*) over unnested readings."""
+    return Query(dataset, "s").unnest("r", "readings").count()
+
+
+def sensors_q2(dataset: str) -> Query:
+    """Q2: maximum (and minimum) reading ever recorded."""
+    return (
+        Query(dataset, "s")
+        .unnest("r", "readings")
+        .aggregate(
+            [
+                ("max_temp", "max", Field(Var("r"), "temp")),
+                ("min_temp", "min", Field(Var("r"), "temp")),
+            ]
+        )
+    )
+
+
+def sensors_q3(dataset: str) -> Query:
+    """Q3: IDs of the top-10 sensors with maximum readings."""
+    return (
+        Query(dataset, "s")
+        .unnest("r", "readings")
+        .group_by(
+            key=("sid", "sensor_id"),
+            aggregates=[("max_temp", "max", Field(Var("r"), "temp"))],
+        )
+        .order_by("max_temp", descending=True)
+        .limit(10)
+    )
+
+
+def sensors_q4(dataset: str) -> Query:
+    """Q4: like Q3 but restricted to one day of readings."""
+    day_start = 1_556_496_000_000
+    day_end = day_start + 24 * 60 * 60 * 1000
+    return (
+        Query(dataset, "s")
+        .where(Field(Var("s"), "report_time") > day_start)
+        .where(Field(Var("s"), "report_time") < day_end)
+        .unnest("r", "readings")
+        .group_by(
+            key=("sid", "sensor_id"),
+            aggregates=[("max_temp", "max", Field(Var("r"), "temp"))],
+        )
+        .order_by("max_temp", descending=True)
+        .limit(10)
+    )
+
+
+# -- tweet_1 ---------------------------------------------------------------------------
+
+
+def tweet1_q1(dataset: str) -> Query:
+    return Query(dataset, "t").count()
+
+
+def tweet1_q2(dataset: str) -> Query:
+    """Q2: top-10 users who posted the longest tweets."""
+    return (
+        Query(dataset, "t")
+        .group_by(
+            key=("uname", "user.name"),
+            aggregates=[("a", "max", Call("length", Field(Var("t"), "text")))],
+        )
+        .order_by("a", descending=True)
+        .limit(10)
+    )
+
+
+def tweet1_q3(dataset: str) -> Query:
+    """Q3: top-10 users with most tweets containing a popular hashtag."""
+    predicate = SomeSatisfies(
+        Field(Var("t"), "entities.hashtags"),
+        "ht",
+        Call("lowercase", Field(Var("ht"), "text")) == "jobs",
+    )
+    return (
+        Query(dataset, "t")
+        .where(predicate)
+        .group_by(key=("uname", "user.name"), aggregates=[("c", "count", None)])
+        .order_by("c", descending=True)
+        .limit(10)
+    )
+
+
+# -- wos --------------------------------------------------------------------------------
+
+
+def wos_q1(dataset: str) -> Query:
+    return Query(dataset, "p").count()
+
+
+def wos_q2(dataset: str) -> Query:
+    """Q2: top scientific fields by number of publications."""
+    return (
+        Query(dataset, "p")
+        .unnest(
+            "subject",
+            "static_data.fullrecord_metadata.category_info.subjects.subject",
+        )
+        .where(Field(Var("subject"), "ascatype") == "extended")
+        .group_by(key=("v", Field(Var("subject"), "value")), aggregates=[("cnt", "count", None)])
+        .order_by("cnt", descending=True)
+        .limit(10)
+    )
+
+
+def _wos_countries(variable: str = "p"):
+    """ARRAY_DISTINCT(address[*].address_spec.country) plus the raw address value.
+
+    ``address_name`` is heterogeneous (an object for single-author papers, an
+    array of objects otherwise); the queries follow the paper and keep only
+    the array alternative via ``IS_ARRAY``.
+    """
+    addresses = Field(
+        Var(variable), "static_data.fullrecord_metadata.addresses.address_name"
+    )
+    countries = Call(
+        "array_distinct",
+        Field(
+            Var(variable),
+            "static_data.fullrecord_metadata.addresses.address_name[*].address_spec.country",
+        ),
+    )
+    return countries, addresses
+
+
+def wos_q3(dataset: str) -> Query:
+    """Q3: top countries co-publishing with US-based institutes."""
+    countries_expr, addresses = _wos_countries("p")
+    return (
+        Query(dataset, "p")
+        .assign("countries", countries_expr)
+        .where(Call("is_array", addresses))
+        .where(Call("array_count", Var("countries")) > 1)
+        .where(Call("array_contains", Var("countries"), "USA"))
+        .unnest("country", Var("countries"))
+        .where(Var("country") != "USA")
+        .group_by(key=("country", Var("country")), aggregates=[("cnt", "count", None)])
+        .order_by("cnt", descending=True)
+        .limit(10)
+    )
+
+
+def wos_q4(dataset: str) -> Query:
+    """Q4: top pairs of countries with the most co-published articles."""
+    countries_expr, addresses = _wos_countries("p")
+    return (
+        Query(dataset, "p")
+        .assign("countries", countries_expr)
+        .where(Call("is_array", addresses))
+        .where(Call("array_count", Var("countries")) > 1)
+        .assign("pairs", Call("array_pairs", Var("countries")))
+        .unnest("pair", Var("pairs"))
+        .group_by(key=("pair", Var("pair")), aggregates=[("cnt", "count", None)])
+        .order_by("cnt", descending=True)
+        .limit(10)
+    )
+
+
+# -- tweet_2 (secondary-index experiments) ---------------------------------------------------
+
+
+def tweet2_range_count(dataset: str, low: int, high: int, use_index: bool) -> Query:
+    """Range COUNT(*) on the timestamp attribute, with or without the index."""
+    query = Query(dataset, "t")
+    if use_index:
+        query.use_index("timestamp", low, high).count()
+    else:
+        query.where(Field(Var("t"), "timestamp") >= low).where(
+            Field(Var("t"), "timestamp") <= high
+        ).count()
+    return query
+
+
+QUERY_SUITES: Dict[str, List[Callable[[str], Query]]] = {
+    "cell": [cell_q1, cell_q2, cell_q3],
+    "sensors": [sensors_q1, sensors_q2, sensors_q3, sensors_q4],
+    "tweet_1": [tweet1_q1, tweet1_q2, tweet1_q3],
+    "wos": [wos_q1, wos_q2, wos_q3, wos_q4],
+}

@@ -1,0 +1,53 @@
+"""Plain-text reporting for the benchmark harness.
+
+Each benchmark prints a small table with the same rows/series as the paper's
+figure it reproduces, so the shapes (who wins, by roughly what factor) can be
+compared at a glance against the numbers quoted in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table."""
+    columns = [str(header) for header in headers]
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(column) for column in columns]
+    for row in rendered_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    line = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(value.ljust(width) for value, width in zip(row, widths))
+        for row in rendered_rows
+    ]
+    return "\n".join([line, separator] + body)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.1f}"
+        if value >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def print_figure(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    text = f"\n=== {title} ===\n" + format_table(headers, rows)
+    print(text)
+    return text
+
+
+def speedup_summary(times: Dict[str, float], baseline: str) -> List[List[object]]:
+    """Rows of (layout, seconds, speedup vs baseline)."""
+    base = times.get(baseline)
+    rows = []
+    for layout, seconds in times.items():
+        speedup = (base / seconds) if (base and seconds) else float("nan")
+        rows.append([layout, seconds, round(speedup, 2)])
+    return rows

@@ -1,0 +1,20 @@
+"""Columnar LSM component layouts: APAX and AMAX (and their shared plumbing)."""
+
+from .amax import AmaxComponent, AmaxComponentBuilder, AmaxGroup
+from .apax import ApaxComponent, ApaxComponentBuilder, ApaxGroup
+from .base import ColumnarComponent, ColumnarComponentBuilder, MultiGroupColumnCursor
+from .common import decode_column_chunk, encode_column_chunk
+
+__all__ = [
+    "AmaxComponent",
+    "AmaxComponentBuilder",
+    "AmaxGroup",
+    "ApaxComponent",
+    "ApaxComponentBuilder",
+    "ApaxGroup",
+    "ColumnarComponent",
+    "ColumnarComponentBuilder",
+    "MultiGroupColumnCursor",
+    "decode_column_chunk",
+    "encode_column_chunk",
+]

@@ -1,0 +1,343 @@
+"""The AMAX layout (AsterixDB Mega Attributes Across), §4.3 and §4.5.2.
+
+A mega leaf node spans multiple physical pages:
+
+* **Page 0** stores the leaf header (tuple count, column count), a fixed-size
+  min/max prefix pair per column, a directory of the megapages' extents, and
+  the encoded primary keys.  ``COUNT(*)`` queries and reconciliation touch only
+  Page 0, which is where the layout's order-of-magnitude scan wins come from.
+* **Megapages** — one per column — hold the column's encoded definition levels
+  and values and may span several physical pages.  Megapages are written from
+  the largest column to the smallest; a smaller column may share the last
+  physical page of the previous column unless the remaining space is within
+  the ``empty-page tolerance``, in which case the space is left empty so the
+  column starts on a fresh page (fewer pages to read per column).
+
+The number of records per mega leaf is capped (15,000 by default in the paper)
+to keep point lookups over Page 0 tractable (§4.5.2).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Tuple
+
+from ..core.columns import ShreddedColumn
+from ..core.schema import ColumnInfo, Schema
+from ..encoding import get_codec
+from ..encoding.varint import decode_uvarint, encode_uvarint
+from ..model.errors import StorageError
+from ..lsm.component import ComponentMetadata, write_metadata_pages
+from .base import ColumnarComponent, ColumnarComponentBuilder, ColumnGroup
+from .common import (
+    PREFIX_LENGTH,
+    compute_min_max,
+    decode_column_chunk,
+    decode_keys,
+    encode_column_chunk,
+    encode_keys,
+    value_prefix,
+)
+
+LAYOUT_NAME = "amax"
+
+#: Extent of one megapage slice: (physical page id, offset in page, length).
+Extent = Tuple[int, int, int]
+
+
+def _encode_page_zero(
+    record_count: int,
+    directory: Dict[int, List[Extent]],
+    prefixes: Dict[int, Tuple[bytes, bytes]],
+    keys_payload: bytes,
+) -> bytes:
+    out = bytearray()
+    encode_uvarint(record_count, out)
+    encode_uvarint(len(directory), out)
+    for column_id in sorted(directory):
+        encode_uvarint(column_id, out)
+        min_prefix, max_prefix = prefixes.get(
+            column_id, (b"\x00" * PREFIX_LENGTH, b"\x00" * PREFIX_LENGTH)
+        )
+        out.extend(min_prefix)
+        out.extend(max_prefix)
+        extents = directory[column_id]
+        encode_uvarint(len(extents), out)
+        for page_id, offset, length in extents:
+            encode_uvarint(page_id, out)
+            encode_uvarint(offset, out)
+            encode_uvarint(length, out)
+    encode_uvarint(len(keys_payload), out)
+    out.extend(keys_payload)
+    return bytes(out)
+
+
+def _decode_page_zero(data: bytes):
+    record_count, offset = decode_uvarint(data, 0)
+    column_count, offset = decode_uvarint(data, offset)
+    directory: Dict[int, List[Extent]] = {}
+    prefixes: Dict[int, Tuple[bytes, bytes]] = {}
+    for _ in range(column_count):
+        column_id, offset = decode_uvarint(data, offset)
+        min_prefix = data[offset:offset + PREFIX_LENGTH]
+        offset += PREFIX_LENGTH
+        max_prefix = data[offset:offset + PREFIX_LENGTH]
+        offset += PREFIX_LENGTH
+        extent_count, offset = decode_uvarint(data, offset)
+        extents: List[Extent] = []
+        for _ in range(extent_count):
+            page_id, offset = decode_uvarint(data, offset)
+            page_offset, offset = decode_uvarint(data, offset)
+            length, offset = decode_uvarint(data, offset)
+            extents.append((page_id, page_offset, length))
+        directory[column_id] = extents
+        prefixes[column_id] = (min_prefix, max_prefix)
+    key_length, offset = decode_uvarint(data, offset)
+    keys_payload = data[offset:offset + key_length]
+    return record_count, directory, prefixes, keys_payload
+
+
+class AmaxGroup(ColumnGroup):
+    """One AMAX mega leaf node."""
+
+    def __init__(
+        self,
+        component: "AmaxComponent",
+        page_zero_id: int,
+        record_count: int,
+        min_key,
+        max_key,
+        antimatter_defs_extent: Optional[Extent] = None,
+    ) -> None:
+        self.component = component
+        self.page_zero_id = page_zero_id
+        self.record_count = record_count
+        self.min_key = min_key
+        self.max_key = max_key
+
+    # -- page-zero access -------------------------------------------------------------
+    def _load_page_zero(self):
+        # Page 0 is read through the buffer cache on every access so that page
+        # touch counts stay truthful; parsing it is cheap relative to column
+        # decoding.
+        data = self.component.buffer_cache.read_page(
+            self.component.file, self.page_zero_id
+        )
+        return _decode_page_zero(data)
+
+    def read_keys(self) -> Tuple[list, List[bool]]:
+        schema = self.component.schema
+        defs, values = self.read_column(schema.pk_column)
+        return values, [definition_level == 0 for definition_level in defs]
+
+    def _decode_keys_payload(self, keys_payload: bytes) -> Tuple[List[int], list]:
+        bits_length, offset = decode_uvarint(keys_payload, 0)
+        antimatter_bits = keys_payload[offset:offset + bits_length]
+        offset += bits_length
+        keys, _ = decode_keys(keys_payload[offset:])
+        defs = [0 if bit else 1 for bit in antimatter_bits]
+        return defs, keys
+
+    def read_column(self, column: ColumnInfo) -> Tuple[List[int], list]:
+        record_count, directory, prefixes, keys_payload = self._load_page_zero()
+        if column.is_primary_key:
+            # The primary keys (and anti-matter flags) live on Page 0 (§4.3).
+            return self._decode_keys_payload(keys_payload)
+        extents = directory.get(column.column_id)
+        if extents is None:
+            return [0] * record_count, []
+        raw = bytearray()
+        for page_id, offset, length in extents:
+            page = self.component.buffer_cache.read_page(self.component.file, page_id)
+            raw.extend(page[offset:offset + length])
+        data = self.component.codec.decompress(bytes(raw))
+        defs, values, _ = decode_column_chunk(column, data)
+        return defs, values
+
+    def column_prefixes(self, column: ColumnInfo) -> Tuple[bytes, bytes]:
+        _, _, prefixes, _ = self._load_page_zero()
+        return prefixes.get(
+            column.column_id, (b"\x00" * PREFIX_LENGTH, b"\xff" * PREFIX_LENGTH)
+        )
+
+    def pages_for_columns(self, columns) -> int:
+        """How many distinct physical pages the given columns touch (plus Page 0)."""
+        _, directory, _, _ = self._load_page_zero()
+        pages = {self.page_zero_id}
+        for column in columns:
+            for page_id, _, _ in directory.get(column.column_id, ()):
+                pages.add(page_id)
+        return len(pages)
+
+
+class AmaxComponent(ColumnarComponent):
+    """An on-disk component whose leaves are AMAX mega leaf nodes."""
+
+    def __init__(self, metadata, component_file, buffer_cache, schema, groups, codec):
+        super().__init__(metadata, component_file, buffer_cache, schema, groups)
+        self.codec = codec
+
+
+class AmaxComponentBuilder(ColumnarComponentBuilder):
+    """Builds AMAX components: Page 0 + size-ordered megapages per mega leaf."""
+
+    layout = LAYOUT_NAME
+
+    def __init__(
+        self,
+        component_id: str,
+        device,
+        buffer_cache,
+        schema: Schema,
+        compression: str = "snappy",
+        max_records_per_leaf: int = 15000,
+        empty_page_tolerance: float = 0.15,
+    ) -> None:
+        super().__init__(component_id, device, buffer_cache, schema, compression)
+        self.max_records_per_leaf = max_records_per_leaf
+        self.empty_page_tolerance = empty_page_tolerance
+
+    def _records_per_group(self, columns, record_count) -> int:
+        return self.max_records_per_leaf
+
+    def _write_groups(self, groups: List[Dict[int, ShreddedColumn]]) -> AmaxComponent:
+        codec = get_codec(self.compression)
+        component_file = self.device.create_file(self.component_id)
+        metadata = ComponentMetadata(self.component_id, LAYOUT_NAME)
+        metadata.extra["schema"] = self.schema.to_dict()
+        metadata_pages = write_metadata_pages(component_file, metadata)
+        metadata.extra["metadata_pages"] = metadata_pages
+
+        group_infos = []
+        component = AmaxComponent(
+            metadata, component_file, self.buffer_cache, self.schema.clone(), [], codec
+        )
+        for group in groups:
+            info = self._write_mega_leaf(component_file, group, codec)
+            group_infos.append(info)
+            metadata.record_count += info["record_count"]
+            metadata.antimatter_count += info["antimatter_count"]
+            if metadata.min_key is None:
+                metadata.min_key = info["min_key"]
+            metadata.max_key = info["max_key"]
+        metadata.extra["groups"] = group_infos
+        component.groups = [
+            AmaxGroup(
+                component,
+                info["page_zero_id"],
+                info["record_count"],
+                info["min_key"],
+                info["max_key"],
+            )
+            for info in group_infos
+        ]
+        component.mark_valid()
+        return component
+
+    # -- mega leaf writing ---------------------------------------------------------------
+    def _write_mega_leaf(
+        self, component_file, group: Dict[int, ShreddedColumn], codec
+    ) -> dict:
+        keys, antimatter_count, min_key, max_key = self.group_key_stats(group)
+        pk_column_id = self.schema.pk_column.column_id
+        pk = group[pk_column_id]
+        page_size = self.device.page_size
+
+        # Encode every value column's megapage payload (compressed column chunk).
+        payloads: List[Tuple[int, bytes]] = []
+        prefixes: Dict[int, Tuple[bytes, bytes]] = {}
+        for column_id, shredded in group.items():
+            if column_id == pk_column_id:
+                continue
+            payloads.append((column_id, codec.compress(encode_column_chunk(shredded))))
+            low, high = compute_min_max(shredded.values)
+            if low is not None:
+                prefixes[column_id] = (value_prefix(low), value_prefix(high))
+        # Megapages are written largest first so smaller columns can share the
+        # tail pages (§4.3).
+        payloads.sort(key=lambda item: len(item[1]), reverse=True)
+
+        # Page 0 carries the header, prefixes, directory and the primary keys.
+        # Its size must be known before data pages are appended, so the
+        # directory is laid out first (page ids are relative to the leaf start
+        # and fixed up after Page 0 is written).
+        keys_chunk = bytearray()
+        # Store the pk defs (anti-matter flags) next to the keys.
+        antimatter_bits = bytes(
+            1 if definition_level == 0 else 0 for definition_level in pk.defs
+        )
+        encode_uvarint(len(antimatter_bits), keys_chunk)
+        keys_chunk.extend(antimatter_bits)
+        keys_chunk.extend(encode_keys(pk.values))
+
+        # The AMAX writer buffers megapages in pages confiscated from the
+        # buffer cache rather than a dedicated budget (§4.5.2).
+        confiscated = max(1, sum(len(p) for _, p in payloads) // page_size + 1)
+        self.buffer_cache.confiscate(confiscated)
+        try:
+            directory: Dict[int, List[Extent]] = {}
+            data_pages: List[bytearray] = []
+            tolerance_bytes = int(page_size * self.empty_page_tolerance)
+
+            def current_remaining() -> int:
+                if not data_pages:
+                    return 0
+                return page_size - len(data_pages[-1])
+
+            for column_id, payload in payloads:
+                remaining = current_remaining()
+                if remaining <= 0 or (
+                    len(payload) > remaining and remaining <= tolerance_bytes
+                ):
+                    # Start the column on a fresh physical page, tolerating the
+                    # empty tail of the previous one.
+                    data_pages.append(bytearray())
+                extents: List[Extent] = []
+                cursor = 0
+                while cursor < len(payload):
+                    if not data_pages or len(data_pages[-1]) >= page_size:
+                        data_pages.append(bytearray())
+                    page = data_pages[-1]
+                    space = page_size - len(page)
+                    take = min(space, len(payload) - cursor)
+                    extents.append((len(data_pages) - 1, len(page), take))
+                    page.extend(payload[cursor:cursor + take])
+                    cursor += take
+                directory[column_id] = extents
+                if not payload:
+                    directory[column_id] = []
+        finally:
+            self.buffer_cache.return_confiscated(confiscated)
+
+        # Write Page 0 followed by the data pages, fixing up page ids.
+        page_zero_placeholder = _encode_page_zero(
+            len(pk.defs), directory, prefixes, bytes(keys_chunk)
+        )
+        if len(page_zero_placeholder) > page_size:
+            raise StorageError(
+                "AMAX Page 0 exceeds the physical page size; lower "
+                "max_records_per_leaf or raise the page size"
+            )
+        page_zero_id = component_file.append_page(b"")  # reserve the slot
+        first_data_page_id = page_zero_id + 1
+        fixed_directory = {
+            column_id: [
+                (first_data_page_id + page_index, offset, length)
+                for page_index, offset, length in extents
+            ]
+            for column_id, extents in directory.items()
+        }
+        page_zero = _encode_page_zero(
+            len(pk.defs), fixed_directory, prefixes, bytes(keys_chunk)
+        )
+        component_file.rewrite_page(page_zero_id, page_zero)
+        for page in data_pages:
+            component_file.append_page(bytes(page))
+        return {
+            "page_zero_id": page_zero_id,
+            "record_count": len(pk.defs),
+            "antimatter_count": antimatter_count,
+            "min_key": min_key,
+            "max_key": max_key,
+            "num_data_pages": len(data_pages),
+        }

@@ -1,0 +1,308 @@
+"""Shared machinery for the APAX and AMAX columnar components.
+
+Both layouts store groups of records ("leaf nodes" of the primary B+-tree): a
+group of an APAX component is one leaf page holding every column's minipage;
+a group of an AMAX component is a mega leaf node (Page 0 plus megapages).
+This module hosts the group abstraction, the component/cursor classes built on
+top of it, and the record-grouping logic shared by both builders — the layout
+classes only implement how a group's bytes are arranged in pages.
+
+Reading follows §4.4: scans decode the primary keys of a group eagerly (they
+drive reconciliation and ``COUNT(*)``), while value columns are decoded only
+when a document is actually requested, and skipped records are applied to each
+column's cursor in one batch right before the next read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.assembly import assemble_document
+from ..core.columns import ColumnCursor, ShreddedColumn
+from ..core.schema import ColumnInfo, Schema
+from ..core.shredder import RecordShredder
+from ..model.errors import StorageError
+from ..storage.buffer_cache import BufferCache
+from ..storage.device import StorageDevice
+from .common import chunk_from_streams
+from ..lsm.component import (
+    ComponentCursor,
+    ComponentMetadata,
+    DiskComponent,
+    FlushEntry,
+)
+
+
+class ColumnGroup:
+    """One leaf group of a columnar component (abstract)."""
+
+    record_count: int
+    min_key: object
+    max_key: object
+
+    def read_keys(self) -> Tuple[list, List[bool]]:
+        """Decode the primary keys and anti-matter flags of the group."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def read_column(self, column: ColumnInfo) -> Tuple[List[int], list]:
+        """Decode one column's (definition levels, values) for the group."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def read_columns(self, columns) -> dict:
+        """Decode several columns; layouts may override to batch page accesses."""
+        return {column.column_id: self.read_column(column) for column in columns}
+
+    def column_min_max(self, column: ColumnInfo) -> Tuple[object, object]:
+        """Min/max statistics for predicate skipping (None, None when unknown)."""
+        return None, None
+
+
+class ColumnarComponent(DiskComponent):
+    """A component whose leaf groups store columns (APAX or AMAX)."""
+
+    def __init__(
+        self,
+        metadata: ComponentMetadata,
+        component_file,
+        buffer_cache: BufferCache,
+        schema: Schema,
+        groups: Sequence[ColumnGroup],
+    ) -> None:
+        super().__init__(metadata, component_file, buffer_cache)
+        self.schema = schema
+        self.groups = list(groups)
+
+    # -- cursors -----------------------------------------------------------------
+    def cursor(self, fields: Optional[Sequence[str]] = None) -> "ColumnarComponentCursor":
+        return ColumnarComponentCursor(self, fields)
+
+    def iter_key_entries(self) -> Iterator[Tuple[object, bool]]:
+        """Yield ``(key, antimatter)`` for every record, touching only the keys."""
+        for group in self.groups:
+            keys, antimatter_flags = group.read_keys()
+            yield from zip(keys, antimatter_flags)
+
+    def column_record_cursor(self, column: ColumnInfo) -> "MultiGroupColumnCursor":
+        """A per-record cursor over one column across every group (vertical merge)."""
+        return MultiGroupColumnCursor(self, column)
+
+    def columns_for_fields(self, fields: Optional[Sequence[str]]) -> List[ColumnInfo]:
+        if fields is None:
+            return list(self.schema.columns)
+        return self.schema.columns_for_fields(fields)
+
+    # -- point lookups -------------------------------------------------------------
+    def point_lookup(self, key) -> Optional[Tuple[bool, Optional[dict]]]:
+        if not self.key_range_overlaps(key):
+            return None
+        for group in self.groups:
+            if group.min_key is None or key < group.min_key or key > group.max_key:
+                continue
+            keys, antimatter_flags = group.read_keys()
+            # Keys in columnar leaves are searched linearly after decoding
+            # (§4.6) — the very cost the primary-key index exists to avoid.
+            for index, candidate in enumerate(keys):
+                if candidate == key:
+                    if antimatter_flags[index]:
+                        return True, None
+                    return False, self._assemble_at(group, index)
+        return None
+
+    def _assemble_at(self, group: ColumnGroup, index: int) -> dict:
+        columns = [c for c in self.schema.columns if not c.is_primary_key]
+        chunk = {}
+        streams = group.read_columns(columns)
+        for column in columns:
+            cursor = ColumnCursor(column, *streams[column.column_id])
+            cursor.skip_records(index)
+            chunk[column.column_id] = cursor.next_record()
+        keys, _ = group.read_keys()
+        return assemble_document(self.schema, chunk, key=keys[index])
+
+
+class ColumnarComponentCursor(ComponentCursor):
+    """Merged cursor over a columnar component's groups with lazy value decoding."""
+
+    def __init__(self, component: ColumnarComponent, fields: Optional[Sequence[str]]):
+        self.component = component
+        self.fields = list(fields) if fields is not None else None
+        self._wanted_columns = [
+            column
+            for column in component.columns_for_fields(fields)
+            if not column.is_primary_key
+        ]
+        self._group_index = -1
+        self._keys: list = []
+        self._antimatter: List[bool] = []
+        self._position = -1
+        self._value_cursors: Optional[Dict[int, ColumnCursor]] = None
+        self._assembled_position = -1
+
+    # -- iteration ------------------------------------------------------------------
+    def advance(self) -> bool:
+        self._position += 1
+        while self._position >= len(self._keys):
+            self._group_index += 1
+            if self._group_index >= len(self.component.groups):
+                return False
+            group = self.component.groups[self._group_index]
+            self._keys, self._antimatter = group.read_keys()
+            self._position = 0
+            self._value_cursors = None
+            self._assembled_position = -1
+        return True
+
+    @property
+    def key(self):
+        return self._keys[self._position]
+
+    @property
+    def is_antimatter(self) -> bool:
+        return self._antimatter[self._position]
+
+    def document(self) -> Optional[dict]:
+        if self.is_antimatter:
+            return None
+        group = self.component.groups[self._group_index]
+        if self._value_cursors is None:
+            # Value columns are decoded lazily, only for groups where at least
+            # one document is actually requested, and fetched as a batch so
+            # page-per-leaf layouts (APAX) touch their page only once.
+            streams = group.read_columns(self._wanted_columns)
+            self._value_cursors = {
+                column.column_id: ColumnCursor(column, *streams[column.column_id])
+                for column in self._wanted_columns
+            }
+            self._assembled_position = -1
+        skip = self._position - self._assembled_position - 1
+        chunk = {}
+        for column_id, cursor in self._value_cursors.items():
+            if skip:
+                cursor.skip_records(skip)
+            chunk[column_id] = cursor.next_record()
+        self._assembled_position = self._position
+        return assemble_document(
+            self.component.schema, chunk, key=self.key, fields=self.fields
+        )
+
+
+class MultiGroupColumnCursor:
+    """Per-record entry cursor for one column spanning every group of a component."""
+
+    def __init__(self, component: ColumnarComponent, column: ColumnInfo) -> None:
+        self.component = component
+        self.column = column
+        self._group_index = -1
+        self._cursor: Optional[ColumnCursor] = None
+
+    def next_record(self):
+        while self._cursor is None or self._cursor.exhausted:
+            self._group_index += 1
+            if self._group_index >= len(self.component.groups):
+                raise StorageError("column cursor exhausted")
+            group = self.component.groups[self._group_index]
+            defs, values = group.read_column(self.column)
+            self._cursor = ColumnCursor(self.column, defs, values)
+        return self._cursor.next_record()
+
+
+# ======================================================================================
+# Builders
+# ======================================================================================
+
+
+class ColumnarComponentBuilder:
+    """Shared flush/merge entry points for APAX and AMAX builders."""
+
+    layout: str = "columnar"
+
+    def __init__(
+        self,
+        component_id: str,
+        device: StorageDevice,
+        buffer_cache: BufferCache,
+        schema: Schema,
+        compression: str = "snappy",
+    ) -> None:
+        self.component_id = component_id
+        self.device = device
+        self.buffer_cache = buffer_cache
+        self.schema = schema
+        self.compression = compression
+
+    # -- entry points --------------------------------------------------------------
+    def build(self, entries: Iterable[FlushEntry]) -> ColumnarComponent:
+        """Flush path: shred row-major records and lay the columns out in pages."""
+        shredder = RecordShredder(self.schema)
+        for key, antimatter, document in entries:
+            shredder.shred(key, document, antimatter=antimatter)
+        columns = shredder.finish()
+        return self.build_from_columns(columns, shredder.record_count)
+
+    def build_from_columns(
+        self, columns: Dict[int, ShreddedColumn], record_count: int
+    ) -> ColumnarComponent:
+        """Merge path: the columns already exist; regroup and write them."""
+        groups = list(self._split_into_groups(columns, record_count))
+        return self._write_groups(groups)
+
+    # -- grouping --------------------------------------------------------------------
+    def _records_per_group(
+        self, columns: Dict[int, ShreddedColumn], record_count: int
+    ) -> int:
+        raise NotImplementedError  # pragma: no cover - layout specific
+
+    def _write_groups(self, groups: List[Dict[int, ShreddedColumn]]) -> ColumnarComponent:
+        raise NotImplementedError  # pragma: no cover - layout specific
+
+    def _split_into_groups(
+        self, columns: Dict[int, ShreddedColumn], record_count: int
+    ) -> Iterator[Dict[int, ShreddedColumn]]:
+        if record_count == 0:
+            return
+        per_group = max(1, self._records_per_group(columns, record_count))
+        if per_group >= record_count:
+            yield columns
+            return
+        cursors = {
+            column_id: ColumnCursor(shredded.column, shredded.defs, shredded.values)
+            for column_id, shredded in columns.items()
+        }
+        remaining = record_count
+        while remaining > 0:
+            take = min(per_group, remaining)
+            group: Dict[int, ShreddedColumn] = {}
+            for column_id, cursor in cursors.items():
+                defs: List[int] = []
+                values: list = []
+                for _ in range(take):
+                    for definition_level, value, is_delimiter in cursor.next_record():
+                        defs.append(definition_level)
+                        if not is_delimiter and cursor._has_value(definition_level, False):
+                            values.append(value)
+                group[column_id] = chunk_from_streams(cursor.column, defs, values)
+            remaining -= take
+            yield group
+
+    # -- helpers shared by subclasses ---------------------------------------------------
+    @staticmethod
+    def estimated_bytes(columns: Dict[int, ShreddedColumn]) -> int:
+        total = 0
+        for shredded in columns.values():
+            total += len(shredded.defs)  # roughly one byte per level after RLE? keep coarse
+            for value in shredded.values:
+                if isinstance(value, str):
+                    total += len(value) + 1
+                elif isinstance(value, bool):
+                    total += 1
+                else:
+                    total += 8
+        return total
+
+    def group_key_stats(self, group: Dict[int, ShreddedColumn]):
+        pk = group[self.schema.pk_column.column_id]
+        keys = pk.values
+        antimatter = sum(1 for definition_level in pk.defs if definition_level == 0)
+        min_key = keys[0] if keys else None
+        max_key = keys[-1] if keys else None
+        return keys, antimatter, min_key, max_key

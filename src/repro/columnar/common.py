@@ -1,0 +1,191 @@
+"""Shared building blocks for the APAX and AMAX layouts.
+
+Both layouts store, per column, an encoded definition-level stream followed by
+the encoded present values (§4.2: "the reader will read the first four bytes
+to determine the size of the encoded definition level, then pass both the
+encoded definition levels and the encoded values to the appropriate
+decoders").  This module implements that column-chunk serialization, the
+primary-key codec, and small helpers shared by both page layouts.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.columns import ShreddedColumn
+from ..core.schema import ColumnInfo
+from ..encoding import bitpacking, decode_values, encode_values, rle
+from ..encoding.varint import decode_uvarint, encode_uvarint
+from ..model.errors import EncodingError, StorageError
+from ..model.values import TYPE_INT64, TYPE_STRING
+
+# -- primary keys --------------------------------------------------------------------
+
+_KEY_INT = 0
+_KEY_STRING = 1
+
+
+def encode_keys(keys: Sequence) -> bytes:
+    """Encode primary-key values (homogeneous int64 or string keys)."""
+    out = bytearray()
+    encode_uvarint(len(keys), out)
+    if not keys:
+        return bytes(out)
+    if all(isinstance(key, int) and not isinstance(key, bool) for key in keys):
+        out.append(_KEY_INT)
+        encoding_id, payload = encode_values(TYPE_INT64, list(keys))
+        out.append(encoding_id)
+        out.extend(payload)
+        return bytes(out)
+    if all(isinstance(key, str) for key in keys):
+        out.append(_KEY_STRING)
+        encoding_id, payload = encode_values(TYPE_STRING, list(keys))
+        out.append(encoding_id)
+        out.extend(payload)
+        return bytes(out)
+    raise StorageError("primary keys must be homogeneous int64 or string values")
+
+
+def decode_keys(data: bytes, offset: int = 0) -> Tuple[list, int]:
+    """Decode primary keys; returns ``(keys, next_offset)``."""
+    count, offset = decode_uvarint(data, offset)
+    if count == 0:
+        return [], offset
+    kind = data[offset]
+    encoding_id = data[offset + 1]
+    offset += 2
+    type_tag = TYPE_INT64 if kind == _KEY_INT else TYPE_STRING
+    keys = decode_values(type_tag, encoding_id, data[offset:], count)
+    # The key payload consumes the rest of the buffer handed to us; callers
+    # always slice the exact chunk before calling.
+    return keys, len(data)
+
+
+# -- column chunks --------------------------------------------------------------------
+
+
+def encode_column_chunk(shredded: ShreddedColumn) -> bytes:
+    """Serialize one column's definition levels and values.
+
+    Layout::
+
+        [entry count uvarint][value count uvarint]
+        [def bit width byte][def stream size uvarint][RLE-encoded def levels]
+        [value encoding byte][value stream size uvarint][encoded values]
+    """
+    column = shredded.column
+    out = bytearray()
+    encode_uvarint(len(shredded.defs), out)
+    encode_uvarint(len(shredded.values), out)
+    bit_width = bitpacking.bit_width_for(column.max_level_value)
+    def_stream = rle.encode(shredded.defs, bit_width)
+    out.append(bit_width)
+    encode_uvarint(len(def_stream), out)
+    out.extend(def_stream)
+    if column.is_primary_key:
+        payload = encode_keys(shredded.values)
+        out.append(255)
+        encode_uvarint(len(payload), out)
+        out.extend(payload)
+        return bytes(out)
+    encoding_id, payload = encode_values(column.type_tag, shredded.values)
+    out.append(encoding_id)
+    encode_uvarint(len(payload), out)
+    out.extend(payload)
+    return bytes(out)
+
+
+def decode_column_chunk(
+    column: ColumnInfo, data: bytes, offset: int = 0
+) -> Tuple[List[int], list, int]:
+    """Decode a column chunk; returns ``(defs, values, next_offset)``."""
+    entry_count, offset = decode_uvarint(data, offset)
+    value_count, offset = decode_uvarint(data, offset)
+    bit_width = data[offset]
+    offset += 1
+    def_size, offset = decode_uvarint(data, offset)
+    defs = rle.decode(data[offset:offset + def_size], bit_width, entry_count)
+    offset += def_size
+    encoding_id = data[offset]
+    offset += 1
+    value_size, offset = decode_uvarint(data, offset)
+    payload = data[offset:offset + value_size]
+    offset += value_size
+    if column.is_primary_key:
+        if encoding_id != 255:
+            raise EncodingError("primary-key chunk has a non-key encoding id")
+        values, _ = decode_keys(payload)
+    else:
+        values = decode_values(column.type_tag, encoding_id, payload, value_count)
+    return defs, values, offset
+
+
+def chunk_from_streams(column: ColumnInfo, defs: List[int], values: list) -> ShreddedColumn:
+    """Wrap pre-existing streams in a :class:`ShreddedColumn` (used by merges)."""
+    shredded = ShreddedColumn(column)
+    shredded.defs = list(defs)
+    shredded.values = list(values)
+    return shredded
+
+
+# -- min/max statistics ---------------------------------------------------------------
+
+#: Length of the fixed-size min/max prefixes stored on AMAX Page 0 (§4.3).
+PREFIX_LENGTH = 8
+
+
+def value_prefix(value) -> bytes:
+    """A fixed-length, order-preserving prefix of a value (8 bytes)."""
+    if value is None:
+        return b"\x00" * PREFIX_LENGTH
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, int):
+        # Bias into the unsigned range so byte-wise comparison preserves order
+        # for negative values.
+        clamped = max(min(value, 2**63 - 1), -(2**63))
+        return struct.pack(">Q", clamped + 2**63)
+    if isinstance(value, float):
+        # Order-preserving transform of IEEE-754 doubles.
+        raw = struct.unpack(">Q", struct.pack(">d", value))[0]
+        if raw & (1 << 63):
+            raw = ~raw & 0xFFFFFFFFFFFFFFFF
+        else:
+            raw |= 1 << 63
+        return struct.pack(">Q", raw)
+    if isinstance(value, str):
+        return value.encode("utf-8", "ignore")[:PREFIX_LENGTH].ljust(PREFIX_LENGTH, b"\x00")
+    return b"\x00" * PREFIX_LENGTH
+
+
+def prefix_range_may_overlap(
+    min_prefix: bytes, max_prefix: bytes, low, high
+) -> bool:
+    """Can a column whose values span [min_prefix, max_prefix] satisfy [low, high]?
+
+    Prefixes are not decisive for variable-length values (§4.3), so the check
+    errs on the side of reading: it only returns False when the prefixes prove
+    the ranges are disjoint.
+    """
+    if low is not None:
+        low_prefix = value_prefix(low)
+        if max_prefix < low_prefix:
+            return False
+    if high is not None:
+        high_prefix = value_prefix(high)
+        # A shared prefix is inconclusive, so only prune on strict inequality
+        # beyond the prefix length.
+        if min_prefix > high_prefix:
+            return False
+    return True
+
+
+def compute_min_max(values: list) -> Tuple[Optional[object], Optional[object]]:
+    """Minimum and maximum of a value list (None, None when empty or mixed types)."""
+    if not values:
+        return None, None
+    try:
+        return min(values), max(values)
+    except TypeError:
+        return None, None

@@ -1,0 +1,36 @@
+"""Core of the paper's contribution: schema inference and the extended Dremel format."""
+
+from .assembly import RecordAssembler, assemble_document, assemble_path_value
+from .columns import ColumnCursor, Entry, ShreddedColumn, cursor_group
+from .dremel import DremelColumn, DremelShredder
+from .schema import (
+    ArrayNode,
+    AtomicNode,
+    ColumnInfo,
+    ObjectNode,
+    Schema,
+    SchemaNode,
+    UnionNode,
+)
+from .shredder import RecordShredder, shred_batch
+
+__all__ = [
+    "ArrayNode",
+    "AtomicNode",
+    "ColumnCursor",
+    "ColumnInfo",
+    "DremelColumn",
+    "DremelShredder",
+    "Entry",
+    "ObjectNode",
+    "RecordAssembler",
+    "RecordShredder",
+    "Schema",
+    "SchemaNode",
+    "ShreddedColumn",
+    "UnionNode",
+    "assemble_document",
+    "assemble_path_value",
+    "cursor_group",
+    "shred_batch",
+]

@@ -1,0 +1,308 @@
+"""Record assembly: reconstructing documents (or parts of them) from columns.
+
+This is the read-side record-assembly automaton of §3.2.4.  Given the schema
+tree and, for one record, the list of entries contributed to each column, the
+assembler rebuilds the original nested value:
+
+* objects are assembled from their children (absent children are omitted);
+* unions inspect their branches one by one — exactly one branch can be
+  present (§3.2.2);
+* arrays are rebuilt element by element.  For a leaf whose innermost ancestor
+  array is the one being assembled, each entry is one element; for deeper
+  leaves, element boundaries are the delimiters whose definition level equals
+  the array's array-depth.
+
+Partial assembly (projection) works on any subset of top-level fields: only
+the columns under those fields need to be decoded, which is where the
+columnar layouts get their I/O advantage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..model.errors import SchemaError
+from ..model.values import MISSING, TYPE_NULL
+from .columns import ColumnCursor, Entry
+from .schema import (
+    ArrayNode,
+    AtomicNode,
+    ColumnInfo,
+    ObjectNode,
+    Schema,
+    SchemaNode,
+    UnionNode,
+)
+
+RecordChunk = Dict[int, List[Entry]]
+
+
+def assemble_document(
+    schema: Schema,
+    chunk: RecordChunk,
+    key=None,
+    fields: Optional[Iterable[str]] = None,
+) -> dict:
+    """Assemble one record from its per-column entries.
+
+    ``fields`` restricts assembly to specific top-level fields (projection);
+    by default every field present in the schema is assembled.  ``key`` is
+    re-attached under the schema's primary-key field when provided.
+    """
+    document: dict = {}
+    if key is not None:
+        document[schema.primary_key_field] = key
+    wanted = None if fields is None else set(fields)
+    for name, child in schema.root.children.items():
+        if wanted is not None and name not in wanted:
+            continue
+        value = _assemble_node(schema, child, chunk, array_depth=0)
+        if value is not MISSING:
+            document[name] = value
+    return document
+
+
+def assemble_path_value(schema: Schema, node: SchemaNode, chunk: RecordChunk):
+    """Assemble the value rooted at an arbitrary schema node (or MISSING)."""
+    return _assemble_node(schema, node, chunk, array_depth=_array_depth_of(schema, node))
+
+
+class RecordAssembler:
+    """Streams assembled (partial) documents from a group of column cursors."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        cursors: Sequence[ColumnCursor],
+        fields: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.schema = schema
+        self.cursors = list(cursors)
+        self.fields = None if fields is None else list(fields)
+        self._pk_cursor = None
+        for cursor in self.cursors:
+            if cursor.column.is_primary_key:
+                self._pk_cursor = cursor
+
+    @property
+    def exhausted(self) -> bool:
+        if self._pk_cursor is not None:
+            return self._pk_cursor.exhausted
+        return all(cursor.exhausted for cursor in self.cursors)
+
+    def next_chunk(self) -> RecordChunk:
+        """Advance every cursor by one record and return the raw entry chunk."""
+        chunk: RecordChunk = {}
+        for cursor in self.cursors:
+            chunk[cursor.column.column_id] = cursor.next_record()
+        return chunk
+
+    def next_document(self):
+        """Assemble the next record; returns ``(key, is_antimatter, document)``."""
+        chunk = self.next_chunk()
+        key = None
+        antimatter = False
+        if self._pk_cursor is not None:
+            pk_entry = chunk[self._pk_cursor.column.column_id][0]
+            key = pk_entry[1]
+            antimatter = pk_entry[0] == 0
+        if antimatter:
+            return key, True, None
+        document = assemble_document(self.schema, chunk, key=key, fields=self.fields)
+        return key, False, document
+
+    def __iter__(self):
+        while not self.exhausted:
+            yield self.next_document()
+
+
+# -- node assembly ---------------------------------------------------------------
+
+
+def _assemble_node(
+    schema: Schema, node: SchemaNode, chunk: RecordChunk, array_depth: int
+):
+    if isinstance(node, AtomicNode):
+        return _assemble_atomic(node, chunk)
+    if isinstance(node, UnionNode):
+        for branch in node.branches.values():
+            value = _assemble_node(schema, branch, chunk, array_depth)
+            if value is not MISSING:
+                return value
+        return MISSING
+    if isinstance(node, ObjectNode):
+        return _assemble_object(schema, node, chunk, array_depth)
+    if isinstance(node, ArrayNode):
+        return _assemble_array(schema, node, chunk, array_depth)
+    raise SchemaError(f"cannot assemble schema node of kind {node.kind!r}")
+
+
+def _assemble_atomic(node: AtomicNode, chunk: RecordChunk):
+    column = node.column
+    if column is None or column.column_id not in chunk:
+        return MISSING
+    entries = [entry for entry in chunk[column.column_id] if not entry[2]]
+    if not entries:
+        return MISSING
+    if len(entries) != 1:
+        raise SchemaError(
+            f"column {column.dotted_path!r} produced {len(entries)} entries for a "
+            "single atomic slot"
+        )
+    definition_level, value, _ = entries[0]
+    if definition_level != node.level:
+        return MISSING
+    if node.type_tag == TYPE_NULL:
+        return None
+    return value
+
+
+def _collect_leaf_entries(
+    schema: Schema, node: SchemaNode, chunk: RecordChunk
+) -> List[tuple]:
+    """Return ``(column, entries)`` for every descendant column present in the chunk."""
+    collected = []
+    for column in schema.leaf_columns(node):
+        entries = chunk.get(column.column_id)
+        if entries is not None:
+            collected.append((column, entries))
+    return collected
+
+
+def _assemble_object(
+    schema: Schema, node: ObjectNode, chunk: RecordChunk, array_depth: int
+):
+    leaves = _collect_leaf_entries(schema, node, chunk)
+    if not leaves:
+        return MISSING
+    present = any(
+        entry[0] >= node.level
+        for _, entries in leaves
+        for entry in entries
+        if not entry[2]
+    )
+    if not present:
+        return MISSING
+    result = {}
+    for name, child in node.children.items():
+        value = _assemble_node(schema, child, chunk, array_depth)
+        if value is not MISSING:
+            result[name] = value
+    return result
+
+
+def _assemble_array(
+    schema: Schema, node: ArrayNode, chunk: RecordChunk, array_depth: int
+):
+    if node.item is None:
+        return MISSING
+    depth = array_depth + 1
+    leaves = _collect_leaf_entries(schema, node, chunk)
+    if not leaves:
+        return MISSING
+    value_entries = [
+        entry
+        for _, entries in leaves
+        for entry in entries
+        if not entry[2]
+    ]
+    if not value_entries:
+        return MISSING
+    if all(entry[0] < node.level for entry in value_entries):
+        return MISSING
+    if all(entry[0] <= node.level for entry in value_entries):
+        return []
+    element_chunks = _split_elements(node, leaves, depth)
+    elements = []
+    for element_chunk in element_chunks:
+        element = _assemble_node(schema, node.item, element_chunk, depth)
+        if element is MISSING:
+            raise SchemaError(
+                "array element assembled to MISSING; column streams are inconsistent"
+            )
+        elements.append(element)
+    return elements
+
+
+def _split_elements(
+    node: ArrayNode, leaves: List[tuple], depth: int
+) -> List[RecordChunk]:
+    """Split each leaf's entries into per-element chunks for an array at ``depth``.
+
+    A column whose entries claim the array is absent (a single value entry at
+    or below the array's level) carries no per-element information — this
+    happens for columns discovered after the record was written, which are
+    back-filled with definition level 0 (§3.2.2).  Such columns contribute a
+    "missing" entry to every element instead of participating in the element
+    count.
+    """
+    per_leaf_chunks: List[tuple] = []
+    absent_leaves: List[tuple] = []
+    element_count = None
+    for column, entries in leaves:
+        value_entries = [entry for entry in entries if not entry[2]]
+        if len(value_entries) == 1 and value_entries[0][0] <= node.level:
+            absent_leaves.append((column, value_entries[0]))
+            continue
+        if column.array_count == depth:
+            # This array is the leaf's innermost ancestor array: one entry per
+            # element; outer-level delimiters (e.g. the record-end 0) are dropped.
+            chunks = [[entry] for entry in value_entries]
+        else:
+            chunks = _split_on_delimiters(entries, depth)
+        per_leaf_chunks.append((column, chunks))
+        if element_count is None:
+            element_count = len(chunks)
+        elif element_count != len(chunks):
+            raise SchemaError(
+                f"column {column.dotted_path!r} disagrees on the element count "
+                f"({len(chunks)} vs {element_count}) at array depth {depth}"
+            )
+    element_chunks: List[RecordChunk] = []
+    for index in range(element_count or 0):
+        chunk = {column.column_id: chunks[index] for column, chunks in per_leaf_chunks}
+        for column, entry in absent_leaves:
+            chunk[column.column_id] = [entry]
+        element_chunks.append(chunk)
+    return element_chunks
+
+
+def _split_on_delimiters(entries: List[Entry], depth: int) -> List[List[Entry]]:
+    """Split entries on delimiters whose level equals ``depth``.
+
+    Delimiters of shallower levels (the record-end delimiter, separators of
+    enclosing arrays) are dropped; deeper delimiters stay inside the element
+    chunks so that nested arrays can split on them in turn.
+    """
+    chunks: List[List[Entry]] = [[]]
+    for entry in entries:
+        definition_level, _, is_delimiter = entry
+        if is_delimiter:
+            if definition_level == depth:
+                chunks.append([])
+            elif definition_level < depth:
+                continue
+            else:
+                chunks[-1].append(entry)
+        else:
+            chunks[-1].append(entry)
+    return [chunk for chunk in chunks if chunk]
+
+
+def _array_depth_of(schema: Schema, target: SchemaNode) -> int:
+    """Number of array ancestors of ``target`` in the schema tree."""
+
+    def walk(node: SchemaNode, depth: int) -> Optional[int]:
+        if node is target:
+            return depth
+        next_depth = depth + 1 if isinstance(node, ArrayNode) else depth
+        for child in node.iter_children():
+            found = walk(child, next_depth)
+            if found is not None:
+                return found
+        return None
+
+    result = walk(schema.root, 0)
+    if result is None:
+        raise SchemaError("schema node is not part of this schema")
+    return result

@@ -1,0 +1,165 @@
+"""Classic Dremel column striping (repetition + definition levels).
+
+This module implements the original Dremel record-shredding algorithm
+(Melnik et al., VLDB 2010) on top of the same inferred :class:`Schema` used by
+the extended format.  It exists for two reasons:
+
+* as a correctness reference — the unit tests reproduce the paper's Figure 4
+  example and check the repetition/definition levels literally; and
+* as the baseline for the §3.2.1 ablation, which compares the storage cost of
+  repetition levels against the extended format's delimiters
+  (``benchmarks/bench_ablation_levels.py``).
+
+Only shredding (and level-size accounting) is provided; the full read path of
+the library uses the extended format exclusively, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..encoding import bitpacking, rle
+from ..model.errors import SchemaError
+from ..model.values import MISSING, TYPE_NULL, type_tag_of
+from .schema import (
+    ArrayNode,
+    AtomicNode,
+    ColumnInfo,
+    ObjectNode,
+    Schema,
+    SchemaNode,
+    UnionNode,
+)
+
+#: One classic-Dremel entry: (repetition level, definition level, value-or-None).
+Triplet = Tuple[int, int, object]
+
+
+class DremelColumn:
+    """The triplets of one column, in record order."""
+
+    __slots__ = ("column", "triplets")
+
+    def __init__(self, column: ColumnInfo) -> None:
+        self.column = column
+        self.triplets: List[Triplet] = []
+
+    @property
+    def max_repetition(self) -> int:
+        return self.column.array_count
+
+    @property
+    def max_definition(self) -> int:
+        return self.column.max_def
+
+    def level_bytes(self) -> int:
+        """Encoded size of the repetition + definition level streams (RLE hybrid)."""
+        repetition_levels = [triplet[0] for triplet in self.triplets]
+        definition_levels = [triplet[1] for triplet in self.triplets]
+        size = 0
+        if self.max_repetition > 0:
+            width = bitpacking.bit_width_for(self.max_repetition)
+            size += len(rle.encode(repetition_levels, width))
+        width = bitpacking.bit_width_for(self.max_definition)
+        size += len(rle.encode(definition_levels, width))
+        return size
+
+
+class DremelShredder:
+    """Shreds records into classic Dremel (repetition, definition, value) triplets."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self.columns: Dict[int, DremelColumn] = {}
+        self.record_count = 0
+
+    def column(self, column_info: ColumnInfo) -> DremelColumn:
+        existing = self.columns.get(column_info.column_id)
+        if existing is None:
+            existing = DremelColumn(column_info)
+            # Back-fill records shredded before this column appeared.
+            existing.triplets = [(0, 0, None)] * self.record_count
+            self.columns[column_info.column_id] = existing
+        return existing
+
+    def shred(self, key, document: dict) -> None:
+        """Shred one record (primary keys use definition level 1, as in §3.2.3)."""
+        if not isinstance(document, dict):
+            raise SchemaError("documents must be JSON objects at the top level")
+        self.schema.observe(document)
+        self.column(self.schema.pk_column).triplets.append((0, 1, key))
+        for name, child in self.schema.root.children.items():
+            value = document.get(name, MISSING)
+            if name == self.schema.primary_key_field:
+                value = MISSING
+            self._shred_node(child, value, repetition=0, definition=0, depth=0)
+        self.record_count += 1
+
+    # -- recursion -------------------------------------------------------------------
+    def _shred_node(
+        self,
+        node: SchemaNode,
+        value,
+        repetition: int,
+        definition: int,
+        depth: int,
+    ) -> None:
+        if isinstance(node, UnionNode):
+            actual_tag = None if value is MISSING else type_tag_of(value)
+            for tag, branch in node.branches.items():
+                branch_value = value if tag == actual_tag else MISSING
+                self._shred_node(branch, branch_value, repetition, definition, depth)
+            return
+        if isinstance(node, AtomicNode):
+            if node.column is None:
+                return
+            if value is MISSING:
+                triplet = (repetition, definition, None)
+            elif node.type_tag == TYPE_NULL:
+                triplet = (repetition, node.level, None)
+            else:
+                triplet = (repetition, node.level, value)
+            self.column(node.column).triplets.append(triplet)
+            return
+        if isinstance(node, ObjectNode):
+            child_definition = definition if value is MISSING else node.level
+            for name, child in node.children.items():
+                child_value = MISSING if value is MISSING else value.get(name, MISSING)
+                self._shred_node(child, child_value, repetition, child_definition, depth)
+            return
+        if isinstance(node, ArrayNode):
+            self._shred_array(node, value, repetition, definition, depth)
+            return
+        raise SchemaError(f"cannot shred schema node of kind {node.kind!r}")
+
+    def _shred_array(
+        self,
+        node: ArrayNode,
+        value,
+        repetition: int,
+        definition: int,
+        depth: int,
+    ) -> None:
+        if node.item is None:
+            return
+        array_depth = depth + 1
+        if value is MISSING or len(value) == 0:
+            element_definition = definition if value is MISSING else node.level
+            self._emit_missing(node.item, repetition, element_definition, array_depth)
+            return
+        for index, element in enumerate(value):
+            element_repetition = repetition if index == 0 else array_depth
+            self._shred_node(
+                node.item, element, element_repetition, node.level, array_depth
+            )
+
+    def _emit_missing(
+        self, node: SchemaNode, repetition: int, definition: int, depth: int
+    ) -> None:
+        for column in self.schema.leaf_columns(node):
+            self.column(column).triplets.append((repetition, definition, None))
+
+    # -- accounting --------------------------------------------------------------------
+    def total_level_bytes(self) -> int:
+        """Total encoded size of all level streams (repetition + definition)."""
+        return sum(column.level_bytes() for column in self.columns.values())

@@ -1,0 +1,191 @@
+"""Shredding records into extended-Dremel columns.
+
+The :class:`RecordShredder` consumes schemaless documents (plus their primary
+keys and anti-matter flags) and produces one :class:`~repro.core.columns.ShreddedColumn`
+per atomic leaf of the (growing) schema.  It is the write-side half of the
+paper's §3.2; the read-side half is :mod:`repro.core.assembly`.
+
+Delimiter scheme
+----------------
+For a leaf with *k* ancestor arrays:
+
+* elements of the array at array-depth *j* (1-based, outermost = 1) are
+  separated by a delimiter whose definition level is *j* — emitted only to
+  leaves that have at least one deeper ancestor array (``array_count > j``);
+* when the outermost ancestor array is present, the record's repeated content
+  is terminated by a delimiter with definition level 0, emitted to every leaf
+  below it.
+
+This matches the paper's Figures 5 and 7 with one deviation (documented in
+DESIGN.md): separators are emitted at *every* element boundary of
+non-innermost arrays, not only after elements that contained an inner array
+instance.  The extra delimiters keep every column independently decodable,
+which the LSM reconciliation and vertical merge paths rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..model.errors import SchemaError
+from ..model.values import MISSING, TYPE_NULL, type_tag_of
+from .columns import ShreddedColumn
+from .schema import (
+    ArrayNode,
+    AtomicNode,
+    ColumnInfo,
+    ObjectNode,
+    Schema,
+    SchemaNode,
+    UnionNode,
+)
+
+
+class RecordShredder:
+    """Shreds a batch of records (e.g. one LSM flush) into columns."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._columns: Dict[int, ShreddedColumn] = {}
+        self._record_count = 0
+        # Cache of descendant leaf columns per schema node, invalidated when
+        # the schema grows (keyed by the schema version at cache time).
+        self._leaf_cache: Dict[int, tuple] = {}
+        self._ensure_column(schema.pk_column)
+
+    # -- public API ---------------------------------------------------------------
+    @property
+    def record_count(self) -> int:
+        return self._record_count
+
+    @property
+    def columns(self) -> Dict[int, ShreddedColumn]:
+        """Shredded columns keyed by column id (includes the primary key column)."""
+        return self._columns
+
+    def shred(self, key, document: Optional[dict], antimatter: bool = False) -> None:
+        """Shred one record (or anti-matter entry) into the column buffers."""
+        if antimatter:
+            self._shred_antimatter(key)
+            return
+        if not isinstance(document, dict):
+            raise SchemaError("documents must be JSON objects at the top level")
+        self.schema.observe(document)
+        pk_writer = self._ensure_column(self.schema.pk_column)
+        pk_writer.add_value(1, key)
+        root = self.schema.root
+        for name, child in root.children.items():
+            value = document.get(name, MISSING)
+            if name == self.schema.primary_key_field:
+                value = MISSING
+            self._shred_node(child, value, last_present=0, array_depth=0)
+        self._record_count += 1
+
+    def finish(self) -> Dict[int, ShreddedColumn]:
+        """Make sure every schema column has a buffer (back-filled) and return them."""
+        for column in self.schema.columns:
+            self._ensure_column(column)
+        return self._columns
+
+    # -- anti-matter ----------------------------------------------------------------
+    def _shred_antimatter(self, key) -> None:
+        pk_writer = self._ensure_column(self.schema.pk_column)
+        pk_writer.add_value(0, key)
+        for column in self.schema.value_columns():
+            self._ensure_column(column).add_missing(0)
+        self._record_count += 1
+
+    # -- node shredding ----------------------------------------------------------------
+    def _shred_node(
+        self, node: SchemaNode, value, last_present: int, array_depth: int
+    ) -> None:
+        if isinstance(node, UnionNode):
+            actual_tag = None if value is MISSING else type_tag_of(value)
+            for tag, branch in node.branches.items():
+                branch_value = value if tag == actual_tag else MISSING
+                self._shred_node(branch, branch_value, last_present, array_depth)
+            return
+        if isinstance(node, AtomicNode):
+            writer = self._ensure_column(node.column)
+            if value is MISSING:
+                writer.add_missing(last_present)
+            elif node.type_tag == TYPE_NULL:
+                writer.add_value(node.level, None)
+            else:
+                writer.add_value(node.level, value)
+            return
+        if isinstance(node, ObjectNode):
+            if value is MISSING:
+                for child in node.children.values():
+                    self._shred_node(child, MISSING, last_present, array_depth)
+            else:
+                for name, child in node.children.items():
+                    child_value = value.get(name, MISSING)
+                    self._shred_node(child, child_value, node.level, array_depth)
+            return
+        if isinstance(node, ArrayNode):
+            self._shred_array(node, value, last_present, array_depth)
+            return
+        raise SchemaError(f"cannot shred schema node of kind {node.kind!r}")
+
+    def _shred_array(
+        self, node: ArrayNode, value, last_present: int, array_depth: int
+    ) -> None:
+        depth = array_depth + 1
+        item = node.item
+        if item is None:
+            # The array has never contained an element; there are no columns
+            # below it, so there is nothing to record.
+            return
+        leaves = self._leaves_below(item)
+        if value is MISSING:
+            for column in leaves:
+                self._ensure_column(column).add_missing(last_present)
+            return
+        if len(value) == 0:
+            for column in leaves:
+                self._ensure_column(column).add_missing(node.level)
+        else:
+            separator_leaves = [
+                column for column in leaves if column.array_count > depth
+            ]
+            for index, element in enumerate(value):
+                if index > 0:
+                    for column in separator_leaves:
+                        self._ensure_column(column).add_delimiter(depth)
+                self._shred_node(item, element, node.level, depth)
+        if depth == 1:
+            for column in leaves:
+                self._ensure_column(column).add_delimiter(0)
+
+    # -- helpers ----------------------------------------------------------------
+    def _ensure_column(self, column: ColumnInfo) -> ShreddedColumn:
+        writer = self._columns.get(column.column_id)
+        if writer is None:
+            backfill = 0 if column.is_primary_key else self._record_count
+            writer = ShreddedColumn(column, backfill_records=backfill)
+            self._columns[column.column_id] = writer
+        return writer
+
+    def _leaves_below(self, node: SchemaNode) -> tuple:
+        cached = self._leaf_cache.get(id(node))
+        if cached is not None and cached[0] == self.schema.version:
+            return cached[1]
+        leaves = tuple(self.schema.leaf_columns(node))
+        self._leaf_cache[id(node)] = (self.schema.version, leaves)
+        return leaves
+
+
+def shred_batch(
+    schema: Schema,
+    records: List[tuple],
+) -> Dict[int, ShreddedColumn]:
+    """Shred ``records`` (tuples ``(key, document, antimatter)``) in one pass.
+
+    Convenience wrapper used by tests and by the flush path; the schema is
+    extended in place.
+    """
+    shredder = RecordShredder(schema)
+    for key, document, antimatter in records:
+        shredder.shred(key, document, antimatter=antimatter)
+    return shredder.finish()

@@ -1,0 +1,25 @@
+"""Synthetic workload generators reproducing the paper's five datasets."""
+
+from .generators import (
+    DEFAULT_BENCH_SIZES,
+    GENERATORS,
+    CellGenerator,
+    DatasetGenerator,
+    SensorsGenerator,
+    Tweet1Generator,
+    Tweet2Generator,
+    WosGenerator,
+    make_generator,
+)
+
+__all__ = [
+    "DEFAULT_BENCH_SIZES",
+    "GENERATORS",
+    "CellGenerator",
+    "DatasetGenerator",
+    "SensorsGenerator",
+    "Tweet1Generator",
+    "Tweet2Generator",
+    "WosGenerator",
+    "make_generator",
+]

@@ -1,0 +1,48 @@
+"""Parquet-style value encodings and page compression codecs."""
+
+from . import bitpacking, delta, delta_string, plain, rle, varint
+from .compression import (
+    Codec,
+    NoopCodec,
+    SnappyLikeCodec,
+    ZlibCodec,
+    get_codec,
+    register_codec,
+)
+from .registry import (
+    ENC_BOOLEAN_BITPACK,
+    ENC_DELTA,
+    ENC_DELTA_LENGTH,
+    ENC_DELTA_STRINGS,
+    ENC_NONE,
+    ENC_PLAIN,
+    ENC_RLE_INT,
+    ENCODING_NAMES,
+    decode_values,
+    encode_values,
+)
+
+__all__ = [
+    "Codec",
+    "NoopCodec",
+    "SnappyLikeCodec",
+    "ZlibCodec",
+    "get_codec",
+    "register_codec",
+    "bitpacking",
+    "delta",
+    "delta_string",
+    "plain",
+    "rle",
+    "varint",
+    "ENC_BOOLEAN_BITPACK",
+    "ENC_DELTA",
+    "ENC_DELTA_LENGTH",
+    "ENC_DELTA_STRINGS",
+    "ENC_NONE",
+    "ENC_PLAIN",
+    "ENC_RLE_INT",
+    "ENCODING_NAMES",
+    "decode_values",
+    "encode_values",
+]

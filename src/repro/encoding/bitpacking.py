@@ -1,0 +1,71 @@
+"""Bit-packing of small unsigned integers.
+
+Packs each value into ``bit_width`` bits, LSB-first within each byte, matching
+Parquet's bit-packed run layout.  A bit width of zero packs to zero bytes (all
+values are implicitly zero), which is how all-zero definition levels collapse
+to nothing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..model.errors import EncodingError
+
+
+def bit_width_for(max_value: int) -> int:
+    """Number of bits needed to represent ``max_value`` (0 needs 0 bits)."""
+    if max_value < 0:
+        raise EncodingError("bit width undefined for negative values")
+    return max_value.bit_length()
+
+
+def pack(values: Sequence[int], bit_width: int) -> bytes:
+    """Bit-pack ``values`` using ``bit_width`` bits per value."""
+    if bit_width == 0:
+        return b""
+    limit = 1 << bit_width
+    buffer = 0
+    bits_in_buffer = 0
+    out = bytearray()
+    for value in values:
+        if value < 0 or value >= limit:
+            raise EncodingError(
+                f"value {value} does not fit in {bit_width} bits"
+            )
+        buffer |= value << bits_in_buffer
+        bits_in_buffer += bit_width
+        while bits_in_buffer >= 8:
+            out.append(buffer & 0xFF)
+            buffer >>= 8
+            bits_in_buffer -= 8
+    if bits_in_buffer:
+        out.append(buffer & 0xFF)
+    return bytes(out)
+
+
+def unpack(data: bytes, bit_width: int, count: int, offset: int = 0) -> List[int]:
+    """Unpack ``count`` values of ``bit_width`` bits starting at byte ``offset``."""
+    if bit_width == 0:
+        return [0] * count
+    mask = (1 << bit_width) - 1
+    values: List[int] = []
+    buffer = 0
+    bits_in_buffer = 0
+    position = offset
+    for _ in range(count):
+        while bits_in_buffer < bit_width:
+            if position >= len(data):
+                raise EncodingError("truncated bit-packed run")
+            buffer |= data[position] << bits_in_buffer
+            position += 1
+            bits_in_buffer += 8
+        values.append(buffer & mask)
+        buffer >>= bit_width
+        bits_in_buffer -= bit_width
+    return values
+
+
+def packed_size(count: int, bit_width: int) -> int:
+    """Number of bytes produced by packing ``count`` values."""
+    return (count * bit_width + 7) // 8

@@ -1,0 +1,91 @@
+"""DELTA_BINARY_PACKED integer encoding (Parquet's delta encoding).
+
+Layout (simplified but faithful to the Parquet design):
+
+* header: ``block_size`` (uvarint), ``miniblocks_per_block`` (uvarint),
+  ``total_count`` (uvarint), ``first_value`` (svarint);
+* blocks: each block stores ``min_delta`` (svarint), then per miniblock a
+  bit width byte followed by the bit-packed ``delta - min_delta`` values.
+
+Monotonic sequences (timestamps, ids, sensor readings in the same domain)
+collapse to a few bytes, which is what gives the columnar layouts their large
+advantage on the ``sensors`` dataset in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..model.errors import EncodingError
+from . import bitpacking
+from .varint import (
+    decode_svarint,
+    decode_uvarint,
+    encode_svarint,
+    encode_uvarint,
+)
+
+_BLOCK_SIZE = 128
+_MINIBLOCKS_PER_BLOCK = 4
+_MINIBLOCK_SIZE = _BLOCK_SIZE // _MINIBLOCKS_PER_BLOCK
+
+
+def encode(values: Sequence[int]) -> bytes:
+    """Encode signed 64-bit integers with delta binary packing."""
+    out = bytearray()
+    encode_uvarint(_BLOCK_SIZE, out)
+    encode_uvarint(_MINIBLOCKS_PER_BLOCK, out)
+    encode_uvarint(len(values), out)
+    if not values:
+        return bytes(out)
+    encode_svarint(values[0], out)
+    deltas = [values[i] - values[i - 1] for i in range(1, len(values))]
+    position = 0
+    while position < len(deltas):
+        block = deltas[position:position + _BLOCK_SIZE]
+        position += len(block)
+        min_delta = min(block)
+        encode_svarint(min_delta, out)
+        adjusted = [delta - min_delta for delta in block]
+        # Pad the last block so each miniblock is complete.
+        adjusted.extend([0] * (_BLOCK_SIZE - len(adjusted)))
+        widths = []
+        payloads = []
+        for mb in range(_MINIBLOCKS_PER_BLOCK):
+            chunk = adjusted[mb * _MINIBLOCK_SIZE:(mb + 1) * _MINIBLOCK_SIZE]
+            width = bitpacking.bit_width_for(max(chunk) if chunk else 0)
+            widths.append(width)
+            payloads.append(bitpacking.pack(chunk, width))
+        out.extend(widths)
+        for payload in payloads:
+            out.extend(payload)
+    return bytes(out)
+
+
+def decode(data: bytes, offset: int = 0) -> List[int]:
+    """Decode a delta-binary-packed stream produced by :func:`encode`."""
+    position = offset
+    block_size, position = decode_uvarint(data, position)
+    miniblocks, position = decode_uvarint(data, position)
+    if block_size <= 0 or miniblocks <= 0 or block_size % miniblocks:
+        raise EncodingError("corrupt delta header")
+    miniblock_size = block_size // miniblocks
+    count, position = decode_uvarint(data, position)
+    if count == 0:
+        return []
+    first, position = decode_svarint(data, position)
+    values = [first]
+    remaining = count - 1
+    while remaining > 0:
+        min_delta, position = decode_svarint(data, position)
+        widths = list(data[position:position + miniblocks])
+        position += miniblocks
+        deltas: List[int] = []
+        for width in widths:
+            chunk = bitpacking.unpack(data, width, miniblock_size, position)
+            position += bitpacking.packed_size(miniblock_size, width)
+            deltas.extend(chunk)
+        for delta in deltas[:remaining]:
+            values.append(values[-1] + delta + min_delta)
+        remaining -= min(remaining, block_size)
+    return values

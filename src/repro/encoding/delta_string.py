@@ -1,0 +1,105 @@
+"""Delta string encodings.
+
+Two Parquet-style encodings for byte-array (string) columns:
+
+* ``DELTA_LENGTH_BYTE_ARRAY``: all string lengths are delta-binary-packed in a
+  header, followed by the concatenated UTF-8 payloads.  Decoding a value does
+  not require scanning the previous values' bytes.
+* ``DELTA_BYTE_ARRAY`` (a.k.a. *delta strings* / incremental encoding): each
+  value stores the length of the prefix shared with the previous value plus
+  its suffix.  Sorted or templated strings (URLs, timestamps-as-text, country
+  names) compress well.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..model.errors import EncodingError
+from . import delta
+from .varint import decode_uvarint, encode_uvarint
+
+
+def encode_delta_length(values: Sequence[str]) -> bytes:
+    """DELTA_LENGTH_BYTE_ARRAY: delta-packed lengths, then concatenated bytes."""
+    raw_values = [value.encode("utf-8") for value in values]
+    lengths = delta.encode([len(raw) for raw in raw_values])
+    out = bytearray()
+    encode_uvarint(len(lengths), out)
+    out.extend(lengths)
+    for raw in raw_values:
+        out.extend(raw)
+    return bytes(out)
+
+
+def decode_delta_length(data: bytes, count: int, offset: int = 0) -> List[str]:
+    """Decode DELTA_LENGTH_BYTE_ARRAY."""
+    header_size, position = decode_uvarint(data, offset)
+    lengths = delta.decode(data, position)
+    if len(lengths) != count:
+        raise EncodingError(
+            f"delta-length header has {len(lengths)} lengths, expected {count}"
+        )
+    position += header_size
+    values: List[str] = []
+    for length in lengths:
+        end = position + length
+        if end > len(data):
+            raise EncodingError("truncated delta-length payload")
+        values.append(data[position:end].decode("utf-8"))
+        position = end
+    return values
+
+
+def _shared_prefix_length(left: bytes, right: bytes) -> int:
+    limit = min(len(left), len(right))
+    index = 0
+    while index < limit and left[index] == right[index]:
+        index += 1
+    return index
+
+
+def encode_delta_strings(values: Sequence[str]) -> bytes:
+    """DELTA_BYTE_ARRAY: prefix lengths + suffix lengths (delta packed) + suffixes."""
+    raw_values = [value.encode("utf-8") for value in values]
+    prefix_lengths: List[int] = []
+    suffixes: List[bytes] = []
+    previous = b""
+    for raw in raw_values:
+        prefix = _shared_prefix_length(previous, raw)
+        prefix_lengths.append(prefix)
+        suffixes.append(raw[prefix:])
+        previous = raw
+    prefix_block = delta.encode(prefix_lengths)
+    suffix_block = delta.encode([len(suffix) for suffix in suffixes])
+    out = bytearray()
+    encode_uvarint(len(prefix_block), out)
+    out.extend(prefix_block)
+    encode_uvarint(len(suffix_block), out)
+    out.extend(suffix_block)
+    for suffix in suffixes:
+        out.extend(suffix)
+    return bytes(out)
+
+
+def decode_delta_strings(data: bytes, count: int, offset: int = 0) -> List[str]:
+    """Decode DELTA_BYTE_ARRAY."""
+    prefix_size, position = decode_uvarint(data, offset)
+    prefix_lengths = delta.decode(data, position)
+    position += prefix_size
+    suffix_size, position2 = decode_uvarint(data, position)
+    suffix_lengths = delta.decode(data, position2)
+    position = position2 + suffix_size
+    if len(prefix_lengths) != count or len(suffix_lengths) != count:
+        raise EncodingError("delta-strings header count mismatch")
+    values: List[str] = []
+    previous = b""
+    for prefix_length, suffix_length in zip(prefix_lengths, suffix_lengths):
+        end = position + suffix_length
+        if end > len(data):
+            raise EncodingError("truncated delta-strings payload")
+        raw = previous[:prefix_length] + data[position:end]
+        values.append(raw.decode("utf-8"))
+        previous = raw
+        position = end
+    return values

@@ -1,0 +1,82 @@
+"""PLAIN encodings: fixed-width integers/doubles, length-prefixed strings, booleans.
+
+These are the fallback encodings (Parquet PLAIN) and the reference point for
+measuring how much the smarter encodings save.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence
+
+from ..model.errors import EncodingError
+from .varint import decode_uvarint, encode_uvarint
+
+
+def encode_int64(values: Sequence[int]) -> bytes:
+    """Encode 64-bit signed integers little endian."""
+    try:
+        return struct.pack(f"<{len(values)}q", *values)
+    except struct.error as exc:
+        raise EncodingError(f"int64 out of range: {exc}") from exc
+
+
+def decode_int64(data: bytes, count: int, offset: int = 0) -> List[int]:
+    """Decode ``count`` 64-bit signed integers."""
+    end = offset + 8 * count
+    if end > len(data):
+        raise EncodingError("truncated int64 payload")
+    return list(struct.unpack_from(f"<{count}q", data, offset))
+
+
+def encode_double(values: Sequence[float]) -> bytes:
+    """Encode IEEE-754 doubles little endian."""
+    return struct.pack(f"<{len(values)}d", *values)
+
+
+def decode_double(data: bytes, count: int, offset: int = 0) -> List[float]:
+    """Decode ``count`` doubles."""
+    end = offset + 8 * count
+    if end > len(data):
+        raise EncodingError("truncated double payload")
+    return list(struct.unpack_from(f"<{count}d", data, offset))
+
+
+def encode_boolean(values: Sequence[bool]) -> bytes:
+    """Encode booleans packed one bit each (LSB first)."""
+    out = bytearray((len(values) + 7) // 8)
+    for index, value in enumerate(values):
+        if value:
+            out[index >> 3] |= 1 << (index & 7)
+    return bytes(out)
+
+
+def decode_boolean(data: bytes, count: int, offset: int = 0) -> List[bool]:
+    """Decode ``count`` bit-packed booleans."""
+    if offset + (count + 7) // 8 > len(data):
+        raise EncodingError("truncated boolean payload")
+    return [bool(data[offset + (i >> 3)] >> (i & 7) & 1) for i in range(count)]
+
+
+def encode_strings(values: Sequence[str]) -> bytes:
+    """Encode strings as ULEB128 length + UTF-8 bytes."""
+    out = bytearray()
+    for value in values:
+        raw = value.encode("utf-8")
+        encode_uvarint(len(raw), out)
+        out.extend(raw)
+    return bytes(out)
+
+
+def decode_strings(data: bytes, count: int, offset: int = 0) -> List[str]:
+    """Decode ``count`` length-prefixed UTF-8 strings."""
+    values: List[str] = []
+    position = offset
+    for _ in range(count):
+        length, position = decode_uvarint(data, position)
+        end = position + length
+        if end > len(data):
+            raise EncodingError("truncated string payload")
+        values.append(data[position:end].decode("utf-8"))
+        position = end
+    return values

@@ -1,0 +1,127 @@
+"""Value-encoding registry.
+
+A columnar minipage/megapage stores, for one column, an encoded definition
+level stream plus an encoded value stream.  This module selects a value
+encoding per atomic type (mirroring Parquet's encoder selection, §4.1 of the
+paper: bit-packing, RLE, delta, delta strings — everything except dictionary
+encoding) and serializes the choice so readers can pick the right decoder.
+
+The chooser is size-driven: candidate encodings are produced and the smallest
+payload wins, which reproduces the paper's observation that encoding helps a
+lot for numeric domains and much less (sometimes negatively, once per-column
+overheads are included) for long text values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..model.errors import EncodingError
+from ..model.values import (
+    TYPE_BOOLEAN,
+    TYPE_DOUBLE,
+    TYPE_INT64,
+    TYPE_NULL,
+    TYPE_STRING,
+)
+from . import delta, delta_string, plain, rle
+
+# Encoding identifiers (stable on-page byte values).
+ENC_PLAIN = 0
+ENC_DELTA = 1
+ENC_DELTA_LENGTH = 2
+ENC_DELTA_STRINGS = 3
+ENC_RLE_INT = 4
+ENC_BOOLEAN_BITPACK = 5
+ENC_NONE = 6
+
+ENCODING_NAMES = {
+    ENC_PLAIN: "plain",
+    ENC_DELTA: "delta",
+    ENC_DELTA_LENGTH: "delta_length",
+    ENC_DELTA_STRINGS: "delta_strings",
+    ENC_RLE_INT: "rle",
+    ENC_BOOLEAN_BITPACK: "boolean",
+    ENC_NONE: "none",
+}
+
+
+def _encode_int64_candidates(values: Sequence[int]) -> List[Tuple[int, bytes]]:
+    candidates = [(ENC_PLAIN, plain.encode_int64(values))]
+    try:
+        candidates.append((ENC_DELTA, delta.encode(values)))
+    except EncodingError:
+        pass
+    non_negative = all(value >= 0 for value in values) if values else True
+    if non_negative and values:
+        payload, width = rle.encoded_with_width(values)
+        # Prefix the bit width so the decoder can reconstruct values.
+        candidates.append((ENC_RLE_INT, bytes([width]) + payload))
+    return candidates
+
+
+def _encode_string_candidates(values: Sequence[str]) -> List[Tuple[int, bytes]]:
+    return [
+        (ENC_PLAIN, plain.encode_strings(values)),
+        (ENC_DELTA_LENGTH, delta_string.encode_delta_length(values)),
+        (ENC_DELTA_STRINGS, delta_string.encode_delta_strings(values)),
+    ]
+
+
+def encode_values(type_tag: str, values: Sequence) -> Tuple[int, bytes]:
+    """Encode a column's present values; returns ``(encoding_id, payload)``."""
+    if type_tag == TYPE_NULL or not values:
+        return ENC_NONE, b""
+    if type_tag == TYPE_INT64:
+        candidates = _encode_int64_candidates(values)
+    elif type_tag == TYPE_DOUBLE:
+        candidates = [(ENC_PLAIN, plain.encode_double(values))]
+    elif type_tag == TYPE_STRING:
+        candidates = _encode_string_candidates(values)
+    elif type_tag == TYPE_BOOLEAN:
+        candidates = [(ENC_BOOLEAN_BITPACK, plain.encode_boolean(values))]
+    else:
+        raise EncodingError(f"cannot encode values of type {type_tag!r}")
+    return min(candidates, key=lambda item: len(item[1]))
+
+
+_DECODERS: Dict[Tuple[str, int], Callable[[bytes, int], list]] = {
+    (TYPE_INT64, ENC_PLAIN): lambda data, count: plain.decode_int64(data, count),
+    (TYPE_INT64, ENC_DELTA): lambda data, count: delta.decode(data),
+    (TYPE_INT64, ENC_RLE_INT): lambda data, count: rle.decode(data[1:], data[0], count)
+    if count
+    else [],
+    (TYPE_DOUBLE, ENC_PLAIN): lambda data, count: plain.decode_double(data, count),
+    (TYPE_STRING, ENC_PLAIN): lambda data, count: plain.decode_strings(data, count),
+    (TYPE_STRING, ENC_DELTA_LENGTH): lambda data, count: delta_string.decode_delta_length(
+        data, count
+    ),
+    (TYPE_STRING, ENC_DELTA_STRINGS): lambda data, count: delta_string.decode_delta_strings(
+        data, count
+    ),
+    (TYPE_BOOLEAN, ENC_BOOLEAN_BITPACK): lambda data, count: plain.decode_boolean(
+        data, count
+    ),
+}
+
+
+def decode_values(type_tag: str, encoding_id: int, payload: bytes, count: int) -> list:
+    """Decode ``count`` values previously produced by :func:`encode_values`."""
+    if encoding_id == ENC_NONE or count == 0:
+        if type_tag == TYPE_NULL:
+            return [None] * count
+        return []
+    try:
+        decoder = _DECODERS[(type_tag, encoding_id)]
+    except KeyError as exc:
+        raise EncodingError(
+            f"no decoder for type {type_tag!r} / encoding "
+            f"{ENCODING_NAMES.get(encoding_id, encoding_id)!r}"
+        ) from exc
+    values = decoder(payload, count)
+    if len(values) != count:
+        raise EncodingError(
+            f"decoded {len(values)} values, expected {count} "
+            f"({type_tag}/{ENCODING_NAMES.get(encoding_id)})"
+        )
+    return values

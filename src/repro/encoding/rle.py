@@ -1,0 +1,123 @@
+"""RLE / bit-packing hybrid encoding (Parquet's RLE encoding).
+
+The hybrid stream is a sequence of runs.  Each run starts with a ULEB128
+header ``h``:
+
+* if ``h & 1 == 0`` the run is an *RLE run*: ``h >> 1`` repetitions of a single
+  value stored in ``ceil(bit_width / 8)`` bytes (little endian);
+* if ``h & 1 == 1`` the run is a *bit-packed run*: ``h >> 1`` groups of 8
+  values, bit-packed with ``bit_width`` bits each.
+
+This is the encoding used for definition levels (and delimiters) in both the
+APAX and AMAX layouts, and as the dictionary-free fallback for small-domain
+integer columns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..model.errors import EncodingError
+from . import bitpacking
+from .varint import decode_uvarint, encode_uvarint
+
+#: Minimum length of a repeated value before we emit an RLE run instead of
+#: folding the values into the current bit-packed group.
+_MIN_RLE_RUN = 8
+
+
+def encode(values: Sequence[int], bit_width: int) -> bytes:
+    """Encode non-negative integers with the RLE / bit-packed hybrid."""
+    out = bytearray()
+    if not values:
+        return bytes(out)
+    if bit_width == 0:
+        # All values are zero; a single RLE run covers everything.
+        encode_uvarint(len(values) << 1, out)
+        return bytes(out)
+
+    value_byte_width = (bit_width + 7) // 8
+    index = 0
+    total = len(values)
+    pending: List[int] = []
+
+    def flush_pending() -> None:
+        """Emit the buffered non-run values as bit-packed groups of 8.
+
+        Padding to a whole group of 8 is only legal at the very end of the
+        stream (the decoder drops the excess values there); mid-stream flushes
+        are therefore only performed when the pending buffer length is a
+        multiple of 8 — the encoding loop below guarantees that.
+        """
+        if not pending:
+            return
+        groups = (len(pending) + 7) // 8
+        padded = list(pending) + [0] * (groups * 8 - len(pending))
+        encode_uvarint((groups << 1) | 1, out)
+        out.extend(bitpacking.pack(padded, bit_width))
+        pending.clear()
+
+    while index < total:
+        value = values[index]
+        run_length = 1
+        while index + run_length < total and values[index + run_length] == value:
+            run_length += 1
+        if run_length >= _MIN_RLE_RUN:
+            # Top the pending buffer up to an 8-value boundary before flushing
+            # so that no padding values are injected mid-stream.
+            boundary_fill = (-len(pending)) % 8
+            if boundary_fill:
+                take = min(boundary_fill, run_length)
+                pending.extend([value] * take)
+                index += take
+                run_length -= take
+                if len(pending) % 8 or run_length < _MIN_RLE_RUN:
+                    pending.extend(values[index:index + run_length])
+                    index += run_length
+                    continue
+            flush_pending()
+            encode_uvarint(run_length << 1, out)
+            out.extend(int(value).to_bytes(value_byte_width, "little"))
+            index += run_length
+        else:
+            pending.extend(values[index:index + run_length])
+            index += run_length
+    flush_pending()
+    return bytes(out)
+
+
+def decode(data: bytes, bit_width: int, count: int, offset: int = 0) -> List[int]:
+    """Decode ``count`` values from an RLE / bit-packed hybrid stream."""
+    values: List[int] = []
+    position = offset
+    if bit_width == 0:
+        return [0] * count
+    value_byte_width = (bit_width + 7) // 8
+    while len(values) < count:
+        if position >= len(data):
+            raise EncodingError(
+                f"truncated RLE stream: decoded {len(values)} of {count} values"
+            )
+        header, position = decode_uvarint(data, position)
+        if header & 1:
+            groups = header >> 1
+            packed_bytes = bitpacking.packed_size(groups * 8, bit_width)
+            run = bitpacking.unpack(data, bit_width, groups * 8, position)
+            position += packed_bytes
+            values.extend(run)
+        else:
+            run_length = header >> 1
+            value = int.from_bytes(
+                data[position:position + value_byte_width], "little"
+            )
+            position += value_byte_width
+            values.extend([value] * run_length)
+    del values[count:]
+    return values
+
+
+def encoded_with_width(values: Sequence[int]) -> tuple[bytes, int]:
+    """Encode and return ``(payload, bit_width)`` computed from the maximum value."""
+    max_value = max(values) if values else 0
+    width = bitpacking.bit_width_for(max_value)
+    return encode(values, width), width

@@ -1,0 +1,66 @@
+"""Variable-length integer primitives (ULEB128) and ZigZag mapping.
+
+These are the low-level building blocks shared by the Parquet-style encoders:
+unsigned LEB128 for lengths and counts, and ZigZag to map signed integers to
+unsigned ones before delta/bit-packing.
+"""
+
+from __future__ import annotations
+
+from ..model.errors import EncodingError
+
+
+def encode_uvarint(value: int, out: bytearray) -> None:
+    """Append the ULEB128 encoding of a non-negative integer to ``out``."""
+    if value < 0:
+        raise EncodingError(f"uvarint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def decode_uvarint(data: bytes, offset: int) -> tuple[int, int]:
+    """Decode a ULEB128 integer starting at ``offset``.
+
+    Returns ``(value, new_offset)``.
+    """
+    result = 0
+    shift = 0
+    position = offset
+    while True:
+        if position >= len(data):
+            raise EncodingError("truncated uvarint")
+        byte = data[position]
+        position += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, position
+        shift += 7
+        if shift > 70:
+            raise EncodingError("uvarint too long")
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed integer onto an unsigned one (small magnitudes stay small)."""
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def encode_svarint(value: int, out: bytearray) -> None:
+    """Append a ZigZag + ULEB128 encoded signed integer."""
+    encode_uvarint(zigzag_encode(value), out)
+
+
+def decode_svarint(data: bytes, offset: int) -> tuple[int, int]:
+    """Decode a ZigZag + ULEB128 signed integer; returns ``(value, new_offset)``."""
+    raw, offset = decode_uvarint(data, offset)
+    return zigzag_decode(raw), offset

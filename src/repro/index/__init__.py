@@ -1,0 +1,5 @@
+"""Secondary indexes and the primary-key index."""
+
+from .secondary import PrimaryKeyIndex, SecondaryIndex
+
+__all__ = ["PrimaryKeyIndex", "SecondaryIndex"]

@@ -1,0 +1,200 @@
+"""Secondary indexes and the primary-key index (§4.6).
+
+Secondary indexes map a field value to the primary keys of the records holding
+it.  They are LSM-like: mutations buffer in memory and spill to immutable
+sorted runs whose serialized size is accounted on the storage device (their
+on-disk size is independent of the primary index's layout, as the paper
+notes for Figure 12a).
+
+Maintaining a secondary index under updates requires fetching the *old* value
+of an updated record from the primary index so the stale entry can be
+anti-mattered — that point lookup is the ingestion cost the paper measures in
+§6.3.2.  The :class:`PrimaryKeyIndex` (a keys-only secondary index) lets the
+ingestion path skip the primary-index lookup when the key has never been seen.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..model.errors import StorageError
+from ..model.path import FieldPath, get_path
+from ..model.values import MISSING
+from ..storage.device import StorageDevice
+
+
+def _serialize_run(entries: Sequence[tuple]) -> bytes:
+    return json.dumps(entries, separators=(",", ":"), default=str).encode("utf-8")
+
+
+class _Run:
+    """One immutable sorted run of (value, pk, antimatter) entries."""
+
+    def __init__(self, entries: List[tuple], device: StorageDevice, name: str) -> None:
+        self.entries = sorted(entries, key=lambda entry: (entry[0], str(entry[1])))
+        self.file = device.create_file(name)
+        payload = _serialize_run(self.entries)
+        page_size = device.page_size
+        for start in range(0, max(len(payload), 1), page_size):
+            self.file.append_page(payload[start:start + page_size])
+        self._values = [entry[0] for entry in self.entries]
+
+    def search(self, low, high) -> Iterable[tuple]:
+        start = 0 if low is None else bisect.bisect_left(self._values, low)
+        stop = len(self.entries) if high is None else bisect.bisect_right(self._values, high)
+        return self.entries[start:stop]
+
+    @property
+    def size_bytes(self) -> int:
+        return self.file.size_bytes
+
+    def destroy(self) -> None:
+        self.file.device.delete_file(self.file.name)
+
+
+class SecondaryIndex:
+    """A value → primary-key index over one field path."""
+
+    def __init__(
+        self,
+        name: str,
+        path: "FieldPath | str",
+        device: StorageDevice,
+        buffer_limit: int = 50_000,
+    ) -> None:
+        self.name = name
+        self.path = FieldPath.of(path)
+        self.device = device
+        self.buffer_limit = buffer_limit
+        self._buffer: List[tuple] = []  # (value, pk, antimatter)
+        self._runs: List[_Run] = []  # newest first
+        self._run_counter = 0
+        self.lookups = 0
+
+    # -- maintenance -----------------------------------------------------------------
+    def extract(self, document: Optional[dict]):
+        """The indexed value of a document (None when missing/unindexable)."""
+        if document is None:
+            return None
+        value = get_path(document, self.path)
+        if value is MISSING or isinstance(value, (dict, list)):
+            return None
+        return value
+
+    def insert(self, value, primary_key) -> None:
+        if value is None:
+            return
+        self._buffer.append((value, primary_key, False))
+        self._maybe_spill()
+
+    def delete(self, value, primary_key) -> None:
+        if value is None:
+            return
+        self._buffer.append((value, primary_key, True))
+        self._maybe_spill()
+
+    def _maybe_spill(self) -> None:
+        if len(self._buffer) >= self.buffer_limit:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._buffer:
+            return
+        self._run_counter += 1
+        run = _Run(self._buffer, self.device, f"{self.name}-run{self._run_counter}")
+        self._runs.insert(0, run)
+        self._buffer = []
+
+    # -- search -----------------------------------------------------------------------
+    def search_range(self, low=None, high=None) -> List[object]:
+        """Primary keys whose indexed value lies in ``[low, high]`` (reconciled)."""
+        self.lookups += 1
+        decided: dict = {}
+        sources: List[Iterable[tuple]] = []
+        buffered = [
+            entry
+            for entry in reversed(self._buffer)
+            if (low is None or entry[0] >= low) and (high is None or entry[0] <= high)
+        ]
+        sources.append(buffered)
+        for run in self._runs:
+            sources.append(run.search(low, high))
+        for source in sources:
+            for value, primary_key, antimatter in source:
+                identity = (value, primary_key)
+                if identity not in decided:
+                    decided[identity] = antimatter
+        return [
+            primary_key
+            for (value, primary_key), antimatter in decided.items()
+            if not antimatter
+        ]
+
+    # -- statistics --------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        return sum(run.size_bytes for run in self._runs)
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._buffer) + sum(len(run.entries) for run in self._runs)
+
+    def destroy(self) -> None:
+        for run in self._runs:
+            run.destroy()
+        self._runs = []
+        self._buffer = []
+
+
+class PrimaryKeyIndex:
+    """A keys-only index used to avoid point lookups for never-seen keys (§4.6)."""
+
+    def __init__(self, name: str, device: StorageDevice, buffer_limit: int = 100_000) -> None:
+        self.name = name
+        self.device = device
+        self.buffer_limit = buffer_limit
+        self._keys: Set[object] = set()
+        self._pending: List[object] = []
+        self._runs: List[_Run] = []
+        self._run_counter = 0
+
+    def insert(self, key) -> None:
+        if key in self._keys:
+            return
+        self._keys.add(key)
+        self._pending.append(key)
+        if len(self._pending) >= self.buffer_limit:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._pending:
+            return
+        self._run_counter += 1
+        run = _Run(
+            [(key, key, False) for key in self._pending],
+            self.device,
+            f"{self.name}-run{self._run_counter}",
+        )
+        self._runs.insert(0, run)
+        self._pending = []
+
+    def __contains__(self, key) -> bool:
+        return key in self._keys
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(run.size_bytes for run in self._runs)
+
+    @property
+    def key_count(self) -> int:
+        return len(self._keys)
+
+    def destroy(self) -> None:
+        for run in self._runs:
+            run.destroy()
+        self._runs = []
+        self._keys = set()
+        self._pending = []

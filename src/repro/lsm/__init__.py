@@ -1,0 +1,45 @@
+"""LSM storage engine: memtable, on-disk components, merge policies, WAL, LSM tree."""
+
+from .component import (
+    ALL_LAYOUTS,
+    COLUMNAR_LAYOUTS,
+    LAYOUT_AMAX,
+    LAYOUT_APAX,
+    LAYOUT_OPEN,
+    LAYOUT_VECTOR,
+    ROW_LAYOUTS,
+    ComponentCursor,
+    ComponentMetadata,
+    DiskComponent,
+    RowComponent,
+    RowComponentBuilder,
+)
+from .keys import decode_key, encode_key
+from .lsm_tree import LSMTree
+from .memtable import MemTable
+from .merge_policy import MergeScheduler, NoMergePolicy, TieringMergePolicy
+from .wal import LogManager, TransactionLog
+
+__all__ = [
+    "ALL_LAYOUTS",
+    "COLUMNAR_LAYOUTS",
+    "LAYOUT_AMAX",
+    "LAYOUT_APAX",
+    "LAYOUT_OPEN",
+    "LAYOUT_VECTOR",
+    "ROW_LAYOUTS",
+    "ComponentCursor",
+    "ComponentMetadata",
+    "DiskComponent",
+    "LSMTree",
+    "LogManager",
+    "MemTable",
+    "MergeScheduler",
+    "NoMergePolicy",
+    "RowComponent",
+    "RowComponentBuilder",
+    "TieringMergePolicy",
+    "TransactionLog",
+    "decode_key",
+    "encode_key",
+]

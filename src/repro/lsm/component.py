@@ -1,0 +1,360 @@
+"""LSM on-disk components: shared metadata, cursor protocol, and row layouts.
+
+An on-disk component is an immutable, key-ordered run of records written by a
+flush or a merge.  This module defines:
+
+* :class:`ComponentMetadata` — the information AsterixDB would keep on the
+  component's metadata page (record counts, key range, validity, the schema
+  snapshot for columnar layouts, the field-name dictionary for VB);
+* the :class:`DiskComponent` / :class:`ComponentCursor` protocol used by the
+  LSM tree for scans, point lookups and merges;
+* :class:`RowComponent` — the row-major layouts (``open`` and ``vector``),
+  which store records in slotted pages with a per-page first-key index.
+
+The columnar components (APAX, AMAX) live in :mod:`repro.columnar`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..model.errors import ComponentStateError, StorageError
+from ..rowformats import open_format, vector_format
+from ..rowformats.vector_format import FieldNameDictionary
+from ..storage.buffer_cache import BufferCache
+from ..storage.device import ComponentFile, StorageDevice
+from .keys import decode_key, encode_key
+
+LAYOUT_OPEN = "open"
+LAYOUT_VECTOR = "vector"
+LAYOUT_APAX = "apax"
+LAYOUT_AMAX = "amax"
+
+ROW_LAYOUTS = (LAYOUT_OPEN, LAYOUT_VECTOR)
+COLUMNAR_LAYOUTS = (LAYOUT_APAX, LAYOUT_AMAX)
+ALL_LAYOUTS = ROW_LAYOUTS + COLUMNAR_LAYOUTS
+
+#: One flush/merge input entry: (key, antimatter, document-or-None).
+FlushEntry = Tuple[object, bool, Optional[dict]]
+
+
+@dataclass
+class ComponentMetadata:
+    """The component's metadata-page contents (kept in memory, size accounted on disk)."""
+
+    component_id: str
+    layout: str
+    record_count: int = 0
+    antimatter_count: int = 0
+    min_key: object = None
+    max_key: object = None
+    valid: bool = False
+    page_first_keys: List[object] = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+
+    def to_json_bytes(self) -> bytes:
+        payload = {
+            "component_id": self.component_id,
+            "layout": self.layout,
+            "record_count": self.record_count,
+            "antimatter_count": self.antimatter_count,
+            "min_key": self.min_key,
+            "max_key": self.max_key,
+            "valid": self.valid,
+            "page_first_keys": self.page_first_keys,
+            "extra": self.extra,
+        }
+        return json.dumps(payload).encode("utf-8")
+
+
+class ComponentCursor:
+    """Iterates one component's records in key order.
+
+    Subclasses decode documents lazily: ``advance`` only positions the cursor
+    (reading keys / anti-matter flags), ``document()`` pays the decoding cost.
+    """
+
+    def advance(self) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    @property
+    def key(self):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    @property
+    def is_antimatter(self) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def document(self) -> Optional[dict]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class DiskComponent:
+    """Base class for on-disk components."""
+
+    def __init__(
+        self,
+        metadata: ComponentMetadata,
+        component_file: ComponentFile,
+        buffer_cache: BufferCache,
+    ) -> None:
+        self.metadata = metadata
+        self.file = component_file
+        self.buffer_cache = buffer_cache
+
+    # -- lifecycle --------------------------------------------------------------
+    @property
+    def component_id(self) -> str:
+        return self.metadata.component_id
+
+    @property
+    def layout(self) -> str:
+        return self.metadata.layout
+
+    @property
+    def record_count(self) -> int:
+        return self.metadata.record_count
+
+    @property
+    def size_bytes(self) -> int:
+        return self.file.size_bytes
+
+    @property
+    def num_pages(self) -> int:
+        return self.file.num_pages
+
+    def mark_valid(self) -> None:
+        self.metadata.valid = True
+
+    def destroy(self) -> None:
+        self.buffer_cache.invalidate_file(self.file.name)
+        self.file.device.delete_file(self.file.name)
+
+    # -- protocol ----------------------------------------------------------------
+    def cursor(self, fields: Optional[Sequence[str]] = None) -> ComponentCursor:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def point_lookup(self, key) -> Optional[Tuple[bool, Optional[dict]]]:
+        """Return ``(antimatter, document)`` for ``key`` or None when absent."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def key_range_overlaps(self, key) -> bool:
+        if self.metadata.min_key is None:
+            return False
+        return self.metadata.min_key <= key <= self.metadata.max_key
+
+
+def write_metadata_pages(component_file: ComponentFile, metadata: ComponentMetadata) -> int:
+    """Write the metadata page(s) and return how many pages were used."""
+    payload = metadata.to_json_bytes()
+    page_size = component_file.device.page_size
+    pages = 0
+    for start in range(0, max(len(payload), 1), page_size):
+        component_file.append_page(payload[start:start + page_size])
+        pages += 1
+    return pages
+
+
+# ======================================================================================
+# Row-major components (Open and Vector-Based)
+# ======================================================================================
+
+
+class RowComponentBuilder:
+    """Writes a key-ordered run of records into slotted row pages."""
+
+    def __init__(
+        self,
+        layout: str,
+        component_id: str,
+        device: StorageDevice,
+        buffer_cache: BufferCache,
+        field_dictionary: Optional[FieldNameDictionary] = None,
+        fill_fraction: float = 0.95,
+    ) -> None:
+        if layout not in ROW_LAYOUTS:
+            raise StorageError(f"{layout!r} is not a row layout")
+        self.layout = layout
+        self.component_id = component_id
+        self.device = device
+        self.buffer_cache = buffer_cache
+        self.field_dictionary = field_dictionary or FieldNameDictionary()
+        self.fill_limit = int(device.page_size * fill_fraction)
+
+    def build(self, entries: Iterable[FlushEntry]) -> "RowComponent":
+        component_file = self.device.create_file(self.component_id)
+        metadata = ComponentMetadata(self.component_id, self.layout)
+        page_records: List[bytes] = []
+        page_bytes = 0
+        data_pages: List[bytes] = []
+        first_keys: List[object] = []
+        current_first_key: object = None
+
+        def flush_page() -> None:
+            nonlocal page_records, page_bytes, current_first_key
+            if not page_records:
+                return
+            body = bytearray()
+            body.extend(len(page_records).to_bytes(4, "little"))
+            for record in page_records:
+                body.extend(record)
+            data_pages.append(bytes(body))
+            first_keys.append(current_first_key)
+            page_records = []
+            page_bytes = 0
+            current_first_key = None
+
+        for key, antimatter, document in entries:
+            record = self._encode_record(key, antimatter, document)
+            if page_bytes + len(record) + 4 > self.fill_limit and page_records:
+                flush_page()
+            if not page_records:
+                current_first_key = key
+            page_records.append(record)
+            page_bytes += len(record)
+            metadata.record_count += 1
+            if antimatter:
+                metadata.antimatter_count += 1
+            if metadata.min_key is None:
+                metadata.min_key = key
+            metadata.max_key = key
+        flush_page()
+
+        metadata.page_first_keys = first_keys
+        metadata.extra["field_names"] = self.field_dictionary.to_dict()
+        metadata_pages = write_metadata_pages(component_file, metadata)
+        metadata.extra["metadata_pages"] = metadata_pages
+        for page in data_pages:
+            component_file.append_page(page)
+        metadata.extra["data_page_start"] = metadata_pages
+        component = RowComponent(
+            metadata, component_file, self.buffer_cache, self.field_dictionary
+        )
+        component.mark_valid()
+        return component
+
+    def _encode_record(self, key, antimatter: bool, document: Optional[dict]) -> bytes:
+        out = bytearray()
+        encode_key(key, out)
+        out.append(1 if antimatter else 0)
+        if antimatter:
+            out.extend((0).to_bytes(4, "little"))
+            return bytes(out)
+        if self.layout == LAYOUT_OPEN:
+            payload = open_format.encode_document(document)
+        else:
+            payload = vector_format.encode_document(document, self.field_dictionary)
+        out.extend(len(payload).to_bytes(4, "little"))
+        out.extend(payload)
+        return bytes(out)
+
+
+class RowComponent(DiskComponent):
+    """An on-disk component whose pages hold whole records (row-major)."""
+
+    def __init__(
+        self,
+        metadata: ComponentMetadata,
+        component_file: ComponentFile,
+        buffer_cache: BufferCache,
+        field_dictionary: FieldNameDictionary,
+    ) -> None:
+        super().__init__(metadata, component_file, buffer_cache)
+        self.field_dictionary = field_dictionary
+
+    # -- reading ---------------------------------------------------------------
+    @property
+    def _data_page_start(self) -> int:
+        return self.metadata.extra.get("data_page_start", 1)
+
+    @property
+    def _num_data_pages(self) -> int:
+        return self.num_pages - self._data_page_start
+
+    def _decode_page(self, data_page_index: int) -> List[Tuple[object, bool, bytes]]:
+        page = self.buffer_cache.read_page(
+            self.file, self._data_page_start + data_page_index
+        )
+        count = int.from_bytes(page[:4], "little")
+        offset = 4
+        records = []
+        for _ in range(count):
+            key, offset = decode_key(page, offset)
+            antimatter = bool(page[offset])
+            offset += 1
+            length = int.from_bytes(page[offset:offset + 4], "little")
+            offset += 4
+            payload = page[offset:offset + length]
+            offset += length
+            records.append((key, antimatter, payload))
+        return records
+
+    def _decode_document(self, payload: bytes) -> dict:
+        if self.layout == LAYOUT_OPEN:
+            return open_format.decode_document(payload)
+        return vector_format.decode_document(payload, self.field_dictionary)
+
+    def cursor(self, fields: Optional[Sequence[str]] = None) -> "RowComponentCursor":
+        if not self.metadata.valid:
+            raise ComponentStateError("cannot read an invalid component")
+        return RowComponentCursor(self, fields)
+
+    def point_lookup(self, key) -> Optional[Tuple[bool, Optional[dict]]]:
+        if not self.key_range_overlaps(key):
+            return None
+        first_keys = self.metadata.page_first_keys
+        # Binary search over the per-page first keys (B+-tree interior nodes).
+        low, high = 0, len(first_keys) - 1
+        target = 0
+        while low <= high:
+            mid = (low + high) // 2
+            if first_keys[mid] <= key:
+                target = mid
+                low = mid + 1
+            else:
+                high = mid - 1
+        for record_key, antimatter, payload in self._decode_page(target):
+            if record_key == key:
+                if antimatter:
+                    return True, None
+                return False, self._decode_document(payload)
+        return None
+
+
+class RowComponentCursor(ComponentCursor):
+    """Cursor over a row component (decodes records lazily per page)."""
+
+    def __init__(self, component: RowComponent, fields: Optional[Sequence[str]]) -> None:
+        self.component = component
+        self.fields = fields
+        self._page_index = -1
+        self._records: List[Tuple[object, bool, bytes]] = []
+        self._position = -1
+
+    def advance(self) -> bool:
+        self._position += 1
+        while self._position >= len(self._records):
+            self._page_index += 1
+            if self._page_index >= self.component._num_data_pages:
+                return False
+            self._records = self.component._decode_page(self._page_index)
+            self._position = 0
+        return True
+
+    @property
+    def key(self):
+        return self._records[self._position][0]
+
+    @property
+    def is_antimatter(self) -> bool:
+        return self._records[self._position][1]
+
+    def document(self) -> Optional[dict]:
+        key, antimatter, payload = self._records[self._position]
+        if antimatter:
+            return None
+        # Row layouts always decode the whole record; projection cannot reduce
+        # the I/O or CPU cost (that is the columnar layouts' advantage).
+        return self.component._decode_document(payload)

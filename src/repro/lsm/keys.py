@@ -1,0 +1,48 @@
+"""Primary-key codec and comparison helpers.
+
+Primary keys are either 64-bit integers or strings (homogeneous per dataset).
+They appear in row pages, secondary-index runs, and component metadata, so the
+codec lives in its own module.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from ..model.errors import StorageError
+
+_KEY_INT = 0
+_KEY_STRING = 1
+
+
+def encode_key(key, out: bytearray) -> None:
+    """Append one primary key to ``out``."""
+    if isinstance(key, bool) or not isinstance(key, (int, str)):
+        raise StorageError(f"unsupported primary key type {type(key).__name__!r}")
+    if isinstance(key, int):
+        out.append(_KEY_INT)
+        out.extend(struct.pack("<q", key))
+    else:
+        raw = key.encode("utf-8")
+        out.append(_KEY_STRING)
+        out.extend(struct.pack("<I", len(raw)))
+        out.extend(raw)
+
+
+def decode_key(data: bytes, offset: int) -> Tuple[object, int]:
+    """Decode one primary key; returns ``(key, next_offset)``."""
+    kind = data[offset]
+    offset += 1
+    if kind == _KEY_INT:
+        return struct.unpack_from("<q", data, offset)[0], offset + 8
+    if kind == _KEY_STRING:
+        (length,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        return data[offset:offset + length].decode("utf-8"), offset + length
+    raise StorageError(f"unknown key tag {kind}")
+
+
+def key_sort_value(key):
+    """A sort key usable for both int and str primary keys within one dataset."""
+    return key

@@ -1,0 +1,386 @@
+"""The LSM B+-tree primary index.
+
+One :class:`LSMTree` manages a single data partition's primary index: the
+in-memory component, the stack of immutable on-disk components (newest first),
+flushing, merging (vertical merges for the columnar layouts), reconciling
+scans, and point lookups.  The on-disk layout — ``open``, ``vector``,
+``apax``, or ``amax`` — is chosen per dataset and fixed at creation time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.columns import ShreddedColumn
+from ..core.schema import Schema
+from ..columnar.amax import AmaxComponentBuilder
+from ..columnar.apax import ApaxComponentBuilder
+from ..columnar.base import ColumnarComponent
+from ..model.errors import StorageError
+from ..rowformats.vector_format import FieldNameDictionary, encode_document
+from ..storage.buffer_cache import BufferCache
+from ..storage.device import StorageDevice
+from .component import (
+    COLUMNAR_LAYOUTS,
+    LAYOUT_AMAX,
+    LAYOUT_APAX,
+    LAYOUT_OPEN,
+    LAYOUT_VECTOR,
+    ROW_LAYOUTS,
+    ComponentCursor,
+    DiskComponent,
+    FlushEntry,
+    RowComponent,
+    RowComponentBuilder,
+)
+from .memtable import MemTable
+from .merge_policy import MergeScheduler, TieringMergePolicy
+from .wal import TransactionLog
+
+
+class _MemtableCursor(ComponentCursor):
+    """Cursor adapter over the in-memory component's sorted entries."""
+
+    def __init__(self, entries: List[FlushEntry]) -> None:
+        self._entries = entries
+        self._position = -1
+
+    def advance(self) -> bool:
+        self._position += 1
+        return self._position < len(self._entries)
+
+    @property
+    def key(self):
+        return self._entries[self._position][0]
+
+    @property
+    def is_antimatter(self) -> bool:
+        return self._entries[self._position][1]
+
+    def document(self) -> Optional[dict]:
+        return self._entries[self._position][2]
+
+
+class LSMTree:
+    """A single partition's primary LSM index."""
+
+    def __init__(
+        self,
+        name: str,
+        layout: str,
+        schema: Schema,
+        device: StorageDevice,
+        buffer_cache: BufferCache,
+        memory_budget_bytes: int = 8 * 1024 * 1024,
+        compression: str = "snappy",
+        merge_policy: Optional[TieringMergePolicy] = None,
+        merge_scheduler: Optional[MergeScheduler] = None,
+        transaction_log: Optional[TransactionLog] = None,
+        amax_max_records_per_leaf: int = 15000,
+        amax_empty_page_tolerance: float = 0.15,
+    ) -> None:
+        if layout not in ROW_LAYOUTS + COLUMNAR_LAYOUTS:
+            raise StorageError(f"unknown layout {layout!r}")
+        self.name = name
+        self.layout = layout
+        self.schema = schema
+        self.device = device
+        self.buffer_cache = buffer_cache
+        self.compression = compression
+        self.memtable = MemTable(memory_budget_bytes)
+        self.components: List[DiskComponent] = []  # newest first
+        self.merge_policy = merge_policy or TieringMergePolicy()
+        self.merge_scheduler = merge_scheduler or MergeScheduler()
+        self.transaction_log = transaction_log
+        self.field_dictionary = FieldNameDictionary()
+        self.amax_max_records_per_leaf = amax_max_records_per_leaf
+        self.amax_empty_page_tolerance = amax_empty_page_tolerance
+        self._component_counter = 0
+        self.flush_count = 0
+        self.merge_count = 0
+
+    # -- ingestion --------------------------------------------------------------------
+    def insert(self, key, document: dict) -> None:
+        """Insert (or blindly overwrite) a record in the in-memory component."""
+        self._log(document)
+        self.memtable.put(key, document)
+
+    upsert = insert
+
+    def delete(self, key) -> None:
+        """Delete a record by adding an anti-matter entry."""
+        self._log(None)
+        self.memtable.delete(key)
+
+    def _log(self, document: Optional[dict]) -> None:
+        if self.transaction_log is None:
+            return
+        if document is None:
+            self.transaction_log.append(24)
+        else:
+            # The log stores the VB-encoded record; size matters, not content.
+            self.transaction_log.append(
+                len(encode_document(document, self.field_dictionary))
+            )
+
+    @property
+    def needs_flush(self) -> bool:
+        return self.memtable.is_full
+
+    # -- flush -----------------------------------------------------------------------
+    def flush(self, force: bool = True) -> Optional[DiskComponent]:
+        """Flush the in-memory component into a new on-disk component."""
+        if self.memtable.is_empty:
+            return None
+        if not force and not self.memtable.is_full:
+            return None
+        entries = self.memtable.sorted_entries()
+        component = self._build_component(entries)
+        self.components.insert(0, component)
+        self.memtable.clear()
+        self.flush_count += 1
+        self.maybe_merge()
+        return component
+
+    def _next_component_id(self) -> str:
+        self._component_counter += 1
+        return f"{self.name}-c{self._component_counter}"
+
+    def _build_component(self, entries: Sequence[FlushEntry]) -> DiskComponent:
+        component_id = self._next_component_id()
+        if self.layout in ROW_LAYOUTS:
+            builder = RowComponentBuilder(
+                self.layout,
+                component_id,
+                self.device,
+                self.buffer_cache,
+                self.field_dictionary,
+            )
+            return builder.build(entries)
+        builder = self._columnar_builder(component_id)
+        return builder.build(entries)
+
+    def _columnar_builder(self, component_id: str):
+        if self.layout == LAYOUT_APAX:
+            return ApaxComponentBuilder(
+                component_id,
+                self.device,
+                self.buffer_cache,
+                self.schema,
+                compression=self.compression,
+            )
+        return AmaxComponentBuilder(
+            component_id,
+            self.device,
+            self.buffer_cache,
+            self.schema,
+            compression=self.compression,
+            max_records_per_leaf=self.amax_max_records_per_leaf,
+            empty_page_tolerance=self.amax_empty_page_tolerance,
+        )
+
+    # -- merge ------------------------------------------------------------------------
+    def maybe_merge(self) -> bool:
+        """Apply the merge policy; run at most one merge."""
+        sizes = [component.size_bytes for component in self.components]
+        window = self.merge_policy.select(sizes)
+        if not window:
+            return False
+        if not self.merge_scheduler.try_start():
+            return False
+        try:
+            self._merge(window)
+        finally:
+            self.merge_scheduler.finish()
+        return True
+
+    def _merge(self, window: List[int]) -> None:
+        merging = [self.components[index] for index in window]
+        keep_antimatter = len(window) < len(self.components)
+        if self.layout in COLUMNAR_LAYOUTS:
+            merged = self._merge_columnar(merging, keep_antimatter)
+        else:
+            merged = self._merge_rows(merging, keep_antimatter)
+        survivors = [
+            component
+            for index, component in enumerate(self.components)
+            if index not in set(window)
+        ]
+        position = min(window)
+        survivors.insert(position, merged)
+        self.components = survivors
+        for component in merging:
+            component.destroy()
+        self.merge_count += 1
+
+    def _merge_rows(
+        self, merging: Sequence[DiskComponent], keep_antimatter: bool
+    ) -> DiskComponent:
+        entries: List[FlushEntry] = []
+        for key, antimatter, document in _reconciled(
+            [component.cursor() for component in merging]
+        ):
+            if antimatter and not keep_antimatter:
+                continue
+            entries.append((key, antimatter, document))
+        builder = RowComponentBuilder(
+            self.layout,
+            self._next_component_id(),
+            self.device,
+            self.buffer_cache,
+            self.field_dictionary,
+        )
+        return builder.build(entries)
+
+    def _merge_columnar(
+        self, merging: Sequence[ColumnarComponent], keep_antimatter: bool
+    ) -> DiskComponent:
+        """Vertical merge (§4.5.3): keys first, then one column at a time."""
+        # Step 1: merge the primary keys, recording which component supplies
+        # each output record (the "sequence of component IDs").
+        sequence: List[Tuple[int, bool]] = []  # (component index, taken)
+        picks: List[Tuple[object, bool]] = []  # (key, antimatter) for taken rows
+        iterators = [component.iter_key_entries() for component in merging]
+        heads: List[Optional[Tuple[object, bool]]] = [next(it, None) for it in iterators]
+        while any(head is not None for head in heads):
+            smallest = min(
+                (head[0] for head in heads if head is not None),
+            )
+            winner = None
+            for index, head in enumerate(heads):
+                if head is not None and head[0] == smallest:
+                    if winner is None:
+                        winner = index
+            for index, head in enumerate(heads):
+                if head is not None and head[0] == smallest:
+                    taken = index == winner
+                    sequence.append((index, taken))
+                    if taken:
+                        key, antimatter = head
+                        if not (antimatter and not keep_antimatter):
+                            picks.append((key, antimatter))
+                        else:
+                            # Annihilated: the record disappears entirely.
+                            sequence[-1] = (index, False)
+                    heads[index] = next(iterators[index], None)
+
+        # Step 2: build the output columns one column at a time, replaying the
+        # recorded sequence against each component's column cursor.
+        columns: Dict[int, ShreddedColumn] = {}
+        pk_column = self.schema.pk_column
+        pk_out = ShreddedColumn(pk_column)
+        for key, antimatter in picks:
+            pk_out.add_value(0 if antimatter else 1, key)
+        columns[pk_column.column_id] = pk_out
+
+        for column in self.schema.value_columns():
+            out = ShreddedColumn(column)
+            cursors = [component.column_record_cursor(column) for component in merging]
+            for component_index, taken in sequence:
+                entries = cursors[component_index].next_record()
+                if not taken:
+                    continue
+                for definition_level, value, is_delimiter in entries:
+                    out.defs.append(definition_level)
+                    if (
+                        not is_delimiter
+                        and definition_level == column.max_def
+                        and column.type_tag != "null"
+                    ):
+                        out.values.append(value)
+            columns[column.column_id] = out
+
+        builder = self._columnar_builder(self._next_component_id())
+        return builder.build_from_columns(columns, len(picks))
+
+    # -- reads -------------------------------------------------------------------------
+    def scan(
+        self,
+        fields: Optional[Sequence[str]] = None,
+        include_memtable: bool = True,
+    ) -> Iterator[Tuple[object, dict]]:
+        """Reconciled scan over every component, newest first wins."""
+        cursors: List[ComponentCursor] = []
+        if include_memtable and not self.memtable.is_empty:
+            cursors.append(_MemtableCursor(self.memtable.sorted_entries()))
+        for component in self.components:
+            cursors.append(component.cursor(fields))
+        for key, antimatter, document in _reconciled(cursors):
+            if antimatter:
+                continue
+            yield key, document
+
+    def count(self) -> int:
+        """Number of live records (reconciled, but without decoding values)."""
+        total = 0
+        cursors: List[ComponentCursor] = []
+        if not self.memtable.is_empty:
+            cursors.append(_MemtableCursor(self.memtable.sorted_entries()))
+        for component in self.components:
+            cursors.append(component.cursor([]))
+        for _, antimatter, _ in _reconciled(cursors, decode_documents=False):
+            if not antimatter:
+                total += 1
+        return total
+
+    def point_lookup(self, key) -> Optional[dict]:
+        """Find the newest version of ``key`` (None when absent or deleted)."""
+        entry = self.memtable.get(key)
+        if entry is not None:
+            antimatter, document = entry
+            return None if antimatter else document
+        for component in self.components:
+            found = component.point_lookup(key)
+            if found is not None:
+                antimatter, document = found
+                return None if antimatter else document
+        return None
+
+    def contains(self, key) -> bool:
+        return self.point_lookup(key) is not None
+
+    # -- statistics ---------------------------------------------------------------------
+    @property
+    def num_components(self) -> int:
+        return len(self.components)
+
+    def storage_size_bytes(self) -> int:
+        return sum(component.size_bytes for component in self.components)
+
+    def storage_payload_bytes(self) -> int:
+        return sum(component.file.payload_bytes for component in self.components)
+
+    def record_count_on_disk(self) -> int:
+        return sum(component.record_count for component in self.components)
+
+
+def _reconciled(
+    cursors: Sequence[ComponentCursor], decode_documents: bool = True
+) -> Iterator[Tuple[object, bool, Optional[dict]]]:
+    """K-way merge over cursors ordered newest → oldest with newest-wins semantics."""
+    heap: List[Tuple[object, int]] = []
+    active: List[Optional[ComponentCursor]] = list(cursors)
+    for rank, cursor in enumerate(active):
+        if cursor.advance():
+            heapq.heappush(heap, (cursor.key, rank))
+        else:
+            active[rank] = None
+    while heap:
+        key, rank = heapq.heappop(heap)
+        same_key_ranks = [rank]
+        while heap and heap[0][0] == key:
+            same_key_ranks.append(heapq.heappop(heap)[1])
+        winner_rank = min(same_key_ranks)
+        winner = active[winner_rank]
+        antimatter = winner.is_antimatter
+        document = None
+        if decode_documents and not antimatter:
+            document = winner.document()
+        yield key, antimatter, document
+        for advancing_rank in same_key_ranks:
+            cursor = active[advancing_rank]
+            if cursor.advance():
+                heapq.heappush(heap, (cursor.key, advancing_rank))
+            else:
+                active[advancing_rank] = None

@@ -1,0 +1,87 @@
+"""The LSM in-memory component.
+
+Newly ingested records live here (in the Vector-Based format conceptually —
+we keep the Python dict plus its VB-encoded size for budget accounting) until
+the component fills up and is flushed to disk (§2.1.1).  Updates overwrite in
+place; deletes leave an anti-matter marker so the flush writes a tombstone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..model.errors import StorageError
+from ..model.values import estimate_json_size
+
+#: One memtable entry: (antimatter flag, document-or-None).
+MemEntry = Tuple[bool, Optional[dict]]
+
+
+class MemTable:
+    """In-memory component with approximate byte-budget accounting."""
+
+    def __init__(self, budget_bytes: int = 8 * 1024 * 1024) -> None:
+        if budget_bytes <= 0:
+            raise StorageError("memtable budget must be positive")
+        self.budget_bytes = budget_bytes
+        self._entries: Dict[object, MemEntry] = {}
+        self._approximate_bytes = 0
+
+    # -- mutation -----------------------------------------------------------------
+    def put(self, key, document: dict) -> None:
+        """Insert or overwrite a record."""
+        self._account_removal(key)
+        self._entries[key] = (False, document)
+        self._approximate_bytes += estimate_json_size(document) + 16
+
+    def delete(self, key) -> None:
+        """Record an anti-matter entry for ``key``."""
+        self._account_removal(key)
+        self._entries[key] = (True, None)
+        self._approximate_bytes += 24
+
+    def _account_removal(self, key) -> None:
+        existing = self._entries.get(key)
+        if existing is None:
+            return
+        antimatter, document = existing
+        if antimatter:
+            self._approximate_bytes -= 24
+        else:
+            self._approximate_bytes -= estimate_json_size(document) + 16
+
+    # -- inspection ----------------------------------------------------------------
+    def get(self, key) -> Optional[MemEntry]:
+        return self._entries.get(key)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    @property
+    def approximate_bytes(self) -> int:
+        return max(self._approximate_bytes, 0)
+
+    @property
+    def is_full(self) -> bool:
+        return self.approximate_bytes >= self.budget_bytes
+
+    def sorted_entries(self) -> List[Tuple[object, bool, Optional[dict]]]:
+        """Entries as ``(key, antimatter, document)`` in key order (flush order)."""
+        return [
+            (key, antimatter, document)
+            for key, (antimatter, document) in sorted(self._entries.items())
+        ]
+
+    def iter_sorted(self) -> Iterator[Tuple[object, bool, Optional[dict]]]:
+        return iter(self.sorted_entries())
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._approximate_bytes = 0

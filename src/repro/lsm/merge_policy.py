@@ -1,0 +1,87 @@
+"""LSM merge policies and the merge scheduler.
+
+The experiments (§6.3) use AsterixDB's *tiering* (a.k.a. size-tiered) merge
+policy with a size ratio of 1.2 and a maximum of 5 tolerable components, with
+a fair (first-come, first-served) scheduler and a cap on concurrent merges for
+the columnar layouts (§4.5.3).  Concurrency is simulated — the engine is
+single-threaded — but the scheduler tracks how many merges *would* run
+concurrently so the ablation bench can report the effect of the cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass
+class TieringMergePolicy:
+    """Size-tiered merge policy (AsterixDB's ``concurrent``/tiering policy).
+
+    A merge is scheduled when more than ``max_tolerable_components`` on-disk
+    components exist.  Scanning from the youngest component, the policy keeps
+    extending the merge window while the accumulated size of the younger
+    components is at least ``size_ratio`` times the next older component; the
+    window (at least two components) is merged into one.
+    """
+
+    size_ratio: float = 1.2
+    max_tolerable_components: int = 5
+
+    def select(self, component_sizes: Sequence[int]) -> Optional[List[int]]:
+        """Given sizes ordered newest → oldest, return indexes to merge (or None)."""
+        count = len(component_sizes)
+        if count <= self.max_tolerable_components:
+            return None
+        window = [0]
+        accumulated = component_sizes[0]
+        for index in range(1, count):
+            size = component_sizes[index]
+            if size <= 0 or accumulated >= self.size_ratio * size:
+                window.append(index)
+                accumulated += size
+            else:
+                break
+        if len(window) < 2:
+            window = [0, 1]
+        return window
+
+
+@dataclass
+class NoMergePolicy:
+    """Never merges (used by tests that want to inspect individual flushes)."""
+
+    def select(self, component_sizes: Sequence[int]) -> Optional[List[int]]:
+        return None
+
+
+@dataclass
+class MergeScheduler:
+    """Fair (FIFO) merge scheduler with a concurrent-merge cap.
+
+    The paper limits concurrent merges for APAX/AMAX to half the number of
+    partitions to avoid saturating the CPU with decode/encode work (§4.5.3).
+    Execution here is synchronous; the scheduler records how many merge
+    requests were outstanding at once so benchmarks can show the pressure.
+    """
+
+    max_concurrent_merges: int = 4
+    started: int = 0
+    completed: int = 0
+    max_observed_concurrency: int = 0
+    _active: int = 0
+    deferred: int = 0
+
+    def try_start(self) -> bool:
+        """Ask to start a merge; returns False when the cap would be exceeded."""
+        if self._active >= self.max_concurrent_merges:
+            self.deferred += 1
+            return False
+        self._active += 1
+        self.started += 1
+        self.max_observed_concurrency = max(self.max_observed_concurrency, self._active)
+        return True
+
+    def finish(self) -> None:
+        self._active = max(0, self._active - 1)
+        self.completed += 1

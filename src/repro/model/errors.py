@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro document store.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch storage, format, and query failures with a single handler while
+still being able to discriminate specific conditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """Raised when a record cannot be reconciled with the inferred schema."""
+
+
+class EncodingError(ReproError):
+    """Raised when a value cannot be encoded or a byte stream cannot be decoded."""
+
+
+class StorageError(ReproError):
+    """Raised on page, buffer-cache, or component-level storage failures."""
+
+
+class PageOverflowError(StorageError):
+    """Raised when a value does not fit in a page and cannot be split."""
+
+
+class ComponentStateError(StorageError):
+    """Raised when an LSM component is used in an invalid lifecycle state."""
+
+
+class DuplicateKeyError(StorageError):
+    """Raised when inserting a primary key that already exists (load mode)."""
+
+
+class KeyNotFoundError(StorageError):
+    """Raised by point lookups when the requested primary key does not exist."""
+
+
+class QueryError(ReproError):
+    """Raised when a logical plan is malformed or cannot be executed."""
+
+
+class CodegenError(QueryError):
+    """Raised when code generation fails for a pipeline segment."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset (collection) is missing or misconfigured."""

@@ -1,0 +1,141 @@
+"""Document data-model helpers.
+
+The store accepts arbitrary JSON-like Python values: ``dict`` (object),
+``list`` (array), ``str``, ``bool``, ``int``, ``float``, and ``None``.  This
+module centralizes the mapping between Python values and the atomic *type
+tags* used throughout the schema, the shredder, and the encoders.
+
+Type tags are short strings (``"int64"``, ``"double"``, ``"string"``,
+``"boolean"``, ``"null"``, ``"object"``, ``"array"``) chosen to match the way
+the paper labels union branches (Figure 6 keys children of a union node by
+their type name).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+# Atomic type tags -----------------------------------------------------------
+
+TYPE_INT64 = "int64"
+TYPE_DOUBLE = "double"
+TYPE_STRING = "string"
+TYPE_BOOLEAN = "boolean"
+TYPE_NULL = "null"
+
+# Nested type tags (used for union branches and schema nodes) ----------------
+
+TYPE_OBJECT = "object"
+TYPE_ARRAY = "array"
+
+ATOMIC_TYPE_TAGS = (TYPE_BOOLEAN, TYPE_INT64, TYPE_DOUBLE, TYPE_STRING, TYPE_NULL)
+NESTED_TYPE_TAGS = (TYPE_OBJECT, TYPE_ARRAY)
+ALL_TYPE_TAGS = ATOMIC_TYPE_TAGS + NESTED_TYPE_TAGS
+
+#: Sentinel distinguishing "field absent" from an explicit JSON ``null``.
+MISSING = object()
+
+
+def type_tag_of(value: Any) -> str:
+    """Return the type tag for a Python value.
+
+    ``bool`` is checked before ``int`` because ``bool`` is a subclass of
+    ``int`` in Python.
+    """
+    if value is None:
+        return TYPE_NULL
+    if isinstance(value, bool):
+        return TYPE_BOOLEAN
+    if isinstance(value, int):
+        return TYPE_INT64
+    if isinstance(value, float):
+        return TYPE_DOUBLE
+    if isinstance(value, str):
+        return TYPE_STRING
+    if isinstance(value, dict):
+        return TYPE_OBJECT
+    if isinstance(value, (list, tuple)):
+        return TYPE_ARRAY
+    raise TypeError(f"unsupported document value of type {type(value).__name__!r}")
+
+
+def is_atomic(value: Any) -> bool:
+    """Return True when the value maps to an atomic column (not object/array)."""
+    return type_tag_of(value) in ATOMIC_TYPE_TAGS
+
+
+def is_nested(value: Any) -> bool:
+    """Return True for objects and arrays."""
+    return type_tag_of(value) in NESTED_TYPE_TAGS
+
+
+def documents_equal(left: Any, right: Any) -> bool:
+    """Structural equality that treats tuples and lists interchangeably.
+
+    The shredder and the record assembler round-trip arrays as lists; callers
+    may have supplied tuples, so the equality used in tests normalizes both
+    sides.
+    """
+    left_tag = type_tag_of(left)
+    right_tag = type_tag_of(right)
+    if left_tag != right_tag:
+        # int/double comparisons are intentionally strict: 1 != 1.0 because
+        # they land in different columns.
+        return False
+    if left_tag == TYPE_OBJECT:
+        if set(left.keys()) != set(right.keys()):
+            return False
+        return all(documents_equal(left[key], right[key]) for key in left)
+    if left_tag == TYPE_ARRAY:
+        if len(left) != len(right):
+            return False
+        return all(documents_equal(a, b) for a, b in zip(left, right))
+    return left == right
+
+
+def estimate_json_size(value: Any) -> int:
+    """Rough JSON-serialized size (bytes) of a document.
+
+    Used for dataset statistics (Table 1 "Avg. Record Size") and memtable
+    budget accounting.  It intentionally mirrors compact JSON text sizes
+    rather than Python object sizes.
+    """
+    tag = type_tag_of(value)
+    if tag == TYPE_NULL:
+        return 4
+    if tag == TYPE_BOOLEAN:
+        return 5 if value else 4
+    if tag == TYPE_INT64:
+        return len(str(value))
+    if tag == TYPE_DOUBLE:
+        return len(repr(value))
+    if tag == TYPE_STRING:
+        return len(value.encode("utf-8")) + 2
+    if tag == TYPE_OBJECT:
+        size = 2
+        for key, child in value.items():
+            size += len(str(key)) + 3 + estimate_json_size(child) + 1
+        return size
+    # array
+    size = 2
+    for child in value:
+        size += estimate_json_size(child) + 1
+    return size
+
+
+def iter_atomic_paths(value: Any, prefix: tuple = ()) -> Iterable[tuple]:
+    """Yield ``(path, atomic_value)`` pairs for every atomic value in a document.
+
+    Array steps are represented by the string ``"[*]"`` so that all elements
+    of an array share one logical column path, matching the paper's
+    ``games[*].title`` notation.
+    """
+    tag = type_tag_of(value)
+    if tag == TYPE_OBJECT:
+        for key, child in value.items():
+            yield from iter_atomic_paths(child, prefix + (key,))
+    elif tag == TYPE_ARRAY:
+        for child in value:
+            yield from iter_atomic_paths(child, prefix + ("[*]",))
+    else:
+        yield prefix, value

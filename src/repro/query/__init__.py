@@ -1,0 +1,23 @@
+"""Analytical query engine: expressions, plans, interpreted and code-generating executors."""
+
+from .codegen import GeneratedPipeline, generate_pipeline
+from .executor import execute_plan
+from .expressions import And, Call, Compare, Field, Literal, Or, SomeSatisfies, Var, lift
+from .plan import Query, QueryPlan
+
+__all__ = [
+    "And",
+    "Call",
+    "Compare",
+    "Field",
+    "GeneratedPipeline",
+    "Literal",
+    "Or",
+    "Query",
+    "QueryPlan",
+    "SomeSatisfies",
+    "Var",
+    "execute_plan",
+    "generate_pipeline",
+    "lift",
+]

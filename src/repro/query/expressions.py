@@ -1,0 +1,416 @@
+"""Query expressions over dynamically typed document values.
+
+Expressions evaluate against a *tuple* — a dict mapping variable names to
+values (the scan variable binds the whole document, ASSIGN/UNNEST bind more).
+Semantics follow SQL++/AsterixDB: a missing field yields MISSING, comparisons
+between incompatible types yield NULL (None), and NULL/MISSING filter
+predicates are treated as false.
+
+Every expression can also *compile itself to Python source*
+(:meth:`Expression.to_source`), which is how the code-generation executor
+(§5) builds its fused pipeline functions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..model.errors import QueryError
+from ..model.path import FieldPath, get_path
+from ..model.values import MISSING
+
+Tuple_ = Dict[str, Any]
+
+
+class Expression:
+    """Base class of all query expressions."""
+
+    def evaluate(self, row: Tuple_):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def to_source(self) -> str:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def referenced_variables(self) -> set:
+        return set()
+
+    def referenced_paths(self) -> List[Tuple[str, FieldPath]]:
+        """``(variable, path)`` pairs accessed by this expression (for pushdown)."""
+        return []
+
+    # Convenience constructors for a fluent feel -------------------------------------
+    def __eq__(self, other):  # type: ignore[override]
+        return Compare("==", self, lift(other))
+
+    def __ne__(self, other):  # type: ignore[override]
+        return Compare("!=", self, lift(other))
+
+    def __lt__(self, other):
+        return Compare("<", self, lift(other))
+
+    def __le__(self, other):
+        return Compare("<=", self, lift(other))
+
+    def __gt__(self, other):
+        return Compare(">", self, lift(other))
+
+    def __ge__(self, other):
+        return Compare(">=", self, lift(other))
+
+    def __hash__(self):
+        return id(self)
+
+
+def lift(value) -> Expression:
+    """Wrap a plain Python value in a :class:`Literal` (expressions pass through)."""
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+class Literal(Expression):
+    """A constant value."""
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def evaluate(self, row: Tuple_):
+        return self.value
+
+    def to_source(self) -> str:
+        return repr(self.value)
+
+    def __repr__(self) -> str:
+        return f"Literal({self.value!r})"
+
+
+class Var(Expression):
+    """A reference to a bound variable (scan/assign/unnest binding)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, row: Tuple_):
+        return row.get(self.name, MISSING)
+
+    def to_source(self) -> str:
+        return f"_row[{self.name!r}]"
+
+    def referenced_variables(self) -> set:
+        return {self.name}
+
+    def field(self, path: str) -> "Field":
+        return Field(self, path)
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+class Field(Expression):
+    """Field access (possibly nested, possibly through arrays) on an expression."""
+
+    def __init__(self, base: Expression, path: "FieldPath | str") -> None:
+        self.base = base
+        self.path = FieldPath.of(path)
+
+    def evaluate(self, row: Tuple_):
+        value = self.base.evaluate(row)
+        if value is MISSING or value is None:
+            return MISSING
+        return get_path(value, self.path)
+
+    def to_source(self) -> str:
+        return f"_get_path({self.base.to_source()}, {str(self.path)!r})"
+
+    def referenced_variables(self) -> set:
+        return self.base.referenced_variables()
+
+    def referenced_paths(self) -> List[Tuple[str, FieldPath]]:
+        if isinstance(self.base, Var):
+            return [(self.base.name, self.path)]
+        inherited = self.base.referenced_paths()
+        return inherited
+
+    def __repr__(self) -> str:
+        return f"Field({self.base!r}, {str(self.path)!r})"
+
+
+_COMPARE_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_NUMERIC = (int, float)
+
+
+def compare_values(op: str, left, right):
+    """AsterixDB-style comparison: incompatible types yield NULL (None)."""
+    if left is MISSING or right is MISSING or left is None or right is None:
+        return None
+    left_numeric = isinstance(left, _NUMERIC) and not isinstance(left, bool)
+    right_numeric = isinstance(right, _NUMERIC) and not isinstance(right, bool)
+    compatible = (
+        (left_numeric and right_numeric)
+        or (isinstance(left, str) and isinstance(right, str))
+        or (isinstance(left, bool) and isinstance(right, bool))
+    )
+    if not compatible:
+        if op == "==":
+            return False
+        if op == "!=":
+            return True
+        return None
+    return _COMPARE_OPS[op](left, right)
+
+
+class Compare(Expression):
+    """A binary comparison with dynamic-typing semantics."""
+
+    def __init__(self, op: str, left: Expression, right: Expression) -> None:
+        if op not in _COMPARE_OPS:
+            raise QueryError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = lift(left)
+        self.right = lift(right)
+
+    def evaluate(self, row: Tuple_):
+        return compare_values(self.op, self.left.evaluate(row), self.right.evaluate(row))
+
+    def to_source(self) -> str:
+        return (
+            f"_compare({self.op!r}, {self.left.to_source()}, {self.right.to_source()})"
+        )
+
+    def referenced_variables(self) -> set:
+        return self.left.referenced_variables() | self.right.referenced_variables()
+
+    def referenced_paths(self):
+        return self.left.referenced_paths() + self.right.referenced_paths()
+
+
+class And(Expression):
+    def __init__(self, *operands: Expression) -> None:
+        self.operands = [lift(operand) for operand in operands]
+
+    def evaluate(self, row: Tuple_):
+        for operand in self.operands:
+            if operand.evaluate(row) is not True:
+                return False
+        return True
+
+    def to_source(self) -> str:
+        return "(" + " and ".join(f"({o.to_source()} is True)" for o in self.operands) + ")"
+
+    def referenced_variables(self) -> set:
+        out = set()
+        for operand in self.operands:
+            out |= operand.referenced_variables()
+        return out
+
+    def referenced_paths(self):
+        out = []
+        for operand in self.operands:
+            out.extend(operand.referenced_paths())
+        return out
+
+
+class Or(Expression):
+    def __init__(self, *operands: Expression) -> None:
+        self.operands = [lift(operand) for operand in operands]
+
+    def evaluate(self, row: Tuple_):
+        return any(operand.evaluate(row) is True for operand in self.operands)
+
+    def to_source(self) -> str:
+        return "(" + " or ".join(f"({o.to_source()} is True)" for o in self.operands) + ")"
+
+    def referenced_variables(self) -> set:
+        out = set()
+        for operand in self.operands:
+            out |= operand.referenced_variables()
+        return out
+
+    def referenced_paths(self):
+        out = []
+        for operand in self.operands:
+            out.extend(operand.referenced_paths())
+        return out
+
+
+# -- built-in functions -----------------------------------------------------------------
+
+
+def _fn_lowercase(value):
+    return value.lower() if isinstance(value, str) else None
+
+
+def _fn_length(value):
+    if isinstance(value, (str, list, tuple, dict)):
+        return len(value)
+    return None
+
+
+def _fn_is_array(value):
+    return isinstance(value, (list, tuple))
+
+
+def _fn_array_count(value):
+    return len(value) if isinstance(value, (list, tuple)) else None
+
+
+def _fn_array_distinct(value):
+    if not isinstance(value, (list, tuple)):
+        return None
+    seen = []
+    for item in value:
+        if item not in seen and item is not None and item is not MISSING:
+            seen.append(item)
+    return seen
+
+
+def _fn_array_contains(value, needle):
+    if not isinstance(value, (list, tuple)):
+        return None
+    return needle in value
+
+
+def _fn_array_pairs(value):
+    if not isinstance(value, (list, tuple)):
+        return None
+    pairs = []
+    items = list(value)
+    for index, first in enumerate(items):
+        for second in items[index + 1:]:
+            pairs.append(sorted([str(first), str(second)]))
+    return pairs
+
+
+def _fn_some_satisfies(array, predicate):
+    if not isinstance(array, (list, tuple)):
+        return False
+    return any(predicate(item) is True for item in array)
+
+
+def _fn_coalesce(*values):
+    for value in values:
+        if value is not MISSING and value is not None:
+            return value
+    return None
+
+
+FUNCTIONS: Dict[str, Callable] = {
+    "lowercase": _fn_lowercase,
+    "length": _fn_length,
+    "is_array": _fn_is_array,
+    "array_count": _fn_array_count,
+    "array_distinct": _fn_array_distinct,
+    "array_contains": _fn_array_contains,
+    "array_pairs": _fn_array_pairs,
+    "coalesce": _fn_coalesce,
+}
+
+
+class Call(Expression):
+    """A call to one of the built-in SQL++-style functions."""
+
+    def __init__(self, function: str, *arguments) -> None:
+        if function not in FUNCTIONS:
+            raise QueryError(f"unknown function {function!r}")
+        self.function = function
+        self.arguments = [lift(argument) for argument in arguments]
+
+    def evaluate(self, row: Tuple_):
+        values = [argument.evaluate(row) for argument in self.arguments]
+        values = [None if value is MISSING else value for value in values]
+        return FUNCTIONS[self.function](*values)
+
+    def to_source(self) -> str:
+        arguments = ", ".join(
+            f"_missing_to_none({argument.to_source()})" for argument in self.arguments
+        )
+        return f"_functions[{self.function!r}]({arguments})"
+
+    def referenced_variables(self) -> set:
+        out = set()
+        for argument in self.arguments:
+            out |= argument.referenced_variables()
+        return out
+
+    def referenced_paths(self):
+        out = []
+        for argument in self.arguments:
+            out.extend(argument.referenced_paths())
+        return out
+
+
+class SomeSatisfies(Expression):
+    """``SOME item IN array SATISFIES predicate(item)`` (used by tweet Q3)."""
+
+    def __init__(self, array: Expression, item_var: str, predicate: Expression) -> None:
+        self.array = lift(array)
+        self.item_var = item_var
+        self.predicate = lift(predicate)
+
+    def evaluate(self, row: Tuple_):
+        array = self.array.evaluate(row)
+        if not isinstance(array, (list, tuple)):
+            return False
+        inner = dict(row)
+        for item in array:
+            inner[self.item_var] = item
+            if self.predicate.evaluate(inner) is True:
+                return True
+        return False
+
+    def to_source(self) -> str:
+        # The generated code re-binds the item variable inside a generator.
+        return (
+            f"_some_satisfies({self.array.to_source()}, "
+            f"lambda _item, _row=_row: _eval_with(_row, {self.item_var!r}, _item, "
+            f"lambda _row: {self.predicate.to_source()}))"
+        )
+
+    def referenced_variables(self) -> set:
+        return self.array.referenced_variables() | (
+            self.predicate.referenced_variables() - {self.item_var}
+        )
+
+    def referenced_paths(self):
+        return self.array.referenced_paths() + [
+            (variable, path)
+            for variable, path in self.predicate.referenced_paths()
+            if variable != self.item_var
+        ]
+
+
+# -- evaluation helpers exposed to generated code ----------------------------------------
+
+
+def missing_to_none(value):
+    return None if value is MISSING else value
+
+
+def eval_with(row: Tuple_, name: str, value, body):
+    inner = dict(row)
+    inner[name] = value
+    return body(inner)
+
+
+def truthy(value) -> bool:
+    """Predicate semantics: only ``True`` passes a filter (NULL/MISSING do not)."""
+    return value is True
+
+
+CODEGEN_GLOBALS = {
+    "_get_path": get_path,
+    "_compare": compare_values,
+    "_functions": FUNCTIONS,
+    "_missing_to_none": missing_to_none,
+    "_some_satisfies": _fn_some_satisfies,
+    "_eval_with": eval_with,
+    "MISSING": MISSING,
+}

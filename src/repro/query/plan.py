@@ -1,0 +1,306 @@
+"""Logical query plans and the fluent :class:`Query` builder.
+
+Plans are linear, mirroring the paper's evaluation queries: a data source
+(full scan or secondary-index range access), a chain of *pipelining* operators
+(ASSIGN / UNNEST / FILTER), and then the pipeline breakers (GROUP BY,
+ORDER BY, LIMIT, aggregate-only, projection of the final rows).  The code
+generator translates exactly the pipelining prefix and leaves the breakers to
+the engine, as in §5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..model.errors import QueryError
+from .expressions import Expression, Field, Var, lift
+
+AGGREGATE_FUNCTIONS = ("count", "sum", "min", "max", "avg")
+
+
+@dataclass
+class DataScanNode:
+    """Full scan of a dataset, binding each record to ``variable``."""
+
+    dataset: str
+    variable: str
+    #: Top-level fields to project (None = all); filled in by the optimizer.
+    fields: Optional[List[str]] = None
+
+
+@dataclass
+class IndexScanNode:
+    """Secondary-index range access followed by (sorted, batched) point lookups."""
+
+    dataset: str
+    variable: str
+    index_name: str
+    low: object = None
+    high: object = None
+    fields: Optional[List[str]] = None
+    #: When True only the primary keys are fetched (COUNT-style queries).
+    keys_only: bool = False
+
+
+@dataclass
+class AssignNode:
+    variable: str
+    expression: Expression
+
+
+@dataclass
+class UnnestNode:
+    variable: str
+    expression: Expression
+
+
+@dataclass
+class FilterNode:
+    predicate: Expression
+
+
+@dataclass
+class GroupByNode:
+    keys: List[Tuple[str, Expression]]
+    aggregates: List[Tuple[str, str, Optional[Expression]]]
+
+
+@dataclass
+class AggregateNode:
+    aggregates: List[Tuple[str, str, Optional[Expression]]]
+
+
+@dataclass
+class OrderByNode:
+    key: str
+    descending: bool = False
+
+
+@dataclass
+class LimitNode:
+    count: int
+
+
+@dataclass
+class ProjectNode:
+    columns: List[Tuple[str, Expression]]
+
+
+PipelineOp = object
+BreakerOp = object
+
+
+@dataclass
+class QueryPlan:
+    """A resolved plan: source, pipelining prefix, breaker suffix."""
+
+    source: object
+    pipeline: List[PipelineOp] = field(default_factory=list)
+    breakers: List[BreakerOp] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Human-readable plan (used by examples and tests)."""
+        lines = []
+        source = self.source
+        if isinstance(source, DataScanNode):
+            lines.append(
+                f"SCAN {source.dataset} AS ${source.variable} "
+                f"(fields={source.fields if source.fields is not None else 'ALL'})"
+            )
+        else:
+            lines.append(
+                f"INDEX-SCAN {source.dataset}.{source.index_name} "
+                f"[{source.low} .. {source.high}] AS ${source.variable}"
+            )
+        for op in self.pipeline:
+            if isinstance(op, AssignNode):
+                lines.append(f"ASSIGN ${op.variable} <- {op.expression!r}")
+            elif isinstance(op, UnnestNode):
+                lines.append(f"UNNEST ${op.variable} <- {op.expression!r}")
+            elif isinstance(op, FilterNode):
+                lines.append(f"FILTER {op.predicate!r}")
+        for op in self.breakers:
+            lines.append(type(op).__name__.replace("Node", "").upper())
+        return "\n".join(lines)
+
+
+class Query:
+    """Fluent query builder (a small SQL++-like subset).
+
+    Example (the paper's Figure 11 query)::
+
+        Query("gamers", "g")
+            .unnest("t", "games")
+            .group_by(key=("t", Var("t")), aggregates=[("cnt", "count", None)])
+            .order_by("cnt", descending=True)
+            .limit(10)
+    """
+
+    def __init__(self, dataset: str, variable: str = "t") -> None:
+        self.dataset_name = dataset
+        self.variable = variable
+        self._pipeline: List[PipelineOp] = []
+        self._breakers: List[BreakerOp] = []
+        self._index: Optional[Tuple[str, object, object]] = None
+        self._count_only = False
+        self._explicit_fields: Optional[List[str]] = None
+
+    # -- source --------------------------------------------------------------------------
+    def use_index(self, index_name: str, low=None, high=None) -> "Query":
+        """Answer the query through a secondary-index range access (§4.6)."""
+        self._index = (index_name, low, high)
+        return self
+
+    def project_fields(self, fields: Sequence[str]) -> "Query":
+        """Override the optimizer's projection pushdown (rarely needed)."""
+        self._explicit_fields = list(fields)
+        return self
+
+    # -- pipelining operators ----------------------------------------------------------------
+    def assign(self, variable: str, expression: "Expression | str") -> "Query":
+        self._pipeline.append(AssignNode(variable, self._resolve(expression)))
+        return self
+
+    def unnest(self, variable: str, expression: "Expression | str") -> "Query":
+        self._pipeline.append(UnnestNode(variable, self._resolve(expression)))
+        return self
+
+    def where(self, predicate: Expression) -> "Query":
+        self._pipeline.append(FilterNode(lift(predicate)))
+        return self
+
+    # -- breakers ---------------------------------------------------------------------------
+    def group_by(
+        self,
+        key: "Tuple[str, Expression | str] | Sequence[Tuple[str, Expression]]",
+        aggregates: Sequence[Tuple[str, str, Optional[Expression]]],
+    ) -> "Query":
+        keys = [key] if isinstance(key, tuple) and isinstance(key[0], str) else list(key)
+        resolved_keys = [(name, self._resolve(expression)) for name, expression in keys]
+        resolved_aggregates = self._resolve_aggregates(aggregates)
+        self._breakers.append(GroupByNode(resolved_keys, resolved_aggregates))
+        return self
+
+    def aggregate(
+        self, aggregates: Sequence[Tuple[str, str, Optional[Expression]]]
+    ) -> "Query":
+        self._breakers.append(AggregateNode(self._resolve_aggregates(aggregates)))
+        return self
+
+    def count(self) -> "Query":
+        """``SELECT COUNT(*)`` — reads only the primary keys under columnar layouts."""
+        self._count_only = True
+        self._breakers.append(AggregateNode([("count", "count", None)]))
+        return self
+
+    def order_by(self, key: str, descending: bool = False) -> "Query":
+        self._breakers.append(OrderByNode(key, descending))
+        return self
+
+    def limit(self, count: int) -> "Query":
+        self._breakers.append(LimitNode(count))
+        return self
+
+    def select(self, columns: Sequence[Tuple[str, "Expression | str"]]) -> "Query":
+        resolved = [(name, self._resolve(expression)) for name, expression in columns]
+        self._breakers.append(ProjectNode(resolved))
+        return self
+
+    # -- resolution ----------------------------------------------------------------------------
+    def _resolve(self, expression: "Expression | str") -> Expression:
+        """Strings are shorthand for field access on the scan variable."""
+        if isinstance(expression, str):
+            return Field(Var(self.variable), expression)
+        return lift(expression)
+
+    def _resolve_aggregates(self, aggregates):
+        resolved = []
+        for name, function, expression in aggregates:
+            if function not in AGGREGATE_FUNCTIONS:
+                raise QueryError(f"unknown aggregate function {function!r}")
+            resolved.append(
+                (name, function, None if expression is None else self._resolve(expression))
+            )
+        return resolved
+
+    # -- planning ---------------------------------------------------------------------------------
+    def build_plan(self) -> QueryPlan:
+        fields = self._explicit_fields
+        if fields is None:
+            fields = self._pushdown_fields()
+        if self._index is not None:
+            index_name, low, high = self._index
+            # Index-based plans always fetch the qualifying records through
+            # sorted, batched point lookups (§4.6) — even for COUNT(*) — which
+            # is what makes high-selectivity index plans lose to AMAX scans in
+            # Figure 15b.
+            source = IndexScanNode(
+                self.dataset_name,
+                self.variable,
+                index_name,
+                low,
+                high,
+                fields=fields,
+                keys_only=False,
+            )
+        else:
+            source = DataScanNode(self.dataset_name, self.variable, fields=fields)
+        return QueryPlan(source, list(self._pipeline), list(self._breakers))
+
+    def _pushdown_fields(self) -> Optional[List[str]]:
+        """Top-level fields of the scan variable referenced anywhere in the plan.
+
+        Returns None (project everything) if the whole record is referenced.
+        ``COUNT(*)`` queries project nothing, which lets the AMAX layout answer
+        them from Page 0 alone.
+        """
+        expressions: List[Expression] = []
+        for op in self._pipeline:
+            if isinstance(op, (AssignNode, UnnestNode)):
+                expressions.append(op.expression)
+            elif isinstance(op, FilterNode):
+                expressions.append(op.predicate)
+        for op in self._breakers:
+            if isinstance(op, GroupByNode):
+                expressions.extend(expression for _, expression in op.keys)
+                expressions.extend(
+                    expression for _, _, expression in op.aggregates if expression
+                )
+            elif isinstance(op, AggregateNode):
+                expressions.extend(
+                    expression for _, _, expression in op.aggregates if expression
+                )
+            elif isinstance(op, ProjectNode):
+                expressions.extend(expression for _, expression in op.columns)
+        fields: List[str] = []
+        # Variables bound by ASSIGN/UNNEST derive from the scan variable; any
+        # path on them was already accounted for when the binding expression
+        # was analysed, so only the scan variable matters here.
+        derived = {op.variable for op in self._pipeline if isinstance(op, (AssignNode, UnnestNode))}
+        for expression in expressions:
+            for variable, path in expression.referenced_paths():
+                if variable == self.variable and len(path) > 0:
+                    top = path.top_field
+                    if top and top not in fields:
+                        fields.append(top)
+            bare = expression.referenced_variables() - derived - {self.variable}
+            # Unknown variables are fine (bound later); a bare reference to the
+            # scan variable itself forces full projection.
+            if self.variable in expression.referenced_variables():
+                if not expression.referenced_paths() and isinstance(expression, Var):
+                    return None
+        for expression in expressions:
+            if isinstance(expression, Var) and expression.name == self.variable:
+                return None
+        return fields
+
+    # -- execution ----------------------------------------------------------------------------------
+    def execute(self, store, executor: str = "codegen") -> List[dict]:
+        """Run the query against a datastore; returns the result rows."""
+        from .executor import execute_plan
+
+        return execute_plan(store, self.build_plan(), executor=executor)
+
+    def explain(self) -> str:
+        return self.build_plan().describe()

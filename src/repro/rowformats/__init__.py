@@ -1,0 +1,6 @@
+"""Row-major record formats: Open (self-describing) and Vector-Based (VB)."""
+
+from . import open_format, vector_format
+from .vector_format import FieldNameDictionary
+
+__all__ = ["FieldNameDictionary", "open_format", "vector_format"]

@@ -1,0 +1,215 @@
+"""The Vector-Based (VB) row format from the tuple-compactor paper.
+
+The VB format separates a record's *structure* from its *values* so that the
+tuple compactor can work on the metadata without touching the values, and so
+that records can be constructed in a single pass (values written once, no
+per-nesting-level copies).  Field names are dictionary-encoded against a
+dataset-level :class:`FieldNameDictionary`, which is the main source of the
+~17 % storage win over the Open format reported for the ``cell`` dataset.
+
+Wire layout of one record::
+
+    [structure length uvarint][structure tokens][values bytes]
+
+Structure tokens (pre-order walk of the value tree, all uvarints):
+
+    OBJECT  n   then for each child: field-name-id, child tokens
+    ARRAY   n   then each element's tokens
+    INT64 / DOUBLE / STRING / BOOLEAN / NULL    (atomic markers)
+
+Atomic values are appended to the value stream in walk order (ints are
+zig-zag varints, doubles 8 bytes, strings uvarint length + UTF-8, booleans one
+byte, nulls nothing).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Tuple
+
+from ..encoding.varint import (
+    decode_svarint,
+    decode_uvarint,
+    encode_svarint,
+    encode_uvarint,
+)
+from ..model.errors import EncodingError
+from ..model.values import (
+    TYPE_ARRAY,
+    TYPE_BOOLEAN,
+    TYPE_DOUBLE,
+    TYPE_INT64,
+    TYPE_NULL,
+    TYPE_OBJECT,
+    TYPE_STRING,
+    type_tag_of,
+)
+
+FORMAT_NAME = "vector"
+
+_TOKEN_OBJECT = 0
+_TOKEN_ARRAY = 1
+_TOKEN_INT64 = 2
+_TOKEN_DOUBLE = 3
+_TOKEN_STRING = 4
+_TOKEN_BOOLEAN = 5
+_TOKEN_NULL = 6
+
+
+class FieldNameDictionary:
+    """Dataset-level dictionary mapping field names to small integer ids."""
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+        self._names: List[str] = []
+
+    def intern(self, name: str) -> int:
+        existing = self._ids.get(name)
+        if existing is not None:
+            return existing
+        new_id = len(self._names)
+        self._ids[name] = new_id
+        self._names.append(name)
+        return new_id
+
+    def name(self, field_id: int) -> str:
+        try:
+            return self._names[field_id]
+        except IndexError as exc:
+            raise EncodingError(f"unknown field id {field_id}") from exc
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def to_dict(self) -> dict:
+        return {"names": list(self._names)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FieldNameDictionary":
+        dictionary = cls()
+        for name in data["names"]:
+            dictionary.intern(name)
+        return dictionary
+
+
+def encode_document(document: Any, dictionary: FieldNameDictionary) -> bytes:
+    """Serialize a document in the VB format (single pass, values written once)."""
+    structure = bytearray()
+    values = bytearray()
+    _encode_value(document, dictionary, structure, values)
+    out = bytearray()
+    encode_uvarint(len(structure), out)
+    out.extend(structure)
+    out.extend(values)
+    return bytes(out)
+
+
+def decode_document(data: bytes, dictionary: FieldNameDictionary) -> Any:
+    """Deserialize a VB-format document."""
+    structure_length, offset = decode_uvarint(data, 0)
+    structure_end = offset + structure_length
+    value, structure_offset, value_offset = _decode_value(
+        data, offset, structure_end, dictionary
+    )
+    if structure_offset != structure_end:
+        raise EncodingError("trailing structure tokens in VB record")
+    if value_offset != len(data):
+        raise EncodingError("trailing value bytes in VB record")
+    return value
+
+
+def encoded_size(document: Any, dictionary: FieldNameDictionary) -> int:
+    return len(encode_document(document, dictionary))
+
+
+# -- encoding -----------------------------------------------------------------------
+
+
+def _encode_value(
+    value: Any,
+    dictionary: FieldNameDictionary,
+    structure: bytearray,
+    values: bytearray,
+) -> None:
+    tag = type_tag_of(value)
+    if tag == TYPE_OBJECT:
+        encode_uvarint(_TOKEN_OBJECT, structure)
+        encode_uvarint(len(value), structure)
+        for name, child in value.items():
+            encode_uvarint(dictionary.intern(str(name)), structure)
+            _encode_value(child, dictionary, structure, values)
+        return
+    if tag == TYPE_ARRAY:
+        encode_uvarint(_TOKEN_ARRAY, structure)
+        encode_uvarint(len(value), structure)
+        for child in value:
+            _encode_value(child, dictionary, structure, values)
+        return
+    if tag == TYPE_INT64:
+        encode_uvarint(_TOKEN_INT64, structure)
+        encode_svarint(value, values)
+        return
+    if tag == TYPE_DOUBLE:
+        encode_uvarint(_TOKEN_DOUBLE, structure)
+        values.extend(struct.pack("<d", value))
+        return
+    if tag == TYPE_STRING:
+        encode_uvarint(_TOKEN_STRING, structure)
+        raw = value.encode("utf-8")
+        encode_uvarint(len(raw), values)
+        values.extend(raw)
+        return
+    if tag == TYPE_BOOLEAN:
+        encode_uvarint(_TOKEN_BOOLEAN, structure)
+        values.append(1 if value else 0)
+        return
+    if tag == TYPE_NULL:
+        encode_uvarint(_TOKEN_NULL, structure)
+        return
+    raise EncodingError(f"cannot encode value of type {tag!r} in VB format")
+
+
+# -- decoding -----------------------------------------------------------------------
+
+
+def _decode_value(
+    data: bytes,
+    structure_offset: int,
+    value_offset: int,
+    dictionary: FieldNameDictionary,
+) -> Tuple[Any, int, int]:
+    token, structure_offset = decode_uvarint(data, structure_offset)
+    if token == _TOKEN_OBJECT:
+        count, structure_offset = decode_uvarint(data, structure_offset)
+        result = {}
+        for _ in range(count):
+            field_id, structure_offset = decode_uvarint(data, structure_offset)
+            child, structure_offset, value_offset = _decode_value(
+                data, structure_offset, value_offset, dictionary
+            )
+            result[dictionary.name(field_id)] = child
+        return result, structure_offset, value_offset
+    if token == _TOKEN_ARRAY:
+        count, structure_offset = decode_uvarint(data, structure_offset)
+        items = []
+        for _ in range(count):
+            child, structure_offset, value_offset = _decode_value(
+                data, structure_offset, value_offset, dictionary
+            )
+            items.append(child)
+        return items, structure_offset, value_offset
+    if token == _TOKEN_INT64:
+        value, value_offset = decode_svarint(data, value_offset)
+        return value, structure_offset, value_offset
+    if token == _TOKEN_DOUBLE:
+        value = struct.unpack_from("<d", data, value_offset)[0]
+        return value, structure_offset, value_offset + 8
+    if token == _TOKEN_STRING:
+        length, value_offset = decode_uvarint(data, value_offset)
+        end = value_offset + length
+        return data[value_offset:end].decode("utf-8"), structure_offset, end
+    if token == _TOKEN_BOOLEAN:
+        return bool(data[value_offset]), structure_offset, value_offset + 1
+    if token == _TOKEN_NULL:
+        return None, structure_offset, value_offset
+    raise EncodingError(f"unknown VB structure token {token}")

@@ -1,0 +1,7 @@
+"""Page-oriented storage: device, component files, buffer cache, I/O statistics."""
+
+from .buffer_cache import BufferCache
+from .device import ComponentFile, StorageDevice
+from .stats import DiskModel, IOStats
+
+__all__ = ["BufferCache", "ComponentFile", "DiskModel", "IOStats", "StorageDevice"]

@@ -1,0 +1,165 @@
+"""Page-oriented storage device and component files.
+
+On-disk LSM components are sequences of fixed-size pages.  The
+:class:`StorageDevice` manages *component files* (one per LSM component or
+secondary-index run); each file is an append-only list of pages.  Files can be
+held in memory (the default — fast and fully deterministic for benchmarks) or
+backed by real files on disk.
+
+All reads and writes are accounted in :class:`~repro.storage.stats.IOStats`
+with an optional simulated device-time model, which is what the benchmark
+harness reports alongside wall-clock time.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from ..model.errors import StorageError
+from .stats import DiskModel, IOStats
+
+
+class ComponentFile:
+    """An append-only sequence of pages belonging to one LSM component."""
+
+    def __init__(self, device: "StorageDevice", name: str) -> None:
+        self.device = device
+        self.name = name
+        self._pages: List[bytes] = []
+        self._deleted = False
+        self._on_disk_path: Optional[str] = None
+        if device.directory is not None:
+            self._on_disk_path = os.path.join(device.directory, name.replace("/", "_"))
+
+    # -- writing ---------------------------------------------------------------
+    def append_page(self, data: bytes) -> int:
+        """Append one page and return its page id (position in the file)."""
+        self._check_alive()
+        if len(data) > self.device.page_size:
+            raise StorageError(
+                f"page of {len(data)} bytes exceeds the page size "
+                f"({self.device.page_size} bytes)"
+            )
+        page_id = len(self._pages)
+        self._pages.append(bytes(data))
+        self.device.stats.record_write(
+            self.device.page_size, self.device.disk_model.write_cost(len(data))
+        )
+        return page_id
+
+    def rewrite_page(self, page_id: int, data: bytes) -> None:
+        """Overwrite a previously reserved page (used for AMAX Page 0 fix-ups)."""
+        self._check_alive()
+        if page_id < 0 or page_id >= len(self._pages):
+            raise StorageError(f"page {page_id} out of range for rewrite")
+        if len(data) > self.device.page_size:
+            raise StorageError(
+                f"page of {len(data)} bytes exceeds the page size "
+                f"({self.device.page_size} bytes)"
+            )
+        self._pages[page_id] = bytes(data)
+        self.device.stats.record_write(
+            self.device.page_size, self.device.disk_model.write_cost(len(data))
+        )
+
+    def flush_to_disk(self) -> None:
+        """Persist the file's pages to the backing directory (when configured)."""
+        if self._on_disk_path is None:
+            return
+        with open(self._on_disk_path, "wb") as handle:
+            for page in self._pages:
+                handle.write(page.ljust(self.device.page_size, b"\x00"))
+
+    # -- reading ---------------------------------------------------------------
+    def read_page(self, page_id: int) -> bytes:
+        """Read one page, bypassing the buffer cache (callers usually go via the cache)."""
+        self._check_alive()
+        if page_id < 0 or page_id >= len(self._pages):
+            raise StorageError(
+                f"page {page_id} out of range for component {self.name!r} "
+                f"({len(self._pages)} pages)"
+            )
+        data = self._pages[page_id]
+        self.device.stats.record_read(
+            self.device.page_size, self.device.disk_model.read_cost(len(data))
+        )
+        return data
+
+    # -- metadata ---------------------------------------------------------------
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def size_bytes(self) -> int:
+        """On-disk footprint: every page occupies a full device page."""
+        return len(self._pages) * self.device.page_size
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes actually used inside the pages (before padding)."""
+        return sum(len(page) for page in self._pages)
+
+    def delete(self) -> None:
+        self._deleted = True
+        self._pages.clear()
+        if self._on_disk_path is not None and os.path.exists(self._on_disk_path):
+            os.remove(self._on_disk_path)
+
+    def _check_alive(self) -> None:
+        if self._deleted:
+            raise StorageError(f"component file {self.name!r} has been deleted")
+
+
+class StorageDevice:
+    """A collection of component files sharing one page size and one I/O meter."""
+
+    def __init__(
+        self,
+        page_size: int = 128 * 1024,
+        directory: Optional[str] = None,
+        disk_model: Optional[DiskModel] = None,
+    ) -> None:
+        if page_size <= 0:
+            raise StorageError("page size must be positive")
+        self.page_size = page_size
+        self.directory = directory
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+        self.disk_model = disk_model or DiskModel()
+        self.stats = IOStats()
+        self._files: Dict[str, ComponentFile] = {}
+        self._name_counter = 0
+
+    def create_file(self, name: Optional[str] = None) -> ComponentFile:
+        if name is None:
+            name = f"component-{self._name_counter}"
+            self._name_counter += 1
+        if name in self._files:
+            raise StorageError(f"component file {name!r} already exists")
+        handle = ComponentFile(self, name)
+        self._files[name] = handle
+        return handle
+
+    def get_file(self, name: str) -> ComponentFile:
+        try:
+            return self._files[name]
+        except KeyError as exc:
+            raise StorageError(f"unknown component file {name!r}") from exc
+
+    def delete_file(self, name: str) -> None:
+        handle = self._files.pop(name, None)
+        if handle is not None:
+            handle.delete()
+
+    @property
+    def total_size_bytes(self) -> int:
+        return sum(handle.size_bytes for handle in self._files.values())
+
+    @property
+    def total_payload_bytes(self) -> int:
+        return sum(handle.payload_bytes for handle in self._files.values())
+
+    def list_files(self) -> List[str]:
+        return sorted(self._files)

@@ -1,0 +1,7 @@
+"""The datastore façade: configuration, datasets, and the store itself."""
+
+from .config import StoreConfig
+from .dataset import Dataset
+from .datastore import Datastore
+
+__all__ = ["Dataset", "Datastore", "StoreConfig"]

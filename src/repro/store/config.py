@@ -1,0 +1,61 @@
+"""Datastore configuration.
+
+Defaults follow the paper's experiment setup (§6) scaled down to laptop-sized
+synthetic datasets: 128 KB on-disk pages, Snappy-style page compression, a
+tiering merge policy with ratio 1.2 and at most 5 components, and a cap on
+concurrent merges for the columnar layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class StoreConfig:
+    """Tunable parameters of a :class:`~repro.store.datastore.Datastore`."""
+
+    #: On-disk page size in bytes (the paper uses 128 KB).
+    page_size: int = 128 * 1024
+    #: In-memory component budget per partition, in bytes.
+    memory_component_budget: int = 4 * 1024 * 1024
+    #: Buffer cache capacity in pages (shared by all partitions of a node).
+    buffer_cache_pages: int = 2048
+    #: Page compression codec: "snappy", "zlib", or "none".
+    compression: str = "snappy"
+    #: Number of node controllers (NCs).
+    num_nodes: int = 1
+    #: Data partitions per node.
+    partitions_per_node: int = 2
+    #: Tiering merge policy parameters (§6.3).
+    merge_size_ratio: float = 1.2
+    max_tolerable_components: int = 5
+    #: Concurrent-merge cap; None means "half the partitions" (§4.5.3).
+    max_concurrent_merges: Optional[int] = None
+    #: AMAX: maximum records per mega leaf (Page 0 key count limit, §4.5.2).
+    amax_max_records_per_leaf: int = 15000
+    #: AMAX: fraction of a physical page that may stay empty so the next
+    #: column starts on a fresh page (§4.3).
+    amax_empty_page_tolerance: float = 0.15
+    #: Optional directory for persisting component pages (None = in memory).
+    storage_directory: Optional[str] = None
+    #: Default primary key field name.
+    primary_key_field: str = "id"
+
+    @property
+    def total_partitions(self) -> int:
+        return self.num_nodes * self.partitions_per_node
+
+    def concurrent_merge_limit(self) -> int:
+        if self.max_concurrent_merges is not None:
+            return self.max_concurrent_merges
+        return max(1, self.total_partitions // 2)
+
+    def validate(self) -> None:
+        if self.page_size < 4096:
+            raise ValueError("page_size must be at least 4 KiB")
+        if self.total_partitions < 1:
+            raise ValueError("at least one partition is required")
+        if not 0.0 <= self.amax_empty_page_tolerance < 1.0:
+            raise ValueError("amax_empty_page_tolerance must be in [0, 1)")

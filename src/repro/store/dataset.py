@@ -1,0 +1,210 @@
+"""Datasets: hash-partitioned collections backed by per-partition LSM trees.
+
+A dataset owns one primary LSM index per data partition (records are
+hash-partitioned by primary key, §2.1.1), an optional primary-key index, and
+any number of secondary indexes.  The dataset is the unit queried by the query
+engine and measured by the benchmarks (storage size, ingestion time, scans).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.schema import Schema
+from ..index import PrimaryKeyIndex, SecondaryIndex
+from ..lsm import LSMTree, MergeScheduler, TieringMergePolicy
+from ..lsm.component import ALL_LAYOUTS
+from ..lsm.wal import LogManager
+from ..model.errors import DatasetError, StorageError
+from ..storage.buffer_cache import BufferCache
+from ..storage.device import StorageDevice
+from .config import StoreConfig
+
+
+class Dataset:
+    """A named collection of documents stored under one layout."""
+
+    def __init__(
+        self,
+        name: str,
+        layout: str,
+        config: StoreConfig,
+        device: StorageDevice,
+        buffer_cache: BufferCache,
+        log_manager: Optional[LogManager] = None,
+        primary_key_field: Optional[str] = None,
+    ) -> None:
+        if layout not in ALL_LAYOUTS:
+            raise DatasetError(
+                f"unknown layout {layout!r}; expected one of {ALL_LAYOUTS}"
+            )
+        self.name = name
+        self.layout = layout
+        self.config = config
+        self.device = device
+        self.buffer_cache = buffer_cache
+        self.primary_key_field = primary_key_field or config.primary_key_field
+        self.log_manager = log_manager
+        merge_scheduler = MergeScheduler(
+            max_concurrent_merges=config.concurrent_merge_limit()
+        )
+        self.partitions: List[LSMTree] = []
+        for partition_id in range(config.total_partitions):
+            schema = Schema(primary_key_field=self.primary_key_field)
+            log = (
+                log_manager.log_for_partition(partition_id)
+                if log_manager is not None
+                else None
+            )
+            self.partitions.append(
+                LSMTree(
+                    name=f"{name}-p{partition_id}",
+                    layout=layout,
+                    schema=schema,
+                    device=device,
+                    buffer_cache=buffer_cache,
+                    memory_budget_bytes=config.memory_component_budget,
+                    compression=config.compression,
+                    merge_policy=TieringMergePolicy(
+                        size_ratio=config.merge_size_ratio,
+                        max_tolerable_components=config.max_tolerable_components,
+                    ),
+                    merge_scheduler=merge_scheduler,
+                    transaction_log=log,
+                    amax_max_records_per_leaf=config.amax_max_records_per_leaf,
+                    amax_empty_page_tolerance=config.amax_empty_page_tolerance,
+                )
+            )
+        self.secondary_indexes: Dict[str, SecondaryIndex] = {}
+        self.primary_key_index: Optional[PrimaryKeyIndex] = None
+        self.records_ingested = 0
+        self.point_lookups_performed = 0
+
+    # -- indexes -----------------------------------------------------------------------
+    def create_secondary_index(self, name: str, path: str) -> SecondaryIndex:
+        if name in self.secondary_indexes:
+            raise DatasetError(f"secondary index {name!r} already exists")
+        index = SecondaryIndex(f"{self.name}-{name}", path, self.device)
+        self.secondary_indexes[name] = index
+        return index
+
+    def create_primary_key_index(self) -> PrimaryKeyIndex:
+        if self.primary_key_index is None:
+            self.primary_key_index = PrimaryKeyIndex(f"{self.name}-pkidx", self.device)
+        return self.primary_key_index
+
+    # -- ingestion ----------------------------------------------------------------------
+    def _partition_for(self, key) -> LSMTree:
+        return self.partitions[hash(key) % len(self.partitions)]
+
+    def _key_of(self, document: dict):
+        try:
+            return document[self.primary_key_field]
+        except (KeyError, TypeError) as exc:
+            raise DatasetError(
+                f"document is missing the primary key field {self.primary_key_field!r}"
+            ) from exc
+
+    def insert(self, document: dict, auto_flush: bool = True) -> None:
+        """Insert or upsert one document (newest version wins at query time)."""
+        key = self._key_of(document)
+        self._maintain_secondary_indexes(key, document)
+        partition = self._partition_for(key)
+        partition.insert(key, document)
+        self.records_ingested += 1
+        if auto_flush and partition.needs_flush:
+            partition.flush()
+
+    def insert_many(self, documents: Iterable[dict], auto_flush: bool = True) -> int:
+        count = 0
+        for document in documents:
+            self.insert(document, auto_flush=auto_flush)
+            count += 1
+        return count
+
+    def delete(self, key) -> None:
+        """Delete by primary key (adds anti-matter)."""
+        if self.secondary_indexes:
+            old_document = self._fetch_old_document(key)
+            for index in self.secondary_indexes.values():
+                index.delete(index.extract(old_document), key)
+        self._partition_for(key).delete(key)
+
+    def _maintain_secondary_indexes(self, key, document: dict) -> None:
+        if not self.secondary_indexes:
+            if self.primary_key_index is not None:
+                self.primary_key_index.insert(key)
+            return
+        may_exist = True
+        if self.primary_key_index is not None:
+            may_exist = key in self.primary_key_index
+            self.primary_key_index.insert(key)
+        old_document = self._fetch_old_document(key) if may_exist else None
+        for index in self.secondary_indexes.values():
+            if old_document is not None:
+                # Clean out the stale entry before inserting the new one (§4.6).
+                index.delete(index.extract(old_document), key)
+            index.insert(index.extract(document), key)
+
+    def _fetch_old_document(self, key) -> Optional[dict]:
+        self.point_lookups_performed += 1
+        return self._partition_for(key).point_lookup(key)
+
+    # -- maintenance -----------------------------------------------------------------------
+    def flush_all(self) -> None:
+        """Flush every partition's in-memory component (and the index buffers)."""
+        for partition in self.partitions:
+            partition.flush()
+        for index in self.secondary_indexes.values():
+            index.flush()
+        if self.primary_key_index is not None:
+            self.primary_key_index.flush()
+
+    # -- reads -------------------------------------------------------------------------------
+    def scan(self, fields: Optional[Sequence[str]] = None) -> Iterator[Tuple[object, dict]]:
+        """Reconciled scan over every partition (keys are not globally ordered)."""
+        for partition in self.partitions:
+            yield from partition.scan(fields)
+
+    def count(self) -> int:
+        return sum(partition.count() for partition in self.partitions)
+
+    def point_lookup(self, key) -> Optional[dict]:
+        return self._partition_for(key).point_lookup(key)
+
+    def fetch_many(self, keys: Sequence, fields: Optional[Sequence[str]] = None) -> List[dict]:
+        """Batched point lookups: keys are sorted first, as in §4.6."""
+        documents = []
+        for key in sorted(keys):
+            document = self.point_lookup(key)
+            if document is not None:
+                documents.append(document)
+        return documents
+
+    # -- statistics -----------------------------------------------------------------------------
+    def storage_size_bytes(self, include_indexes: bool = True) -> int:
+        total = sum(partition.storage_size_bytes() for partition in self.partitions)
+        if include_indexes:
+            total += sum(index.size_bytes for index in self.secondary_indexes.values())
+            if self.primary_key_index is not None:
+                total += self.primary_key_index.size_bytes
+        return total
+
+    def storage_payload_bytes(self, include_indexes: bool = True) -> int:
+        total = sum(partition.storage_payload_bytes() for partition in self.partitions)
+        if include_indexes:
+            total += sum(index.size_bytes for index in self.secondary_indexes.values())
+            if self.primary_key_index is not None:
+                total += self.primary_key_index.size_bytes
+        return total
+
+    def num_components(self) -> int:
+        return sum(partition.num_components for partition in self.partitions)
+
+    def inferred_column_count(self) -> int:
+        """Number of inferred columns (union of all partitions' schemas)."""
+        return max(partition.schema.num_columns for partition in self.partitions)
+
+    @property
+    def schemas(self) -> List[Schema]:
+        return [partition.schema for partition in self.partitions]

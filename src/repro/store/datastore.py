@@ -1,0 +1,88 @@
+"""The datastore façade: nodes, partitions, buffer cache, datasets.
+
+A :class:`Datastore` plays the role of a (single-process) AsterixDB cluster:
+it owns the storage device, the per-node buffer caches and transaction logs,
+and the datasets created on top of them.  The query engine
+(:mod:`repro.query`) executes against a datastore.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..lsm.wal import LogManager
+from ..model.errors import DatasetError
+from ..storage.buffer_cache import BufferCache
+from ..storage.device import StorageDevice
+from ..storage.stats import IOStats
+from .config import StoreConfig
+from .dataset import Dataset
+
+
+class Datastore:
+    """A single-process document store with pluggable component layouts."""
+
+    def __init__(self, config: Optional[StoreConfig] = None) -> None:
+        self.config = config or StoreConfig()
+        self.config.validate()
+        self.device = StorageDevice(
+            page_size=self.config.page_size,
+            directory=self.config.storage_directory,
+        )
+        self.buffer_cache = BufferCache(capacity_pages=self.config.buffer_cache_pages)
+        self.log_manager = LogManager(
+            num_nodes=self.config.num_nodes,
+            partitions_per_node=self.config.partitions_per_node,
+        )
+        self.datasets: Dict[str, Dataset] = {}
+
+    # -- dataset management ------------------------------------------------------------
+    def create_dataset(
+        self,
+        name: str,
+        layout: str = "amax",
+        primary_key_field: Optional[str] = None,
+    ) -> Dataset:
+        """Create a dataset stored under the given layout (open/vector/apax/amax)."""
+        if name in self.datasets:
+            raise DatasetError(f"dataset {name!r} already exists")
+        dataset = Dataset(
+            name=name,
+            layout=layout,
+            config=self.config,
+            device=self.device,
+            buffer_cache=self.buffer_cache,
+            log_manager=self.log_manager,
+            primary_key_field=primary_key_field,
+        )
+        self.datasets[name] = dataset
+        return dataset
+
+    def dataset(self, name: str) -> Dataset:
+        try:
+            return self.datasets[name]
+        except KeyError as exc:
+            raise DatasetError(f"unknown dataset {name!r}") from exc
+
+    def drop_dataset(self, name: str) -> None:
+        dataset = self.datasets.pop(name, None)
+        if dataset is None:
+            return
+        for partition in dataset.partitions:
+            for component in partition.components:
+                component.destroy()
+        for index in dataset.secondary_indexes.values():
+            index.destroy()
+        if dataset.primary_key_index is not None:
+            dataset.primary_key_index.destroy()
+
+    # -- statistics ----------------------------------------------------------------------
+    @property
+    def io_stats(self) -> IOStats:
+        return self.device.stats
+
+    def io_snapshot(self) -> IOStats:
+        return self.device.stats.snapshot()
+
+    def total_storage_bytes(self) -> int:
+        return sum(dataset.storage_size_bytes() for dataset in self.datasets.values())

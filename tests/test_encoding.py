@@ -1,0 +1,208 @@
+"""Unit and property tests for the encoding subpackage."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.encoding import (
+    bitpacking,
+    decode_values,
+    delta,
+    delta_string,
+    encode_values,
+    get_codec,
+    plain,
+    rle,
+    varint,
+)
+from repro.model.errors import EncodingError
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**63])
+    def test_uvarint_round_trip(self, value):
+        out = bytearray()
+        varint.encode_uvarint(value, out)
+        decoded, offset = varint.decode_uvarint(bytes(out), 0)
+        assert decoded == value
+        assert offset == len(out)
+
+    def test_uvarint_rejects_negative(self):
+        with pytest.raises(EncodingError):
+            varint.encode_uvarint(-1, bytearray())
+
+    def test_truncated_uvarint(self):
+        with pytest.raises(EncodingError):
+            varint.decode_uvarint(b"\xff", 0)
+
+    @pytest.mark.parametrize("value", [0, -1, 1, -64, 63, 2**40, -(2**40)])
+    def test_svarint_round_trip(self, value):
+        out = bytearray()
+        varint.encode_svarint(value, out)
+        decoded, _ = varint.decode_svarint(bytes(out), 0)
+        assert decoded == value
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_zigzag_round_trip(self, value):
+        assert varint.zigzag_decode(varint.zigzag_encode(value)) == value
+
+
+class TestBitpacking:
+    def test_width_for(self):
+        assert bitpacking.bit_width_for(0) == 0
+        assert bitpacking.bit_width_for(1) == 1
+        assert bitpacking.bit_width_for(7) == 3
+        assert bitpacking.bit_width_for(8) == 4
+
+    def test_zero_width_round_trip(self):
+        assert bitpacking.pack([0, 0, 0], 0) == b""
+        assert bitpacking.unpack(b"", 0, 3) == [0, 0, 0]
+
+    def test_value_too_large(self):
+        with pytest.raises(EncodingError):
+            bitpacking.pack([8], 3)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**12 - 1), max_size=200),
+    )
+    def test_round_trip(self, values):
+        width = bitpacking.bit_width_for(max(values) if values else 0)
+        packed = bitpacking.pack(values, width)
+        assert bitpacking.unpack(packed, width, len(values)) == values
+
+    def test_packed_size(self):
+        assert bitpacking.packed_size(10, 3) == 4
+        assert bitpacking.packed_size(0, 5) == 0
+
+
+class TestRle:
+    @given(st.lists(st.integers(min_value=0, max_value=31), max_size=300))
+    def test_round_trip(self, values):
+        payload, width = rle.encoded_with_width(values)
+        assert rle.decode(payload, width, len(values)) == values
+
+    def test_long_runs_compress(self):
+        values = [3] * 1000
+        payload, width = rle.encoded_with_width(values)
+        assert len(payload) < 10
+
+    def test_truncated_stream(self):
+        values = list(range(20))
+        payload, width = rle.encoded_with_width(values)
+        with pytest.raises(EncodingError):
+            rle.decode(payload[:2], width, len(values) + 50)
+
+    def test_zero_width(self):
+        assert rle.decode(b"", 0, 5) == [0, 0, 0, 0, 0]
+
+
+class TestPlain:
+    @given(st.lists(st.integers(min_value=-(2**62), max_value=2**62), max_size=100))
+    def test_int64_round_trip(self, values):
+        data = plain.encode_int64(values)
+        assert plain.decode_int64(data, len(values)) == values
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=100))
+    def test_double_round_trip(self, values):
+        data = plain.encode_double(values)
+        assert plain.decode_double(data, len(values)) == values
+
+    @given(st.lists(st.booleans(), max_size=100))
+    def test_boolean_round_trip(self, values):
+        data = plain.encode_boolean(values)
+        assert plain.decode_boolean(data, len(values)) == values
+
+    @given(st.lists(st.text(max_size=40), max_size=60))
+    def test_strings_round_trip(self, values):
+        data = plain.encode_strings(values)
+        assert plain.decode_strings(data, len(values)) == values
+
+    def test_truncated_int64(self):
+        with pytest.raises(EncodingError):
+            plain.decode_int64(b"\x00" * 7, 1)
+
+
+class TestDelta:
+    @given(st.lists(st.integers(min_value=-(2**40), max_value=2**40), max_size=400))
+    def test_round_trip(self, values):
+        assert delta.decode(delta.encode(values)) == values
+
+    def test_monotone_sequences_compress(self):
+        values = list(range(100000, 101000))
+        encoded = delta.encode(values)
+        assert len(encoded) < len(plain.encode_int64(values)) / 4
+
+    def test_empty(self):
+        assert delta.decode(delta.encode([])) == []
+
+    def test_single(self):
+        assert delta.decode(delta.encode([42])) == [42]
+
+
+class TestDeltaStrings:
+    @given(st.lists(st.text(max_size=30), max_size=80))
+    def test_delta_length_round_trip(self, values):
+        data = delta_string.encode_delta_length(values)
+        assert delta_string.decode_delta_length(data, len(values)) == values
+
+    @given(st.lists(st.text(max_size=30), max_size=80))
+    def test_delta_strings_round_trip(self, values):
+        data = delta_string.encode_delta_strings(values)
+        assert delta_string.decode_delta_strings(data, len(values)) == values
+
+    def test_shared_prefixes_compress(self):
+        values = [f"https://example.com/user/{i}" for i in range(500)]
+        incremental = delta_string.encode_delta_strings(values)
+        plain_size = len(plain.encode_strings(values))
+        assert len(incremental) < plain_size / 2
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "type_tag,values",
+        [
+            ("int64", [1, 2, 3, 1000, -5]),
+            ("int64", list(range(2000))),
+            ("double", [1.5, -2.25, 3e10]),
+            ("string", ["a", "bb", "ccc", ""]),
+            ("boolean", [True, False, True]),
+            ("null", [None, None]),
+            ("int64", []),
+            ("string", []),
+        ],
+    )
+    def test_round_trip(self, type_tag, values):
+        encoding_id, payload = encode_values(type_tag, values)
+        decoded = decode_values(type_tag, encoding_id, payload, len(values))
+        if type_tag == "null":
+            assert decoded == [None] * len(values)
+        else:
+            assert decoded == values
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_values("object", [{"a": 1}])
+
+    def test_numeric_domain_compresses_well(self):
+        values = [1000000 + i * 3 for i in range(5000)]
+        _, payload = encode_values("int64", values)
+        assert len(payload) < 5000 * 2
+
+
+class TestCompression:
+    @pytest.mark.parametrize("name", ["none", "zlib", "snappy"])
+    @given(data=st.binary(max_size=4096))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip(self, name, data):
+        codec = get_codec(name)
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_snappy_compresses_repetitive_payloads(self):
+        codec = get_codec("snappy")
+        data = (b'{"name": "user", "age": 30, "city": "irvine"}' * 200)
+        assert len(codec.compress(data)) < len(data) / 3
+
+    def test_unknown_codec(self):
+        with pytest.raises(EncodingError):
+            get_codec("lz4")

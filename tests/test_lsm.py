@@ -1,0 +1,181 @@
+"""Integration tests for the LSM tree across all four component layouts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Schema
+from repro.lsm import LSMTree, MemTable, NoMergePolicy, TieringMergePolicy
+from repro.lsm.component import ALL_LAYOUTS, COLUMNAR_LAYOUTS
+from repro.model import documents_equal
+from repro.model.errors import StorageError
+from repro.storage import BufferCache, StorageDevice
+
+
+def make_tree(layout: str, budget: int = 64 * 1024, merge_policy=None) -> LSMTree:
+    device = StorageDevice(page_size=32 * 1024)
+    cache = BufferCache(capacity_pages=512)
+    return LSMTree(
+        name=f"t-{layout}",
+        layout=layout,
+        schema=Schema(),
+        device=device,
+        buffer_cache=cache,
+        memory_budget_bytes=budget,
+        merge_policy=merge_policy or TieringMergePolicy(),
+        amax_max_records_per_leaf=200,
+    )
+
+
+def document(i: int) -> dict:
+    return {
+        "id": i,
+        "name": f"user{i}",
+        "age": 18 + (i % 60),
+        "tags": [f"t{i % 5}", f"t{(i + 1) % 5}"],
+        "profile": {"city": f"city{i % 7}", "score": i * 1.5},
+    }
+
+
+class TestMemTable:
+    def test_budget_accounting(self):
+        table = MemTable(budget_bytes=500)
+        assert table.is_empty and not table.is_full
+        for i in range(20):
+            table.put(i, document(i))
+        assert table.is_full
+        assert len(table) == 20
+
+    def test_delete_and_overwrite(self):
+        table = MemTable(budget_bytes=10_000)
+        table.put(1, document(1))
+        table.put(1, document(100))
+        table.delete(2)
+        assert table.get(1) == (False, document(100))
+        assert table.get(2) == (True, None)
+        entries = table.sorted_entries()
+        assert [key for key, _, _ in entries] == [1, 2]
+
+    def test_invalid_budget(self):
+        with pytest.raises(StorageError):
+            MemTable(budget_bytes=0)
+
+
+@pytest.mark.parametrize("layout", ALL_LAYOUTS)
+class TestLSMTreeLayouts:
+    def test_flush_scan_round_trip(self, layout):
+        tree = make_tree(layout)
+        originals = {}
+        for i in range(300):
+            doc = document(i)
+            originals[i] = doc
+            tree.insert(i, doc)
+            if tree.needs_flush:
+                tree.flush()
+        tree.flush()
+        scanned = dict(tree.scan())
+        assert len(scanned) == 300
+        for key, doc in originals.items():
+            assert documents_equal(scanned[key], doc), key
+
+    def test_updates_and_deletes_reconcile(self, layout):
+        tree = make_tree(layout)
+        for i in range(100):
+            tree.insert(i, document(i))
+        tree.flush()
+        for i in range(0, 100, 2):
+            tree.insert(i, {"id": i, "name": "updated", "age": 99})
+        for i in range(90, 100):
+            tree.delete(i)
+        tree.flush()
+        scanned = dict(tree.scan())
+        # 100 inserted, 10 deleted (90..99); updates do not change the count.
+        assert len(scanned) == 90
+        assert scanned[0]["name"] == "updated"
+        assert scanned[1]["name"] == "user1"
+        assert 91 not in scanned and 93 not in scanned
+        # 90..99 deleted, but even ones among them were also updated first; the
+        # delete is newer and must win.
+        assert 92 not in scanned
+
+    def test_point_lookup(self, layout):
+        tree = make_tree(layout)
+        for i in range(150):
+            tree.insert(i, document(i))
+        tree.flush()
+        tree.insert(7, {"id": 7, "name": "fresh"})
+        assert tree.point_lookup(7)["name"] == "fresh"  # from the memtable
+        assert tree.point_lookup(8)["name"] == "user8"  # from disk
+        assert tree.point_lookup(10_000) is None
+        tree.delete(8)
+        assert tree.point_lookup(8) is None
+
+    def test_merge_reduces_component_count(self, layout):
+        tree = make_tree(layout, budget=8 * 1024)
+        for i in range(600):
+            tree.insert(i, document(i))
+            if tree.needs_flush:
+                tree.flush()
+        tree.flush()
+        assert tree.flush_count > 5
+        assert tree.merge_count >= 1
+        assert tree.num_components <= tree.flush_count
+        scanned = dict(tree.scan())
+        assert len(scanned) == 600
+
+    def test_count_matches_scan(self, layout):
+        tree = make_tree(layout)
+        for i in range(120):
+            tree.insert(i, document(i))
+        tree.flush()
+        for i in range(10):
+            tree.delete(i)
+        tree.flush()
+        assert tree.count() == 110
+        assert len(dict(tree.scan())) == 110
+
+    def test_projection_scan(self, layout):
+        tree = make_tree(layout)
+        for i in range(80):
+            tree.insert(i, document(i))
+        tree.flush()
+        for key, doc in tree.scan(fields=["name"]):
+            assert doc["name"] == f"user{key}"
+            if layout in COLUMNAR_LAYOUTS:
+                # Columnar scans only assemble the projected fields.
+                assert "profile" not in doc
+
+    def test_storage_accounting(self, layout):
+        tree = make_tree(layout)
+        for i in range(200):
+            tree.insert(i, document(i))
+        tree.flush()
+        assert tree.storage_size_bytes() > 0
+        assert tree.storage_payload_bytes() <= tree.storage_size_bytes()
+        assert tree.record_count_on_disk() == 200
+
+
+class TestAntimatterAcrossMerges:
+    @pytest.mark.parametrize("layout", COLUMNAR_LAYOUTS)
+    def test_delete_survives_partial_merge(self, layout):
+        tree = make_tree(layout, budget=1_000_000, merge_policy=NoMergePolicy())
+        for i in range(50):
+            tree.insert(i, document(i))
+        tree.flush()
+        tree.delete(10)
+        tree.flush()
+        for i in range(50, 60):
+            tree.insert(i, document(i))
+        tree.flush()
+        assert tree.num_components == 3
+        # Merge only the two newest components; the anti-matter for key 10 must
+        # survive because the oldest component still holds the original record.
+        tree._merge([0, 1])
+        assert tree.num_components == 2
+        scanned = dict(tree.scan())
+        assert 10 not in scanned
+        assert len(scanned) == 59
+
+    def test_invalid_layout_rejected(self):
+        with pytest.raises(StorageError):
+            make_tree("parquet")

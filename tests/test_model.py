@@ -1,0 +1,160 @@
+"""Unit tests for the document data model (values, type tags, paths)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import (
+    ARRAY_STEP,
+    MISSING,
+    FieldPath,
+    documents_equal,
+    estimate_json_size,
+    get_path,
+    is_atomic,
+    is_nested,
+    iter_atomic_paths,
+    type_tag_of,
+)
+
+
+class TestTypeTags:
+    def test_null(self):
+        assert type_tag_of(None) == "null"
+
+    def test_boolean_before_int(self):
+        assert type_tag_of(True) == "boolean"
+        assert type_tag_of(False) == "boolean"
+
+    def test_int64(self):
+        assert type_tag_of(42) == "int64"
+
+    def test_double(self):
+        assert type_tag_of(3.5) == "double"
+
+    def test_string(self):
+        assert type_tag_of("hello") == "string"
+
+    def test_object(self):
+        assert type_tag_of({"a": 1}) == "object"
+
+    def test_array(self):
+        assert type_tag_of([1, 2]) == "array"
+        assert type_tag_of((1, 2)) == "array"
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            type_tag_of(object())
+
+    def test_is_atomic_and_nested(self):
+        assert is_atomic(3)
+        assert is_atomic("x")
+        assert is_atomic(None)
+        assert not is_atomic({})
+        assert is_nested([])
+        assert not is_nested(1.0)
+
+
+class TestDocumentsEqual:
+    def test_equal_nested(self):
+        a = {"x": [1, {"y": "z"}], "w": None}
+        b = {"w": None, "x": (1, {"y": "z"})}
+        assert documents_equal(a, b)
+
+    def test_int_vs_double_not_equal(self):
+        assert not documents_equal(1, 1.0)
+
+    def test_different_keys(self):
+        assert not documents_equal({"a": 1}, {"b": 1})
+
+    def test_different_array_lengths(self):
+        assert not documents_equal([1, 2], [1])
+
+
+class TestEstimateJsonSize:
+    def test_monotone_with_content(self):
+        small = {"id": 1}
+        big = {"id": 1, "name": "a longer string value", "xs": [1, 2, 3, 4]}
+        assert estimate_json_size(big) > estimate_json_size(small)
+
+    def test_all_types_covered(self):
+        doc = {"a": None, "b": True, "c": 12, "d": 2.5, "e": "s", "f": [1], "g": {}}
+        assert estimate_json_size(doc) > 0
+
+
+class TestFieldPath:
+    def test_parse_simple(self):
+        assert FieldPath.parse("a.b.c").steps == ("a", "b", "c")
+
+    def test_parse_array_suffix(self):
+        assert FieldPath.parse("games[*].title").steps == ("games", ARRAY_STEP, "title")
+
+    def test_parse_nested_arrays(self):
+        path = FieldPath.parse("games[*].consoles[*]")
+        assert path.steps == ("games", ARRAY_STEP, "consoles", ARRAY_STEP)
+        assert path.array_depth == 2
+
+    def test_str_round_trip(self):
+        for text in ["a", "a.b", "games[*].title", "a[*][*].b"]:
+            assert str(FieldPath.parse(text)) == text
+
+    def test_of_accepts_path_string_sequence(self):
+        path = FieldPath.parse("a.b")
+        assert FieldPath.of(path) is path
+        assert FieldPath.of("a.b") == path
+        assert FieldPath.of(("a", "b")) == path
+
+    def test_child_parent(self):
+        path = FieldPath.parse("a.b")
+        assert path.child("c").steps == ("a", "b", "c")
+        assert path.parent().steps == ("a",)
+
+    def test_startswith_and_top_field(self):
+        path = FieldPath.parse("user.name.first")
+        assert path.startswith(FieldPath.parse("user"))
+        assert not path.startswith(FieldPath.parse("users"))
+        assert path.top_field == "user"
+
+
+class TestGetPath:
+    DOC = {
+        "id": 7,
+        "user": {"name": {"first": "Ann", "last": "Lee"}},
+        "games": [
+            {"title": "NBA", "consoles": ["PS4", "PC"]},
+            {"title": "NFL"},
+        ],
+    }
+
+    def test_simple_field(self):
+        assert get_path(self.DOC, "id") == 7
+
+    def test_nested_field(self):
+        assert get_path(self.DOC, "user.name.first") == "Ann"
+
+    def test_missing_field(self):
+        assert get_path(self.DOC, "user.age") is MISSING
+
+    def test_array_wildcard(self):
+        assert get_path(self.DOC, "games[*].title") == ["NBA", "NFL"]
+
+    def test_array_wildcard_nested(self):
+        assert get_path(self.DOC, "games[*].consoles[*]") == [["PS4", "PC"]]
+
+    def test_field_step_on_scalar_is_missing(self):
+        assert get_path(self.DOC, "id.x") is MISSING
+
+    def test_array_step_on_object_is_missing(self):
+        assert get_path(self.DOC, "user[*]") is MISSING
+
+
+class TestIterAtomicPaths:
+    def test_flat_and_nested(self):
+        doc = {"a": 1, "b": {"c": "x"}, "d": [1, {"e": True}]}
+        pairs = set()
+        for path, value in iter_atomic_paths(doc):
+            pairs.add((path, value))
+        assert (("a",), 1) in pairs
+        assert (("b", "c"), "x") in pairs
+        assert (("d", ARRAY_STEP), 1) in pairs
+        assert (("d", ARRAY_STEP, "e"), True) in pairs

@@ -1,0 +1,245 @@
+"""Tests for expressions, plans, the optimizer, and both executors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Datastore, StoreConfig
+from repro.model import MISSING
+from repro.model.errors import QueryError
+from repro.query import And, Call, Compare, Field, Literal, Or, Query, SomeSatisfies, Var
+from repro.query.codegen import generate_pipeline
+from repro.query.expressions import compare_values
+
+
+@pytest.fixture(scope="module")
+def store():
+    config = StoreConfig(partitions_per_node=2, memory_component_budget=256 * 1024)
+    datastore = Datastore(config)
+    dataset = datastore.create_dataset("events", layout="amax")
+    dataset.create_secondary_index("ts", "ts")
+    for i in range(1000):
+        dataset.insert(
+            {
+                "id": i,
+                "ts": 1000 + i,
+                "kind": ["click", "view", "buy"][i % 3],
+                "amount": (i % 50) * 1.0,
+                "user": {"name": f"u{i % 20}", "vip": i % 10 == 0},
+                "items": [{"sku": f"s{i % 7}", "qty": 1 + i % 3} for _ in range(i % 3)],
+            }
+        )
+    dataset.flush_all()
+    return datastore
+
+
+class TestExpressions:
+    ROW = {"t": {"a": 5, "b": "x", "arr": [1, 2, 3], "nested": {"k": "v"}}}
+
+    def test_var_and_field(self):
+        assert Var("t").evaluate(self.ROW) == self.ROW["t"]
+        assert Field(Var("t"), "a").evaluate(self.ROW) == 5
+        assert Field(Var("t"), "nested.k").evaluate(self.ROW) == "v"
+        assert Field(Var("t"), "missing").evaluate(self.ROW) is MISSING
+
+    def test_compare_dynamic_typing(self):
+        assert compare_values("<", 3, 5) is True
+        assert compare_values("<", 3, "five") is None  # incompatible types -> NULL
+        assert compare_values("==", 3, "3") is False
+        assert compare_values(">", None, 5) is None
+        assert compare_values(">=", 2, 2.0) is True
+
+    def test_comparison_operators_build_expressions(self):
+        expression = Field(Var("t"), "a") >= 5
+        assert isinstance(expression, Compare)
+        assert expression.evaluate(self.ROW) is True
+
+    def test_boolean_connectives(self):
+        true_expr = And(Field(Var("t"), "a") == 5, Field(Var("t"), "b") == "x")
+        false_expr = And(Field(Var("t"), "a") == 5, Field(Var("t"), "b") == "y")
+        either = Or(Field(Var("t"), "a") == 99, Field(Var("t"), "b") == "x")
+        assert true_expr.evaluate(self.ROW) is True
+        assert false_expr.evaluate(self.ROW) is False
+        assert either.evaluate(self.ROW) is True
+
+    def test_functions(self):
+        assert Call("length", Field(Var("t"), "arr")).evaluate(self.ROW) == 3
+        assert Call("lowercase", Literal("ABC")).evaluate({}) == "abc"
+        assert Call("array_contains", Field(Var("t"), "arr"), 2).evaluate(self.ROW) is True
+        assert Call("array_distinct", Literal([1, 1, 2])).evaluate({}) == [1, 2]
+        assert Call("array_pairs", Literal(["a", "b", "c"])).evaluate({}) == [
+            ["a", "b"], ["a", "c"], ["b", "c"],
+        ]
+        assert Call("is_array", Literal({"a": 1})).evaluate({}) is False
+        with pytest.raises(QueryError):
+            Call("no_such_function", Literal(1))
+
+    def test_some_satisfies(self):
+        row = {"t": {"hashtags": [{"text": "Jobs"}, {"text": "news"}]}}
+        predicate = SomeSatisfies(
+            Field(Var("t"), "hashtags"),
+            "h",
+            Call("lowercase", Field(Var("h"), "text")) == "jobs",
+        )
+        assert predicate.evaluate(row) is True
+        assert predicate.evaluate({"t": {"hashtags": []}}) is False
+        assert predicate.evaluate({"t": {}}) is False
+
+    def test_codegen_source_round_trip(self):
+        expression = And(Field(Var("t"), "a") >= 1, Call("length", Field(Var("t"), "b")) == 1)
+        source = expression.to_source()
+        assert "_get_path" in source and "_compare" in source
+
+
+class TestOptimizer:
+    def test_projection_pushdown_collects_top_fields(self):
+        query = (
+            Query("events", "e")
+            .where(Field(Var("e"), "kind") == "buy")
+            .group_by(key=("user", "user.name"), aggregates=[("s", "sum", "amount")])
+        )
+        plan = query.build_plan()
+        assert sorted(plan.source.fields) == ["amount", "kind", "user"]
+
+    def test_count_star_projects_nothing(self):
+        plan = Query("events", "e").count().build_plan()
+        assert plan.source.fields == []
+
+    def test_whole_record_reference_disables_pushdown(self):
+        plan = Query("events", "e").select([("doc", Var("e"))]).build_plan()
+        assert plan.source.fields is None
+
+    def test_explain_mentions_operators(self):
+        text = (
+            Query("events", "e")
+            .unnest("i", "items")
+            .where(Field(Var("i"), "qty") > 1)
+            .count()
+            .explain()
+        )
+        assert "SCAN" in text and "UNNEST" in text and "FILTER" in text
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("executor", ["codegen", "interpreted"])
+    def test_count(self, store, executor):
+        result = Query("events", "e").count().execute(store, executor=executor)
+        assert result == [{"count": 1000}]
+
+    @pytest.mark.parametrize("executor", ["codegen", "interpreted"])
+    def test_filter_and_group(self, store, executor):
+        result = (
+            Query("events", "e")
+            .where(Field(Var("e"), "kind") == "buy")
+            .group_by(key=("user", "user.name"), aggregates=[("n", "count", None)])
+            .order_by("n", descending=True)
+            .limit(5)
+            .execute(store, executor=executor)
+        )
+        assert len(result) == 5
+        assert all(row["n"] > 0 for row in result)
+
+    def test_executors_agree_on_unnest_aggregation(self, store):
+        query = (
+            Query("events", "e")
+            .unnest("i", "items")
+            .group_by(key=("sku", Field(Var("i"), "sku")), aggregates=[("q", "sum", Field(Var("i"), "qty"))])
+            .order_by("q", descending=True)
+        )
+        generated = query.execute(store, executor="codegen")
+        interpreted = query.execute(store, executor="interpreted")
+        assert generated == interpreted
+        assert len(generated) == 7
+
+    def test_aggregates(self, store):
+        result = (
+            Query("events", "e")
+            .aggregate(
+                [
+                    ("max_amount", "max", "amount"),
+                    ("min_amount", "min", "amount"),
+                    ("avg_amount", "avg", "amount"),
+                    ("total", "sum", "amount"),
+                    ("rows", "count", None),
+                ]
+            )
+            .execute(store)
+        )
+        row = result[0]
+        assert row["rows"] == 1000
+        assert row["max_amount"] == 49.0
+        assert row["min_amount"] == 0.0
+        assert abs(row["avg_amount"] - row["total"] / 1000) < 1e-9
+
+    def test_index_based_execution(self, store):
+        indexed = (
+            Query("events", "e")
+            .use_index("ts", 1100, 1199)
+            .count()
+            .execute(store)
+        )
+        scanned = (
+            Query("events", "e")
+            .where(Field(Var("e"), "ts") >= 1100)
+            .where(Field(Var("e"), "ts") <= 1199)
+            .count()
+            .execute(store)
+        )
+        assert indexed == scanned == [{"count": 100}]
+
+    def test_index_with_projection(self, store):
+        rows = (
+            Query("events", "e")
+            .use_index("ts", 1000, 1009)
+            .select([("kind", "kind"), ("name", "user.name")])
+            .execute(store)
+        )
+        assert len(rows) == 10
+        assert all(set(row) == {"kind", "name"} for row in rows)
+
+    def test_unknown_index_rejected(self, store):
+        with pytest.raises(QueryError):
+            Query("events", "e").use_index("nope", 0, 1).count().execute(store)
+
+    def test_unknown_executor_rejected(self, store):
+        with pytest.raises(QueryError):
+            Query("events", "e").count().execute(store, executor="vectorized")
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(QueryError):
+            Query("events").aggregate([("x", "median", None)])
+
+
+class TestCodegen:
+    def test_generated_source_is_compilable_python(self, store):
+        query = (
+            Query("events", "e")
+            .assign("k", "kind")
+            .where(Var("k") == "click")
+            .unnest("i", "items")
+        )
+        generated = generate_pipeline(query.build_plan())
+        assert "def _generated_pipeline" in generated.source
+        assert "continue" in generated.source
+        rows = list(generated([{"e": {"kind": "click", "items": [{"sku": "a"}]}}]))
+        assert rows == [{"e": {"kind": "click", "items": [{"sku": "a"}]}, "k": "click", "i": {"sku": "a"}}]
+
+    def test_codegen_faster_or_equal_on_larger_input(self, store):
+        import time
+
+        query = (
+            Query("events", "e")
+            .unnest("i", "items")
+            .where(Field(Var("i"), "qty") >= 1)
+            .group_by(key=("sku", Field(Var("i"), "sku")), aggregates=[("n", "count", None)])
+        )
+        start = time.perf_counter()
+        generated_rows = query.execute(store, executor="codegen")
+        generated_time = time.perf_counter() - start
+        start = time.perf_counter()
+        interpreted_rows = query.execute(store, executor="interpreted")
+        interpreted_time = time.perf_counter() - start
+        assert sorted(map(str, generated_rows)) == sorted(map(str, interpreted_rows))
+        # Generated pipelines avoid per-operator materialization; allow a bit
+        # of noise but they should not be dramatically slower.
+        assert generated_time <= interpreted_time * 1.5

@@ -1,0 +1,102 @@
+"""Tests for the Open and Vector-Based row formats."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import documents_equal
+from repro.model.errors import EncodingError
+from repro.rowformats import FieldNameDictionary, open_format, vector_format
+
+DOCUMENTS = [
+    {"id": 1, "name": "Kim", "age": 26},
+    {"id": 2, "name": {"first": "John", "last": "Smith"}, "games": [{"title": "NBA"}]},
+    {"id": 3, "flags": [True, False, None], "score": 3.25, "note": "日本語 text"},
+    {"id": 4},
+    {"id": 5, "nested": {"a": {"b": {"c": [1, [2, [3]]]}}}},
+]
+
+
+class TestOpenFormat:
+    @pytest.mark.parametrize("document", DOCUMENTS)
+    def test_round_trip(self, document):
+        data = open_format.encode_document(document)
+        assert documents_equal(open_format.decode_document(data), document)
+
+    def test_field_names_are_embedded(self):
+        document = {"a_very_long_field_name_indeed": 1}
+        data = open_format.encode_document(document)
+        assert b"a_very_long_field_name_indeed" in data
+
+    def test_size_grows_with_nesting(self):
+        flat = {"a": 1, "b": 2, "c": 3}
+        nested = {"a": {"b": {"c": {"d": {"e": 1}}}}}
+        assert open_format.encoded_size(nested) > open_format.encoded_size(flat)
+
+    def test_corrupt_input_rejected(self):
+        with pytest.raises(EncodingError):
+            open_format.decode_document(b"\xff\x00\x01")
+
+    def test_trailing_bytes_rejected(self):
+        data = open_format.encode_document({"a": 1}) + b"junk"
+        with pytest.raises(EncodingError):
+            open_format.decode_document(data)
+
+
+class TestVectorFormat:
+    @pytest.mark.parametrize("document", DOCUMENTS)
+    def test_round_trip(self, document):
+        dictionary = FieldNameDictionary()
+        data = vector_format.encode_document(document, dictionary)
+        assert documents_equal(vector_format.decode_document(data, dictionary), document)
+
+    def test_field_names_are_dictionary_encoded(self):
+        dictionary = FieldNameDictionary()
+        document = {"a_very_long_field_name_indeed": 1}
+        data = vector_format.encode_document(document, dictionary)
+        assert b"a_very_long_field_name_indeed" not in data
+        assert len(dictionary) == 1
+
+    def test_vb_smaller_than_open_for_repeated_field_names(self):
+        dictionary = FieldNameDictionary()
+        documents = [
+            {"user_identifier": i, "message_body": "x" * 10, "created_at_time": i}
+            for i in range(50)
+        ]
+        vb_size = sum(vector_format.encoded_size(d, dictionary) for d in documents)
+        open_size = sum(open_format.encoded_size(d) for d in documents)
+        assert vb_size < open_size
+
+    def test_dictionary_round_trip(self):
+        dictionary = FieldNameDictionary()
+        dictionary.intern("alpha")
+        dictionary.intern("beta")
+        restored = FieldNameDictionary.from_dict(dictionary.to_dict())
+        assert restored.name(0) == "alpha"
+        assert restored.intern("beta") == 1
+
+    def test_unknown_field_id_rejected(self):
+        dictionary = FieldNameDictionary()
+        with pytest.raises(EncodingError):
+            dictionary.name(3)
+
+    @given(
+        st.dictionaries(
+            st.text(alphabet="abcdef", min_size=1, max_size=4),
+            st.one_of(
+                st.integers(min_value=-(2**40), max_value=2**40),
+                st.text(max_size=10),
+                st.booleans(),
+                st.none(),
+                st.floats(allow_nan=False, allow_infinity=False),
+                st.lists(st.integers(min_value=0, max_value=100), max_size=4),
+            ),
+            max_size=6,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, document):
+        dictionary = FieldNameDictionary()
+        data = vector_format.encode_document(document, dictionary)
+        assert documents_equal(vector_format.decode_document(data, dictionary), document)

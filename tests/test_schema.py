@@ -1,0 +1,206 @@
+"""Unit tests for schema inference (the tuple compactor) and the column catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Schema
+from repro.core.schema import ArrayNode, AtomicNode, ObjectNode, UnionNode
+from repro.model.errors import SchemaError
+
+GAMERS = [
+    {"id": 0, "games": [{"title": "NFL"}]},
+    {"id": 1, "name": {"last": "Brown"}, "games": [{"title": "FIFA", "consoles": ["PC", "PS4"]}]},
+    {
+        "id": 2,
+        "name": {"first": "John", "last": "Smith"},
+        "games": [
+            {"title": "NBA", "consoles": ["PS4", "PC"]},
+            {"title": "NFL", "consoles": ["XBOX"]},
+        ],
+    },
+    {"id": 3},
+]
+
+
+def build_gamers_schema() -> Schema:
+    schema = Schema(primary_key_field="id")
+    for record in GAMERS:
+        schema.observe(record)
+    return schema
+
+
+class TestInferenceBasics:
+    def test_pk_column_always_first(self):
+        schema = Schema()
+        assert schema.pk_column.is_primary_key
+        assert schema.pk_column.column_id == 0
+        assert schema.pk_column.max_def == 1
+
+    def test_flat_record(self):
+        schema = Schema()
+        schema.observe({"id": 1, "name": "Kim", "age": 26})
+        paths = {column.dotted_path for column in schema.value_columns()}
+        assert paths == {"name", "age"}
+        by_path = {column.dotted_path: column for column in schema.value_columns()}
+        assert by_path["name"].type_tag == "string"
+        assert by_path["age"].type_tag == "int64"
+        assert by_path["age"].max_def == 1
+
+    def test_top_level_must_be_object(self):
+        schema = Schema()
+        with pytest.raises(SchemaError):
+            schema.observe([1, 2, 3])
+
+    def test_pk_field_not_in_tree(self):
+        schema = Schema()
+        schema.observe({"id": 9, "x": 1})
+        assert "id" not in schema.root.children
+
+    def test_version_bumps_only_on_changes(self):
+        schema = Schema()
+        schema.observe({"id": 1, "a": 1})
+        version = schema.version
+        schema.observe({"id": 2, "a": 5})
+        assert schema.version == version
+        schema.observe({"id": 3, "b": "x"})
+        assert schema.version > version
+
+
+class TestGamersSchema:
+    """The Figure 4 example of the paper."""
+
+    def test_levels_match_paper(self):
+        schema = build_gamers_schema()
+        by_path = {column.dotted_path: column for column in schema.value_columns()}
+        # (R:0, D:2) name.first and name.last
+        assert by_path["name.first"].max_def == 2
+        assert by_path["name.last"].max_def == 2
+        assert by_path["name.first"].array_count == 0
+        # (R:1, D:3) games[*].title
+        title = by_path["games.[*].title"]
+        assert title.max_def == 3
+        assert title.array_count == 1
+        assert title.max_delimiter == 0
+        assert title.outer_array_level == 1
+        # (R:2, D:4) games[*].consoles[*]
+        consoles = by_path["games.[*].consoles.[*]"]
+        assert consoles.max_def == 4
+        assert consoles.array_count == 2
+        assert consoles.max_delimiter == 1
+        assert consoles.outer_array_level == 1
+
+    def test_tree_shape(self):
+        schema = build_gamers_schema()
+        games = schema.field_node("games")
+        assert isinstance(games, ArrayNode)
+        assert isinstance(games.item, ObjectNode)
+        name = schema.field_node("name")
+        assert isinstance(name, ObjectNode)
+        assert set(name.children) == {"first", "last"}
+
+    def test_columns_for_fields(self):
+        schema = build_gamers_schema()
+        columns = schema.columns_for_fields(["games"])
+        paths = {column.dotted_path for column in columns}
+        assert paths == {"id", "games.[*].title", "games.[*].consoles.[*]"}
+
+    def test_describe_mentions_all_fields(self):
+        schema = build_gamers_schema()
+        text = schema.describe()
+        assert "games" in text and "consoles" in text and "first" in text
+
+
+class TestUnions:
+    """The Figure 6 example: heterogeneous values become union nodes."""
+
+    RECORDS = [
+        {"id": 1, "name": "John", "games": ["NBA", ["FIFA", "PES"], "NFL"]},
+        {"id": 2, "name": {"first": "Ann", "last": "Brown"}, "games": ["NFL", "NBA"]},
+    ]
+
+    def build(self) -> Schema:
+        schema = Schema()
+        for record in self.RECORDS:
+            schema.observe(record)
+        return schema
+
+    def test_name_becomes_union(self):
+        schema = self.build()
+        name = schema.field_node("name")
+        assert isinstance(name, UnionNode)
+        assert set(name.branches) == {"string", "object"}
+        # Union branches keep the slot's level (unions add no level).
+        assert name.branches["string"].level == 1
+        assert name.branches["object"].level == 1
+
+    def test_union_column_levels_match_paper(self):
+        schema = self.build()
+        by_path = {column.dotted_path: column for column in schema.value_columns()}
+        # Columns created before the union promotion keep their original path
+        # (the paper never rewrites existing columns); the new branches carry
+        # the <type> step.
+        assert by_path["name"].max_def == 1
+        assert by_path["name.<object>.first"].max_def == 2
+        assert by_path["games.[*]"].max_def == 2
+        inner = by_path["games.[*].<array>.[*]"]
+        assert inner.max_def == 3
+        assert inner.array_count == 2
+        assert inner.max_delimiter == 1
+
+    def test_existing_column_ids_stable_across_union_promotion(self):
+        schema = Schema()
+        schema.observe({"id": 1, "age": 25})
+        age_column = schema.value_columns()[0]
+        schema.observe({"id": 2, "age": "old"})
+        assert schema.columns[age_column.column_id] is age_column
+        assert schema.columns[age_column.column_id].type_tag == "int64"
+
+    def test_union_of_atomics(self):
+        schema = Schema()
+        schema.observe({"id": 1, "x": 1})
+        schema.observe({"id": 2, "x": 2.5})
+        schema.observe({"id": 3, "x": None})
+        node = schema.field_node("x")
+        assert isinstance(node, UnionNode)
+        assert set(node.branches) == {"int64", "double", "null"}
+
+
+class TestHeterogeneousArrays:
+    def test_array_of_mixed_scalars(self):
+        schema = Schema()
+        schema.observe({"id": 1, "xs": [0, "1", {"seq": 2}]})
+        xs = schema.field_node("xs")
+        assert isinstance(xs, ArrayNode)
+        assert isinstance(xs.item, UnionNode)
+        assert set(xs.item.branches) == {"int64", "string", "object"}
+
+    def test_nested_array_levels(self):
+        schema = Schema()
+        schema.observe({"id": 1, "m": [[1, 2], [3]]})
+        by_path = {column.dotted_path: column for column in schema.value_columns()}
+        leaf = by_path["m.[*].[*]"]
+        assert leaf.max_def == 3
+        assert leaf.array_count == 2
+        assert leaf.outer_array_level == 1
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        schema = build_gamers_schema()
+        clone = Schema.from_dict(schema.to_dict())
+        assert clone.primary_key_field == schema.primary_key_field
+        assert clone.num_columns == schema.num_columns
+        assert {c.dotted_path for c in clone.columns} == {
+            c.dotted_path for c in schema.columns
+        }
+        original = {c.dotted_path: (c.max_def, c.array_count) for c in schema.columns}
+        restored = {c.dotted_path: (c.max_def, c.array_count) for c in clone.columns}
+        assert original == restored
+
+    def test_clone_is_independent(self):
+        schema = build_gamers_schema()
+        clone = schema.clone()
+        clone.observe({"id": 10, "brand_new_field": 1})
+        assert schema.field_node("brand_new_field") is None
+        assert clone.field_node("brand_new_field") is not None

@@ -1,0 +1,191 @@
+"""Tests for the storage substrate: device, component files, buffer cache, WAL."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lsm.merge_policy import MergeScheduler, NoMergePolicy, TieringMergePolicy
+from repro.lsm.wal import LogManager, TransactionLog
+from repro.model.errors import StorageError
+from repro.storage import BufferCache, DiskModel, IOStats, StorageDevice
+
+
+class TestStorageDevice:
+    def test_append_and_read(self):
+        device = StorageDevice(page_size=4096)
+        handle = device.create_file("c1")
+        page_id = handle.append_page(b"hello")
+        assert page_id == 0
+        assert handle.read_page(0) == b"hello"
+        assert handle.num_pages == 1
+        assert handle.size_bytes == 4096
+        assert handle.payload_bytes == 5
+
+    def test_page_too_large(self):
+        device = StorageDevice(page_size=4096)
+        handle = device.create_file("c1")
+        with pytest.raises(StorageError):
+            handle.append_page(b"x" * 5000)
+
+    def test_rewrite_page(self):
+        device = StorageDevice(page_size=4096)
+        handle = device.create_file("c1")
+        handle.append_page(b"")
+        handle.rewrite_page(0, b"fixed")
+        assert handle.read_page(0) == b"fixed"
+        with pytest.raises(StorageError):
+            handle.rewrite_page(5, b"nope")
+
+    def test_delete_file(self):
+        device = StorageDevice(page_size=4096)
+        handle = device.create_file("c1")
+        handle.append_page(b"data")
+        device.delete_file("c1")
+        with pytest.raises(StorageError):
+            handle.read_page(0)
+        with pytest.raises(StorageError):
+            device.get_file("c1")
+
+    def test_duplicate_name_rejected(self):
+        device = StorageDevice(page_size=4096)
+        device.create_file("c1")
+        with pytest.raises(StorageError):
+            device.create_file("c1")
+
+    def test_io_accounting(self):
+        device = StorageDevice(page_size=4096)
+        handle = device.create_file("c1")
+        handle.append_page(b"a" * 100)
+        handle.read_page(0)
+        assert device.stats.pages_written == 1
+        assert device.stats.pages_read == 1
+        assert device.stats.bytes_written == 4096
+        assert device.stats.simulated_io_seconds > 0
+
+    def test_on_disk_persistence(self, tmp_path):
+        device = StorageDevice(page_size=4096, directory=str(tmp_path))
+        handle = device.create_file("c1")
+        handle.append_page(b"persist me")
+        handle.flush_to_disk()
+        files = list(tmp_path.iterdir())
+        assert len(files) == 1
+        assert files[0].read_bytes().startswith(b"persist me")
+
+
+class TestIOStats:
+    def test_snapshot_and_delta(self):
+        stats = IOStats()
+        stats.record_read(4096)
+        snapshot = stats.snapshot()
+        stats.record_read(4096)
+        stats.record_write(4096)
+        delta = stats.delta_since(snapshot)
+        assert delta.pages_read == 1
+        assert delta.pages_written == 1
+        assert stats.as_dict()["pages_read"] == 2
+
+    def test_disk_model_costs(self):
+        model = DiskModel()
+        assert model.read_cost(128 * 1024) > model.read_cost(0)
+        assert model.write_cost(1024) > 0
+
+
+class TestBufferCache:
+    def test_hit_and_miss(self):
+        device = StorageDevice(page_size=4096)
+        handle = device.create_file("c1")
+        handle.append_page(b"page0")
+        cache = BufferCache(capacity_pages=4)
+        assert cache.read_page(handle, 0) == b"page0"
+        assert cache.read_page(handle, 0) == b"page0"
+        assert cache.hits == 1 and cache.misses == 1
+        assert device.stats.pages_read == 1  # second read was served by the cache
+        assert 0 < cache.hit_ratio < 1
+
+    def test_eviction(self):
+        device = StorageDevice(page_size=4096)
+        handle = device.create_file("c1")
+        for index in range(6):
+            handle.append_page(bytes([index]))
+        cache = BufferCache(capacity_pages=2)
+        for index in range(6):
+            cache.read_page(handle, index)
+        assert cache.cached_pages <= 2
+        assert cache.evictions >= 4
+
+    def test_invalidate_file(self):
+        device = StorageDevice(page_size=4096)
+        handle = device.create_file("c1")
+        handle.append_page(b"x")
+        cache = BufferCache(capacity_pages=2)
+        cache.read_page(handle, 0)
+        cache.invalidate_file("c1")
+        assert cache.cached_pages == 0
+
+    def test_confiscation(self):
+        cache = BufferCache(capacity_pages=4)
+        cache.confiscate(3)
+        assert cache.confiscated_pages == 3
+        cache.return_confiscated(2)
+        assert cache.confiscated_pages == 1
+        with pytest.raises(StorageError):
+            cache.confiscate(-1)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(StorageError):
+            BufferCache(capacity_pages=0)
+
+
+class TestMergePolicy:
+    def test_no_merge_below_threshold(self):
+        policy = TieringMergePolicy(max_tolerable_components=5)
+        assert policy.select([100] * 5) is None
+
+    def test_merge_selects_young_prefix(self):
+        policy = TieringMergePolicy(size_ratio=1.2, max_tolerable_components=3)
+        window = policy.select([100, 100, 100, 10_000])
+        assert window is not None
+        assert 0 in window and len(window) >= 2
+        assert 3 not in window  # the huge old component is left alone
+
+    def test_merge_includes_similar_sizes(self):
+        policy = TieringMergePolicy(size_ratio=1.2, max_tolerable_components=2)
+        # The accumulated size of the younger components (150, then 250) stays
+        # at least 1.2x the next older one, so the whole sequence merges.
+        window = policy.select([150, 100, 100])
+        assert window == [0, 1, 2]
+        # When the younger components are too small relative to the next older
+        # one, the merge window stops early (at least two components merge).
+        assert policy.select([100, 100, 100]) == [0, 1]
+
+    def test_no_merge_policy(self):
+        assert NoMergePolicy().select([1] * 100) is None
+
+
+class TestMergeScheduler:
+    def test_cap_enforced(self):
+        scheduler = MergeScheduler(max_concurrent_merges=2)
+        assert scheduler.try_start()
+        assert scheduler.try_start()
+        assert not scheduler.try_start()
+        assert scheduler.deferred == 1
+        scheduler.finish()
+        assert scheduler.try_start()
+        assert scheduler.max_observed_concurrency == 2
+
+
+class TestTransactionLog:
+    def test_contention_model(self):
+        alone = TransactionLog(sharing_partitions=1)
+        crowded = TransactionLog(sharing_partitions=8)
+        assert crowded.append(100) > alone.append(100)
+        assert alone.entries == 1 and alone.bytes_appended == 100
+
+    def test_log_manager_routing(self):
+        manager = LogManager(num_nodes=4, partitions_per_node=2)
+        assert len(manager.logs) == 4
+        assert manager.log_for_partition(0) is manager.logs[0]
+        assert manager.log_for_partition(7) is manager.logs[3]
+        manager.log_for_partition(0).append(10)
+        assert manager.total_entries == 1
+        assert manager.total_simulated_seconds > 0
