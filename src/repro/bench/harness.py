@@ -146,14 +146,21 @@ def run_query(
     query_factory: Callable[[str], Query],
     executor: str = "codegen",
     repetitions: int = 1,
+    pushdown: bool = True,
 ) -> QueryResult:
-    """Run one query against a loaded fixture, reporting time and pages read."""
+    """Run one query against a loaded fixture, reporting time and pages read.
+
+    ``pushdown=False`` disables the scan-pushdown rewrite so benchmarks can
+    compare against the assemble-then-filter baseline.
+    """
     store = fixture.store
     rows: List[dict] = []
     before = store.io_snapshot()
     start = time.perf_counter()
     for _ in range(repetitions):
-        rows = query_factory(fixture.dataset_name).execute(store, executor=executor)
+        rows = query_factory(fixture.dataset_name).execute(
+            store, executor=executor, pushdown=pushdown
+        )
     seconds = (time.perf_counter() - start) / max(repetitions, 1)
     delta = store.io_stats.delta_since(before)
     return QueryResult(

@@ -36,6 +36,7 @@ from .common import (
     decode_keys,
     encode_column_chunk,
     encode_keys,
+    prefix_range_may_overlap,
     value_prefix,
 )
 
@@ -114,16 +115,26 @@ class AmaxGroup(ColumnGroup):
         self.record_count = record_count
         self.min_key = min_key
         self.max_key = max_key
+        self._page_zero_parse: Optional[Tuple[bytes, tuple]] = None
 
     # -- page-zero access -------------------------------------------------------------
     def _load_page_zero(self):
         # Page 0 is read through the buffer cache on every access so that page
-        # touch counts stay truthful; parsing it is cheap relative to column
-        # decoding.
+        # touch counts stay truthful, but the (pure) parse of the directory
+        # and prefixes is memoized per returned page object: predicate
+        # pruning, key reads, and column reads within one scan would otherwise
+        # re-decode the whole directory several times per group.  Eviction
+        # hands back a fresh bytes object, which transparently invalidates
+        # the memo.
         data = self.component.buffer_cache.read_page(
             self.component.file, self.page_zero_id
         )
-        return _decode_page_zero(data)
+        memo = self._page_zero_parse
+        if memo is not None and memo[0] is data:
+            return memo[1]
+        parsed = _decode_page_zero(data)
+        self._page_zero_parse = (data, parsed)
+        return parsed
 
     def read_keys(self) -> Tuple[list, List[bool]]:
         schema = self.component.schema
@@ -139,26 +150,52 @@ class AmaxGroup(ColumnGroup):
         return defs, keys
 
     def read_column(self, column: ColumnInfo) -> Tuple[List[int], list]:
+        return self.read_columns([column])[column.column_id]
+
+    def read_columns(self, columns) -> dict:
+        """Decode several megapages with a single Page 0 parse.
+
+        Each column still touches its own megapage extents (that is the
+        layout's point — unrequested columns cost no I/O), but the shared
+        leaf directory is read once per batch instead of once per column.
+        """
+        if not columns:
+            return {}
         record_count, directory, prefixes, keys_payload = self._load_page_zero()
-        if column.is_primary_key:
-            # The primary keys (and anti-matter flags) live on Page 0 (§4.3).
-            return self._decode_keys_payload(keys_payload)
-        extents = directory.get(column.column_id)
-        if extents is None:
-            return [0] * record_count, []
-        raw = bytearray()
-        for page_id, offset, length in extents:
-            page = self.component.buffer_cache.read_page(self.component.file, page_id)
-            raw.extend(page[offset:offset + length])
-        data = self.component.codec.decompress(bytes(raw))
-        defs, values, _ = decode_column_chunk(column, data)
-        return defs, values
+        out = {}
+        for column in columns:
+            if column.is_primary_key:
+                # The primary keys (and anti-matter flags) live on Page 0 (§4.3).
+                out[column.column_id] = self._decode_keys_payload(keys_payload)
+                continue
+            extents = directory.get(column.column_id)
+            if extents is None:
+                out[column.column_id] = ([0] * record_count, [])
+                continue
+            raw = bytearray()
+            for page_id, offset, length in extents:
+                page = self.component.buffer_cache.read_page(self.component.file, page_id)
+                raw.extend(page[offset:offset + length])
+            data = self.component.codec.decompress(bytes(raw))
+            defs, values, _ = decode_column_chunk(column, data)
+            out[column.column_id] = (defs, values)
+        return out
 
     def column_prefixes(self, column: ColumnInfo) -> Tuple[bytes, bytes]:
         _, _, prefixes, _ = self._load_page_zero()
         return prefixes.get(
             column.column_id, (b"\x00" * PREFIX_LENGTH, b"\xff" * PREFIX_LENGTH)
         )
+
+    def column_range_overlaps(self, column: ColumnInfo, low, high) -> bool:
+        """Predicate pruning from the fixed-size min/max prefixes on Page 0."""
+        _, directory, prefixes, _ = self._load_page_zero()
+        if column.column_id not in directory:
+            return False  # the column holds no entries in this mega leaf
+        min_prefix, max_prefix = prefixes.get(
+            column.column_id, (b"\x00" * PREFIX_LENGTH, b"\xff" * PREFIX_LENGTH)
+        )
+        return prefix_range_may_overlap(min_prefix, max_prefix, low, high)
 
     def pages_for_columns(self, columns) -> int:
         """How many distinct physical pages the given columns touch (plus Page 0)."""

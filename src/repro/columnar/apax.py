@@ -118,6 +118,22 @@ class ApaxGroup(ColumnGroup):
     def column_min_max(self, column: ColumnInfo):
         return tuple(self._column_min_max.get(str(column.column_id), (None, None)))
 
+    def column_range_overlaps(self, column: ColumnInfo, low, high) -> bool:
+        minimum, maximum = self.column_min_max(column)
+        if minimum is None:
+            # No recorded stats means the column holds no values in this leaf
+            # (per-column values are homogeneous, so min/max always exists
+            # when any value does) — nothing here can satisfy the predicate.
+            return False
+        try:
+            if low is not None and maximum < low:
+                return False
+            if high is not None and minimum > high:
+                return False
+        except TypeError:
+            return True  # cross-type comparison: stats are inconclusive
+        return True
+
 
 class ApaxComponent(ColumnarComponent):
     """An on-disk component whose leaves are APAX pages."""

@@ -56,6 +56,15 @@ class ColumnGroup:
         """Min/max statistics for predicate skipping (None, None when unknown)."""
         return None, None
 
+    def column_range_overlaps(self, column: ColumnInfo, low, high) -> bool:
+        """Can this group hold a value of ``column`` within [low, high]?
+
+        Layouts override this with their min/max statistics (APAX keeps exact
+        per-page values, AMAX keeps fixed-size prefixes on Page 0); the
+        default errs on the side of reading the column.
+        """
+        return True
+
 
 class ColumnarComponent(DiskComponent):
     """A component whose leaf groups store columns (APAX or AMAX)."""
@@ -73,8 +82,10 @@ class ColumnarComponent(DiskComponent):
         self.groups = list(groups)
 
     # -- cursors -----------------------------------------------------------------
-    def cursor(self, fields: Optional[Sequence[str]] = None) -> "ColumnarComponentCursor":
-        return ColumnarComponentCursor(self, fields)
+    def cursor(
+        self, fields: Optional[Sequence[str]] = None, pushdown=None
+    ) -> "ColumnarComponentCursor":
+        return ColumnarComponentCursor(self, fields, pushdown)
 
     def iter_key_entries(self) -> Iterator[Tuple[object, bool]]:
         """Yield ``(key, antimatter)`` for every record, touching only the keys."""
@@ -121,19 +132,55 @@ class ColumnarComponent(DiskComponent):
 
 
 class ColumnarComponentCursor(ComponentCursor):
-    """Merged cursor over a columnar component's groups with lazy value decoding."""
+    """Merged cursor over a columnar component's groups with lazy value decoding.
 
-    def __init__(self, component: ColumnarComponent, fields: Optional[Sequence[str]]):
+    When a :class:`~repro.query.pushdown.PushdownSpec` is supplied, the cursor
+
+    * prunes the assembled columns to the spec's path set (finer than the
+      top-level-field projection), and
+    * pre-filters each leaf group: pushed predicates are compiled against this
+      component's schema snapshot and evaluated over the decoded column
+      batches into one pass-vector per group, *before* any document is
+      assembled.  Groups whose min/max statistics cannot satisfy a predicate
+      are skipped without decoding any value column at all.
+
+    The pass-vector only gates :attr:`passes_pushdown`; iteration still visits
+    every key so LSM reconciliation (newest version wins) sees the full key
+    stream.
+    """
+
+    def __init__(
+        self,
+        component: ColumnarComponent,
+        fields: Optional[Sequence[str]],
+        pushdown=None,
+    ):
         self.component = component
+        self.pushdown = pushdown
+        if pushdown is not None and pushdown.fields is not None and fields is None:
+            fields = pushdown.fields
         self.fields = list(fields) if fields is not None else None
+        if pushdown is not None and pushdown.paths is not None:
+            wanted = component.schema.columns_for_paths(pushdown.paths)
+        else:
+            wanted = component.columns_for_fields(fields)
         self._wanted_columns = [
-            column
-            for column in component.columns_for_fields(fields)
-            if not column.is_primary_key
+            column for column in wanted if not column.is_primary_key
         ]
+        self._compiled_predicates = []
+        if pushdown is not None and pushdown.predicates:
+            # Imported lazily: the query layer depends on core/columnar, not
+            # the other way around — except for this one read-path hook.
+            from ..query.pushdown import compile_predicates
+
+            self._compiled_predicates = compile_predicates(
+                component.schema, pushdown.predicates
+            )
         self._group_index = -1
         self._keys: list = []
         self._antimatter: List[bool] = []
+        self._pass: Optional[List[bool]] = None
+        self._predicate_streams: Dict[int, tuple] = {}
         self._position = -1
         self._value_cursors: Optional[Dict[int, ColumnCursor]] = None
         self._assembled_position = -1
@@ -147,10 +194,41 @@ class ColumnarComponentCursor(ComponentCursor):
                 return False
             group = self.component.groups[self._group_index]
             self._keys, self._antimatter = group.read_keys()
+            self._predicate_streams = {}
+            self._pass = self._compute_group_pass(group) if self._compiled_predicates else None
             self._position = 0
             self._value_cursors = None
             self._assembled_position = -1
         return True
+
+    def _compute_group_pass(self, group: ColumnGroup) -> List[bool]:
+        """Evaluate the pushed predicates over this group's column batches."""
+        record_count = len(self._keys)
+        for compiled in self._compiled_predicates:
+            if not compiled.group_may_match(group):
+                # Min/max pruning: nothing in this leaf can pass; no value
+                # column (not even the predicate's) needs to be decoded.
+                return [False] * record_count
+        needed: Dict[int, object] = {}
+        for compiled in self._compiled_predicates:
+            for column in compiled.columns:
+                needed[column.column_id] = column
+        streams = group.read_columns(list(needed.values()))
+        # Decoded predicate batches are kept so that document assembly does
+        # not decode the same columns a second time.
+        self._predicate_streams = streams
+        passes: Optional[List[bool]] = None
+        for compiled in self._compiled_predicates:
+            vector = compiled.evaluate(streams, record_count)
+            if passes is None:
+                passes = vector
+            else:
+                passes = [a and b for a, b in zip(passes, vector)]
+        return passes if passes is not None else [True] * record_count
+
+    @property
+    def passes_pushdown(self) -> bool:
+        return self._pass is None or self._pass[self._position]
 
     @property
     def key(self):
@@ -167,8 +245,16 @@ class ColumnarComponentCursor(ComponentCursor):
         if self._value_cursors is None:
             # Value columns are decoded lazily, only for groups where at least
             # one document is actually requested, and fetched as a batch so
-            # page-per-leaf layouts (APAX) touch their page only once.
-            streams = group.read_columns(self._wanted_columns)
+            # page-per-leaf layouts (APAX) touch their page only once.  Columns
+            # already decoded for predicate evaluation are reused as-is.
+            missing = [
+                column
+                for column in self._wanted_columns
+                if column.column_id not in self._predicate_streams
+            ]
+            streams = dict(self._predicate_streams)
+            if missing or not streams:
+                streams.update(group.read_columns(missing))
             self._value_cursors = {
                 column.column_id: ColumnCursor(column, *streams[column.column_id])
                 for column in self._wanted_columns

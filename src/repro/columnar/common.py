@@ -182,9 +182,20 @@ def prefix_range_may_overlap(
 
 
 def compute_min_max(values: list) -> Tuple[Optional[object], Optional[object]]:
-    """Minimum and maximum of a value list (None, None when empty or mixed types)."""
+    """Minimum and maximum of a value list (None, None when empty or mixed types).
+
+    NaN is excluded: it is unordered, so it would silently poison ``min``/
+    ``max`` (and therefore the pruning prefixes) depending on its position in
+    the list.  Dropping it from the statistics is safe — NaN can never satisfy
+    a range or equality predicate, so a group's match-ability is decided by
+    its finite values alone.
+    """
     if not values:
         return None, None
+    if isinstance(values[0], float):
+        values = [value for value in values if value == value]
+        if not values:
+            return None, None
     try:
         return min(values), max(values)
     except TypeError:

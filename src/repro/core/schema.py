@@ -45,6 +45,20 @@ KIND_UNION = "union"
 ARRAY_PATH_STEP = "[*]"
 
 
+def field_name_steps(steps: Iterable[str]) -> Tuple[str, ...]:
+    """Strip array steps and union-branch tags from a path, leaving field names.
+
+    This is the normalization used whenever a query path (which never names
+    union branches and may or may not spell out array steps) is matched
+    against a column path: ``a.b`` covers ``a.[*].b`` and ``a.<object>.b``.
+    """
+    return tuple(
+        step
+        for step in steps
+        if step != ARRAY_PATH_STEP and not (step.startswith("<") and step.endswith(">"))
+    )
+
+
 class SchemaNode:
     """Base class for schema tree nodes."""
 
@@ -392,6 +406,29 @@ class Schema:
                 seen.add(column.column_id)
                 unique.append(column)
         return unique
+
+    def columns_for_paths(self, paths: Iterable[object]) -> List[ColumnInfo]:
+        """Columns needed to evaluate the given (possibly nested) paths, plus the pk.
+
+        This is the fine-grained companion of :meth:`columns_for_fields`: a
+        column is needed iff one of the requested paths is a field-name-wise
+        prefix of the column's path (array steps and union-branch tags are
+        ignored on both sides, so ``a.b`` covers ``a.[*].b``, ``a.<object>.b``
+        and everything beneath them).  Requested paths that reach *deeper*
+        than an atomic column select nothing from it — the document value
+        there is MISSING by construction.
+        """
+        from ..model.path import FieldPath
+
+        requested = [field_name_steps(FieldPath.of(path).steps) for path in paths]
+        wanted: List[ColumnInfo] = [self.pk_column]
+        for column in self.columns:
+            if column.is_primary_key:
+                continue
+            stripped = field_name_steps(column.path)
+            if any(stripped[: len(steps)] == steps for steps in requested):
+                wanted.append(column)
+        return wanted
 
     def top_field_of_column(self, column: ColumnInfo) -> Optional[str]:
         """The top-level field a column belongs to (None for the pk column)."""

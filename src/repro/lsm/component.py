@@ -80,6 +80,16 @@ class ComponentCursor:
         raise NotImplementedError
 
     @property
+    def passes_pushdown(self) -> bool:
+        """Did the current record pass the pushed-down scan predicates?
+
+        Cursors that cannot pre-filter (row layouts, the memtable) always
+        answer True; the query engine's residual FILTER re-checks their rows
+        after decoding — that is the transparent fallback path.
+        """
+        return True
+
+    @property
     def key(self):  # pragma: no cover - interface
         raise NotImplementedError
 
@@ -133,7 +143,9 @@ class DiskComponent:
         self.file.device.delete_file(self.file.name)
 
     # -- protocol ----------------------------------------------------------------
-    def cursor(self, fields: Optional[Sequence[str]] = None) -> ComponentCursor:
+    def cursor(
+        self, fields: Optional[Sequence[str]] = None, pushdown=None
+    ) -> ComponentCursor:
         raise NotImplementedError  # pragma: no cover - interface
 
     def point_lookup(self, key) -> Optional[Tuple[bool, Optional[dict]]]:
@@ -296,9 +308,15 @@ class RowComponent(DiskComponent):
             return open_format.decode_document(payload)
         return vector_format.decode_document(payload, self.field_dictionary)
 
-    def cursor(self, fields: Optional[Sequence[str]] = None) -> "RowComponentCursor":
+    def cursor(
+        self, fields: Optional[Sequence[str]] = None, pushdown=None
+    ) -> "RowComponentCursor":
         if not self.metadata.valid:
             raise ComponentStateError("cannot read an invalid component")
+        # ``pushdown`` is accepted for protocol compatibility and ignored: row
+        # pages interleave all columns, so there is no cheaper way to evaluate
+        # a predicate than decoding the record — the engine's residual FILTER
+        # does exactly that.
         return RowComponentCursor(self, fields)
 
     def point_lookup(self, key) -> Optional[Tuple[bool, Optional[dict]]]:

@@ -38,6 +38,11 @@ from .memtable import MemTable
 from .merge_policy import MergeScheduler, TieringMergePolicy
 from .wal import TransactionLog
 
+#: Sentinel yielded by :func:`_reconciled` for live records whose newest
+#: version failed the pushed-down scan predicates: the key is consumed (it
+#: still shadows older versions) but no document is assembled for it.
+FILTERED = object()
+
 
 class _MemtableCursor(ComponentCursor):
     """Cursor adapter over the in-memory component's sorted entries."""
@@ -299,15 +304,23 @@ class LSMTree:
         self,
         fields: Optional[Sequence[str]] = None,
         include_memtable: bool = True,
+        pushdown=None,
     ) -> Iterator[Tuple[object, dict]]:
-        """Reconciled scan over every component, newest first wins."""
+        """Reconciled scan over every component, newest first wins.
+
+        ``pushdown`` (a :class:`~repro.query.pushdown.PushdownSpec`) lets the
+        columnar components prune columns and pre-filter leaf groups; rows
+        whose *winning* version fails a pushed predicate are dropped here
+        without ever being assembled.  Memtable rows and row-layout components
+        ignore the spec and flow through to the engine's residual filter.
+        """
         cursors: List[ComponentCursor] = []
         if include_memtable and not self.memtable.is_empty:
             cursors.append(_MemtableCursor(self.memtable.sorted_entries()))
         for component in self.components:
-            cursors.append(component.cursor(fields))
+            cursors.append(component.cursor(fields, pushdown))
         for key, antimatter, document in _reconciled(cursors):
-            if antimatter:
+            if antimatter or document is FILTERED:
                 continue
             yield key, document
 
@@ -376,7 +389,10 @@ def _reconciled(
         antimatter = winner.is_antimatter
         document = None
         if decode_documents and not antimatter:
-            document = winner.document()
+            # Pushed predicates are consulted only *after* newest-wins
+            # reconciliation picked the winner, so a failing new version can
+            # never resurrect an older passing one.
+            document = winner.document() if winner.passes_pushdown else FILTERED
         yield key, antimatter, document
         for advancing_rank in same_key_ranks:
             cursor = active[advancing_rank]

@@ -4,19 +4,23 @@ from .codegen import GeneratedPipeline, generate_pipeline
 from .executor import execute_plan
 from .expressions import And, Call, Compare, Field, Literal, Or, SomeSatisfies, Var, lift
 from .plan import Query, QueryPlan
+from .pushdown import ColumnPredicate, PushdownSpec, attach_pushdown
 
 __all__ = [
     "And",
     "Call",
+    "ColumnPredicate",
     "Compare",
     "Field",
     "GeneratedPipeline",
     "Literal",
     "Or",
+    "PushdownSpec",
     "Query",
     "QueryPlan",
     "SomeSatisfies",
     "Var",
+    "attach_pushdown",
     "execute_plan",
     "generate_pipeline",
     "lift",

@@ -49,10 +49,19 @@ class GeneratedPipeline:
 def generate_pipeline(plan: QueryPlan) -> GeneratedPipeline:
     """Translate the pipelining prefix of ``plan`` into one fused Python function."""
     scan_variable = plan.source.variable
+    pushed = getattr(plan.source, "pushdown", None)
+    pushed_predicates = list(pushed.predicates) if pushed is not None else []
     lines: List[str] = []
     name = f"_generated_pipeline_{next(_counter)}"
     lines.append(f"def {name}(_rows):")
     indent = "    "
+    if pushed_predicates:
+        # Documented in the generated source so EXPLAIN-style inspection shows
+        # which comparisons the columnar scan already evaluated vectorized.
+        lines.append(
+            f"{indent}# source pre-filtered (columnar pushdown): "
+            + "; ".join(repr(p) for p in pushed_predicates)
+        )
     lines.append(f"{indent}for _row in _rows:")
     indent += "    "
     # The source yields a fresh binding dict per record, so generated ASSIGN

@@ -46,7 +46,12 @@ def source_rows(store, plan: QueryPlan) -> Iterator[dict]:
     source = plan.source
     dataset = store.dataset(source.dataset)
     if isinstance(source, DataScanNode):
-        for _, document in dataset.scan(source.fields):
+        # The scan consumes batches the storage layer already pre-filtered
+        # and column-pruned according to the pushdown spec; rows arriving
+        # here either passed the pushed predicates or come from sources that
+        # cannot pre-filter (memtable, row layouts) and are re-checked by the
+        # residual FILTER operators downstream.
+        for _, document in dataset.scan(source.fields, pushdown=source.pushdown):
             yield {source.variable: document}
         return
     if isinstance(source, IndexScanNode):

@@ -38,6 +38,17 @@ class Expression:
         """``(variable, path)`` pairs accessed by this expression (for pushdown)."""
         return []
 
+    def referenced_bare_variables(self) -> set:
+        """Variables whose *whole* value this expression consumes.
+
+        A variable accessed only as the base of a field path is not bare —
+        projection pruning may narrow it to the referenced paths.  Any bare
+        use (``Var(t)`` fed to a function, compared directly, projected
+        as-is...) forces the full record.  The base implementation is
+        conservative so unknown expression types disable pruning.
+        """
+        return self.referenced_variables()
+
     # Convenience constructors for a fluent feel -------------------------------------
     def __eq__(self, other):  # type: ignore[override]
         return Compare("==", self, lift(other))
@@ -131,6 +142,11 @@ class Field(Expression):
         inherited = self.base.referenced_paths()
         return inherited
 
+    def referenced_bare_variables(self) -> set:
+        if isinstance(self.base, Var):
+            return set()
+        return self.base.referenced_bare_variables()
+
     def __repr__(self) -> str:
         return f"Field({self.base!r}, {str(self.path)!r})"
 
@@ -191,6 +207,12 @@ class Compare(Expression):
     def referenced_paths(self):
         return self.left.referenced_paths() + self.right.referenced_paths()
 
+    def referenced_bare_variables(self) -> set:
+        return (
+            self.left.referenced_bare_variables()
+            | self.right.referenced_bare_variables()
+        )
+
 
 class And(Expression):
     def __init__(self, *operands: Expression) -> None:
@@ -217,6 +239,12 @@ class And(Expression):
             out.extend(operand.referenced_paths())
         return out
 
+    def referenced_bare_variables(self) -> set:
+        out = set()
+        for operand in self.operands:
+            out |= operand.referenced_bare_variables()
+        return out
+
 
 class Or(Expression):
     def __init__(self, *operands: Expression) -> None:
@@ -238,6 +266,12 @@ class Or(Expression):
         out = []
         for operand in self.operands:
             out.extend(operand.referenced_paths())
+        return out
+
+    def referenced_bare_variables(self) -> set:
+        out = set()
+        for operand in self.operands:
+            out |= operand.referenced_bare_variables()
         return out
 
 
@@ -346,6 +380,12 @@ class Call(Expression):
             out.extend(argument.referenced_paths())
         return out
 
+    def referenced_bare_variables(self) -> set:
+        out = set()
+        for argument in self.arguments:
+            out |= argument.referenced_bare_variables()
+        return out
+
 
 class SomeSatisfies(Expression):
     """``SOME item IN array SATISFIES predicate(item)`` (used by tweet Q3)."""
@@ -385,6 +425,11 @@ class SomeSatisfies(Expression):
             for variable, path in self.predicate.referenced_paths()
             if variable != self.item_var
         ]
+
+    def referenced_bare_variables(self) -> set:
+        return self.array.referenced_bare_variables() | (
+            self.predicate.referenced_bare_variables() - {self.item_var}
+        )
 
 
 # -- evaluation helpers exposed to generated code ----------------------------------------

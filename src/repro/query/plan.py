@@ -27,6 +27,10 @@ class DataScanNode:
     variable: str
     #: Top-level fields to project (None = all); filled in by the optimizer.
     fields: Optional[List[str]] = None
+    #: Fine-grained pushdown (pruned column paths + pushed predicates); a
+    #: :class:`~repro.query.pushdown.PushdownSpec` attached by the rewrite
+    #: pass, or None when pushdown is disabled.
+    pushdown: Optional[object] = None
 
 
 @dataclass
@@ -91,6 +95,36 @@ PipelineOp = object
 BreakerOp = object
 
 
+def collect_expressions(
+    pipeline: Sequence[PipelineOp], breakers: Sequence[BreakerOp]
+) -> List[Expression]:
+    """Every expression referenced by the given plan operators.
+
+    Shared by the coarse top-level-field projection (:meth:`Query.build_plan`)
+    and the fine path pruning (:mod:`repro.query.pushdown`) so the two can
+    never disagree about which operators carry expressions.
+    """
+    expressions: List[Expression] = []
+    for op in pipeline:
+        if isinstance(op, (AssignNode, UnnestNode)):
+            expressions.append(op.expression)
+        elif isinstance(op, FilterNode):
+            expressions.append(op.predicate)
+    for op in breakers:
+        if isinstance(op, GroupByNode):
+            expressions.extend(expression for _, expression in op.keys)
+            expressions.extend(
+                expression for _, _, expression in op.aggregates if expression
+            )
+        elif isinstance(op, AggregateNode):
+            expressions.extend(
+                expression for _, _, expression in op.aggregates if expression
+            )
+        elif isinstance(op, ProjectNode):
+            expressions.extend(expression for _, expression in op.columns)
+    return expressions
+
+
 @dataclass
 class QueryPlan:
     """A resolved plan: source, pipelining prefix, breaker suffix."""
@@ -108,6 +142,8 @@ class QueryPlan:
                 f"SCAN {source.dataset} AS ${source.variable} "
                 f"(fields={source.fields if source.fields is not None else 'ALL'})"
             )
+            if source.pushdown is not None:
+                lines.append(f"  PUSHDOWN {source.pushdown.describe()}")
         else:
             lines.append(
                 f"INDEX-SCAN {source.dataset}.{source.index_name} "
@@ -225,7 +261,8 @@ class Query:
         return resolved
 
     # -- planning ---------------------------------------------------------------------------------
-    def build_plan(self) -> QueryPlan:
+    def build_plan(self, pushdown: bool = True) -> QueryPlan:
+        """Resolve the plan; ``pushdown=False`` keeps the assemble-then-filter path."""
         fields = self._explicit_fields
         if fields is None:
             fields = self._pushdown_fields()
@@ -246,7 +283,14 @@ class Query:
             )
         else:
             source = DataScanNode(self.dataset_name, self.variable, fields=fields)
-        return QueryPlan(source, list(self._pipeline), list(self._breakers))
+        plan = QueryPlan(source, list(self._pipeline), list(self._breakers))
+        if pushdown and isinstance(source, DataScanNode):
+            # Imported lazily to avoid a module cycle (pushdown needs the plan
+            # node types defined above).
+            from .pushdown import attach_pushdown
+
+            attach_pushdown(plan, prune_paths=self._explicit_fields is None)
+        return plan
 
     def _pushdown_fields(self) -> Optional[List[str]]:
         """Top-level fields of the scan variable referenced anywhere in the plan.
@@ -255,52 +299,37 @@ class Query:
         ``COUNT(*)`` queries project nothing, which lets the AMAX layout answer
         them from Page 0 alone.
         """
-        expressions: List[Expression] = []
-        for op in self._pipeline:
-            if isinstance(op, (AssignNode, UnnestNode)):
-                expressions.append(op.expression)
-            elif isinstance(op, FilterNode):
-                expressions.append(op.predicate)
-        for op in self._breakers:
-            if isinstance(op, GroupByNode):
-                expressions.extend(expression for _, expression in op.keys)
-                expressions.extend(
-                    expression for _, _, expression in op.aggregates if expression
-                )
-            elif isinstance(op, AggregateNode):
-                expressions.extend(
-                    expression for _, _, expression in op.aggregates if expression
-                )
-            elif isinstance(op, ProjectNode):
-                expressions.extend(expression for _, expression in op.columns)
+        expressions = collect_expressions(self._pipeline, self._breakers)
         fields: List[str] = []
         # Variables bound by ASSIGN/UNNEST derive from the scan variable; any
         # path on them was already accounted for when the binding expression
-        # was analysed, so only the scan variable matters here.
-        derived = {op.variable for op in self._pipeline if isinstance(op, (AssignNode, UnnestNode))}
+        # was analysed, so only the scan variable matters here.  A bare use of
+        # the scan variable itself — even nested inside a larger expression —
+        # consumes the whole record and forces full projection.
         for expression in expressions:
+            if self.variable in expression.referenced_bare_variables():
+                return None
             for variable, path in expression.referenced_paths():
                 if variable == self.variable and len(path) > 0:
                     top = path.top_field
                     if top and top not in fields:
                         fields.append(top)
-            bare = expression.referenced_variables() - derived - {self.variable}
-            # Unknown variables are fine (bound later); a bare reference to the
-            # scan variable itself forces full projection.
-            if self.variable in expression.referenced_variables():
-                if not expression.referenced_paths() and isinstance(expression, Var):
-                    return None
-        for expression in expressions:
-            if isinstance(expression, Var) and expression.name == self.variable:
-                return None
         return fields
 
     # -- execution ----------------------------------------------------------------------------------
-    def execute(self, store, executor: str = "codegen") -> List[dict]:
-        """Run the query against a datastore; returns the result rows."""
+    def execute(
+        self, store, executor: str = "codegen", pushdown: bool = True
+    ) -> List[dict]:
+        """Run the query against a datastore; returns the result rows.
+
+        ``pushdown=False`` disables the scan-pushdown rewrite (every layout
+        then assembles full projected documents and filters tuple-at-a-time),
+        which is what the differential tests and ``bench_pushdown`` compare
+        against.
+        """
         from .executor import execute_plan
 
-        return execute_plan(store, self.build_plan(), executor=executor)
+        return execute_plan(store, self.build_plan(pushdown=pushdown), executor=executor)
 
-    def explain(self) -> str:
-        return self.build_plan().describe()
+    def explain(self, pushdown: bool = True) -> str:
+        return self.build_plan(pushdown=pushdown).describe()

@@ -1,0 +1,397 @@
+"""Scan pushdown: projection pruning and vectorized predicate pre-filtering.
+
+The paper's query speedups come from reading only the columns a query touches
+and from avoiding per-tuple interpretation.  This module implements the
+plan-rewrite half of that story plus the machinery the columnar cursors use to
+evaluate pushed predicates over decoded column *batches*:
+
+* :func:`attach_pushdown` rewrites a built :class:`~repro.query.plan.QueryPlan`
+  in place: it computes the minimal set of column *paths* the plan references
+  on the scan variable (finer than the existing top-level-field projection) and
+  extracts the simple comparison predicates that can be evaluated directly on
+  column value streams.  The result is a :class:`PushdownSpec` hung off the
+  plan's :class:`~repro.query.plan.DataScanNode`.
+* :func:`compile_predicates` specializes the extracted predicates against one
+  *component's* schema snapshot (schemas evolve per flush, so pushability is a
+  per-component decision).  A compiled predicate knows which physical columns
+  can satisfy it, how to evaluate a whole column batch ``(defs, values)`` into
+  a boolean pass-vector, and which group-level min/max ranges let an entire
+  leaf group be skipped without decoding anything.
+
+Safety model
+------------
+Pushdown is a *pre-filter*: the original FILTER operators stay in the plan and
+re-check survivors after assembly, so the memtable and the row layouts
+(``open``/``vector``) — whose cursors ignore the spec — fall back to the
+existing assemble-then-filter path transparently.  What pushdown must never do
+is drop a row the residual filter would keep.  The extraction rules below are
+therefore exact, not heuristic:
+
+* only conjuncts of the form ``Field(scan_var, path) <op> Literal`` (or the
+  mirrored form) are pushed, where ``path`` contains no array steps and the
+  literal is an atomic int/float/str/bool;
+* a pushed predicate passes a record iff the dynamically-typed comparison
+  (:func:`~repro.query.expressions.compare_values`) yields True on the value
+  found at ``path`` — which, for array-free paths, is the value of the single
+  matching atomic column whose definition level says "present".  Non-atomic
+  values (objects/arrays at the path) and MISSING/NULL never satisfy ``==``,
+  ``<``, ``<=``, ``>``, ``>=``, so those operators are always exact; ``!=``
+  *is* satisfied by a non-atomic value, so it is compiled only when the
+  component's schema proves the path can never hold an object or array;
+* predicates are dropped entirely (not pushed) when any ASSIGN/UNNEST rebinds
+  the scan variable.
+
+Reconciliation safety lives in :mod:`repro.lsm.lsm_tree`: pass-vectors are
+consulted only for the *newest-wins* winner of each key, never to skip keys
+before reconciliation, so an updated row whose new version fails the predicate
+can never resurrect an older passing version.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.schema import (
+    ARRAY_PATH_STEP,
+    AtomicNode,
+    ColumnInfo,
+    ObjectNode,
+    Schema,
+    UnionNode,
+    field_name_steps,
+)
+from ..model.path import FieldPath
+from ..model.values import TYPE_BOOLEAN, TYPE_DOUBLE, TYPE_INT64, TYPE_NULL, TYPE_STRING
+from .expressions import _COMPARE_OPS, And, Compare, Expression, Field, Literal, Var, compare_values
+from .plan import (
+    AssignNode,
+    DataScanNode,
+    FilterNode,
+    QueryPlan,
+    UnnestNode,
+    collect_expressions,
+)
+
+#: Mirror image of each comparison operator (for ``Literal <op> Field`` forms).
+_FLIPPED = {"==": "==", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+# ======================================================================================
+# The spec attached to a scan node
+# ======================================================================================
+
+
+@dataclass(frozen=True)
+class ColumnPredicate:
+    """One pushable conjunct: ``path <op> value`` on the scan variable."""
+
+    path: FieldPath
+    op: str
+    value: object
+
+    def bounds(self) -> Tuple[Optional[object], Optional[object]]:
+        """Inclusive (low, high) value bounds implied by the predicate."""
+        if self.op == "==":
+            return self.value, self.value
+        if self.op in ("<", "<="):
+            return None, self.value
+        if self.op in (">", ">="):
+            return self.value, None
+        return None, None
+
+    def __repr__(self) -> str:
+        return f"{self.path} {self.op} {self.value!r}"
+
+
+@dataclass
+class PushdownSpec:
+    """What a columnar scan may exploit: pruned paths + pushed predicates.
+
+    ``fields`` is the coarse top-level projection (kept for the row layouts and
+    for partial assembly); ``paths`` refines it to the exact column paths the
+    plan references (None = no refinement, read everything under ``fields``);
+    ``predicates`` are pre-filters evaluated on column batches before assembly.
+    """
+
+    fields: Optional[List[str]] = None
+    paths: Optional[List[FieldPath]] = None
+    predicates: List[ColumnPredicate] = dataclass_field(default_factory=list)
+
+    def describe(self) -> str:
+        parts = []
+        if self.paths is not None:
+            parts.append("paths=[" + ", ".join(str(path) for path in self.paths) + "]")
+        if self.predicates:
+            parts.append(
+                "predicates=[" + ", ".join(repr(p) for p in self.predicates) + "]"
+            )
+        return "; ".join(parts) if parts else "none"
+
+
+# ======================================================================================
+# Plan rewrite
+# ======================================================================================
+
+
+def attach_pushdown(plan: QueryPlan, prune_paths: bool = True) -> QueryPlan:
+    """Compute and attach a :class:`PushdownSpec` to the plan's scan node.
+
+    ``prune_paths`` is disabled when the user overrode the projection with
+    :meth:`Query.project_fields` — the explicit field list is then the only
+    projection applied, exactly as before.
+    """
+    source = plan.source
+    if not isinstance(source, DataScanNode):
+        return plan
+    paths: Optional[List[FieldPath]] = None
+    if prune_paths and source.fields is not None:
+        paths = _pruned_paths(plan, source.variable)
+    source.pushdown = PushdownSpec(
+        fields=source.fields,
+        paths=paths,
+        predicates=_extract_predicates(plan, source.variable),
+    )
+    return plan
+
+
+def _pruned_paths(plan: QueryPlan, variable: str) -> Optional[List[FieldPath]]:
+    """Minimal path set referenced on the scan variable (None = need everything)."""
+    collected: List[FieldPath] = []
+    for expression in collect_expressions(plan.pipeline, plan.breakers):
+        # Any bare use of the scan variable — even nested inside an
+        # expression that also references paths — consumes the whole record.
+        if variable in expression.referenced_bare_variables():
+            return None
+        for ref_variable, path in expression.referenced_paths():
+            if ref_variable == variable and len(path) > 0:
+                collected.append(path)
+    # Drop paths already covered by a (field-name-wise) prefix of another path.
+    stripped = [(path, field_name_steps(path.steps)) for path in collected]
+    minimal: List[FieldPath] = []
+    minimal_steps: List[Tuple[str, ...]] = []
+    for path, steps in sorted(stripped, key=lambda item: len(item[1])):
+        if any(steps[: len(kept)] == kept for kept in minimal_steps):
+            continue
+        minimal.append(path)
+        minimal_steps.append(steps)
+    return minimal
+
+
+def _extract_predicates(plan: QueryPlan, variable: str) -> List[ColumnPredicate]:
+    for op in plan.pipeline:
+        if isinstance(op, (AssignNode, UnnestNode)) and op.variable == variable:
+            return []  # the scan variable is rebound; nothing is safe to push
+    predicates: List[ColumnPredicate] = []
+    for op in plan.pipeline:
+        if not isinstance(op, FilterNode):
+            continue
+        for conjunct in _conjuncts(op.predicate):
+            predicate = _as_column_predicate(conjunct, variable)
+            if predicate is not None and predicate not in predicates:
+                predicates.append(predicate)
+    return predicates
+
+
+def _conjuncts(expression: Expression):
+    if isinstance(expression, And):
+        for operand in expression.operands:
+            yield from _conjuncts(operand)
+    else:
+        yield expression
+
+
+def _as_column_predicate(
+    expression: Expression, variable: str
+) -> Optional[ColumnPredicate]:
+    if not isinstance(expression, Compare):
+        return None
+    left, right, op = expression.left, expression.right, expression.op
+    if isinstance(left, Literal) and isinstance(right, Field):
+        left, right, op = right, left, _FLIPPED[op]
+    if not (isinstance(left, Field) and isinstance(right, Literal)):
+        return None
+    if not isinstance(left.base, Var) or left.base.name != variable:
+        return None
+    path = left.path
+    if len(path) == 0 or path.array_depth > 0:
+        return None
+    value = right.value
+    if not isinstance(value, (int, float, str, bool)):
+        return None
+    return ColumnPredicate(path=path, op=op, value=value)
+
+
+# ======================================================================================
+# Per-component predicate compilation (used by the columnar cursors)
+# ======================================================================================
+
+
+def _compatible(type_tag: str, literal) -> bool:
+    """Can ``compare_values`` ever relate a value of this column to the literal?"""
+    if isinstance(literal, bool):
+        return type_tag == TYPE_BOOLEAN
+    if isinstance(literal, (int, float)):
+        return type_tag in (TYPE_INT64, TYPE_DOUBLE)
+    return type_tag == TYPE_STRING
+
+
+def _expand_union(node) -> List[object]:
+    if isinstance(node, UnionNode):
+        return list(node.branches.values())
+    return [node]
+
+
+def _only_atomic_at(schema: Schema, steps: Tuple[str, ...]) -> bool:
+    """True when no record of this component can hold an object/array at ``steps``."""
+    nodes: List[object] = [schema.root]
+    for step in steps:
+        descended: List[object] = []
+        for node in nodes:
+            for candidate in _expand_union(node):
+                if isinstance(candidate, ObjectNode):
+                    child = candidate.children.get(step)
+                    if child is not None:
+                        descended.append(child)
+                # Field steps applied to arrays/atomics yield MISSING — those
+                # branches can never produce a value at the path at all.
+        nodes = descended
+    finals = [final for node in nodes for final in _expand_union(node)]
+    return all(isinstance(final, AtomicNode) for final in finals)
+
+
+class CompiledPredicate:
+    """One predicate specialized against a component's schema snapshot."""
+
+    __slots__ = ("predicate", "columns", "low", "high")
+
+    def __init__(self, predicate: ColumnPredicate, columns: List[ColumnInfo]) -> None:
+        self.predicate = predicate
+        #: Atomic columns that can hold the value at the path (empty = the
+        #: predicate is constant-false for every record of this component).
+        self.columns = columns
+        self.low, self.high = predicate.bounds()
+
+    def group_may_match(self, group) -> bool:
+        """Min/max pruning: can any record of this leaf group pass? (§4.3)."""
+        if not self.columns:
+            return False
+        if self.low is None and self.high is None:
+            return True
+        return any(
+            self._column_may_match(group, column) for column in self.columns
+        )
+
+    def _column_may_match(self, group, column: ColumnInfo) -> bool:
+        if column.is_primary_key:
+            # Keys live with the group header, not in a value page, so the
+            # layouts keep no per-column statistics for them — but the group's
+            # exact key range is right there.
+            try:
+                if self.low is not None and group.max_key < self.low:
+                    return False
+                if self.high is not None and group.min_key > self.high:
+                    return False
+            except TypeError:
+                pass  # cross-type comparison: stats are inconclusive
+            return True
+        low, high = self._column_bounds(column)
+        return group.column_range_overlaps(column, low, high)
+
+    def _column_bounds(self, column: ColumnInfo):
+        """The predicate's bounds coerced into the column's value domain.
+
+        AMAX compares fixed-size byte *prefixes*, and ints and doubles encode
+        into mutually incomparable orderings — a float literal checked against
+        an int64 column's prefixes (or vice versa) would prune groups that do
+        match.  Coercion is conservative: float bounds on an int64 column are
+        rounded inward (ceil for low, floor for high — exact, since the
+        column's values are integers), non-finite bounds drop to unbounded.
+        """
+        low, high = self.low, self.high
+        if column.type_tag == TYPE_DOUBLE:
+            if isinstance(low, int) and not isinstance(low, bool):
+                low = float(low)
+            if isinstance(high, int) and not isinstance(high, bool):
+                high = float(high)
+        elif column.type_tag == TYPE_INT64:
+            if isinstance(low, float):
+                low = math.ceil(low) if math.isfinite(low) else None
+            if isinstance(high, float):
+                high = math.floor(high) if math.isfinite(high) else None
+        return low, high
+
+    def evaluate(self, streams: Dict[int, tuple], record_count: int) -> List[bool]:
+        """Batch-evaluate the predicate: one bool per record of the group."""
+        passes = [False] * record_count
+        for column in self.columns:
+            defs, values = streams[column.column_id]
+            self._evaluate_column(column, defs, values, passes)
+        return passes
+
+    def _evaluate_column(
+        self, column: ColumnInfo, defs: List[int], values: list, passes: List[bool]
+    ) -> None:
+        op, literal = self.predicate.op, self.predicate.value
+        if column.is_primary_key:
+            # Key values are always materialized (one per record, including
+            # anti-matter); their runtime type is not fixed by the schema, so
+            # use the generic dynamic comparison.
+            for index, value in enumerate(values):
+                if compare_values(op, value, literal) is True:
+                    passes[index] = True
+            return
+        max_def = column.max_def
+        if _compatible(column.type_tag, literal):
+            # The fast path: the column's values are homogeneous and
+            # comparable with the literal, so the dynamic-typing checks of
+            # compare_values collapse to the bare Python operator over the
+            # decoded batch.
+            op_fn = _COMPARE_OPS[op]
+            value_index = 0
+            for index, definition_level in enumerate(defs):
+                if definition_level == max_def:
+                    if op_fn(values[value_index], literal):
+                        passes[index] = True
+                    value_index += 1
+        elif op == "!=":
+            # Incompatible atomic types: ``!=`` is True whenever a value is
+            # present at all (AsterixDB's dynamic-typing semantics).
+            for index, definition_level in enumerate(defs):
+                if definition_level == max_def:
+                    passes[index] = True
+        # Incompatible types under any other operator can never compare True.
+
+
+def compile_predicates(
+    schema: Schema, predicates: Sequence[ColumnPredicate]
+) -> List[CompiledPredicate]:
+    """Specialize predicates against one component schema; unsafe ones are skipped."""
+    return [
+        compiled
+        for compiled in (compile_predicate(schema, p) for p in predicates)
+        if compiled is not None
+    ]
+
+
+def compile_predicate(
+    schema: Schema, predicate: ColumnPredicate
+) -> Optional[CompiledPredicate]:
+    """Compile one predicate, or None when it cannot be evaluated safely here."""
+    steps = field_name_steps(predicate.path.steps)
+    if not steps:
+        return None
+    if predicate.op == "!=" and not _only_atomic_at(schema, steps):
+        # An object/array can appear at the path; ``!=`` would pass for it,
+        # which column streams alone cannot see.  Leave it to the residual
+        # filter for this component.
+        return None
+    columns = [
+        column
+        for column in schema.columns
+        if ARRAY_PATH_STEP not in column.path
+        and column.type_tag != TYPE_NULL
+        and field_name_steps(column.path) == steps
+    ]
+    return CompiledPredicate(predicate, columns)

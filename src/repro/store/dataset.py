@@ -161,10 +161,17 @@ class Dataset:
             self.primary_key_index.flush()
 
     # -- reads -------------------------------------------------------------------------------
-    def scan(self, fields: Optional[Sequence[str]] = None) -> Iterator[Tuple[object, dict]]:
-        """Reconciled scan over every partition (keys are not globally ordered)."""
+    def scan(
+        self, fields: Optional[Sequence[str]] = None, pushdown=None
+    ) -> Iterator[Tuple[object, dict]]:
+        """Reconciled scan over every partition (keys are not globally ordered).
+
+        ``pushdown`` carries the query's projection paths and pushed
+        predicates down to the columnar component cursors (see
+        :mod:`repro.query.pushdown`); row layouts ignore it.
+        """
         for partition in self.partitions:
-            yield from partition.scan(fields)
+            yield from partition.scan(fields, pushdown=pushdown)
 
     def count(self) -> int:
         return sum(partition.count() for partition in self.partitions)

@@ -190,6 +190,79 @@ class TestRegistry:
         assert len(payload) < 5000 * 2
 
 
+class TestBoundaryValues:
+    """Boundary-value round-trips at the encoders' representation edges."""
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            2**7 - 1, 2**7, 2**7 + 1,          # 1 -> 2 byte uvarint edge
+            2**14 - 1, 2**14, 2**14 + 1,       # 2 -> 3 byte uvarint edge
+            2**63 - 1, 2**63, 2**63 + 1,       # beyond-64-bit values
+        ],
+    )
+    def test_uvarint_byte_width_edges(self, value):
+        out = bytearray()
+        varint.encode_uvarint(value, out)
+        assert len(out) == max(1, (value.bit_length() + 6) // 7)
+        decoded, offset = varint.decode_uvarint(bytes(out), 0)
+        assert decoded == value and offset == len(out)
+
+    @pytest.mark.parametrize(
+        "values",
+        [
+            [0, 2**40, 0, 2**40],                   # large negative jumps
+            [2**62, -(2**62), 2**62],                # full-range swings
+            [5, 4, 3, 2, 1, 0, -1, -2],              # strictly decreasing
+            [-(2**31), 2**31, -(2**31)],
+        ],
+    )
+    def test_delta_negative_jumps(self, values):
+        assert delta.decode(delta.encode(values)) == values
+
+    def test_rle_runs_of_length_one(self):
+        values = list(range(20))  # every run has length 1
+        payload, width = rle.encoded_with_width(values)
+        assert rle.decode(payload, width, len(values)) == values
+
+    def test_rle_maximal_run(self):
+        values = [7] * 10_000
+        payload, width = rle.encoded_with_width(values)
+        assert rle.decode(payload, width, len(values)) == values
+        # One header + one packed value: far below one byte per input value.
+        assert len(payload) < 8
+
+    def test_rle_run_boundaries_around_min_run(self):
+        # _MIN_RLE_RUN is 8: check runs of 7, 8, and 9 between noise values.
+        for run in (7, 8, 9):
+            values = [1, 2, 3] + [9] * run + [4, 5]
+            payload, width = rle.encoded_with_width(values)
+            assert rle.decode(payload, width, len(values)) == values
+
+    @pytest.mark.parametrize(
+        "type_tag", ["int64", "double", "string", "boolean", "null"]
+    )
+    def test_empty_inputs_for_every_registered_encoder(self, type_tag):
+        encoding_id, payload = encode_values(type_tag, [])
+        assert payload == b""
+        assert decode_values(type_tag, encoding_id, payload, 0) == []
+
+    def test_empty_inputs_for_raw_encoders(self):
+        assert rle.decode(rle.encode([], 3), 3, 0) == []
+        assert delta.decode(delta.encode([])) == []
+        assert bitpacking.unpack(bitpacking.pack([], 5), 5, 0) == []
+        assert plain.decode_int64(plain.encode_int64([]), 0) == []
+        assert plain.decode_double(plain.encode_double([]), 0) == []
+        assert plain.decode_strings(plain.encode_strings([]), 0) == []
+        assert plain.decode_boolean(plain.encode_boolean([]), 0) == []
+        assert delta_string.decode_delta_length(
+            delta_string.encode_delta_length([]), 0
+        ) == []
+        assert delta_string.decode_delta_strings(
+            delta_string.encode_delta_strings([]), 0
+        ) == []
+
+
 class TestCompression:
     @pytest.mark.parametrize("name", ["none", "zlib", "snappy"])
     @given(data=st.binary(max_size=4096))

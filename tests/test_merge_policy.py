@@ -1,0 +1,106 @@
+"""Unit tests for the tiering merge policy and the merge scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lsm.merge_policy import MergeScheduler, NoMergePolicy, TieringMergePolicy
+
+
+class TestTieringMergePolicySelect:
+    def test_no_merge_at_or_below_tolerance(self):
+        policy = TieringMergePolicy(size_ratio=1.2, max_tolerable_components=5)
+        assert policy.select([]) is None
+        assert policy.select([100]) is None
+        assert policy.select([100] * 5) is None  # exactly at the tolerance
+
+    def test_merge_triggered_above_tolerance(self):
+        policy = TieringMergePolicy(size_ratio=1.2, max_tolerable_components=3)
+        window = policy.select([100, 100, 100, 100])
+        assert window is not None
+        assert window[0] == 0
+        assert len(window) >= 2
+
+    def test_window_extends_while_ratio_holds(self):
+        # Equal sizes: accumulated(=100) >= 1.0 * next(=100) at every step,
+        # so the whole stack merges in one window.
+        policy = TieringMergePolicy(size_ratio=1.0, max_tolerable_components=2)
+        assert policy.select([100, 100, 100]) == [0, 1, 2]
+
+    def test_window_stops_at_much_larger_older_component(self):
+        # The two young components sum to 200 < 1.2 * 10_000: the old giant
+        # stays out of the window.
+        policy = TieringMergePolicy(size_ratio=1.2, max_tolerable_components=1)
+        assert policy.select([100, 100, 10_000]) == [0, 1]
+
+    def test_ratio_boundary_is_inclusive(self):
+        # accumulated == size_ratio * next extends the window (>=, not >).
+        policy = TieringMergePolicy(size_ratio=2.0, max_tolerable_components=1)
+        assert policy.select([100, 50, 1000]) == [0, 1]
+        # Just below the boundary the window cannot even reach two members,
+        # so the policy falls back to merging the two youngest.
+        assert policy.select([99, 50]) == [0, 1]
+
+    def test_zero_size_components_always_join_the_window(self):
+        policy = TieringMergePolicy(size_ratio=1.2, max_tolerable_components=2)
+        assert policy.select([0, 0, 0]) == [0, 1, 2]
+        # A zero-size component in the middle cannot block the extension.
+        assert policy.select([100, 0, 50]) == [0, 1, 2]
+
+    def test_minimum_window_of_two(self):
+        # A tiny young component next to a huge old one: the ratio never
+        # holds, but a merge is still owed — the two youngest are merged.
+        policy = TieringMergePolicy(size_ratio=10.0, max_tolerable_components=1)
+        assert policy.select([1, 1000, 1000]) == [0, 1]
+
+    def test_no_merge_policy_never_selects(self):
+        assert NoMergePolicy().select([100] * 50) is None
+
+
+class TestMergeScheduler:
+    def test_concurrency_cap(self):
+        scheduler = MergeScheduler(max_concurrent_merges=2)
+        assert scheduler.try_start() is True
+        assert scheduler.try_start() is True
+        assert scheduler.try_start() is False  # at the cap
+        assert scheduler.started == 2
+        assert scheduler.deferred == 1
+
+    def test_finish_releases_slots(self):
+        scheduler = MergeScheduler(max_concurrent_merges=1)
+        assert scheduler.try_start() is True
+        assert scheduler.try_start() is False
+        scheduler.finish()
+        assert scheduler.try_start() is True
+        assert scheduler.started == 2
+        assert scheduler.completed == 1
+        assert scheduler.deferred == 1
+
+    def test_max_observed_concurrency(self):
+        scheduler = MergeScheduler(max_concurrent_merges=4)
+        scheduler.try_start()
+        scheduler.try_start()
+        scheduler.try_start()
+        assert scheduler.max_observed_concurrency == 3
+        scheduler.finish()
+        scheduler.finish()
+        scheduler.try_start()
+        # The high-water mark does not decrease when merges drain.
+        assert scheduler.max_observed_concurrency == 3
+
+    def test_finish_never_goes_negative(self):
+        scheduler = MergeScheduler(max_concurrent_merges=1)
+        scheduler.finish()  # spurious finish
+        assert scheduler.completed == 1
+        # The active count is clamped at zero, so a start still succeeds.
+        assert scheduler.try_start() is True
+
+    def test_accounting_over_a_burst(self):
+        scheduler = MergeScheduler(max_concurrent_merges=2)
+        accepted = sum(1 for _ in range(10) if scheduler.try_start())
+        assert accepted == 2
+        assert scheduler.deferred == 8
+        scheduler.finish()
+        scheduler.finish()
+        assert scheduler.completed == 2
+        assert scheduler.try_start() is True
