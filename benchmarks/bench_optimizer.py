@@ -1,0 +1,220 @@
+"""The Figure 15 crossover, chosen automatically by the cost-based optimizer.
+
+The paper's §6.3.3 evaluation (Figure 15) shows secondary-index access beating
+full scans only at low selectivities.  PR 1 left that choice to the user
+(``Query.use_index`` vs. a plain scan); this benchmark shows the optimizer
+making it from collected statistics, at every selectivity:
+
+* **count workload** — the paper's range ``COUNT(*)`` on ``timestamp``.  The
+  optimizer discovers the index *covers* the query and answers it from the
+  reconciled index entries alone (an index-only plan), beating both manual
+  choices at every selectivity.
+* **fetch workload** — the materializing variant (project a non-indexed
+  field).  Here the index plan must fetch records through the primary index,
+  whose per-lookup cost grows with the leaf group size (§4.6) — so the
+  optimizer switches from the index path below the selectivity crossover to
+  the pushdown scan above it.
+
+Assertions encode the acceptance bar: the optimizer's chosen path is never
+more than 1.2x slower than the best *manual* choice at any measured
+selectivity (noise-guarded), it picks the index path at the lowest
+selectivity and the pushdown scan at the highest for the fetch workload, and
+``Query.explain(store, analyze=True)`` reports estimated vs. actual row
+counts for the chosen and rejected paths.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import default_config, load_dataset
+from repro.bench.reporting import print_figure
+from repro.query import Field, Query, Var
+from repro.query.optimizer import PATH_INDEX_FETCH, PATH_INDEX_ONLY, PATH_SCAN
+
+BASE_TS = 1_460_000_000_000
+NUM_RECORDS = 12_000
+#: Selectivities bracketing the fetch-workload crossover (leaf groups are
+#: capped at 500 records below, putting the model's crossover near 0.3%).
+SELECTIVITIES = (0.0002, 0.001, 0.01, 0.1)
+#: Acceptance bar: chosen path vs. best manual choice, plus a small absolute
+#: slack so sub-millisecond timings don't fail on scheduler noise.
+MAX_SLOWDOWN = 1.2
+NOISE_SECONDS = 0.005
+
+
+def _range_for(selectivity: float):
+    span = max(1, int(NUM_RECORDS * selectivity))
+    low = BASE_TS + (NUM_RECORDS // 3) * 1000
+    return low, low + span * 1000 - 1
+
+
+def _count_query(low: int, high: int, mode: str) -> Query:
+    query = Query("tweet_2", "t")
+    if mode == "manual-index":
+        # PR 1's manual choice: index range + point lookups (no predicates).
+        return query.use_index("timestamp", low, high).count()
+    query.where(Field(Var("t"), "timestamp") >= low)
+    query.where(Field(Var("t"), "timestamp") <= high)
+    if mode == "manual-scan":
+        query.force_scan()
+    return query.count()
+
+
+def _fetch_query(low: int, high: int, mode: str) -> Query:
+    query = Query("tweet_2", "t")
+    if mode == "manual-index":
+        query.use_index("timestamp", low, high)
+    else:
+        query.where(Field(Var("t"), "timestamp") >= low)
+        query.where(Field(Var("t"), "timestamp") <= high)
+        if mode == "manual-scan":
+            query.force_scan()
+    return query.select([("uid", Field(Var("t"), "uid"))])
+
+
+def _timed(store, query: Query):
+    start = time.perf_counter()
+    rows = query.execute(store)
+    return time.perf_counter() - start, rows
+
+
+def _best_times(store, factory, modes, repetitions: int = 3):
+    """Best-of-N wall clock per mode, measured round-robin.
+
+    Interleaving the modes keeps the comparison noise-resistant: every mode
+    sees the same buffer-cache and allocator state at least once, so the
+    1.2x assertion cannot trip on measurement order.
+    """
+    best = {mode: float("inf") for mode in modes}
+    for _ in range(repetitions):
+        for mode in modes:
+            seconds, _ = _timed(store, factory(mode))
+            best[mode] = min(best[mode], seconds)
+    return best
+
+
+def _load_fixture():
+    config = default_config(
+        # Small leaf groups keep single point lookups meaningfully cheaper
+        # than whole-component scans at this dataset size, so the crossover
+        # falls inside the measured selectivity grid.
+        amax_max_records_per_leaf=500,
+    )
+    return load_dataset(
+        "amax",
+        "tweet_2",
+        num_records=NUM_RECORDS,
+        config=config,
+        secondary_indexes={"timestamp": "timestamp"},
+    )
+
+
+def test_optimizer_reproduces_figure15_crossover(benchmark):
+    fixture = _load_fixture()
+    store = fixture.store
+
+    def run():
+        results = {"count": [], "fetch": []}
+        for workload, factory in (("count", _count_query), ("fetch", _fetch_query)):
+            for selectivity in SELECTIVITIES:
+                low, high = _range_for(selectivity)
+
+                def make(mode, low=low, high=high, factory=factory):
+                    return factory(low, high, mode)
+
+                best = _best_times(
+                    store, make, ("manual-scan", "manual-index", "optimizer")
+                )
+                scan_s = best["manual-scan"]
+                index_s = best["manual-index"]
+                optimizer_s = best["optimizer"]
+                plan = make("optimizer").optimized_plan(store)
+                chosen = plan.optimizer.chosen.kind
+                rows = make("optimizer").execute(store)
+                manual_rows = make("manual-scan").execute(store)
+                results[workload].append(
+                    {
+                        "selectivity": selectivity,
+                        "scan_s": scan_s,
+                        "index_s": index_s,
+                        "optimizer_s": optimizer_s,
+                        "chosen": chosen,
+                        "rows_agree": rows == manual_rows,
+                        "estimated_rows": plan.optimizer.chosen.estimated_source_rows,
+                    }
+                )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for workload in ("count", "fetch"):
+        print_figure(
+            f"Optimizer vs manual access paths — {workload} workload (seconds)",
+            ["selectivity", "manual scan", "manual index", "optimizer", "chosen path"],
+            [
+                [
+                    f"{r['selectivity']:.4%}",
+                    round(r["scan_s"], 4),
+                    round(r["index_s"], 4),
+                    round(r["optimizer_s"], 4),
+                    r["chosen"],
+                ]
+                for r in results[workload]
+            ],
+        )
+
+    for workload in ("count", "fetch"):
+        for r in results[workload]:
+            # Identical answers on every path.
+            assert r["rows_agree"], (workload, r["selectivity"])
+            # Never >1.2x the best manual choice (with an absolute noise floor).
+            best_manual = min(r["scan_s"], r["index_s"])
+            assert r["optimizer_s"] <= MAX_SLOWDOWN * best_manual + NOISE_SECONDS, (
+                workload,
+                r["selectivity"],
+                r["optimizer_s"],
+                best_manual,
+            )
+
+    # Count workload: the index covers COUNT(*), so the optimizer goes index-only
+    # at low selectivity (Figure 15a's regime) and never does point lookups.
+    count_choices = [r["chosen"] for r in results["count"]]
+    assert count_choices[0] == PATH_INDEX_ONLY
+    assert PATH_INDEX_FETCH not in count_choices
+
+    # Fetch workload: the Figure 15 crossover, picked automatically — the
+    # index path below it, the pushdown scan above it.
+    fetch_choices = [r["chosen"] for r in results["fetch"]]
+    assert fetch_choices[0] == PATH_INDEX_FETCH
+    assert fetch_choices[-1] == PATH_SCAN
+    # The switch is monotone: once the scan wins, it keeps winning.
+    first_scan = fetch_choices.index(PATH_SCAN)
+    assert all(choice == PATH_SCAN for choice in fetch_choices[first_scan:])
+
+    # The crossover the optimizer found is consistent with the manual
+    # measurements: below it the manual index beats the manual scan, above it
+    # the other way around (allowing the noise floor at the boundary points).
+    for r in results["fetch"]:
+        if r["chosen"] == PATH_INDEX_FETCH:
+            assert r["index_s"] <= r["scan_s"] + NOISE_SECONDS, r
+        else:
+            assert r["scan_s"] <= r["index_s"] + NOISE_SECONDS, r
+
+
+def test_explain_analyze_reports_estimated_vs_actual_rows(benchmark):
+    fixture = _load_fixture()
+    store = fixture.store
+    low, high = _range_for(0.01)
+    query = _fetch_query(low, high, "optimizer")
+
+    def run():
+        return query.explain(store, analyze=True)
+
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(text)
+    assert "OPTIMIZER" in text
+    assert "est rows" in text and "actual rows" in text
+    # Both access paths appear, with estimated and actual cardinalities.
+    assert "scan" in text and "index-fetch" in text
+    assert "rejected" in text

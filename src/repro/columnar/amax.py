@@ -242,6 +242,7 @@ class AmaxComponentBuilder(ColumnarComponentBuilder):
         component_file = self.device.create_file(self.component_id)
         metadata = ComponentMetadata(self.component_id, LAYOUT_NAME)
         metadata.extra["schema"] = self.schema.to_dict()
+        metadata.column_stats = self.pending_column_stats
         metadata_pages = write_metadata_pages(component_file, metadata)
         metadata.extra["metadata_pages"] = metadata_pages
 

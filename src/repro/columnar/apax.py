@@ -176,6 +176,7 @@ class ApaxComponentBuilder(ColumnarComponentBuilder):
         component_file = self.device.create_file(self.component_id)
         metadata = ComponentMetadata(self.component_id, LAYOUT_NAME)
         metadata.extra["schema"] = self.schema.to_dict()
+        metadata.column_stats = self.pending_column_stats
 
         encoded_pages: List[Tuple[bytes, dict]] = []
         for group in groups:

@@ -19,11 +19,13 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.assembly import assemble_document
 from ..core.columns import ColumnCursor, ShreddedColumn
-from ..core.schema import ColumnInfo, Schema
+from ..core.schema import ARRAY_PATH_STEP, ColumnInfo, Schema, field_name_steps
 from ..core.shredder import RecordShredder
 from ..model.errors import StorageError
+from ..model.values import TYPE_NULL
 from ..storage.buffer_cache import BufferCache
 from ..storage.device import StorageDevice
+from ..storage.stats import ColumnStatistics, ColumnStatisticsBuilder
 from .common import chunk_from_streams
 from ..lsm.component import (
     ComponentCursor,
@@ -103,7 +105,9 @@ class ColumnarComponent(DiskComponent):
         return self.schema.columns_for_fields(fields)
 
     # -- point lookups -------------------------------------------------------------
-    def point_lookup(self, key) -> Optional[Tuple[bool, Optional[dict]]]:
+    def point_lookup(
+        self, key, fields: Optional[Sequence[str]] = None
+    ) -> Optional[Tuple[bool, Optional[dict]]]:
         if not self.key_range_overlaps(key):
             return None
         for group in self.groups:
@@ -116,11 +120,25 @@ class ColumnarComponent(DiskComponent):
                 if candidate == key:
                     if antimatter_flags[index]:
                         return True, None
-                    return False, self._assemble_at(group, index)
+                    return False, self._assemble_at(group, index, fields)
         return None
 
-    def _assemble_at(self, group: ColumnGroup, index: int) -> dict:
-        columns = [c for c in self.schema.columns if not c.is_primary_key]
+    def _assemble_at(
+        self, group: ColumnGroup, index: int, fields: Optional[Sequence[str]] = None
+    ) -> dict:
+        """Assemble the record at ``index`` of ``group``.
+
+        ``fields`` restricts the decode to the projected columns; the whole
+        definition/value streams of each needed column are still decoded and
+        skipped up to ``index`` — that per-lookup leaf cost is inherent to the
+        layouts (§4.6) and is exactly what the cost-based optimizer charges
+        index-to-primary fetches for.
+        """
+        columns = [
+            column
+            for column in self.columns_for_fields(fields)
+            if not column.is_primary_key
+        ]
         chunk = {}
         streams = group.read_columns(columns)
         for column in columns:
@@ -128,7 +146,12 @@ class ColumnarComponent(DiskComponent):
             cursor.skip_records(index)
             chunk[column.column_id] = cursor.next_record()
         keys, _ = group.read_keys()
-        return assemble_document(self.schema, chunk, key=keys[index])
+        return assemble_document(
+            self.schema,
+            chunk,
+            key=keys[index],
+            fields=list(fields) if fields is not None else None,
+        )
 
 
 class ColumnarComponentCursor(ComponentCursor):
@@ -315,6 +338,9 @@ class ColumnarComponentBuilder:
         self.buffer_cache = buffer_cache
         self.schema = schema
         self.compression = compression
+        #: Filled by :meth:`build_from_columns`; consumed by the layouts'
+        #: ``_write_groups`` when they create the component metadata.
+        self.pending_column_stats: Dict[str, ColumnStatistics] = {}
 
     # -- entry points --------------------------------------------------------------
     def build(self, entries: Iterable[FlushEntry]) -> ColumnarComponent:
@@ -328,9 +354,50 @@ class ColumnarComponentBuilder:
     def build_from_columns(
         self, columns: Dict[int, ShreddedColumn], record_count: int
     ) -> ColumnarComponent:
-        """Merge path: the columns already exist; regroup and write them."""
+        """Merge path: the columns already exist; regroup and write them.
+
+        Column statistics are collected here (both flush and merge funnel
+        through this method) so they are recomputed exactly on every merge —
+        no approximate on-disk merging of histograms is ever needed.
+        """
+        self.pending_column_stats = self._collect_column_stats(columns)
         groups = list(self._split_into_groups(columns, record_count))
         return self._write_groups(groups)
+
+    def _collect_column_stats(
+        self, columns: Dict[int, ShreddedColumn]
+    ) -> Dict[str, ColumnStatistics]:
+        """Per-path statistics straight from the shredded column buffers.
+
+        Array columns are skipped (predicates on array paths are never pushed
+        or index-planned); union columns sharing one dotted path fold into a
+        single entry, matching how the optimizer looks statistics up.
+        """
+        builders: Dict[str, ColumnStatisticsBuilder] = {}
+        for shredded in columns.values():
+            column = shredded.column
+            if ARRAY_PATH_STEP in column.path:
+                continue
+            path = ".".join(field_name_steps(column.path))
+            if not path:
+                continue
+            builder = builders.get(path)
+            if builder is None:
+                builder = builders[path] = ColumnStatisticsBuilder(path)
+            if column.is_primary_key:
+                # The key column materializes a value for anti-matter entries
+                # too (definition level 0); only live keys are statistics.
+                for definition_level, value in zip(shredded.defs, shredded.values):
+                    if definition_level != 0:
+                        builder.observe(value)
+            elif column.type_tag == TYPE_NULL:
+                for definition_level in shredded.defs:
+                    if definition_level == column.max_def:
+                        builder.observe(None)
+            else:
+                for value in shredded.values:
+                    builder.observe(value)
+        return {path: builder.finish() for path, builder in builders.items()}
 
     # -- grouping --------------------------------------------------------------------
     def _records_per_group(

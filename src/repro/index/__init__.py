@@ -1,4 +1,10 @@
-"""Secondary indexes and the primary-key index."""
+"""Secondary indexes and the primary-key index (paper §4.6).
+
+:class:`SecondaryIndex` maps field values to primary keys and backs both the
+manual ``Query.use_index`` plans and the cost-based optimizer's index-fetch /
+index-only access paths; :class:`PrimaryKeyIndex` is the keys-only index the
+ingestion path uses to skip point lookups for never-seen keys.
+"""
 
 from .secondary import PrimaryKeyIndex, SecondaryIndex
 

@@ -30,21 +30,72 @@ def _serialize_run(entries: Sequence[tuple]) -> bytes:
     return json.dumps(entries, separators=(",", ":"), default=str).encode("utf-8")
 
 
+def _type_rank(value) -> int:
+    """Total-order rank across the dynamically-typed index value domain.
+
+    Indexed fields are dynamically typed, so one index may hold numbers,
+    booleans, and strings at once.  Ranking by type first makes the runs
+    sortable (mixed-type ``sorted`` would raise TypeError) and gives range
+    searches the SQL++ semantics the query layer expects: a numeric bound
+    only ever matches numeric values, because cross-type comparisons are NULL
+    and NULL never satisfies a predicate.
+    """
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 0
+    if isinstance(value, str):
+        return 2
+    return 3
+
+
+def _order_key(value):
+    return (_type_rank(value), value)
+
+
+def _value_in_range(value, low, high) -> bool:
+    """Inclusive range check under the type-ranked order (NULL-safe)."""
+    if low is not None and (
+        _type_rank(value) != _type_rank(low) or value < low
+    ):
+        return False
+    if high is not None and (
+        _type_rank(value) != _type_rank(high) or value > high
+    ):
+        return False
+    return True
+
+
 class _Run:
     """One immutable sorted run of (value, pk, antimatter) entries."""
 
     def __init__(self, entries: List[tuple], device: StorageDevice, name: str) -> None:
-        self.entries = sorted(entries, key=lambda entry: (entry[0], str(entry[1])))
+        self.entries = sorted(
+            entries, key=lambda entry: (_order_key(entry[0]), str(entry[1]))
+        )
         self.file = device.create_file(name)
         payload = _serialize_run(self.entries)
         page_size = device.page_size
         for start in range(0, max(len(payload), 1), page_size):
             self.file.append_page(payload[start:start + page_size])
-        self._values = [entry[0] for entry in self.entries]
+        self._values = [_order_key(entry[0]) for entry in self.entries]
 
     def search(self, low, high) -> Iterable[tuple]:
-        start = 0 if low is None else bisect.bisect_left(self._values, low)
-        stop = len(self.entries) if high is None else bisect.bisect_right(self._values, high)
+        if low is None and high is None:
+            return self.entries
+        if low is not None and high is not None and _type_rank(low) != _type_rank(high):
+            return []  # no value can match both bounds (cross-type = NULL)
+        # An open end stops at the bound's type-rank boundary — a bare
+        # ``(rank,)`` tuple sorts before every ``(rank, value)`` — so open
+        # ranges keep the same-type semantics of closed ones at bisect cost.
+        if low is not None:
+            start = bisect.bisect_left(self._values, _order_key(low))
+        else:
+            start = bisect.bisect_left(self._values, (_type_rank(high),))
+        if high is not None:
+            stop = bisect.bisect_right(self._values, _order_key(high))
+        else:
+            stop = bisect.bisect_left(self._values, (_type_rank(low) + 1,))
         return self.entries[start:stop]
 
     @property
@@ -56,7 +107,23 @@ class _Run:
 
 
 class SecondaryIndex:
-    """A value → primary-key index over one field path."""
+    """A value → primary-key index over one field path (§4.6).
+
+    Entries are LSM-like: mutations buffer in memory and spill to immutable
+    sorted runs; a range search reconciles the buffer and the runs newest
+    first, so an anti-mattered (updated or deleted) entry shadows its older
+    version.  The cost-based optimizer reads :attr:`entry_count` and the
+    column statistics to decide when a query should go through the index.
+
+    Example:
+        >>> from repro.storage.device import StorageDevice
+        >>> index = SecondaryIndex("ts", "timestamp", StorageDevice())
+        >>> index.insert(100, "key-a")
+        >>> index.insert(200, "key-b")
+        >>> index.delete(200, "key-b")   # the record was updated away
+        >>> index.search_range(50, 250)
+        ['key-a']
+    """
 
     def __init__(
         self,
@@ -65,6 +132,15 @@ class SecondaryIndex:
         device: StorageDevice,
         buffer_limit: int = 50_000,
     ) -> None:
+        """Create an empty index.
+
+        Args:
+            name: Unique name (prefixes the on-device run files).
+            path: The indexed field path, dotted string or
+                :class:`~repro.model.path.FieldPath`.
+            device: Storage device that accounts the spilled runs' size.
+            buffer_limit: Buffered entries before an automatic spill.
+        """
         self.name = name
         self.path = FieldPath.of(path)
         self.device = device
@@ -76,7 +152,17 @@ class SecondaryIndex:
 
     # -- maintenance -----------------------------------------------------------------
     def extract(self, document: Optional[dict]):
-        """The indexed value of a document (None when missing/unindexable)."""
+        """The indexed value of a document.
+
+        Args:
+            document: The record, or None.
+
+        Returns:
+            The atomic value at the indexed path, or None when the document
+            is None, the field is MISSING, or the value is an object/array
+            (non-atomic values are never indexed — the same population rule
+            the pushdown predicates and column statistics follow).
+        """
         if document is None:
             return None
         value = get_path(document, self.path)
@@ -85,12 +171,14 @@ class SecondaryIndex:
         return value
 
     def insert(self, value, primary_key) -> None:
+        """Add one ``value → primary_key`` entry (no-op for unindexable values)."""
         if value is None:
             return
         self._buffer.append((value, primary_key, False))
         self._maybe_spill()
 
     def delete(self, value, primary_key) -> None:
+        """Anti-matter one entry (the §4.6 stale-entry cleanout on update/delete)."""
         if value is None:
             return
         self._buffer.append((value, primary_key, True))
@@ -101,30 +189,58 @@ class SecondaryIndex:
             self.flush()
 
     def flush(self) -> None:
+        """Spill the in-memory buffer into a new immutable sorted run.
+
+        The buffer is deduplicated per ``(value, primary_key)`` identity
+        first, keeping only the newest entry: a run's sorted order cannot
+        preserve arrival order, so without this a delete-then-reinsert of the
+        same value (an update that did not change the indexed field) would
+        leave the anti-matter shadowing the newer insert.  Identities use the
+        type-ranked value key — ``1 == True`` in Python, but they are
+        distinct index values.
+        """
         if not self._buffer:
             return
+        deduped: dict = {}
+        for value, primary_key, antimatter in self._buffer:
+            deduped[(_order_key(value), primary_key)] = (value, primary_key, antimatter)
         self._run_counter += 1
-        run = _Run(self._buffer, self.device, f"{self.name}-run{self._run_counter}")
+        run = _Run(
+            list(deduped.values()), self.device, f"{self.name}-run{self._run_counter}"
+        )
         self._runs.insert(0, run)
         self._buffer = []
 
     # -- search -----------------------------------------------------------------------
     def search_range(self, low=None, high=None) -> List[object]:
-        """Primary keys whose indexed value lies in ``[low, high]`` (reconciled)."""
+        """Primary keys whose indexed value lies in the inclusive range.
+
+        Args:
+            low: Inclusive lower bound (None = open below).
+            high: Inclusive upper bound (None = open above).
+
+        Returns:
+            The reconciled primary keys, unordered: per ``(value, key)``
+            identity the newest entry wins, and anti-mattered identities are
+            dropped.  Callers that feed point lookups sort the keys first
+            (§4.6's sorted batched fetch).
+        """
         self.lookups += 1
         decided: dict = {}
         sources: List[Iterable[tuple]] = []
         buffered = [
             entry
             for entry in reversed(self._buffer)
-            if (low is None or entry[0] >= low) and (high is None or entry[0] <= high)
+            if _value_in_range(entry[0], low, high)
         ]
         sources.append(buffered)
         for run in self._runs:
             sources.append(run.search(low, high))
         for source in sources:
             for value, primary_key, antimatter in source:
-                identity = (value, primary_key)
+                # Type-ranked identity: 1 and True are distinct index values
+                # even though they hash/compare equal in Python.
+                identity = (_order_key(value), primary_key)
                 if identity not in decided:
                     decided[identity] = antimatter
         return [
@@ -136,11 +252,24 @@ class SecondaryIndex:
     # -- statistics --------------------------------------------------------------------
     @property
     def size_bytes(self) -> int:
+        """On-device bytes of the spilled runs (Figure 12a's index sizes)."""
         return sum(run.size_bytes for run in self._runs)
 
     @property
     def entry_count(self) -> int:
+        """Total entries (buffer + runs, anti-matter included, unreconciled).
+
+        An upper bound on the number of indexed records; exposed to the
+        cost-based optimizer through
+        :class:`~repro.query.stats.DatasetStatistics`.
+        """
         return len(self._buffer) + sum(len(run.entries) for run in self._runs)
+
+    @property
+    def run_count(self) -> int:
+        """Number of spilled runs (changes only on flush — used as a cheap
+        statistics-cache version component)."""
+        return self._run_counter
 
     def destroy(self) -> None:
         for run in self._runs:

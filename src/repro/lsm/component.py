@@ -18,13 +18,18 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..model.errors import ComponentStateError, StorageError
 from ..rowformats import open_format, vector_format
 from ..rowformats.vector_format import FieldNameDictionary
 from ..storage.buffer_cache import BufferCache
 from ..storage.device import ComponentFile, StorageDevice
+from ..storage.stats import (
+    ColumnStatistics,
+    ColumnStatisticsBuilder,
+    collect_document_statistics,
+)
 from .keys import decode_key, encode_key
 
 LAYOUT_OPEN = "open"
@@ -53,6 +58,11 @@ class ComponentMetadata:
     valid: bool = False
     page_first_keys: List[object] = field(default_factory=list)
     extra: dict = field(default_factory=dict)
+    #: Per-column statistics collected while the component was built (dotted
+    #: array-free path → :class:`~repro.storage.stats.ColumnStatistics`);
+    #: aggregated across components by the cost-based optimizer's
+    #: :func:`~repro.query.stats.collect_dataset_statistics`.
+    column_stats: Dict[str, ColumnStatistics] = field(default_factory=dict)
 
     def to_json_bytes(self) -> bytes:
         payload = {
@@ -65,8 +75,11 @@ class ComponentMetadata:
             "valid": self.valid,
             "page_first_keys": self.page_first_keys,
             "extra": self.extra,
+            "column_stats": {
+                path: stats.as_dict() for path, stats in self.column_stats.items()
+            },
         }
-        return json.dumps(payload).encode("utf-8")
+        return json.dumps(payload, default=str).encode("utf-8")
 
 
 class ComponentCursor:
@@ -148,8 +161,22 @@ class DiskComponent:
     ) -> ComponentCursor:
         raise NotImplementedError  # pragma: no cover - interface
 
-    def point_lookup(self, key) -> Optional[Tuple[bool, Optional[dict]]]:
-        """Return ``(antimatter, document)`` for ``key`` or None when absent."""
+    def point_lookup(
+        self, key, fields: Optional[Sequence[str]] = None
+    ) -> Optional[Tuple[bool, Optional[dict]]]:
+        """Return ``(antimatter, document)`` for ``key`` or None when absent.
+
+        Args:
+            key: The primary key to find.
+            fields: Optional top-level projection.  Columnar components decode
+                only the matching columns (the per-lookup leaf search itself —
+                §4.6's point-lookup cost — is unavoidable); row components
+                always decode the whole record.
+
+        Returns:
+            ``(antimatter, document)`` when the component holds a version of
+            the key (``document`` is None for anti-matter), else None.
+        """
         raise NotImplementedError  # pragma: no cover - interface
 
     def key_range_overlaps(self, key) -> bool:
@@ -218,6 +245,7 @@ class RowComponentBuilder:
             page_bytes = 0
             current_first_key = None
 
+        stats_builders: Dict[str, ColumnStatisticsBuilder] = {}
         for key, antimatter, document in entries:
             record = self._encode_record(key, antimatter, document)
             if page_bytes + len(record) + 4 > self.fill_limit and page_records:
@@ -229,11 +257,18 @@ class RowComponentBuilder:
             metadata.record_count += 1
             if antimatter:
                 metadata.antimatter_count += 1
+            else:
+                # Column statistics ride along with the single pass the flush
+                # already makes over the records (incremental collection).
+                collect_document_statistics(stats_builders, document)
             if metadata.min_key is None:
                 metadata.min_key = key
             metadata.max_key = key
         flush_page()
 
+        metadata.column_stats = {
+            path: builder.finish() for path, builder in stats_builders.items()
+        }
         metadata.page_first_keys = first_keys
         metadata.extra["field_names"] = self.field_dictionary.to_dict()
         metadata_pages = write_metadata_pages(component_file, metadata)
@@ -319,7 +354,11 @@ class RowComponent(DiskComponent):
         # does exactly that.
         return RowComponentCursor(self, fields)
 
-    def point_lookup(self, key) -> Optional[Tuple[bool, Optional[dict]]]:
+    def point_lookup(
+        self, key, fields: Optional[Sequence[str]] = None
+    ) -> Optional[Tuple[bool, Optional[dict]]]:
+        # ``fields`` is accepted for protocol compatibility: row pages
+        # interleave all fields, so projection cannot reduce the decode cost.
         if not self.key_range_overlaps(key):
             return None
         first_keys = self.metadata.page_first_keys

@@ -337,14 +337,23 @@ class LSMTree:
                 total += 1
         return total
 
-    def point_lookup(self, key) -> Optional[dict]:
-        """Find the newest version of ``key`` (None when absent or deleted)."""
+    def point_lookup(self, key, fields: Optional[Sequence[str]] = None) -> Optional[dict]:
+        """Find the newest version of ``key`` (None when absent or deleted).
+
+        Args:
+            key: The primary key.
+            fields: Optional top-level projection, forwarded to the component
+                lookup so columnar components decode only the needed columns.
+                Sources that cannot project (memtable, row layouts) may return
+                more fields than requested — projection is an optimization,
+                never a semantic contract.
+        """
         entry = self.memtable.get(key)
         if entry is not None:
             antimatter, document = entry
             return None if antimatter else document
         for component in self.components:
-            found = component.point_lookup(key)
+            found = component.point_lookup(key, fields)
             if found is not None:
                 antimatter, document = found
                 return None if antimatter else document

@@ -3,17 +3,22 @@
 from .codegen import GeneratedPipeline, generate_pipeline
 from .executor import execute_plan
 from .expressions import And, Call, Compare, Field, Literal, Or, SomeSatisfies, Var, lift
+from .optimizer import CostModel, OptimizerReport, optimize_plan
 from .plan import Query, QueryPlan
 from .pushdown import ColumnPredicate, PushdownSpec, attach_pushdown
+from .stats import DatasetStatistics, collect_dataset_statistics
 
 __all__ = [
     "And",
     "Call",
     "ColumnPredicate",
     "Compare",
+    "CostModel",
+    "DatasetStatistics",
     "Field",
     "GeneratedPipeline",
     "Literal",
+    "OptimizerReport",
     "Or",
     "PushdownSpec",
     "Query",
@@ -21,7 +26,9 @@ __all__ = [
     "SomeSatisfies",
     "Var",
     "attach_pushdown",
+    "collect_dataset_statistics",
     "execute_plan",
     "generate_pipeline",
     "lift",
+    "optimize_plan",
 ]

@@ -42,7 +42,17 @@ INTERPRETED_BATCH_SIZE = 256
 
 
 def source_rows(store, plan: QueryPlan) -> Iterator[dict]:
-    """Yield the source tuples (dicts binding the scan variable)."""
+    """Yield the plan's source tuples (dicts binding the scan variable).
+
+    Args:
+        store: The datastore to read from.
+        plan: The plan whose source node drives the read — a full scan
+            (with optional pushdown), an index fetch, or an index-only scan.
+
+    Yields:
+        One ``{variable: document}`` binding per source row; index-only
+        sources bind ``{variable: {pk_field: key}}`` (§4.6).
+    """
     source = plan.source
     dataset = store.dataset(source.dataset)
     if isinstance(source, DataScanNode):
@@ -64,11 +74,19 @@ def source_rows(store, plan: QueryPlan) -> Iterator[dict]:
         primary_keys = index.search_range(source.low, source.high)
         primary_keys.sort()
         if source.keys_only:
+            # Index-only plan (optimizer-generated for covered COUNT-style
+            # queries): the reconciled index entries alone answer the query;
+            # rows carry just the primary key.
             for key in primary_keys:
                 yield {source.variable: {dataset.primary_key_field: key}}
             return
+        # Sorted, batched point lookups (§4.6): keys ascend so consecutive
+        # lookups hit the same leaves through the buffer cache, and the
+        # lookup decodes only the projected columns.  Deleted/updated-away
+        # records resolve to None and are dropped here (their index entries
+        # were anti-mattered, but reconciliation is per-entry, not global).
         for key in primary_keys:
-            document = dataset.point_lookup(key)
+            document = dataset.point_lookup(key, source.fields)
             if document is not None:
                 yield {source.variable: document}
         return
@@ -260,7 +278,18 @@ def _none_if_missing(value):
 
 
 def execute_plan(store, plan: QueryPlan, executor: str = "codegen") -> List[dict]:
-    """Execute a plan with the chosen executor (``"codegen"`` or ``"interpreted"``)."""
+    """Execute a plan and return its result rows.
+
+    Args:
+        store: The datastore to run against.
+        plan: A built (and possibly optimizer-rewritten) plan.
+        executor: ``"codegen"`` fuses the pipelining prefix into one
+            generated Python function (§5); ``"interpreted"`` runs the
+            Hyracks-style batch-at-a-time engine.  Breakers are shared.
+
+    Returns:
+        The materialized result rows.
+    """
     rows = source_rows(store, plan)
     if executor == "interpreted":
         piped = run_interpreted_pipeline(rows, plan.pipeline)

@@ -164,7 +164,25 @@ _NUMERIC = (int, float)
 
 
 def compare_values(op: str, left, right):
-    """AsterixDB-style comparison: incompatible types yield NULL (None)."""
+    """AsterixDB-style dynamic comparison: incompatible types yield NULL (None).
+
+    Args:
+        op: One of ``==``, ``!=``, ``<``, ``<=``, ``>``, ``>=``.
+        left: Left operand (any document value, possibly MISSING).
+        right: Right operand.
+
+    Returns:
+        True/False for comparable operands; None (NULL) for incomparable
+        ones — except ``==``/``!=``, which are decidable across types.
+
+    Example:
+        >>> compare_values(">", 3, 2)
+        True
+        >>> compare_values(">", "3", 2) is None   # int vs str: NULL
+        True
+        >>> compare_values("!=", "3", 2)
+        True
+    """
     if left is MISSING or right is MISSING or left is None or right is None:
         return None
     left_numeric = isinstance(left, _NUMERIC) and not isinstance(left, bool)
@@ -212,6 +230,9 @@ class Compare(Expression):
             self.left.referenced_bare_variables()
             | self.right.referenced_bare_variables()
         )
+
+    def __repr__(self) -> str:
+        return f"Compare({self.left!r} {self.op} {self.right!r})"
 
 
 class And(Expression):

@@ -132,9 +132,12 @@ class QueryPlan:
     source: object
     pipeline: List[PipelineOp] = field(default_factory=list)
     breakers: List[BreakerOp] = field(default_factory=list)
+    #: Attached by :func:`repro.query.optimizer.optimize_plan`: the
+    #: cost/selectivity report (chosen path plus rejected alternatives).
+    optimizer: Optional[object] = None
 
     def describe(self) -> str:
-        """Human-readable plan (used by examples and tests)."""
+        """Human-readable plan (used by examples, tests, and ``explain``)."""
         lines = []
         source = self.source
         if isinstance(source, DataScanNode):
@@ -145,8 +148,9 @@ class QueryPlan:
             if source.pushdown is not None:
                 lines.append(f"  PUSHDOWN {source.pushdown.describe()}")
         else:
+            keys_only = " KEYS-ONLY" if source.keys_only else ""
             lines.append(
-                f"INDEX-SCAN {source.dataset}.{source.index_name} "
+                f"INDEX-SCAN{keys_only} {source.dataset}.{source.index_name} "
                 f"[{source.low} .. {source.high}] AS ${source.variable}"
             )
         for op in self.pipeline:
@@ -158,6 +162,8 @@ class QueryPlan:
                 lines.append(f"FILTER {op.predicate!r}")
         for op in self.breakers:
             lines.append(type(op).__name__.replace("Node", "").upper())
+        if self.optimizer is not None:
+            lines.append(self.optimizer.describe())
         return "\n".join(lines)
 
 
@@ -181,15 +187,45 @@ class Query:
         self._index: Optional[Tuple[str, object, object]] = None
         self._count_only = False
         self._explicit_fields: Optional[List[str]] = None
+        self._force_scan = False
 
     # -- source --------------------------------------------------------------------------
     def use_index(self, index_name: str, low=None, high=None) -> "Query":
-        """Answer the query through a secondary-index range access (§4.6)."""
+        """Force the query through a secondary-index range access (§4.6).
+
+        This *bypasses* the cost-based optimizer: the resulting plan always
+        performs the index range search followed by sorted point lookups into
+        the primary index, exactly like the paper's manual index plans.  Leave
+        the access path to :meth:`execute`'s optimizer (the default) unless a
+        benchmark needs this path specifically.
+
+        Args:
+            index_name: Name of a secondary index created with
+                :meth:`repro.store.dataset.Dataset.create_secondary_index`.
+            low: Inclusive lower bound on the indexed value (None = open).
+            high: Inclusive upper bound (None = open).
+
+        Returns:
+            This query, for chaining.
+        """
         self._index = (index_name, low, high)
         return self
 
+    def force_scan(self) -> "Query":
+        """Force the full-scan access path, bypassing the cost-based optimizer.
+
+        The scan still benefits from projection/predicate pushdown; only the
+        access-path *choice* is pinned.  ``explain(store)`` will show the
+        index alternatives as rejected with a "forced" reason.
+
+        Returns:
+            This query, for chaining.
+        """
+        self._force_scan = True
+        return self
+
     def project_fields(self, fields: Sequence[str]) -> "Query":
-        """Override the optimizer's projection pushdown (rarely needed)."""
+        """Override the planner's projection pushdown (rarely needed)."""
         self._explicit_fields = list(fields)
         return self
 
@@ -317,19 +353,98 @@ class Query:
         return fields
 
     # -- execution ----------------------------------------------------------------------------------
+    def optimized_plan(self, store, pushdown: bool = True) -> QueryPlan:
+        """Build the plan and run cost-based access-path selection against ``store``.
+
+        The optimizer (:mod:`repro.query.optimizer`) considers the pushdown
+        scan, secondary-index fetch plans, and index-only plans, estimating
+        selectivity from the statistics collected at flush/merge time.  Plans
+        that used :meth:`use_index` are returned unoptimized (the manual
+        choice stands); :meth:`force_scan` keeps the scan but still reports
+        the rejected alternatives.
+
+        Args:
+            store: The datastore the plan will execute against.
+            pushdown: Attach the scan-pushdown spec (as in :meth:`build_plan`).
+
+        Returns:
+            The (possibly rewritten) plan, with ``plan.optimizer`` set to an
+            :class:`~repro.query.optimizer.OptimizerReport` when the source
+            was a data scan.
+        """
+        plan = self.build_plan(pushdown=pushdown)
+        if self._index is None:
+            from .optimizer import optimize_plan
+
+            optimize_plan(store, plan, force_scan=self._force_scan)
+        return plan
+
     def execute(
-        self, store, executor: str = "codegen", pushdown: bool = True
+        self,
+        store,
+        executor: str = "codegen",
+        pushdown: bool = True,
+        optimize: Optional[bool] = None,
     ) -> List[dict]:
         """Run the query against a datastore; returns the result rows.
 
-        ``pushdown=False`` disables the scan-pushdown rewrite (every layout
-        then assembles full projected documents and filters tuple-at-a-time),
-        which is what the differential tests and ``bench_pushdown`` compare
-        against.
+        Args:
+            store: The :class:`~repro.store.datastore.Datastore` to query.
+            executor: ``"codegen"`` (fused generated pipeline, §5) or
+                ``"interpreted"`` (batch-at-a-time Hyracks model).
+            pushdown: ``False`` disables the scan-pushdown rewrite (every
+                layout then assembles full projected documents and filters
+                tuple-at-a-time), which is what the differential tests and
+                ``bench_pushdown`` compare against.
+            optimize: ``False`` skips cost-based access-path selection,
+                ``True`` forces it; the default (None) follows ``pushdown``,
+                so baseline comparisons stay rewrite-free end to end.
+
+        Returns:
+            The result rows as a list of dicts.
         """
         from .executor import execute_plan
 
-        return execute_plan(store, self.build_plan(pushdown=pushdown), executor=executor)
+        if optimize is None:
+            optimize = pushdown
+        if optimize and self._index is None:
+            plan = self.optimized_plan(store, pushdown=pushdown)
+        else:
+            plan = self.build_plan(pushdown=pushdown)
+        return execute_plan(store, plan, executor=executor)
 
-    def explain(self, pushdown: bool = True) -> str:
-        return self.build_plan(pushdown=pushdown).describe()
+    def explain(
+        self, store=None, pushdown: bool = True, analyze: bool = False
+    ) -> str:
+        """Render the query plan, optionally with costs and actual row counts.
+
+        Args:
+            store: When given, the cost-based optimizer runs against this
+                datastore and the rendering includes the chosen access path,
+                its estimated cost and row counts, and every rejected
+                alternative with its rejection reason.  Without a store only
+                the logical plan is rendered (no statistics are available).
+            pushdown: Attach the scan-pushdown spec before explaining.
+            analyze: Additionally *execute* every candidate access path and
+                report estimated vs. actual row counts (requires ``store``).
+
+        Returns:
+            A multi-line, human-readable plan description.
+
+        Example:
+            >>> from repro.query import Field, Query, Var
+            >>> print(Query("d", "t").where(Field(Var("t"), "a") == 1).count()
+            ...       .explain())
+            SCAN d AS $t (fields=['a'])
+              PUSHDOWN paths=[a]; predicates=[a == 1]
+            FILTER Compare(Field(Var('t'), 'a') == Literal(1))
+            AGGREGATE
+        """
+        if store is None:
+            return self.build_plan(pushdown=pushdown).describe()
+        plan = self.optimized_plan(store, pushdown=pushdown)
+        if analyze and plan.optimizer is not None:
+            from .optimizer import analyze_candidates
+
+            analyze_candidates(store, plan.optimizer)
+        return plan.describe()

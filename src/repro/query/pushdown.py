@@ -83,13 +83,32 @@ _FLIPPED = {"==": "==", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
 # ======================================================================================
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class ColumnPredicate:
-    """One pushable conjunct: ``path <op> value`` on the scan variable."""
+    """One pushable conjunct: ``path <op> value`` on the scan variable.
+
+    Equality/hash are type-aware: ``1 == True`` in Python, but ``x == 1`` and
+    ``x == True`` are different predicates under SQL++ typing — conflating
+    them would let the extraction dedup (and the optimizer's subsumption
+    check) drop a conjunct that is not actually implied.
+    """
 
     path: FieldPath
     op: str
     value: object
+
+    def _identity(self) -> tuple:
+        from .stats import comparison_type_rank
+
+        return (self.path, self.op, comparison_type_rank(self.value), self.value)
+
+    def __eq__(self, other):
+        if not isinstance(other, ColumnPredicate):
+            return NotImplemented
+        return self._identity() == other._identity()
+
+    def __hash__(self) -> int:
+        return hash(self._identity())
 
     def bounds(self) -> Tuple[Optional[object], Optional[object]]:
         """Inclusive (low, high) value bounds implied by the predicate."""

@@ -1,0 +1,293 @@
+"""Dataset-level statistics for cost-based access-path selection.
+
+The storage layer collects per-component column statistics whenever a
+component is written (flush or merge — see
+:class:`~repro.lsm.component.ComponentMetadata` and the builders in
+:mod:`repro.lsm.component` / :mod:`repro.columnar.base`).  This module
+aggregates them into one :class:`DatasetStatistics` snapshot the optimizer
+(:mod:`repro.query.optimizer`) consumes:
+
+* reconciliation-free **record-count estimates** (disk components plus the
+  in-memory component; duplicate keys across components make this an upper
+  bound, which is documented on :attr:`DatasetStatistics.record_count`);
+* **merged per-column statistics** — histograms re-bucketed, distinct
+  sketches OR-ed — keyed by dotted, array-free field path;
+* **physical shape** numbers the cost model needs: columnar leaf-group counts
+  (the per-lookup decode unit, §4.6) and row-layout data-page counts;
+* **secondary-index entry counts**.
+
+Statistics describe only *flushed* data.  A fresh dataset whose records still
+sit in the memtable reports ``has_statistics() == False`` and the optimizer
+falls back to the full scan, which is always correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.schema import field_name_steps
+from ..storage.stats import ColumnStatistics
+
+#: Fallback selectivity per operator when a predicate's column has no
+#: statistics (unseen path, string range, fresh dataset...).  Deliberately
+#: conservative (high) so an unstatistiqued index plan is not chosen blindly.
+DEFAULT_OP_SELECTIVITY = {
+    "==": 0.1,
+    "!=": 0.9,
+    "<": 1.0 / 3.0,
+    "<=": 1.0 / 3.0,
+    ">": 1.0 / 3.0,
+    ">=": 1.0 / 3.0,
+}
+
+
+@dataclass
+class DatasetStatistics:
+    """An aggregated, read-only statistics snapshot of one dataset.
+
+    Attributes:
+        dataset: The dataset name.
+        disk_record_count: Entries across all on-disk components, anti-matter
+            included (each component counts its own entries, so a key updated
+            in two components counts twice).
+        disk_antimatter_count: Anti-matter entries across all components.
+        memtable_record_count: Entries currently buffered in memory (invisible
+            to column statistics until the next flush).
+        columnar_groups: Total leaf groups across columnar components (0 for
+            row layouts).
+        row_data_pages: Total data pages across row components (0 for
+            columnar layouts).
+        stats_component_count: How many components carried column statistics.
+        component_count: Total on-disk components.
+        columns: Merged per-column statistics, keyed by dotted path.
+        index_entries: Secondary-index entry counts, keyed by index name.
+    """
+
+    dataset: str
+    disk_record_count: int = 0
+    disk_antimatter_count: int = 0
+    memtable_record_count: int = 0
+    columnar_groups: int = 0
+    row_data_pages: int = 0
+    stats_component_count: int = 0
+    component_count: int = 0
+    columns: Dict[str, ColumnStatistics] = field(default_factory=dict)
+    index_entries: Dict[str, int] = field(default_factory=dict)
+
+    # -- derived numbers ---------------------------------------------------------------
+    @property
+    def record_count(self) -> int:
+        """Estimated live records (upper bound: cross-component duplicates count)."""
+        return max(
+            0,
+            self.disk_record_count
+            - self.disk_antimatter_count
+            + self.memtable_record_count,
+        )
+
+    def has_statistics(self) -> bool:
+        """True when at least one flushed component carried column statistics."""
+        return self.stats_component_count > 0 and bool(self.columns)
+
+    def average_group_records(self) -> float:
+        """Mean records per columnar leaf group (the §4.6 point-lookup unit)."""
+        if self.columnar_groups <= 0:
+            return float(self.disk_record_count or 1)
+        return self.disk_record_count / self.columnar_groups
+
+    def average_page_records(self) -> float:
+        """Mean records per row-layout data page (the row point-lookup unit)."""
+        if self.row_data_pages <= 0:
+            return float(self.disk_record_count or 1)
+        return self.disk_record_count / self.row_data_pages
+
+    # -- column access -----------------------------------------------------------------
+    def column(self, path) -> Optional[ColumnStatistics]:
+        """Merged statistics for a column, or None when never observed.
+
+        Args:
+            path: A dotted string ("user.name") or a
+                :class:`~repro.model.path.FieldPath`; array steps are
+                stripped, matching how statistics are keyed.
+        """
+        return self.columns.get(_dotted(path))
+
+    def estimate_predicate_selectivity(self, predicate, record_count: Optional[int] = None) -> float:
+        """Estimated fraction of records passing one pushed-down predicate.
+
+        Args:
+            predicate: A :class:`~repro.query.pushdown.ColumnPredicate`.
+            record_count: Denominator override (defaults to
+                :attr:`record_count`).
+
+        Returns:
+            A fraction in ``[0, 1]``; the per-operator default when the
+            column has no statistics.
+        """
+        total = self.record_count if record_count is None else record_count
+        stats = self.column(predicate.path)
+        if stats is None or total <= 0:
+            return DEFAULT_OP_SELECTIVITY.get(predicate.op, 0.5)
+        return stats.value_fraction(predicate.op, predicate.value, total)
+
+    def estimate_selectivity(self, predicates: Sequence) -> float:
+        """Combined selectivity of a conjunction of pushed predicates.
+
+        Range predicates on the *same* column are intersected into one
+        ``[low, high]`` interval and estimated with a single histogram query —
+        multiplying ``P(x >= low)`` by ``P(x <= high)`` under independence
+        would wildly overestimate narrow ranges.  Distinct columns multiply
+        (independence assumed, as everywhere in textbook cost models).
+        """
+        by_path: Dict[str, List] = {}
+        selectivity = 1.0
+        for predicate in predicates:
+            if predicate.op in ("<", "<=", ">", ">=", "=="):
+                by_path.setdefault(_dotted(predicate.path), []).append(predicate)
+            else:
+                selectivity *= self.estimate_predicate_selectivity(predicate)
+        for path, group in by_path.items():
+            if len(group) == 1:
+                selectivity *= self.estimate_predicate_selectivity(group[0])
+                continue
+            selectivity *= self._combined_range_selectivity(path, group)
+        return selectivity
+
+    def _combined_range_selectivity(self, path: str, predicates: List) -> float:
+        stats = self.columns.get(path)
+        total = self.record_count
+        if stats is None or total <= 0:
+            # No statistics: a both-sided range defaults tighter than the
+            # one-sided per-op default would compound to.
+            return 0.25 if len(predicates) > 1 else DEFAULT_OP_SELECTIVITY.get(
+                predicates[0].op, 0.5
+            )
+        bounds = intersect_predicate_bounds(predicates)
+        if bounds is None:
+            return 0.0  # cross-type conjunction: unsatisfiable
+        low, high = bounds
+        equalities = [p for p in predicates if p.op == "=="]
+        if equalities:
+            values = {p.value for p in equalities}
+            if len(values) > 1:
+                return 0.0  # x == a AND x == b, a != b
+            return stats.value_fraction("==", equalities[0].value, total)
+        if low is not None and high is not None and not isinstance(low, str):
+            try:
+                if low > high:
+                    return 0.0
+            except TypeError:
+                pass
+        return stats.range_selectivity(low, high, total)
+
+    def describe(self) -> str:
+        """One-line summary used by ``Query.explain``."""
+        if not self.has_statistics():
+            return (
+                f"statistics: ABSENT (no flushed components; "
+                f"{self.memtable_record_count} memtable records)"
+            )
+        return (
+            f"statistics: {self.stats_component_count}/{self.component_count} "
+            f"components, ~{self.record_count} records, "
+            f"{len(self.columns)} columns, "
+            f"indexes={{{', '.join(f'{k}: {v}' for k, v in sorted(self.index_entries.items()))}}}"
+        )
+
+
+def _dotted(path) -> str:
+    """Normalize a FieldPath / dotted string to the statistics key format."""
+    steps = getattr(path, "steps", None)
+    if steps is not None:
+        return ".".join(field_name_steps(steps))
+    return str(path)
+
+
+def comparison_type_rank(value) -> int:
+    """SQL++ comparison-type bucket of a literal (matches the index order).
+
+    Values of different buckets never compare (cross-type comparisons yield
+    NULL), so bounds from different buckets make a conjunction unsatisfiable.
+    """
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 0
+    if isinstance(value, str):
+        return 2
+    return 3
+
+
+def intersect_predicate_bounds(predicates: Sequence):
+    """Fold range/equality predicates on one column into ``(low, high)``.
+
+    Args:
+        predicates: ``ColumnPredicate``s with ops in ``==/</<=/>/>=``.
+
+    Returns:
+        ``(low, high)`` (either side possibly None = open), or None when the
+        conjunction is unsatisfiable — bounds of different comparison-type
+        buckets (``x > 5 AND x > 'm'``, ``x == True AND x >= 1``) can never
+        both hold, since cross-type comparisons are NULL.  Type-guarding here
+        is what keeps the fold itself from raising TypeError on ``max(5,
+        'm')``.
+    """
+    low = None
+    high = None
+    for predicate in predicates:
+        p_low, p_high = predicate.bounds()
+        if p_low is not None:
+            if low is not None and comparison_type_rank(low) != comparison_type_rank(p_low):
+                return None
+            low = p_low if low is None else max(low, p_low)
+        if p_high is not None:
+            if high is not None and comparison_type_rank(high) != comparison_type_rank(p_high):
+                return None
+            high = p_high if high is None else min(high, p_high)
+    if (
+        low is not None
+        and high is not None
+        and comparison_type_rank(low) != comparison_type_rank(high)
+    ):
+        return None
+    return low, high
+
+
+def collect_dataset_statistics(dataset) -> DatasetStatistics:
+    """Aggregate component-level statistics for one dataset.
+
+    Walks every partition's component stack and merges the column statistics
+    each component recorded when it was built; no data pages are read.  Called
+    (and cached) by :meth:`repro.store.dataset.Dataset.statistics`.
+
+    Args:
+        dataset: A :class:`repro.store.dataset.Dataset`.
+
+    Returns:
+        A fresh :class:`DatasetStatistics` snapshot.
+    """
+    statistics = DatasetStatistics(dataset=dataset.name)
+    merged: Dict[str, ColumnStatistics] = {}
+    for partition in dataset.partitions:
+        statistics.memtable_record_count += len(partition.memtable)
+        for component in partition.components:
+            statistics.component_count += 1
+            statistics.disk_record_count += component.metadata.record_count
+            statistics.disk_antimatter_count += component.metadata.antimatter_count
+            groups = getattr(component, "groups", None)
+            if groups is not None:
+                statistics.columnar_groups += len(groups)
+            else:
+                pages = component.metadata.extra.get("metadata_pages", 1)
+                statistics.row_data_pages += max(0, component.num_pages - pages)
+            if component.metadata.column_stats:
+                statistics.stats_component_count += 1
+            for path, stats in component.metadata.column_stats.items():
+                existing = merged.get(path)
+                merged[path] = stats if existing is None else existing.merge(stats)
+    statistics.columns = merged
+    statistics.index_entries = {
+        name: index.entry_count for name, index in dataset.secondary_indexes.items()
+    }
+    return statistics

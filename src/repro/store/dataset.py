@@ -79,6 +79,8 @@ class Dataset:
         self.primary_key_index: Optional[PrimaryKeyIndex] = None
         self.records_ingested = 0
         self.point_lookups_performed = 0
+        #: (version, DatasetStatistics) cache for :meth:`statistics`.
+        self._statistics_cache = None
 
     # -- indexes -----------------------------------------------------------------------
     def create_secondary_index(self, name: str, path: str) -> SecondaryIndex:
@@ -176,19 +178,63 @@ class Dataset:
     def count(self) -> int:
         return sum(partition.count() for partition in self.partitions)
 
-    def point_lookup(self, key) -> Optional[dict]:
-        return self._partition_for(key).point_lookup(key)
+    def point_lookup(self, key, fields: Optional[Sequence[str]] = None) -> Optional[dict]:
+        """Newest version of ``key`` (None when absent/deleted).
+
+        ``fields`` optionally projects the lookup: columnar layouts then
+        decode only the needed columns of the leaf holding the key.
+        """
+        return self._partition_for(key).point_lookup(key, fields)
 
     def fetch_many(self, keys: Sequence, fields: Optional[Sequence[str]] = None) -> List[dict]:
-        """Batched point lookups: keys are sorted first, as in §4.6."""
+        """Sorted, batched point lookups (§4.6).
+
+        Keys are sorted first so consecutive lookups hit the same leaf pages
+        through the buffer cache; each lookup itself still pays the per-leaf
+        key search and (projected) column decode — the cost the optimizer's
+        index-fetch plans are charged for.
+        """
         documents = []
         for key in sorted(keys):
-            document = self.point_lookup(key)
+            document = self.point_lookup(key, fields)
             if document is not None:
                 documents.append(document)
         return documents
 
     # -- statistics -----------------------------------------------------------------------------
+    def statistics(self):
+        """Dataset-level statistics for the cost-based optimizer.
+
+        Aggregates the per-component column statistics (collected at
+        flush/merge time) across every partition, plus record/group/page
+        counts and secondary-index entry counts.  The result is cached and
+        recomputed only when a flush, merge, or index spill changes the
+        on-disk state — never per insert, and never by reading data pages.
+        Memtable and index-buffer counts in the snapshot may therefore lag
+        behind by up to one memory component; the optimizer only consumes
+        them as estimates.
+
+        Returns:
+            A :class:`repro.query.stats.DatasetStatistics`.
+        """
+        # Imported lazily: the store layer otherwise stays independent of the
+        # query layer (same pattern as Query.build_plan's pushdown import).
+        from ..query.stats import collect_dataset_statistics
+
+        version = (
+            tuple((p.flush_count, p.merge_count) for p in self.partitions),
+            tuple(sorted(
+                (name, index.run_count)
+                for name, index in self.secondary_indexes.items()
+            )),
+        )
+        cached = self._statistics_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        statistics = collect_dataset_statistics(self)
+        self._statistics_cache = (version, statistics)
+        return statistics
+
     def storage_size_bytes(self, include_indexes: bool = True) -> int:
         total = sum(partition.storage_size_bytes() for partition in self.partitions)
         if include_indexes:

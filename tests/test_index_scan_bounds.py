@@ -1,0 +1,203 @@
+"""Index-scan bound edge cases (ISSUE 2 satellite).
+
+Covers open low/high bounds, MISSING-valued fields, anti-mattered
+(updated/deleted) entries straddling a range boundary, and the optimizer's
+fallback behaviour when statistics are absent — all compared against the
+full-scan ground truth so the index path can never silently diverge.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import Field, Query, Var
+from repro.query.plan import DataScanNode
+from repro.store import Datastore, StoreConfig
+
+
+def make_store(**overrides) -> Datastore:
+    defaults = dict(
+        page_size=16 * 1024,
+        memory_component_budget=48 * 1024,
+        partitions_per_node=1,
+    )
+    defaults.update(overrides)
+    return Datastore(StoreConfig(**defaults))
+
+
+def build_dataset(store, layout="amax", n=100):
+    dataset = store.create_dataset("d", layout=layout)
+    dataset.create_secondary_index("score", "score")
+    documents = []
+    for i in range(n):
+        document = {"id": i, "score": i, "tag": f"t{i % 5}"}
+        if i % 10 == 9:
+            del document["score"]  # MISSING at the indexed path
+        documents.append(document)
+    dataset.insert_many(documents)
+    dataset.flush_all()
+    return dataset
+
+
+def index_keys(store, low, high):
+    rows = (
+        Query("d", "t")
+        .use_index("score", low, high)
+        .select([("id", Field(Var("t"), "id"))])
+        .execute(store)
+    )
+    return sorted(row["id"] for row in rows)
+
+
+def scan_keys(store, low, high):
+    query = Query("d", "t")
+    if low is not None:
+        query.where(Field(Var("t"), "score") >= low)
+    if high is not None:
+        query.where(Field(Var("t"), "score") <= high)
+    rows = query.select([("id", Field(Var("t"), "id"))]).execute(store)
+    return sorted(row["id"] for row in rows)
+
+
+class TestOpenBounds:
+    def test_open_low(self):
+        store = make_store()
+        build_dataset(store)
+        assert index_keys(store, None, 10) == scan_keys(store, None, 10)
+
+    def test_open_high(self):
+        store = make_store()
+        build_dataset(store)
+        assert index_keys(store, 90, None) == scan_keys(store, 90, None)
+
+    def test_both_open_returns_every_indexed_record(self):
+        store = make_store()
+        build_dataset(store)
+        # A fully open index range covers every record with a *present*
+        # score; the equivalent scan predicate is score >= min.
+        assert index_keys(store, None, None) == scan_keys(store, 0, None)
+
+    def test_empty_range(self):
+        store = make_store()
+        build_dataset(store)
+        assert index_keys(store, 50, 40) == []
+
+
+class TestMissingValues:
+    def test_missing_fields_are_never_indexed(self):
+        store = make_store()
+        build_dataset(store, n=100)
+        keys = index_keys(store, None, None)
+        assert all(key % 10 != 9 for key in keys)
+        assert len(keys) == 90
+
+    def test_missing_matches_scan_semantics(self):
+        # MISSING never satisfies a range predicate, so index and scan agree.
+        store = make_store()
+        build_dataset(store)
+        assert index_keys(store, 0, 99) == scan_keys(store, 0, 99)
+
+
+@pytest.mark.parametrize("layout", ["vector", "amax"])
+class TestAntimatterAtRangeBoundary:
+    """Updated/deleted entries whose old and new values straddle a boundary."""
+
+    def test_update_moves_value_across_the_boundary(self, layout):
+        store = make_store()
+        dataset = build_dataset(store, layout=layout)
+        # Records 48..52 straddle the [0, 50] boundary.  Move 49 out of the
+        # range and 60 into it; the stale entries must be anti-mattered.
+        dataset.insert({"id": 49, "score": 1000, "tag": "moved-out"})
+        dataset.insert({"id": 60, "score": 50, "tag": "moved-in"})
+        dataset.flush_all()
+        keys = index_keys(store, 0, 50)
+        assert 49 not in keys
+        assert 60 in keys
+        assert keys == scan_keys(store, 0, 50)
+
+    def test_update_within_the_range_does_not_duplicate(self, layout):
+        store = make_store()
+        dataset = build_dataset(store, layout=layout)
+        dataset.insert({"id": 50, "score": 50, "tag": "updated"})  # same value
+        dataset.insert({"id": 48, "score": 49, "tag": "shifted"})  # new value in range
+        dataset.flush_all()
+        keys = index_keys(store, 40, 50)
+        assert keys.count(50) == 1 and keys.count(48) == 1
+        assert keys == scan_keys(store, 40, 50)
+
+    def test_delete_at_the_boundary(self, layout):
+        store = make_store()
+        dataset = build_dataset(store, layout=layout)
+        dataset.delete(50)  # exactly the inclusive high bound
+        dataset.delete(0)   # exactly the inclusive low bound
+        dataset.flush_all()
+        keys = index_keys(store, 0, 50)
+        assert 50 not in keys and 0 not in keys
+        assert keys == scan_keys(store, 0, 50)
+
+    def test_boundary_churn_before_flush(self, layout):
+        # Anti-matter still buffered in the index (no flush) must shadow the
+        # spilled entries underneath.
+        store = make_store()
+        dataset = build_dataset(store, layout=layout)
+        dataset.insert({"id": 50, "score": 51, "tag": "nudged-out"})
+        dataset.delete(49)
+        keys = index_keys(store, 0, 50)
+        assert 50 not in keys and 49 not in keys
+        assert keys == scan_keys(store, 0, 50)
+
+
+class TestBoolIntIdentity:
+    def test_update_between_int_and_bool_values(self):
+        # 1 == True in Python, but they are distinct index values: the
+        # anti-matter for value 1 must not collide with the insert of True
+        # during the flush dedup or search reconciliation.
+        from repro.index import SecondaryIndex
+        from repro.storage.device import StorageDevice
+
+        index = SecondaryIndex("ix", "v", StorageDevice())
+        index.insert(1, "pk")
+        index.flush()
+        index.delete(1, "pk")   # the record's value changed 1 -> True
+        index.insert(True, "pk")
+        index.flush()
+        assert index.search_range(0.5, 1.5) == []  # numeric 1 is gone
+        assert index.search_range(True, True) == ["pk"]
+
+
+class TestOptimizerFallbackWithoutStatistics:
+    def test_fresh_dataset_scans_and_is_correct(self):
+        store = make_store(memory_component_budget=8 * 1024 * 1024)
+        dataset = store.create_dataset("d", layout="amax")
+        dataset.create_secondary_index("score", "score")
+        dataset.insert_many(
+            [{"id": i, "score": i} for i in range(40)], auto_flush=False
+        )
+        query = (
+            Query("d", "t")
+            .where(Field(Var("t"), "score") >= 5)
+            .where(Field(Var("t"), "score") <= 9)
+            .count()
+        )
+        plan = query.optimized_plan(store)
+        assert isinstance(plan.source, DataScanNode)
+        assert plan.optimizer is not None
+        assert "no statistics" in plan.optimizer.chosen.reason
+        assert query.execute(store) == [{"count": 5}]
+
+    def test_statistics_arrive_after_first_flush(self):
+        store = make_store()
+        dataset = store.create_dataset("d", layout="amax")
+        dataset.create_secondary_index("score", "score")
+        dataset.insert_many([{"id": i, "score": i} for i in range(200)])
+        assert not dataset.statistics().has_statistics() or dataset.statistics().stats_component_count > 0
+        dataset.flush_all()
+        assert dataset.statistics().has_statistics()
+        query = (
+            Query("d", "t")
+            .where(Field(Var("t"), "score") >= 5)
+            .where(Field(Var("t"), "score") <= 6)
+            .count()
+        )
+        plan = query.optimized_plan(store)
+        assert plan.source.__class__.__name__ == "IndexScanNode"

@@ -1,0 +1,463 @@
+"""Unit tests for the statistics subsystem and the cost-based optimizer.
+
+Covers the ISSUE 2 tentpole: histogram/sketch estimation, per-component
+collection at flush and merge time, dataset-level aggregation and caching,
+access-path selection (scan vs index-fetch vs index-only), forced paths, and
+the no-statistics fallback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import Field, Query, Var
+from repro.query.optimizer import PATH_INDEX_FETCH, PATH_INDEX_ONLY, PATH_SCAN
+from repro.query.plan import DataScanNode, FilterNode, IndexScanNode
+from repro.storage.stats import (
+    ColumnStatisticsBuilder,
+    DistinctCountSketch,
+    EquiWidthHistogram,
+)
+from repro.store import Datastore, StoreConfig
+
+
+def small_store(**overrides) -> Datastore:
+    defaults = dict(
+        page_size=16 * 1024,
+        memory_component_budget=48 * 1024,
+        partitions_per_node=1,
+    )
+    defaults.update(overrides)
+    return Datastore(StoreConfig(**defaults))
+
+
+def docs(n, offset=0):
+    return [
+        {"id": i + offset, "score": i + offset, "tag": f"t{(i + offset) % 7}"}
+        for i in range(n)
+    ]
+
+
+# ======================================================================================
+# Statistics primitives
+# ======================================================================================
+
+
+class TestHistogram:
+    def test_range_fraction_accuracy(self):
+        histogram = EquiWidthHistogram.build(list(range(1000)), buckets=50)
+        assert histogram.range_fraction(0, 999) == pytest.approx(1.0)
+        assert histogram.range_fraction(0, 99) == pytest.approx(0.1, abs=0.02)
+        assert histogram.range_fraction(900, None) == pytest.approx(0.1, abs=0.02)
+        assert histogram.range_fraction(2000, 3000) == 0.0
+
+    def test_single_value_histogram(self):
+        histogram = EquiWidthHistogram.build([5, 5, 5])
+        assert histogram.range_fraction(5, 5) == 1.0
+        assert histogram.range_fraction(6, None) == 0.0
+
+    def test_merge_rebuckets(self):
+        left = EquiWidthHistogram.build(list(range(0, 500)), buckets=20)
+        right = EquiWidthHistogram.build(list(range(500, 1000)), buckets=20)
+        merged = left.merge(right)
+        assert merged.total == 1000
+        assert merged.range_fraction(0, 499) == pytest.approx(0.5, abs=0.08)
+
+    def test_roundtrip(self):
+        histogram = EquiWidthHistogram.build(list(range(100)))
+        clone = EquiWidthHistogram.from_dict(histogram.as_dict())
+        assert clone.counts == histogram.counts
+        assert (clone.low, clone.high) == (histogram.low, histogram.high)
+
+
+class TestDistinctSketch:
+    def test_estimate_and_merge(self):
+        left, right = DistinctCountSketch(), DistinctCountSketch()
+        for i in range(200):
+            left.add(f"v{i}")
+        for i in range(100, 300):
+            right.add(f"v{i}")
+        assert left.estimate() == pytest.approx(200, rel=0.15)
+        merged = left.merge(right)
+        assert merged.estimate() == pytest.approx(300, rel=0.15)
+
+    def test_deterministic_across_instances(self):
+        a, b = DistinctCountSketch(), DistinctCountSketch()
+        a.add("hello")
+        b.add("hello")
+        assert a.bitmap == b.bitmap  # CRC-based, not salted Python hash
+
+
+class TestColumnStatisticsBuilder:
+    def test_mixed_types_and_selectivity(self):
+        builder = ColumnStatisticsBuilder("x")
+        for i in range(90):
+            builder.observe(i)
+        for i in range(10):
+            builder.observe(f"s{i}")
+        stats = builder.finish()
+        assert stats.count == 100
+        assert stats.numeric_count == 90 and stats.string_count == 10
+        # Range selectivity scales by the numeric share.
+        assert stats.range_selectivity(0, 89, 100) == pytest.approx(0.9, abs=0.05)
+        assert stats.value_fraction("==", "s1", 100) > 0
+        assert stats.value_fraction("==", 1e9, 100) == 0.0  # outside min/max
+
+
+# ======================================================================================
+# Collection at flush/merge + aggregation
+# ======================================================================================
+
+
+@pytest.mark.parametrize("layout", ["open", "vector", "apax", "amax"])
+class TestComponentCollection:
+    def test_flush_collects_column_stats(self, layout):
+        store = small_store()
+        dataset = store.create_dataset("d", layout=layout)
+        dataset.insert_many(docs(200))
+        dataset.flush_all()
+        components = dataset.partitions[0].components
+        assert components, "flush should create a component"
+        stats = components[0].metadata.column_stats
+        assert "score" in stats and "tag" in stats
+        assert stats["score"].histogram is not None
+        assert stats["tag"].string_count > 0
+
+    def test_merge_recomputes_stats(self, layout):
+        store = small_store(memory_component_budget=16 * 1024, max_tolerable_components=2)
+        dataset = store.create_dataset("d", layout=layout)
+        dataset.insert_many(docs(800))
+        dataset.flush_all()
+        partition = dataset.partitions[0]
+        assert partition.merge_count > 0, "the tiering policy should have merged"
+        merged_stats = partition.components[-1].metadata.column_stats
+        assert "score" in merged_stats
+        assert merged_stats["score"].count > 0
+
+    def test_dataset_statistics_aggregate(self, layout):
+        store = small_store()
+        dataset = store.create_dataset("d", layout=layout)
+        dataset.create_secondary_index("score", "score")
+        dataset.insert_many(docs(300))
+        dataset.flush_all()
+        statistics = dataset.statistics()
+        assert statistics.has_statistics()
+        assert statistics.record_count >= 300
+        assert statistics.index_entries["score"] == 300
+        column = statistics.column("score")
+        assert column is not None
+        assert column.min_value == 0 and column.max_value == 299
+
+
+class TestStatisticsCache:
+    def test_cache_invalidated_by_flush(self):
+        store = small_store()
+        dataset = store.create_dataset("d", layout="amax")
+        dataset.insert_many(docs(100))
+        dataset.flush_all()
+        first = dataset.statistics()
+        assert dataset.statistics() is first  # cached
+        dataset.insert_many(docs(100, offset=100))
+        dataset.flush_all()
+        second = dataset.statistics()
+        assert second is not first
+        assert second.record_count > first.record_count
+
+
+# ======================================================================================
+# Access-path selection
+# ======================================================================================
+
+
+def loaded_store(layout="amax", n=600, index=True):
+    store = small_store()
+    dataset = store.create_dataset("d", layout=layout)
+    if index:
+        dataset.create_secondary_index("score", "score")
+    dataset.insert_many(docs(n))
+    dataset.flush_all()
+    return store, dataset
+
+
+def fetch_query(low, high):
+    return (
+        Query("d", "t")
+        .where(Field(Var("t"), "score") >= low)
+        .where(Field(Var("t"), "score") <= high)
+        .select([("tag", Field(Var("t"), "tag"))])
+    )
+
+
+def count_query(low, high):
+    return (
+        Query("d", "t")
+        .where(Field(Var("t"), "score") >= low)
+        .where(Field(Var("t"), "score") <= high)
+        .count()
+    )
+
+
+class TestAccessPathSelection:
+    def test_low_selectivity_fetch_uses_index(self):
+        store, _ = loaded_store()
+        plan = fetch_query(10, 11).optimized_plan(store)
+        assert isinstance(plan.source, IndexScanNode)
+        assert plan.optimizer.chosen.kind == PATH_INDEX_FETCH
+        # Residual filters are retained on the fetch path.
+        assert any(isinstance(op, FilterNode) for op in plan.pipeline)
+
+    def test_high_selectivity_fetch_uses_scan(self):
+        store, _ = loaded_store()
+        plan = fetch_query(0, 500).optimized_plan(store)
+        assert isinstance(plan.source, DataScanNode)
+        assert plan.optimizer.chosen.kind == PATH_SCAN
+
+    def test_covered_count_uses_index_only(self):
+        store, _ = loaded_store()
+        plan = count_query(10, 20).optimized_plan(store)
+        assert isinstance(plan.source, IndexScanNode)
+        assert plan.source.keys_only
+        assert plan.optimizer.chosen.kind == PATH_INDEX_ONLY
+        # The subsumed filters were removed — key-only rows carry no fields.
+        assert plan.pipeline == []
+
+    def test_strict_bounds_widen_and_block_index_only(self):
+        # ``x > 9`` can be satisfied by 9.5 on a dynamically-typed column, so
+        # strict bounds widen to the inclusive value (residual filter drops
+        # the over-fetch) and are never eligible for a keys-only plan.
+        store, dataset = loaded_store()
+        dataset.insert({"id": 5000, "score": 9.5, "tag": "fractional"})
+        dataset.flush_all()
+        query = (
+            Query("d", "t")
+            .where(Field(Var("t"), "score") > 9)
+            .where(Field(Var("t"), "score") < 21)
+            .count()
+        )
+        plan = query.optimized_plan(store)
+        kinds = {candidate.kind for candidate in plan.optimizer.candidates}
+        assert PATH_INDEX_ONLY not in kinds
+        if isinstance(plan.source, IndexScanNode):
+            assert plan.source.low == 9 and plan.source.high == 21  # widened
+        rows = query.execute(store)
+        assert rows == query.force_scan().execute(store) == [{"count": 12}]
+
+    def test_plain_where_query_is_never_rewritten_to_keys_only(self):
+        # Without a row-replacing breaker the source rows ARE the output; a
+        # keys-only rewrite would silently truncate them to the primary key.
+        store, _ = loaded_store()
+        query = Query("d", "t").where(Field(Var("t"), "score") == 5)
+        plan = query.optimized_plan(store)
+        kinds = {candidate.kind for candidate in plan.optimizer.candidates}
+        assert PATH_INDEX_ONLY not in kinds
+        rows = query.execute(store)
+        baseline = Query("d", "t").where(Field(Var("t"), "score") == 5).execute(
+            store, optimize=False
+        )
+        assert rows == baseline
+        assert rows[0]["t"]["score"] == 5  # full document, not key-only
+
+    def test_limit_before_aggregate_blocks_keys_only(self):
+        store, _ = loaded_store()
+        query = (
+            Query("d", "t")
+            .where(Field(Var("t"), "score") >= 10)
+            .where(Field(Var("t"), "score") <= 20)
+            .limit(5)
+            .count()
+        )
+        plan = query.optimized_plan(store)
+        kinds = {candidate.kind for candidate in plan.optimizer.candidates}
+        assert PATH_INDEX_ONLY not in kinds  # LIMIT passes raw rows through
+        assert query.execute(store) == query.force_scan().execute(store)
+
+    def test_cross_type_bounds_are_unsatisfiable_not_a_crash(self):
+        store, _ = loaded_store()
+        query = (
+            Query("d", "t")
+            .where(Field(Var("t"), "score") > 5)
+            .where(Field(Var("t"), "score") > "m")
+            .count()
+        )
+        rows = query.execute(store)  # must not raise TypeError
+        assert rows == [{"count": 0}]
+        assert rows == query.execute(store, optimize=False)
+
+    def test_cross_type_equality_and_range_count_zero(self):
+        store, dataset = loaded_store()
+        dataset.insert_many(
+            [{"id": 10_000 + i, "score": True, "tag": "b"} for i in range(20)]
+        )
+        dataset.flush_all()
+        # True >= 1 is NULL under SQL++ cross-type comparison, so the
+        # conjunction is unsatisfiable; a naive bound fold would keys-only
+        # count every score == True record.
+        query = (
+            Query("d", "t")
+            .where(Field(Var("t"), "score") == True)  # noqa: E712
+            .where(Field(Var("t"), "score") >= 1)
+            .count()
+        )
+        assert query.execute(store) == query.execute(store, optimize=False) == [
+            {"count": 0}
+        ]
+
+    def test_bool_and_int_equality_predicates_are_distinct(self):
+        # ColumnPredicate identity is type-aware: x == True and x == 1 must
+        # not dedup/subsume into one predicate (1 == True in Python), or the
+        # unsatisfiable conjunction would be "fully covered" by the index.
+        store, dataset = loaded_store()
+        dataset.insert_many(
+            [{"id": 20_000 + i, "score": True, "tag": "b"} for i in range(50)]
+        )
+        dataset.flush_all()
+        query = (
+            Query("d", "t")
+            .where(Field(Var("t"), "score") == True)  # noqa: E712
+            .where(Field(Var("t"), "score") == 1)
+            .count()
+        )
+        plan = query.optimized_plan(store)
+        spec = None
+        for candidate in plan.optimizer.candidates:
+            if candidate.kind == PATH_SCAN:
+                spec = candidate.plan.source.pushdown
+        assert len(spec.predicates) == 2  # both conjuncts survived extraction
+        assert query.execute(store) == query.force_scan().execute(store) == [
+            {"count": 0}
+        ]
+
+    def test_extra_predicate_blocks_index_only_but_not_fetch(self):
+        store, _ = loaded_store()
+        query = (
+            Query("d", "t")
+            .where(Field(Var("t"), "score") >= 10)
+            .where(Field(Var("t"), "score") <= 12)
+            .where(Field(Var("t"), "tag") == "t3")
+            .count()
+        )
+        plan = query.optimized_plan(store)
+        kinds = {candidate.kind for candidate in plan.optimizer.candidates}
+        assert PATH_INDEX_ONLY not in kinds  # tag predicate is not covered
+        assert PATH_INDEX_FETCH in kinds
+        rows = query.execute(store)
+        assert rows == query.force_scan().execute(store)
+
+    def test_results_identical_across_paths_with_updates_and_deletes(self):
+        store, dataset = loaded_store()
+        # Move some records out of / into the range, delete others.
+        for i in range(100, 110):
+            dataset.insert({"id": i, "score": i + 5000, "tag": "moved"})
+        for i in range(110, 115):
+            dataset.delete(i)
+        dataset.flush_all()
+        query = fetch_query(95, 130)
+        optimized = query.execute(store)
+        scanned = fetch_query(95, 130).force_scan().execute(store)
+        manual = Query("d", "t").use_index("score", 95, 130).select(
+            [("tag", Field(Var("t"), "tag"))]
+        ).execute(store)
+        key = lambda rows: sorted(str(row) for row in rows)
+        assert key(optimized) == key(scanned) == key(manual)
+
+
+class TestForcedPaths:
+    def test_use_index_bypasses_optimizer(self):
+        store, _ = loaded_store()
+        query = Query("d", "t").use_index("score", 0, 500).count()
+        plan = query.optimized_plan(store)
+        assert isinstance(plan.source, IndexScanNode)
+        assert not plan.source.keys_only  # legacy manual plan fetches records
+        assert plan.optimizer is None
+
+    def test_force_scan_keeps_scan_and_reports_rejections(self):
+        store, _ = loaded_store()
+        query = count_query(10, 11).force_scan()
+        plan = query.optimized_plan(store)
+        assert isinstance(plan.source, DataScanNode)
+        report = plan.optimizer
+        assert report.chosen.kind == PATH_SCAN
+        assert "forced" in report.chosen.reason
+        assert any("rejected" in candidate.reason for candidate in report.candidates[1:])
+
+
+class TestFallbacks:
+    def test_no_statistics_falls_back_to_scan(self):
+        # Fresh dataset: records only in the memtable, nothing flushed.
+        store = small_store(memory_component_budget=8 * 1024 * 1024)
+        dataset = store.create_dataset("d", layout="amax")
+        dataset.create_secondary_index("score", "score")
+        dataset.insert_many(docs(50), auto_flush=False)
+        query = count_query(1, 2)
+        plan = query.optimized_plan(store)
+        assert isinstance(plan.source, DataScanNode)
+        assert "no statistics" in plan.optimizer.chosen.reason
+        assert query.execute(store) == [{"count": 2}]
+
+    def test_heterogeneous_index_column_stays_correct(self):
+        # Half the records hold a string at the indexed path: the type-ranked
+        # index order keeps the runs sortable, a numeric range matches only
+        # numeric values (cross-type comparisons are NULL), and every access
+        # path agrees.
+        store = small_store()
+        dataset = store.create_dataset("d", layout="amax")
+        dataset.create_secondary_index("score", "score")
+        mixed = docs(100)
+        for i, document in enumerate(mixed):
+            if i % 2:
+                document["score"] = f"s{i}"
+        dataset.insert_many(mixed)
+        dataset.flush_all()
+        query = count_query(10, 20)
+        rows = query.execute(store)
+        assert rows == count_query(10, 20).force_scan().execute(store)
+        assert rows == [{"count": 6}]  # even scores 10..20 only
+        manual = Query("d", "t").use_index("score", 10, 20).count().execute(store)
+        assert manual == rows
+
+    def test_no_index_means_plain_scan_report(self):
+        store, _ = loaded_store(index=False)
+        plan = count_query(1, 2).optimized_plan(store)
+        assert plan.optimizer.chosen.kind == PATH_SCAN
+
+
+class TestExplain:
+    def test_explain_without_store_is_logical_only(self):
+        text = count_query(1, 2).explain()
+        assert "OPTIMIZER" not in text and "SCAN" in text
+
+    def test_explain_with_store_reports_costs_and_alternatives(self):
+        store, _ = loaded_store()
+        text = count_query(10, 20).explain(store)
+        assert "OPTIMIZER" in text
+        assert "est cost" in text and "rejected" in text
+        assert "index-only" in text
+
+    def test_explain_analyze_reports_actual_rows(self):
+        store, _ = loaded_store()
+        text = fetch_query(10, 20).explain(store, analyze=True)
+        assert "actual rows: source=11" in text
+
+    def test_explain_analyze_runs_the_rejected_scan_for_real(self):
+        # The scan candidate must keep its own plan: when an index path wins,
+        # analyze still has to execute a genuine scan (row layouts emit every
+        # record from the source), not re-run the winner under another name.
+        store, _ = loaded_store(layout="open", n=400)
+        plan = count_query(10, 12).optimized_plan(store)
+        report = plan.optimizer
+        assert report.chosen.kind == PATH_INDEX_ONLY
+        from repro.query.optimizer import analyze_candidates
+
+        analyze_candidates(store, report)
+        scan = next(c for c in report.candidates if c.kind == PATH_SCAN)
+        assert scan.actual_source_rows == 400  # full row-layout scan
+        assert scan.actual_result_rows == 3
+        assert scan.estimated_source_rows == 400  # row layouts never pre-filter
+        assert report.chosen.actual_source_rows == 3
+
+    def test_optimizer_overhead_reuses_cached_statistics(self):
+        store, dataset = loaded_store()
+        count_query(10, 20).optimized_plan(store)
+        first = dataset.statistics()
+        count_query(30, 40).optimized_plan(store)
+        assert dataset.statistics() is first

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker for the docs CI job.
+
+Validates every markdown link and image reference in the given files or
+directories:
+
+* relative file links must resolve to an existing file or directory
+  (relative to the containing file);
+* ``#anchor`` fragments must match a heading slug in the target file
+  (GitHub-style slugification);
+* ``http(s)``/``mailto`` links are syntax-checked only — the job stays
+  offline and deterministic.
+
+Usage::
+
+    python tools/check_links.py README.md CHANGES.md docs
+
+Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: ``[text](target)`` links and ``![alt](target)`` images; stops at the first
+#: closing paren, which is fine for the plain links this repo uses.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub-style anchor slug for a heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    return slug.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set:
+    text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    slugs = set()
+    for match in HEADING_RE.finditer(text):
+        base = github_slug(match.group(1))
+        slug, suffix = base, 0
+        while slug in slugs:  # duplicate headings get -1, -2, ...
+            suffix += 1
+            slug = f"{base}-{suffix}"
+        slugs.add(slug)
+    return slugs
+
+
+def check_file(path: Path) -> list:
+    errors = []
+    text = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if github_slug(target[1:]) not in heading_slugs(path):
+                errors.append(f"{path}: broken anchor {target!r}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link {target!r} -> {resolved}")
+            continue
+        if anchor and resolved.is_file() and resolved.suffix == ".md":
+            if github_slug(anchor) not in heading_slugs(resolved):
+                errors.append(f"{path}: broken anchor {target!r}")
+    return errors
+
+
+def main(arguments: list) -> int:
+    files = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            print(f"error: {argument} does not exist", file=sys.stderr)
+            return 2
+    errors = []
+    for path in files:
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:] or ["README.md", "CHANGES.md", "docs"]))
