@@ -27,7 +27,7 @@ from ..core.schema import ColumnInfo, Schema
 from ..encoding import get_codec
 from ..encoding.varint import decode_uvarint, encode_uvarint
 from ..model.errors import StorageError
-from ..lsm.component import ComponentMetadata, write_metadata_pages
+from ..lsm.component import ComponentMetadata, write_component_footer
 from .base import ColumnarComponent, ColumnarComponentBuilder, ColumnGroup
 from .common import (
     PREFIX_LENGTH,
@@ -214,6 +214,24 @@ class AmaxComponent(ColumnarComponent):
         super().__init__(metadata, component_file, buffer_cache, schema, groups)
         self.codec = codec
 
+    @classmethod
+    def load(cls, metadata, component_file, buffer_cache) -> "AmaxComponent":
+        """Rebuild an AMAX component from its persisted footer (recovery)."""
+        schema = Schema.from_dict(metadata.extra["schema"])
+        codec = get_codec(metadata.extra.get("compression", "none"))
+        component = cls(metadata, component_file, buffer_cache, schema, [], codec)
+        component.groups = [
+            AmaxGroup(
+                component,
+                info["page_zero_id"],
+                info["record_count"],
+                info["min_key"],
+                info["max_key"],
+            )
+            for info in metadata.extra["groups"]
+        ]
+        return component
+
 
 class AmaxComponentBuilder(ColumnarComponentBuilder):
     """Builds AMAX components: Page 0 + size-ordered megapages per mega leaf."""
@@ -242,9 +260,8 @@ class AmaxComponentBuilder(ColumnarComponentBuilder):
         component_file = self.device.create_file(self.component_id)
         metadata = ComponentMetadata(self.component_id, LAYOUT_NAME)
         metadata.extra["schema"] = self.schema.to_dict()
+        metadata.extra["compression"] = self.compression
         metadata.column_stats = self.pending_column_stats
-        metadata_pages = write_metadata_pages(component_file, metadata)
-        metadata.extra["metadata_pages"] = metadata_pages
 
         group_infos = []
         component = AmaxComponent(
@@ -259,6 +276,7 @@ class AmaxComponentBuilder(ColumnarComponentBuilder):
                 metadata.min_key = info["min_key"]
             metadata.max_key = info["max_key"]
         metadata.extra["groups"] = group_infos
+        write_component_footer(component_file, metadata)
         component.groups = [
             AmaxGroup(
                 component,

@@ -21,7 +21,7 @@ from ..core.schema import ColumnInfo, Schema
 from ..encoding import get_codec
 from ..encoding.varint import decode_uvarint, encode_uvarint
 from ..model.errors import StorageError
-from ..lsm.component import ComponentMetadata, write_metadata_pages
+from ..lsm.component import ComponentMetadata, write_component_footer
 from .base import ColumnarComponent, ColumnarComponentBuilder, ColumnGroup
 from .common import compute_min_max, decode_column_chunk, encode_column_chunk
 
@@ -142,6 +142,25 @@ class ApaxComponent(ColumnarComponent):
         super().__init__(metadata, component_file, buffer_cache, schema, groups)
         self.codec = codec
 
+    @classmethod
+    def load(cls, metadata, component_file, buffer_cache) -> "ApaxComponent":
+        """Rebuild an APAX component from its persisted footer (recovery)."""
+        schema = Schema.from_dict(metadata.extra["schema"])
+        codec = get_codec(metadata.extra.get("compression", "none"))
+        component = cls(metadata, component_file, buffer_cache, schema, [], codec)
+        component.groups = [
+            ApaxGroup(
+                component,
+                info["page_id"],
+                info["record_count"],
+                info["min_key"],
+                info["max_key"],
+                info.get("column_min_max"),
+            )
+            for info in metadata.extra["groups"]
+        ]
+        return component
+
 
 class ApaxComponentBuilder(ColumnarComponentBuilder):
     """Builds APAX components from flush entries or from pre-shredded columns."""
@@ -176,14 +195,16 @@ class ApaxComponentBuilder(ColumnarComponentBuilder):
         component_file = self.device.create_file(self.component_id)
         metadata = ComponentMetadata(self.component_id, LAYOUT_NAME)
         metadata.extra["schema"] = self.schema.to_dict()
+        metadata.extra["compression"] = self.compression
         metadata.column_stats = self.pending_column_stats
 
         encoded_pages: List[Tuple[bytes, dict]] = []
         for group in groups:
             encoded_pages.extend(self._encode_group_recursive(group))
 
-        # Account for the schema/metadata page(s) first, then the leaf pages.
-        metadata_pages = write_metadata_pages(component_file, metadata)
+        # Leaf pages first (ids start at 0); the footer carrying the schema,
+        # the group directory, and the statistics is appended at the end once
+        # every count is known.
         group_infos = []
         for page_bytes, info in encoded_pages:
             page_id = component_file.append_page(page_bytes)
@@ -195,7 +216,7 @@ class ApaxComponentBuilder(ColumnarComponentBuilder):
                 metadata.min_key = info["min_key"]
             metadata.max_key = info["max_key"]
         metadata.extra["groups"] = group_infos
-        metadata.extra["metadata_pages"] = metadata_pages
+        write_component_footer(component_file, metadata)
 
         component = ApaxComponent(
             metadata, component_file, self.buffer_cache, self.schema.clone(), [], codec

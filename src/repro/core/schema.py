@@ -341,6 +341,14 @@ class Schema:
                 )
                 if new_item is not item:
                     node.item = new_item
+            if node.item is None:
+                # An empty array must still own a column: without a leaf below
+                # the array node there would be nowhere to record the
+                # definition level that distinguishes ``[]`` from MISSING, and
+                # the shredder would silently drop the field.  A null item
+                # behaves exactly like a ``[null]`` element type and unions
+                # with whatever element type shows up later.
+                node.item = self._create(None, level + 1, path + (ARRAY_PATH_STEP,))
             return node
         leaf = AtomicNode(level, tag)
         leaf.column = self._register_column(leaf, path)

@@ -80,6 +80,20 @@ class _Run:
             self.file.append_page(payload[start:start + page_size])
         self._values = [_order_key(entry[0]) for entry in self.entries]
 
+    @classmethod
+    def load(cls, device: StorageDevice, name: str) -> "_Run":
+        """Reopen a spilled run from its on-device pages (recovery)."""
+        run = cls.__new__(cls)
+        run.file = device.open_file(name)
+        payload = b"".join(
+            run.file.read_page(page_id) for page_id in range(run.file.num_pages)
+        )
+        run.entries = (
+            [tuple(entry) for entry in json.loads(payload)] if payload else []
+        )
+        run._values = [_order_key(entry[0]) for entry in run.entries]
+        return run
+
     def search(self, low, high) -> Iterable[tuple]:
         if low is None and high is None:
             return self.entries
@@ -277,6 +291,30 @@ class SecondaryIndex:
         self._runs = []
         self._buffer = []
 
+    # -- durability --------------------------------------------------------------------
+    def manifest_state(self) -> dict:
+        """The index's durable state, as recorded in the dataset manifest.
+
+        Only spilled runs are referenced; buffered entries are recovered by
+        replaying the WAL tail through the dataset's index-maintenance path.
+        """
+        return {
+            "name": self.name,
+            "path": list(self.path.steps),
+            "run_counter": self._run_counter,
+            "runs": [run.file.name for run in self._runs],
+        }
+
+    @classmethod
+    def restore(
+        cls, state: dict, device: StorageDevice, buffer_limit: int = 50_000
+    ) -> "SecondaryIndex":
+        """Rebuild an index from its manifest state (runs newest first)."""
+        index = cls(state["name"], tuple(state["path"]), device, buffer_limit)
+        index._run_counter = state["run_counter"]
+        index._runs = [_Run.load(device, name) for name in state["runs"]]
+        return index
+
 
 class PrimaryKeyIndex:
     """A keys-only index used to avoid point lookups for never-seen keys (§4.6)."""
@@ -327,3 +365,23 @@ class PrimaryKeyIndex:
         self._runs = []
         self._keys = set()
         self._pending = []
+
+    # -- durability --------------------------------------------------------------------
+    def manifest_state(self) -> dict:
+        return {
+            "name": self.name,
+            "run_counter": self._run_counter,
+            "runs": [run.file.name for run in self._runs],
+        }
+
+    @classmethod
+    def restore(
+        cls, state: dict, device: StorageDevice, buffer_limit: int = 100_000
+    ) -> "PrimaryKeyIndex":
+        """Rebuild the keys-only index: the in-memory key set is the union of
+        every spilled run's keys (pending keys replay from the WAL tail)."""
+        index = cls(state["name"], device, buffer_limit)
+        index._run_counter = state["run_counter"]
+        index._runs = [_Run.load(device, name) for name in state["runs"]]
+        index._keys = {entry[1] for run in index._runs for entry in run.entries}
+        return index

@@ -81,6 +81,26 @@ class ComponentMetadata:
         }
         return json.dumps(payload, default=str).encode("utf-8")
 
+    @classmethod
+    def from_json_bytes(cls, payload: bytes) -> "ComponentMetadata":
+        """Inverse of :meth:`to_json_bytes` (the recovery path)."""
+        data = json.loads(payload.decode("utf-8"))
+        return cls(
+            component_id=data["component_id"],
+            layout=data["layout"],
+            record_count=data["record_count"],
+            antimatter_count=data["antimatter_count"],
+            min_key=data["min_key"],
+            max_key=data["max_key"],
+            valid=data["valid"],
+            page_first_keys=data["page_first_keys"],
+            extra=data["extra"],
+            column_stats={
+                path: ColumnStatistics.from_dict(stats)
+                for path, stats in data["column_stats"].items()
+            },
+        )
+
 
 class ComponentCursor:
     """Iterates one component's records in key order.
@@ -185,15 +205,83 @@ class DiskComponent:
         return self.metadata.min_key <= key <= self.metadata.max_key
 
 
-def write_metadata_pages(component_file: ComponentFile, metadata: ComponentMetadata) -> int:
-    """Write the metadata page(s) and return how many pages were used."""
+#: Magic string identifying the footer trailer page of a component file.
+FOOTER_MAGIC = "repro-component-footer-v1"
+
+
+def write_component_footer(
+    component_file: ComponentFile, metadata: ComponentMetadata
+) -> int:
+    """Serialize the metadata as a footer at the end of the component file.
+
+    The footer is written *after* every data page, once the metadata is fully
+    populated (record counts, page directory, schema snapshot, column
+    statistics), so the persisted bytes are complete — the old head-of-file
+    metadata pages were written before the builders knew any of that.  Layout:
+    N payload pages followed by one small trailer page recording N, so a
+    reader can locate the footer from the file's last page alone.
+
+    Returns the number of pages written (payload pages + the trailer).
+    """
+    metadata.valid = True  # a persisted footer is the component's validity bit
     payload = metadata.to_json_bytes()
     page_size = component_file.device.page_size
     pages = 0
     for start in range(0, max(len(payload), 1), page_size):
         component_file.append_page(payload[start:start + page_size])
         pages += 1
-    return pages
+    trailer = json.dumps(
+        {"magic": FOOTER_MAGIC, "footer_pages": pages, "footer_length": len(payload)}
+    ).encode("utf-8")
+    component_file.append_page(trailer)
+    return pages + 1
+
+
+def read_component_footer(component_file: ComponentFile) -> ComponentMetadata:
+    """Read back the footer written by :func:`write_component_footer`."""
+    if component_file.num_pages == 0:
+        raise StorageError(
+            f"component file {component_file.name!r} is empty (no footer)"
+        )
+    try:
+        trailer = json.loads(component_file.read_page(component_file.num_pages - 1))
+    except ValueError as exc:
+        raise StorageError(
+            f"component file {component_file.name!r} has no readable footer trailer"
+        ) from exc
+    if not isinstance(trailer, dict) or trailer.get("magic") != FOOTER_MAGIC:
+        raise StorageError(
+            f"component file {component_file.name!r} has no footer trailer"
+        )
+    footer_pages = trailer["footer_pages"]
+    first = component_file.num_pages - 1 - footer_pages
+    payload = b"".join(
+        component_file.read_page(first + index) for index in range(footer_pages)
+    )
+    return ComponentMetadata.from_json_bytes(payload[: trailer["footer_length"]])
+
+
+def load_component(
+    component_file: ComponentFile, buffer_cache: BufferCache
+) -> "DiskComponent":
+    """Rebuild a disk component of any layout from its persisted footer."""
+    metadata = read_component_footer(component_file)
+    if not metadata.valid:
+        raise ComponentStateError(
+            f"component {metadata.component_id!r} was never marked valid"
+        )
+    if metadata.layout in ROW_LAYOUTS:
+        return RowComponent.load(metadata, component_file, buffer_cache)
+    # Imported lazily: repro.columnar imports this module at import time.
+    if metadata.layout == LAYOUT_APAX:
+        from ..columnar.apax import ApaxComponent
+
+        return ApaxComponent.load(metadata, component_file, buffer_cache)
+    if metadata.layout == LAYOUT_AMAX:
+        from ..columnar.amax import AmaxComponent
+
+        return AmaxComponent.load(metadata, component_file, buffer_cache)
+    raise StorageError(f"unknown component layout {metadata.layout!r}")
 
 
 # ======================================================================================
@@ -271,11 +359,15 @@ class RowComponentBuilder:
         }
         metadata.page_first_keys = first_keys
         metadata.extra["field_names"] = self.field_dictionary.to_dict()
-        metadata_pages = write_metadata_pages(component_file, metadata)
-        metadata.extra["metadata_pages"] = metadata_pages
+        # Data pages first (ids start at 0), footer last — the footer is only
+        # written once the metadata is complete, so a readable footer implies
+        # a complete component (crash mid-build leaves no footer, and the
+        # manifest never references the component).
         for page in data_pages:
             component_file.append_page(page)
-        metadata.extra["data_page_start"] = metadata_pages
+        metadata.extra["data_page_start"] = 0
+        metadata.extra["data_page_count"] = len(data_pages)
+        write_component_footer(component_file, metadata)
         component = RowComponent(
             metadata, component_file, self.buffer_cache, self.field_dictionary
         )
@@ -311,14 +403,26 @@ class RowComponent(DiskComponent):
         super().__init__(metadata, component_file, buffer_cache)
         self.field_dictionary = field_dictionary
 
+    # -- recovery ---------------------------------------------------------------
+    @classmethod
+    def load(
+        cls,
+        metadata: ComponentMetadata,
+        component_file: ComponentFile,
+        buffer_cache: BufferCache,
+    ) -> "RowComponent":
+        """Rebuild a row component from its footer (see :func:`load_component`)."""
+        dictionary = FieldNameDictionary.from_dict(metadata.extra["field_names"])
+        return cls(metadata, component_file, buffer_cache, dictionary)
+
     # -- reading ---------------------------------------------------------------
     @property
     def _data_page_start(self) -> int:
-        return self.metadata.extra.get("data_page_start", 1)
+        return self.metadata.extra.get("data_page_start", 0)
 
     @property
     def _num_data_pages(self) -> int:
-        return self.num_pages - self._data_page_start
+        return self.metadata.extra["data_page_count"]
 
     def _decode_page(self, data_page_index: int) -> List[Tuple[object, bool, bytes]]:
         page = self.buffer_cache.read_page(

@@ -8,9 +8,15 @@ codec lives in its own module.
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Tuple
 
 from ..model.errors import StorageError
+
+#: Identifier of the partition-routing hash scheme, recorded in dataset
+#: manifests so a reopened datastore can refuse to route with a different
+#: function than the one that placed the data.
+KEY_HASH_SCHEME = "crc32-keycodec-v1"
 
 _KEY_INT = 0
 _KEY_STRING = 1
@@ -46,3 +52,23 @@ def decode_key(data: bytes, offset: int) -> Tuple[object, int]:
 def key_sort_value(key):
     """A sort key usable for both int and str primary keys within one dataset."""
     return key
+
+
+def stable_key_hash(key) -> int:
+    """A process-stable hash of a primary key (partition routing).
+
+    The builtin ``hash`` is salted per process for strings (PYTHONHASHSEED),
+    so it must never decide data placement that outlives the process: a
+    reopened datastore would route the same key to a different partition.
+    CRC-32 over the canonical key encoding is stable across processes,
+    platforms, and Python versions.
+
+    Example:
+        >>> stable_key_hash("user-42")
+        690092174
+        >>> stable_key_hash(42) == stable_key_hash(42)
+        True
+    """
+    out = bytearray()
+    encode_key(key, out)
+    return zlib.crc32(bytes(out))

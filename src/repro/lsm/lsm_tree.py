@@ -18,7 +18,7 @@ from ..columnar.amax import AmaxComponentBuilder
 from ..columnar.apax import ApaxComponentBuilder
 from ..columnar.base import ColumnarComponent
 from ..model.errors import StorageError
-from ..rowformats.vector_format import FieldNameDictionary, encode_document
+from ..rowformats.vector_format import FieldNameDictionary
 from ..storage.buffer_cache import BufferCache
 from ..storage.device import StorageDevice
 from .component import (
@@ -84,6 +84,9 @@ class LSMTree:
         transaction_log: Optional[TransactionLog] = None,
         amax_max_records_per_leaf: int = 15000,
         amax_empty_page_tolerance: float = 0.15,
+        dataset_name: Optional[str] = None,
+        partition_id: int = 0,
+        on_disk_state_changed=None,
     ) -> None:
         if layout not in ROW_LAYOUTS + COLUMNAR_LAYOUTS:
             raise StorageError(f"unknown layout {layout!r}")
@@ -101,6 +104,17 @@ class LSMTree:
         self.field_dictionary = FieldNameDictionary()
         self.amax_max_records_per_leaf = amax_max_records_per_leaf
         self.amax_empty_page_tolerance = amax_empty_page_tolerance
+        #: WAL routing identity: records are addressed (dataset, partition).
+        self.dataset_name = dataset_name or name
+        self.partition_id = partition_id
+        #: LSN of the newest operation this partition logged (0 = none).
+        self.last_logged_lsn = 0
+        #: LSN up to which this partition's operations live in disk
+        #: components; replay after a crash starts just above it.
+        self.durable_lsn = 0
+        #: Callback fired after every flush/merge (the dataset uses it to
+        #: re-persist its manifest atomically); None for transient trees.
+        self.on_disk_state_changed = on_disk_state_changed
         self._component_counter = 0
         self.flush_count = 0
         self.merge_count = 0
@@ -108,26 +122,30 @@ class LSMTree:
     # -- ingestion --------------------------------------------------------------------
     def insert(self, key, document: dict) -> None:
         """Insert (or blindly overwrite) a record in the in-memory component."""
-        self._log(document)
+        self._log(key, document, antimatter=False)
         self.memtable.put(key, document)
 
     upsert = insert
 
     def delete(self, key) -> None:
         """Delete a record by adding an anti-matter entry."""
-        self._log(None)
+        self._log(key, None, antimatter=True)
         self.memtable.delete(key)
 
-    def _log(self, document: Optional[dict]) -> None:
+    def _log(self, key, document: Optional[dict], antimatter: bool) -> None:
         if self.transaction_log is None:
             return
-        if document is None:
-            self.transaction_log.append(24)
+        self.last_logged_lsn = self.transaction_log.log_record(
+            self.dataset_name, self.partition_id, key, document, antimatter
+        )
+
+    def apply_replayed(self, key, document: Optional[dict], antimatter: bool, lsn: int) -> None:
+        """Apply one recovered WAL record to the memtable without re-logging it."""
+        if antimatter:
+            self.memtable.delete(key)
         else:
-            # The log stores the VB-encoded record; size matters, not content.
-            self.transaction_log.append(
-                len(encode_document(document, self.field_dictionary))
-            )
+            self.memtable.put(key, document)
+        self.last_logged_lsn = max(self.last_logged_lsn, lsn)
 
     @property
     def needs_flush(self) -> bool:
@@ -144,9 +162,34 @@ class LSMTree:
         component = self._build_component(entries)
         self.components.insert(0, component)
         self.memtable.clear()
+        # Everything logged so far is now in a disk component; after a crash,
+        # replay starts just above this watermark.
+        self.durable_lsn = self.last_logged_lsn
         self.flush_count += 1
         self.maybe_merge()
+        self._notify_disk_state_changed()
         return component
+
+    def _notify_disk_state_changed(self) -> None:
+        if self.on_disk_state_changed is not None:
+            self.on_disk_state_changed(self)
+
+    # -- recovery ----------------------------------------------------------------------
+    def restore_state(
+        self,
+        components: List[DiskComponent],
+        component_counter: int,
+        flush_count: int,
+        merge_count: int,
+        durable_lsn: int,
+    ) -> None:
+        """Adopt recovered on-disk state (components newest first)."""
+        self.components = list(components)
+        self._component_counter = component_counter
+        self.flush_count = flush_count
+        self.merge_count = merge_count
+        self.durable_lsn = durable_lsn
+        self.last_logged_lsn = durable_lsn
 
     def _next_component_id(self) -> str:
         self._component_counter += 1
@@ -215,9 +258,14 @@ class LSMTree:
         position = min(window)
         survivors.insert(position, merged)
         self.components = survivors
+        self.merge_count += 1
+        # Persist the manifest that references the merged component *before*
+        # deleting the inputs: a crash in between only orphans the old files,
+        # whereas the reverse order would leave the last durable manifest
+        # pointing at deleted components and the store unopenable.
+        self._notify_disk_state_changed()
         for component in merging:
             component.destroy()
-        self.merge_count += 1
 
     def _merge_rows(
         self, merging: Sequence[DiskComponent], keep_antimatter: bool

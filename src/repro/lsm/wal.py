@@ -1,23 +1,137 @@
-"""Transaction log (write-ahead log) buffer.
+"""The write-ahead log (transaction log).
 
 Every ingested record appends a commit entry to its node's transaction log
-buffer.  The paper's ``cell`` experiment (§6.3.1) shows the log buffer is the
-ingestion bottleneck when many partitions share one node: record cardinality
-(not record size) dominates, so all four layouts ingest at the same rate, and
-splitting the partitions across more nodes (more log buffers) speeds everyone
-up.  The contention model here charges each append a base CPU cost plus a
-penalty that grows with the number of partitions sharing the buffer.
+*before* it is applied to the in-memory component, which is what makes a
+memtable recoverable: after a crash, replaying the log tail (the records whose
+LSN exceeds the per-partition durable LSN recorded in the dataset manifest)
+rebuilds exactly the un-flushed state.
+
+Two concerns live side by side here, deliberately:
+
+* **Durability** — :class:`WALRecord` and its codec serialize insert/delete
+  operations (reusing :func:`repro.rowformats.vector_format.encode_document`
+  with a record-local field-name dictionary so every record is
+  self-contained), and :class:`TransactionLog` appends the framed records to a
+  per-node :class:`~repro.storage.device.LogFile` that flushes on every
+  append.  LSNs are allocated from one :class:`LogManager`-wide counter so
+  that replay has a total order even across node logs.
+* **Cost modelling** — the paper's ``cell`` experiment (§6.3.1) shows the log
+  buffer is the ingestion bottleneck when many partitions share one node:
+  record cardinality (not record size) dominates, so all four layouts ingest
+  at the same rate, and splitting the partitions across more nodes (more log
+  buffers) speeds everyone up.  The contention model charges each append a
+  base CPU cost plus a penalty that grows with the number of partitions
+  sharing the buffer, whether or not a real file backs the log.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Callable, Dict, Iterator, List, Optional
+
+from ..encoding.varint import decode_uvarint, encode_uvarint
+from ..model.errors import StorageError
+from ..rowformats.vector_format import (
+    FieldNameDictionary,
+    decode_document,
+    encode_document,
+)
+from ..storage.device import LogFile, StorageDevice
+from .keys import decode_key, encode_key
+
+#: Operation tags inside a WAL record.
+OP_INSERT = 0
+OP_DELETE = 1
+
+
+@dataclass
+class WALRecord:
+    """One logged operation: an insert/upsert or a delete (anti-matter)."""
+
+    lsn: int
+    dataset: str
+    partition_id: int
+    antimatter: bool
+    key: object
+    document: Optional[dict] = None
+
+
+def encode_wal_record(record: WALRecord) -> bytes:
+    """Serialize one WAL record (self-contained, no shared dictionary state).
+
+    Layout (all integers uvarint unless noted)::
+
+        lsn
+        dataset-name length + UTF-8 bytes
+        partition id
+        op byte (0 = insert, 1 = delete)
+        primary key (repro.lsm.keys codec)
+        inserts only:
+          field-name count, then per name: length + UTF-8 bytes
+          VB document length + VB document bytes
+
+    The document is encoded with :mod:`repro.rowformats.vector_format`
+    against a record-local field-name dictionary whose names are embedded in
+    the record, so replay never depends on in-memory dictionary state that
+    died with the process.
+    """
+    out = bytearray()
+    encode_uvarint(record.lsn, out)
+    name = record.dataset.encode("utf-8")
+    encode_uvarint(len(name), out)
+    out.extend(name)
+    encode_uvarint(record.partition_id, out)
+    out.append(OP_DELETE if record.antimatter else OP_INSERT)
+    encode_key(record.key, out)
+    if not record.antimatter:
+        dictionary = FieldNameDictionary()
+        payload = encode_document(record.document, dictionary)
+        names = dictionary.to_dict()["names"]
+        encode_uvarint(len(names), out)
+        for field_name in names:
+            raw = field_name.encode("utf-8")
+            encode_uvarint(len(raw), out)
+            out.extend(raw)
+        encode_uvarint(len(payload), out)
+        out.extend(payload)
+    return bytes(out)
+
+
+def decode_wal_record(data: bytes) -> WALRecord:
+    """Inverse of :func:`encode_wal_record`."""
+    lsn, offset = decode_uvarint(data, 0)
+    length, offset = decode_uvarint(data, offset)
+    dataset = data[offset:offset + length].decode("utf-8")
+    offset += length
+    partition_id, offset = decode_uvarint(data, offset)
+    op = data[offset]
+    offset += 1
+    key, offset = decode_key(data, offset)
+    if op == OP_DELETE:
+        return WALRecord(lsn, dataset, partition_id, True, key)
+    if op != OP_INSERT:
+        raise StorageError(f"unknown WAL operation tag {op}")
+    name_count, offset = decode_uvarint(data, offset)
+    dictionary = FieldNameDictionary()
+    for _ in range(name_count):
+        length, offset = decode_uvarint(data, offset)
+        dictionary.intern(data[offset:offset + length].decode("utf-8"))
+        offset += length
+    length, offset = decode_uvarint(data, offset)
+    document = decode_document(data[offset:offset + length], dictionary)
+    return WALRecord(lsn, dataset, partition_id, False, key, document)
 
 
 @dataclass
 class TransactionLog:
-    """A per-node transaction log buffer with a simple contention model."""
+    """A per-node transaction log with a contention cost model on top.
+
+    :meth:`append` is the pure cost-model entry point (kept for tests and
+    benchmarks that only care about simulated seconds); :meth:`log_record`
+    is the durable path — it serializes the operation, charges the cost
+    model for the record's bytes, and appends to the backing
+    :class:`~repro.storage.device.LogFile` when one is attached.
+    """
 
     node_id: int = 0
     sharing_partitions: int = 1
@@ -29,8 +143,16 @@ class TransactionLog:
     bytes_appended: int = 0
     simulated_seconds: float = 0.0
 
+    #: Backing file; None keeps the log purely in the cost model (in-memory
+    #: datastores lose nothing by not writing a log they could never replay).
+    log_file: Optional[LogFile] = None
+    #: Global LSN allocator (shared across a LogManager's logs); None falls
+    #: back to a log-local counter.
+    lsn_allocator: Optional[Callable[[], int]] = None
+    _local_lsn: int = 0
+
     def append(self, entry_bytes: int) -> float:
-        """Append one commit entry; returns the simulated cost in seconds."""
+        """Charge one commit entry to the cost model; returns simulated seconds."""
         cost = (
             self.base_append_cost_s
             + entry_bytes * self.per_byte_cost_s
@@ -41,25 +163,104 @@ class TransactionLog:
         self.simulated_seconds += cost
         return cost
 
+    def _allocate_lsn(self) -> int:
+        if self.lsn_allocator is not None:
+            return self.lsn_allocator()
+        self._local_lsn += 1
+        return self._local_lsn
+
+    def log_record(
+        self,
+        dataset: str,
+        partition_id: int,
+        key,
+        document: Optional[dict],
+        antimatter: bool,
+    ) -> int:
+        """Serialize and append one operation; returns its LSN."""
+        lsn = self._allocate_lsn()
+        payload = encode_wal_record(
+            WALRecord(lsn, dataset, partition_id, antimatter, key, document)
+        )
+        self.append(len(payload))
+        if self.log_file is not None:
+            self.log_file.append_record(payload)
+        return lsn
+
+    def iter_records(self) -> Iterator[WALRecord]:
+        if self.log_file is None:
+            return
+        for payload in self.log_file.records:
+            yield decode_wal_record(payload)
+
+    def truncate(self) -> None:
+        if self.log_file is not None:
+            self.log_file.truncate()
+
 
 @dataclass
 class LogManager:
-    """One transaction log per node; partitions are assigned round-robin."""
+    """One transaction log per node; partitions are assigned round-robin.
+
+    When a :class:`~repro.storage.device.StorageDevice` with a backing
+    directory is attached, each node's log writes through to
+    ``wal-node<id>.log`` in that directory and LSNs come from one shared
+    monotonic counter, giving replay a total order across nodes.
+    """
 
     num_nodes: int = 1
     partitions_per_node: int = 8
+    device: Optional[StorageDevice] = None
     logs: Dict[int, TransactionLog] = field(default_factory=dict)
+    _next_lsn: int = 1
 
     def __post_init__(self) -> None:
         for node_id in range(self.num_nodes):
+            log_file = None
+            if self.device is not None and self.device.directory is not None:
+                log_file = self.device.open_log_file(f"wal-node{node_id}.log")
             self.logs[node_id] = TransactionLog(
-                node_id=node_id, sharing_partitions=self.partitions_per_node
+                node_id=node_id,
+                sharing_partitions=self.partitions_per_node,
+                log_file=log_file,
+                lsn_allocator=self._allocate_lsn,
             )
 
+    # -- LSNs ---------------------------------------------------------------------
+    def _allocate_lsn(self) -> int:
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        return lsn
+
+    @property
+    def next_lsn(self) -> int:
+        return self._next_lsn
+
+    def advance_lsn(self, minimum_next: int) -> None:
+        """Ensure future LSNs exceed everything seen before a restart."""
+        self._next_lsn = max(self._next_lsn, minimum_next)
+
+    # -- routing -------------------------------------------------------------------
     def log_for_partition(self, partition_id: int) -> TransactionLog:
         node_id = partition_id // max(1, self.partitions_per_node)
         return self.logs.get(node_id % max(1, self.num_nodes), self.logs[0])
 
+    # -- recovery ------------------------------------------------------------------
+    def iter_records(self) -> List[WALRecord]:
+        """Every persisted record across all node logs, in global LSN order."""
+        records: List[WALRecord] = []
+        for log in self.logs.values():
+            records.extend(log.iter_records())
+        records.sort(key=lambda record: record.lsn)
+        self.advance_lsn(records[-1].lsn + 1 if records else 1)
+        return records
+
+    def truncate(self) -> None:
+        """Checkpoint: drop every node log (callers flushed everything first)."""
+        for log in self.logs.values():
+            log.truncate()
+
+    # -- statistics ----------------------------------------------------------------
     @property
     def total_simulated_seconds(self) -> float:
         return sum(log.simulated_seconds for log in self.logs.values())
@@ -67,3 +268,12 @@ class LogManager:
     @property
     def total_entries(self) -> int:
         return sum(log.entries for log in self.logs.values())
+
+    @property
+    def total_log_bytes(self) -> int:
+        """Bytes currently held in the backing log files (0 when unbacked)."""
+        return sum(
+            log.log_file.size_bytes
+            for log in self.logs.values()
+            if log.log_file is not None
+        )

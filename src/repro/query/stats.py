@@ -279,8 +279,9 @@ def collect_dataset_statistics(dataset) -> DatasetStatistics:
             if groups is not None:
                 statistics.columnar_groups += len(groups)
             else:
-                pages = component.metadata.extra.get("metadata_pages", 1)
-                statistics.row_data_pages += max(0, component.num_pages - pages)
+                statistics.row_data_pages += component.metadata.extra.get(
+                    "data_page_count", 0
+                )
             if component.metadata.column_stats:
                 statistics.stats_component_count += 1
             for path, stats in component.metadata.column_stats.items():

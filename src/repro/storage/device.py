@@ -1,10 +1,20 @@
-"""Page-oriented storage device and component files.
+"""Page-oriented storage device, component files, and append-only log files.
 
 On-disk LSM components are sequences of fixed-size pages.  The
 :class:`StorageDevice` manages *component files* (one per LSM component or
-secondary-index run); each file is an append-only list of pages.  Files can be
-held in memory (the default — fast and fully deterministic for benchmarks) or
-backed by real files on disk.
+secondary-index run) and *log files* (one write-ahead log per node).  Files
+can be held in memory (the default — fast and fully deterministic for
+benchmarks) or backed by real files on disk.
+
+When a backing directory is configured every page append/rewrite is written
+through to disk immediately and flushed to the OS, so a process crash loses
+nothing that was acknowledged.  The on-disk representation of a component
+file is *slotted*: each page occupies a fixed-stride slot of
+``page_size + 8`` bytes, prefixed by an 8-byte header carrying the payload
+length and a CRC-32 checksum, so that exact page payloads survive a
+round trip and torn writes are detected on reopen.  Log files are a plain
+record stream with the same ``[length][crc32][payload]`` framing; recovery
+reads the longest valid prefix and discards a torn tail.
 
 All reads and writes are accounted in :class:`~repro.storage.stats.IOStats`
 with an optional simulated device-time model, which is what the benchmark
@@ -14,10 +24,37 @@ harness reports alongside wall-clock time.
 from __future__ import annotations
 
 import os
+import struct
+import zlib
 from typing import Dict, List, Optional
+from urllib.parse import quote, unquote
 
 from ..model.errors import StorageError
 from .stats import DiskModel, IOStats
+
+#: Per-page / per-record on-disk header: uint32 payload length + uint32 CRC-32.
+_HEADER = struct.Struct("<II")
+
+#: Suffix distinguishing component files from manifests and WAL files.
+COMPONENT_FILE_SUFFIX = ".comp"
+
+
+def encode_component_filename(name: str) -> str:
+    """Collision-free, filesystem-safe encoding of a component name.
+
+    Percent-encoding is a bijection (every byte outside ``[A-Za-z0-9_.-]`` is
+    escaped), so two distinct component names can never map to the same path —
+    unlike the old ``name.replace("/", "_")`` scheme where ``"a/b"`` and
+    ``"a_b"`` collided.
+    """
+    return quote(name, safe="") + COMPONENT_FILE_SUFFIX
+
+
+def decode_component_filename(filename: str) -> str:
+    """Inverse of :func:`encode_component_filename`."""
+    if not filename.endswith(COMPONENT_FILE_SUFFIX):
+        raise StorageError(f"{filename!r} is not a component file name")
+    return unquote(filename[: -len(COMPONENT_FILE_SUFFIX)])
 
 
 class ComponentFile:
@@ -28,9 +65,12 @@ class ComponentFile:
         self.name = name
         self._pages: List[bytes] = []
         self._deleted = False
+        self._handle = None
         self._on_disk_path: Optional[str] = None
         if device.directory is not None:
-            self._on_disk_path = os.path.join(device.directory, name.replace("/", "_"))
+            self._on_disk_path = os.path.join(
+                device.directory, encode_component_filename(name)
+            )
 
     # -- writing ---------------------------------------------------------------
     def append_page(self, data: bytes) -> int:
@@ -43,6 +83,7 @@ class ComponentFile:
             )
         page_id = len(self._pages)
         self._pages.append(bytes(data))
+        self._write_slot(page_id, data)
         self.device.stats.record_write(
             self.device.page_size, self.device.disk_model.write_cost(len(data))
         )
@@ -59,17 +100,62 @@ class ComponentFile:
                 f"({self.device.page_size} bytes)"
             )
         self._pages[page_id] = bytes(data)
+        self._write_slot(page_id, data)
         self.device.stats.record_write(
             self.device.page_size, self.device.disk_model.write_cost(len(data))
         )
 
-    def flush_to_disk(self) -> None:
-        """Persist the file's pages to the backing directory (when configured)."""
+    @property
+    def _slot_stride(self) -> int:
+        return self.device.page_size + _HEADER.size
+
+    def _ensure_handle(self):
+        if self._handle is None:
+            mode = "r+b" if os.path.exists(self._on_disk_path) else "w+b"
+            self._handle = open(self._on_disk_path, mode)
+        return self._handle
+
+    def _write_slot(self, page_id: int, data: bytes) -> None:
+        """Write one page slot through to disk (no-op for in-memory devices)."""
         if self._on_disk_path is None:
             return
-        with open(self._on_disk_path, "wb") as handle:
-            for page in self._pages:
-                handle.write(page.ljust(self.device.page_size, b"\x00"))
+        handle = self._ensure_handle()
+        handle.seek(page_id * self._slot_stride)
+        handle.write(_HEADER.pack(len(data), zlib.crc32(data)))
+        handle.write(data)
+        handle.flush()
+
+    # -- loading ---------------------------------------------------------------
+    def load_from_disk(self) -> None:
+        """Populate the in-memory page list from the backing file (recovery)."""
+        if self._on_disk_path is None:
+            raise StorageError(
+                f"component file {self.name!r} has no backing directory"
+            )
+        pages: List[bytes] = []
+        with open(self._on_disk_path, "rb") as handle:
+            raw = handle.read()
+        stride = self._slot_stride
+        offset = 0
+        while offset < len(raw):
+            header = raw[offset:offset + _HEADER.size]
+            if len(header) < _HEADER.size:
+                raise StorageError(
+                    f"component file {self.name!r} has a truncated page header"
+                )
+            length, checksum = _HEADER.unpack(header)
+            payload = raw[offset + _HEADER.size:offset + _HEADER.size + length]
+            if len(payload) < length or zlib.crc32(payload) != checksum:
+                raise StorageError(
+                    f"component file {self.name!r} page "
+                    f"{offset // stride} failed its checksum"
+                )
+            pages.append(bytes(payload))
+            self.device.stats.record_read(
+                self.device.page_size, self.device.disk_model.read_cost(length)
+            )
+            offset += stride
+        self._pages = pages
 
     # -- reading ---------------------------------------------------------------
     def read_page(self, page_id: int) -> bytes:
@@ -101,15 +187,116 @@ class ComponentFile:
         """Bytes actually used inside the pages (before padding)."""
         return sum(len(page) for page in self._pages)
 
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
     def delete(self) -> None:
         self._deleted = True
         self._pages.clear()
+        self.close()
         if self._on_disk_path is not None and os.path.exists(self._on_disk_path):
             os.remove(self._on_disk_path)
 
     def _check_alive(self) -> None:
         if self._deleted:
             raise StorageError(f"component file {self.name!r} has been deleted")
+
+
+class LogFile:
+    """An append-only stream of checksummed records (the write-ahead log).
+
+    Unlike component files, a log file is not page-oriented: records of
+    arbitrary size are framed as ``[uint32 length][uint32 crc32][payload]``
+    and flushed to the OS on every append, so every acknowledged record
+    survives a process crash.  On reopen the longest valid prefix is loaded
+    and a torn tail (a record cut short by the crash, or failing its
+    checksum) is discarded and truncated away.
+    """
+
+    def __init__(self, device: "StorageDevice", name: str) -> None:
+        self.device = device
+        self.name = name
+        self._records: List[bytes] = []
+        self._handle = None
+        self._on_disk_path: Optional[str] = None
+        if device.directory is not None:
+            self._on_disk_path = os.path.join(device.directory, quote(name, safe=""))
+
+    # -- writing ---------------------------------------------------------------
+    def append_record(self, payload: bytes) -> None:
+        self._records.append(bytes(payload))
+        self.device.stats.record_wal_append(
+            len(payload) + _HEADER.size,
+            self.device.disk_model.write_cost(len(payload) + _HEADER.size),
+        )
+        if self._on_disk_path is None:
+            return
+        if self._handle is None:
+            self._handle = open(self._on_disk_path, "ab")
+        self._handle.write(_HEADER.pack(len(payload), zlib.crc32(payload)))
+        self._handle.write(payload)
+        self._handle.flush()
+
+    def truncate(self) -> None:
+        """Discard every record (checkpoint: the log's tail is now durable)."""
+        self._records = []
+        if self._on_disk_path is None:
+            return
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        with open(self._on_disk_path, "wb"):
+            pass
+
+    # -- loading ---------------------------------------------------------------
+    def load_from_disk(self) -> int:
+        """Load the valid record prefix; returns how many tail bytes were torn."""
+        if self._on_disk_path is None or not os.path.exists(self._on_disk_path):
+            return 0
+        with open(self._on_disk_path, "rb") as handle:
+            raw = handle.read()
+        records: List[bytes] = []
+        offset = 0
+        while offset + _HEADER.size <= len(raw):
+            length, checksum = _HEADER.unpack(raw[offset:offset + _HEADER.size])
+            payload = raw[offset + _HEADER.size:offset + _HEADER.size + length]
+            if len(payload) < length or zlib.crc32(payload) != checksum:
+                break
+            records.append(bytes(payload))
+            offset += _HEADER.size + length
+        torn_bytes = len(raw) - offset
+        if torn_bytes:
+            # Drop the torn tail so later appends continue from a clean state.
+            with open(self._on_disk_path, "r+b") as handle:
+                handle.truncate(offset)
+        self._records = records
+        return torn_bytes
+
+    # -- reading ---------------------------------------------------------------
+    @property
+    def records(self) -> List[bytes]:
+        return list(self._records)
+
+    @property
+    def record_count(self) -> int:
+        return len(self._records)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(len(record) + _HEADER.size for record in self._records)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def delete(self) -> None:
+        self._records = []
+        self.close()
+        if self._on_disk_path is not None and os.path.exists(self._on_disk_path):
+            os.remove(self._on_disk_path)
 
 
 class StorageDevice:
@@ -130,6 +317,8 @@ class StorageDevice:
         self.disk_model = disk_model or DiskModel()
         self.stats = IOStats()
         self._files: Dict[str, ComponentFile] = {}
+        self._log_files: Dict[str, LogFile] = {}
+        self._disk_paths: Dict[str, str] = {}  # on-disk path -> component name
         self._name_counter = 0
 
     def create_file(self, name: Optional[str] = None) -> ComponentFile:
@@ -139,8 +328,38 @@ class StorageDevice:
         if name in self._files:
             raise StorageError(f"component file {name!r} already exists")
         handle = ComponentFile(self, name)
-        self._files[name] = handle
+        self._register(handle)
+        # A fresh component must not inherit a stale on-disk file (e.g. an
+        # orphan left behind by a crash between a spill and its manifest).
+        if handle._on_disk_path is not None and os.path.exists(handle._on_disk_path):
+            os.remove(handle._on_disk_path)
         return handle
+
+    def open_file(self, name: str) -> ComponentFile:
+        """Open an existing on-disk component file and load its pages (recovery)."""
+        if name in self._files:
+            return self._files[name]
+        if self.directory is None:
+            raise StorageError(
+                f"cannot open component file {name!r}: device has no directory"
+            )
+        handle = ComponentFile(self, name)
+        handle.load_from_disk()
+        self._register(handle)
+        return handle
+
+    def _register(self, handle: ComponentFile) -> None:
+        if handle._on_disk_path is not None:
+            owner = self._disk_paths.get(handle._on_disk_path)
+            if owner is not None and owner != handle.name:
+                # Unreachable while encode_component_filename stays bijective;
+                # kept as a hard guard against future encoding regressions.
+                raise StorageError(
+                    f"component files {owner!r} and {handle.name!r} would "
+                    f"share the on-disk path {handle._on_disk_path!r}"
+                )
+            self._disk_paths[handle._on_disk_path] = handle.name
+        self._files[handle.name] = handle
 
     def get_file(self, name: str) -> ComponentFile:
         try:
@@ -151,7 +370,28 @@ class StorageDevice:
     def delete_file(self, name: str) -> None:
         handle = self._files.pop(name, None)
         if handle is not None:
+            if handle._on_disk_path is not None:
+                self._disk_paths.pop(handle._on_disk_path, None)
             handle.delete()
+
+    # -- log files --------------------------------------------------------------
+    def open_log_file(self, name: str) -> LogFile:
+        """Create-or-open an append-only log file (loads any persisted prefix)."""
+        existing = self._log_files.get(name)
+        if existing is not None:
+            return existing
+        log_file = LogFile(self, name)
+        log_file.load_from_disk()
+        self._log_files[name] = log_file
+        return log_file
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        """Close every OS file handle (pages already reached the OS on write)."""
+        for handle in self._files.values():
+            handle.close()
+        for log_file in self._log_files.values():
+            log_file.close()
 
     @property
     def total_size_bytes(self) -> int:
@@ -163,3 +403,13 @@ class StorageDevice:
 
     def list_files(self) -> List[str]:
         return sorted(self._files)
+
+    def list_disk_component_names(self) -> List[str]:
+        """Names of component files present in the backing directory."""
+        if self.directory is None:
+            return []
+        names = []
+        for filename in os.listdir(self.directory):
+            if filename.endswith(COMPONENT_FILE_SUFFIX):
+                names.append(decode_component_filename(filename))
+        return sorted(names)

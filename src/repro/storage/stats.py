@@ -33,6 +33,8 @@ class IOStats:
     bytes_written: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    wal_appends: int = 0
+    wal_bytes_written: int = 0
     simulated_io_seconds: float = 0.0
 
     def record_read(self, num_bytes: int, seconds: float = 0.0) -> None:
@@ -43,6 +45,12 @@ class IOStats:
     def record_write(self, num_bytes: int, seconds: float = 0.0) -> None:
         self.pages_written += 1
         self.bytes_written += num_bytes
+        self.simulated_io_seconds += seconds
+
+    def record_wal_append(self, num_bytes: int, seconds: float = 0.0) -> None:
+        """Account one write-ahead-log record append (not page-oriented)."""
+        self.wal_appends += 1
+        self.wal_bytes_written += num_bytes
         self.simulated_io_seconds += seconds
 
     def record_cache(self, hit: bool) -> None:
@@ -59,6 +67,8 @@ class IOStats:
             bytes_written=self.bytes_written,
             cache_hits=self.cache_hits,
             cache_misses=self.cache_misses,
+            wal_appends=self.wal_appends,
+            wal_bytes_written=self.wal_bytes_written,
             simulated_io_seconds=self.simulated_io_seconds,
         )
 
@@ -71,6 +81,8 @@ class IOStats:
             bytes_written=self.bytes_written - earlier.bytes_written,
             cache_hits=self.cache_hits - earlier.cache_hits,
             cache_misses=self.cache_misses - earlier.cache_misses,
+            wal_appends=self.wal_appends - earlier.wal_appends,
+            wal_bytes_written=self.wal_bytes_written - earlier.wal_bytes_written,
             simulated_io_seconds=self.simulated_io_seconds - earlier.simulated_io_seconds,
         )
 
@@ -82,6 +94,8 @@ class IOStats:
             "bytes_written": self.bytes_written,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "wal_appends": self.wal_appends,
+            "wal_bytes_written": self.wal_bytes_written,
             "simulated_io_seconds": round(self.simulated_io_seconds, 6),
         }
 

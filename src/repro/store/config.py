@@ -8,7 +8,7 @@ concurrent merges for the columnar layouts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Optional
 
 
@@ -59,3 +59,17 @@ class StoreConfig:
             raise ValueError("at least one partition is required")
         if not 0.0 <= self.amax_empty_page_tolerance < 1.0:
             raise ValueError("amax_empty_page_tolerance must be in [0, 1)")
+
+    # -- serialization (the datastore root manifest) -------------------------------
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StoreConfig":
+        """Rebuild a config persisted by :meth:`to_dict`.
+
+        Unknown keys are ignored so a datastore written by a newer version
+        (with extra tunables) still opens; missing keys keep their defaults.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})

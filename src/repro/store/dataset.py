@@ -14,10 +14,12 @@ from ..core.schema import Schema
 from ..index import PrimaryKeyIndex, SecondaryIndex
 from ..lsm import LSMTree, MergeScheduler, TieringMergePolicy
 from ..lsm.component import ALL_LAYOUTS
-from ..lsm.wal import LogManager
+from ..lsm.keys import stable_key_hash
+from ..lsm.wal import LogManager, WALRecord
 from ..model.errors import DatasetError, StorageError
 from ..storage.buffer_cache import BufferCache
 from ..storage.device import StorageDevice
+from . import manifest as manifest_io
 from .config import StoreConfig
 
 
@@ -33,6 +35,8 @@ class Dataset:
         buffer_cache: BufferCache,
         log_manager: Optional[LogManager] = None,
         primary_key_field: Optional[str] = None,
+        manifest_path: Optional[str] = None,
+        created_lsn: int = 0,
     ) -> None:
         if layout not in ALL_LAYOUTS:
             raise DatasetError(
@@ -45,6 +49,11 @@ class Dataset:
         self.buffer_cache = buffer_cache
         self.primary_key_field = primary_key_field or config.primary_key_field
         self.log_manager = log_manager
+        #: Where this dataset's manifest lives (None = transient dataset).
+        self.manifest_path = manifest_path
+        #: Global LSN at creation time; WAL records below it belong to an
+        #: earlier, dropped incarnation of a same-named dataset.
+        self.created_lsn = created_lsn
         merge_scheduler = MergeScheduler(
             max_concurrent_merges=config.concurrent_merge_limit()
         )
@@ -73,12 +82,21 @@ class Dataset:
                     transaction_log=log,
                     amax_max_records_per_leaf=config.amax_max_records_per_leaf,
                     amax_empty_page_tolerance=config.amax_empty_page_tolerance,
+                    dataset_name=name,
+                    partition_id=partition_id,
+                    on_disk_state_changed=self._on_partition_state_changed,
                 )
             )
         self.secondary_indexes: Dict[str, SecondaryIndex] = {}
         self.primary_key_index: Optional[PrimaryKeyIndex] = None
         self.records_ingested = 0
         self.point_lookups_performed = 0
+        #: Highest LSN the persisted ``records_ingested`` already covers
+        #: (recovery replays WAL records without re-counting those).
+        self.ingest_watermark_lsn = 0
+        #: Per-partition durable LSN at the last index-buffer spill; lets the
+        #: flush/merge callback spill only when durability actually advanced.
+        self._spilled_durable_lsns: Dict[int, int] = {}
         #: (version, DatasetStatistics) cache for :meth:`statistics`.
         self._statistics_cache = None
 
@@ -88,16 +106,76 @@ class Dataset:
             raise DatasetError(f"secondary index {name!r} already exists")
         index = SecondaryIndex(f"{self.name}-{name}", path, self.device)
         self.secondary_indexes[name] = index
+        self.persist_manifest()
         return index
 
     def create_primary_key_index(self) -> PrimaryKeyIndex:
         if self.primary_key_index is None:
             self.primary_key_index = PrimaryKeyIndex(f"{self.name}-pkidx", self.device)
+            self.persist_manifest()
         return self.primary_key_index
+
+    # -- durability ---------------------------------------------------------------------
+    def persist_manifest(self) -> None:
+        """Atomically rewrite this dataset's manifest (no-op when transient)."""
+        if self.manifest_path is None:
+            return
+        manifest_io.write_json_atomic(
+            self.manifest_path, manifest_io.build_dataset_manifest(self)
+        )
+
+    def _on_partition_state_changed(self, tree: LSMTree) -> None:
+        """After a flush/merge: make the matching index state durable too.
+
+        A flush advances the partition's durable LSN, which excludes the
+        flushed records from WAL replay — so any index-buffer entries those
+        records produced must be spilled to runs *before* the manifest that
+        carries the new durable LSN is written.  Merges leave the durable
+        LSN untouched, so they only rewrite the manifest (spilling there
+        would just pile up tiny runs that slow every index search).  Crash
+        ordering is safe either way: a spill without a manifest only
+        orphans run files.
+        """
+        if self.manifest_path is None:
+            return
+        if tree.durable_lsn > self._spilled_durable_lsns.get(tree.partition_id, 0):
+            self._spilled_durable_lsns[tree.partition_id] = tree.durable_lsn
+            for index in self.secondary_indexes.values():
+                index.flush()
+            if self.primary_key_index is not None:
+                self.primary_key_index.flush()
+        self.persist_manifest()
+
+    def apply_wal_record(self, record: WALRecord) -> None:
+        """Replay one recovered WAL operation (recovery only).
+
+        Re-runs the same index maintenance as the original ingestion (the
+        buffered index entries died with the process) and applies the
+        operation to the partition's memtable without re-logging it.
+        """
+        tree = self.partitions[record.partition_id]
+        if record.antimatter:
+            if self.secondary_indexes:
+                old_document = self._fetch_old_document(record.key)
+                for index in self.secondary_indexes.values():
+                    index.delete(index.extract(old_document), record.key)
+            tree.apply_replayed(record.key, None, True, record.lsn)
+        else:
+            self._maintain_secondary_indexes(record.key, record.document)
+            tree.apply_replayed(record.key, record.document, False, record.lsn)
+            if record.lsn > self.ingest_watermark_lsn:
+                # Records at or below the watermark were already counted by
+                # the recovered ``records_ingested``.
+                self.records_ingested += 1
+        if tree.needs_flush:
+            tree.flush()
 
     # -- ingestion ----------------------------------------------------------------------
     def _partition_for(self, key) -> LSMTree:
-        return self.partitions[hash(key) % len(self.partitions)]
+        # Routing must be stable across processes: the builtin ``hash`` is
+        # salted per process for strings, which would scatter keys to the
+        # wrong partitions after a reopen.
+        return self.partitions[stable_key_hash(key) % len(self.partitions)]
 
     def _key_of(self, document: dict):
         try:
@@ -161,6 +239,7 @@ class Dataset:
             index.flush()
         if self.primary_key_index is not None:
             self.primary_key_index.flush()
+        self.persist_manifest()
 
     # -- reads -------------------------------------------------------------------------------
     def scan(

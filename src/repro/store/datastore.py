@@ -1,13 +1,23 @@
-"""The datastore façade: nodes, partitions, buffer cache, datasets.
+"""The datastore façade: nodes, partitions, buffer cache, datasets, recovery.
 
 A :class:`Datastore` plays the role of a (single-process) AsterixDB cluster:
 it owns the storage device, the per-node buffer caches and transaction logs,
 and the datasets created on top of them.  The query engine
 (:mod:`repro.query`) executes against a datastore.
+
+With ``StoreConfig.storage_directory`` set the store is *durable*: every
+page and WAL record is written through to the directory, dataset manifests
+track the live component stacks, and :meth:`Datastore.open` rebuilds the
+whole store after a clean :meth:`close` **or** a crash — manifests restore
+the on-disk state, then the WAL tail is replayed into the memtables (see
+:mod:`repro.store.manifest` and ``docs/DURABILITY.md``).
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
+from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 from ..lsm.wal import LogManager
@@ -15,15 +25,40 @@ from ..model.errors import DatasetError
 from ..storage.buffer_cache import BufferCache
 from ..storage.device import StorageDevice
 from ..storage.stats import IOStats
+from . import manifest as manifest_io
 from .config import StoreConfig
 from .dataset import Dataset
+
+#: Environment variable: when set (to a directory), in-memory datastores are
+#: transparently given a fresh tmpdir-backed ``storage_directory`` under it.
+#: This is how CI runs the whole test suite against on-disk storage.
+STORAGE_ROOT_ENV = "REPRO_STORAGE_ROOT"
+
+
+@dataclass
+class RecoveryInfo:
+    """What :meth:`Datastore.open` found and did."""
+
+    datasets_recovered: int = 0
+    components_loaded: int = 0
+    wal_records_seen: int = 0
+    wal_records_replayed: int = 0
+    wal_records_skipped_durable: int = 0
+    wal_records_skipped_unknown: int = 0
 
 
 class Datastore:
     """A single-process document store with pluggable component layouts."""
 
     def __init__(self, config: Optional[StoreConfig] = None) -> None:
-        self.config = config or StoreConfig()
+        config = config or StoreConfig()
+        storage_root = os.environ.get(STORAGE_ROOT_ENV)
+        if config.storage_directory is None and storage_root:
+            config = replace(
+                config,
+                storage_directory=tempfile.mkdtemp(prefix="store-", dir=storage_root),
+            )
+        self.config = config
         self.config.validate()
         self.device = StorageDevice(
             page_size=self.config.page_size,
@@ -33,8 +68,123 @@ class Datastore:
         self.log_manager = LogManager(
             num_nodes=self.config.num_nodes,
             partitions_per_node=self.config.partitions_per_node,
+            device=self.device if self.is_durable else None,
         )
         self.datasets: Dict[str, Dataset] = {}
+        #: Populated by :meth:`open`; None for a freshly created store.
+        self.last_recovery: Optional[RecoveryInfo] = None
+        if self.is_durable and not os.path.exists(self._root_manifest_path()):
+            self._persist_root_manifest()
+
+    # -- durability --------------------------------------------------------------------
+    @property
+    def is_durable(self) -> bool:
+        return self.config.storage_directory is not None
+
+    def _root_manifest_path(self) -> str:
+        return os.path.join(
+            self.config.storage_directory, manifest_io.DATASTORE_MANIFEST
+        )
+
+    def _dataset_manifest_path(self, name: str) -> Optional[str]:
+        if not self.is_durable:
+            return None
+        return os.path.join(
+            self.config.storage_directory,
+            manifest_io.dataset_manifest_filename(name),
+        )
+
+    def _persist_root_manifest(self) -> None:
+        if not self.is_durable:
+            return
+        manifest_io.write_json_atomic(
+            self._root_manifest_path(),
+            manifest_io.build_datastore_manifest(self.config, self.datasets),
+        )
+
+    @classmethod
+    def open(cls, directory: str) -> "Datastore":
+        """Reopen a durable datastore from its directory (crash-safe).
+
+        Sequence: read the root manifest (configuration + dataset list),
+        rebuild every dataset from its manifest (component files are reopened
+        and verified against their page checksums and footers), then replay
+        the WAL tail — every record whose LSN exceeds its partition's durable
+        LSN — through the normal index-maintenance and memtable path.
+        """
+        root = manifest_io.read_datastore_manifest(directory)
+        config = StoreConfig.from_dict(root["config"])
+        config.storage_directory = directory
+        store = cls(config)
+        info = RecoveryInfo()
+        for name in root["datasets"]:
+            manifest_path = store._dataset_manifest_path(name)
+            dataset = manifest_io.restore_dataset(
+                manifest_io.read_json(manifest_path),
+                store.config,
+                store.device,
+                store.buffer_cache,
+                store.log_manager,
+                manifest_path,
+            )
+            store.datasets[name] = dataset
+            info.datasets_recovered += 1
+            info.components_loaded += dataset.num_components()
+        durable_floor = 1
+        for dataset in store.datasets.values():
+            for tree in dataset.partitions:
+                durable_floor = max(durable_floor, tree.durable_lsn + 1)
+        for record in store.log_manager.iter_records():
+            info.wal_records_seen += 1
+            dataset = store.datasets.get(record.dataset)
+            if (
+                dataset is None
+                or record.partition_id >= len(dataset.partitions)
+                or record.lsn < dataset.created_lsn
+            ):
+                # A dropped (or dropped-and-recreated) dataset's old records.
+                info.wal_records_skipped_unknown += 1
+                continue
+            tree = dataset.partitions[record.partition_id]
+            if record.lsn <= tree.durable_lsn:
+                # Already captured by a flushed component; only the tail
+                # beyond the checkpoint is re-applied.
+                info.wal_records_skipped_durable += 1
+                continue
+            dataset.apply_wal_record(record)
+            info.wal_records_replayed += 1
+        store.log_manager.advance_lsn(durable_floor)
+        store.last_recovery = info
+        return store
+
+    def checkpoint(self) -> None:
+        """Flush everything, persist the manifests, and truncate the WAL.
+
+        After a checkpoint every logged operation lives in a disk component
+        (memtables are empty), so the log carries no information the
+        manifests do not — it is safe to drop, and recovery after a
+        subsequent crash replays only operations logged after this point.
+        """
+        for dataset in self.datasets.values():
+            dataset.flush_all()
+        self._persist_root_manifest()
+        self.log_manager.truncate()
+
+    def close(self) -> None:
+        """Checkpoint (when durable) and release every OS file handle.
+
+        A closed store reopens via :meth:`open` with empty logs; a killed
+        one reopens the same way, paying WAL replay for the tail instead.
+        """
+        if self.is_durable:
+            self.checkpoint()
+        self.device.close()
+
+    def __enter__(self) -> "Datastore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- dataset management ------------------------------------------------------------
     def create_dataset(
@@ -54,8 +204,12 @@ class Datastore:
             buffer_cache=self.buffer_cache,
             log_manager=self.log_manager,
             primary_key_field=primary_key_field,
+            manifest_path=self._dataset_manifest_path(name),
+            created_lsn=self.log_manager.next_lsn,
         )
         self.datasets[name] = dataset
+        dataset.persist_manifest()
+        self._persist_root_manifest()
         return dataset
 
     def dataset(self, name: str) -> Dataset:
@@ -68,6 +222,12 @@ class Datastore:
         dataset = self.datasets.pop(name, None)
         if dataset is None:
             return
+        # Unlist the dataset durably first: after this write a crash only
+        # orphans its files.  Deleting files before the root manifest stopped
+        # referencing the dataset would make the next open() fail.
+        self._persist_root_manifest()
+        if dataset.manifest_path is not None and os.path.exists(dataset.manifest_path):
+            os.remove(dataset.manifest_path)
         for partition in dataset.partitions:
             for component in partition.components:
                 component.destroy()

@@ -1,0 +1,212 @@
+"""Dataset and datastore manifests: the durable catalog of the storage engine.
+
+A *manifest* records which immutable artifacts are live — exactly the state
+that cannot be rediscovered from the artifacts themselves:
+
+* the **datastore root manifest** (``datastore.json``) holds the store
+  configuration and the list of datasets;
+* one **dataset manifest** (``<name>.manifest.json``) per dataset holds, for
+  every partition, the live component stack (newest first), the inferred
+  schema snapshot, the field-name dictionary, the component-name counter, and
+  the *durable LSN* (the newest logged operation already captured by a disk
+  component), plus the spilled runs of every secondary index.
+
+Manifests are rewritten atomically (temp file + ``os.replace``) after every
+flush, merge, spill, or catalog change, so a crash leaves either the old or
+the new manifest — never a torn one.  Artifacts a crash orphans (a component
+flushed but whose manifest write never happened) are simply never referenced
+again and get overwritten by name on the next incarnation.
+
+Recovery (:meth:`repro.store.datastore.Datastore.open`) inverts the
+manifests: it reopens every referenced component file, rebuilds the
+component objects from their footers, restores the indexes from their runs,
+and then replays the WAL tail (records above each partition's durable LSN)
+through the normal ingestion path to rebuild the memtables and index
+buffers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+from urllib.parse import quote
+
+from ..index import PrimaryKeyIndex, SecondaryIndex
+from ..lsm.component import load_component
+from ..lsm.keys import KEY_HASH_SCHEME
+from ..model.errors import StorageError
+from ..rowformats.vector_format import FieldNameDictionary
+from ..core.schema import Schema
+
+#: File name of the datastore root manifest inside the storage directory.
+DATASTORE_MANIFEST = "datastore.json"
+
+DATASET_MANIFEST_FORMAT = "repro-dataset-manifest-v1"
+DATASTORE_MANIFEST_FORMAT = "repro-datastore-manifest-v1"
+
+
+def write_json_atomic(path: str, payload: dict) -> None:
+    """Write a JSON file so readers see either the old or the new content."""
+    temp_path = f"{path}.tmp"
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, default=str)
+        handle.flush()
+    os.replace(temp_path, path)
+
+
+def read_json(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def dataset_manifest_filename(dataset_name: str) -> str:
+    return quote(dataset_name, safe="") + ".manifest.json"
+
+
+# ======================================================================================
+# Dataset manifests
+# ======================================================================================
+
+
+def build_dataset_manifest(dataset) -> dict:
+    """Snapshot a dataset's durable state (see the module docstring)."""
+    partitions = []
+    for tree in dataset.partitions:
+        partitions.append(
+            {
+                "partition_id": tree.partition_id,
+                "component_counter": tree._component_counter,
+                "flush_count": tree.flush_count,
+                "merge_count": tree.merge_count,
+                "durable_lsn": tree.durable_lsn,
+                "components": [
+                    component.file.name for component in tree.components
+                ],
+                "schema": tree.schema.to_dict(),
+                "field_names": tree.field_dictionary.to_dict(),
+            }
+        )
+    return {
+        "format": DATASET_MANIFEST_FORMAT,
+        "name": dataset.name,
+        "layout": dataset.layout,
+        "primary_key_field": dataset.primary_key_field,
+        "key_hash": KEY_HASH_SCHEME,
+        "num_partitions": len(dataset.partitions),
+        "created_lsn": dataset.created_lsn,
+        "records_ingested": dataset.records_ingested,
+        # The counter above covers every operation up to this LSN; replay
+        # re-counts only records beyond it (avoids double counting the
+        # unflushed tail, which is both in the counter and in the WAL).
+        "records_ingested_watermark": max(
+            (tree.last_logged_lsn for tree in dataset.partitions), default=0
+        ),
+        "partitions": partitions,
+        "secondary_indexes": {
+            name: index.manifest_state()
+            for name, index in dataset.secondary_indexes.items()
+        },
+        "primary_key_index": (
+            None
+            if dataset.primary_key_index is None
+            else dataset.primary_key_index.manifest_state()
+        ),
+    }
+
+
+def restore_dataset(
+    manifest: dict,
+    config,
+    device,
+    buffer_cache,
+    log_manager,
+    manifest_path: Optional[str],
+):
+    """Rebuild a :class:`~repro.store.dataset.Dataset` from its manifest.
+
+    Components are reopened from disk and reconstructed from their footers;
+    the returned dataset has empty memtables and index buffers — the caller
+    (``Datastore.open``) replays the WAL tail afterwards.
+    """
+    # Imported here: dataset.py imports nothing from this module at runtime,
+    # but a top-level import would still be a cycle through store/__init__.
+    from .dataset import Dataset
+
+    if manifest.get("format") != DATASET_MANIFEST_FORMAT:
+        raise StorageError(
+            f"unsupported dataset manifest format {manifest.get('format')!r}"
+        )
+    if manifest["key_hash"] != KEY_HASH_SCHEME:
+        raise StorageError(
+            f"dataset {manifest['name']!r} was partitioned with hash scheme "
+            f"{manifest['key_hash']!r}; this build routes with {KEY_HASH_SCHEME!r}"
+        )
+    if manifest["num_partitions"] != config.total_partitions:
+        raise StorageError(
+            f"dataset {manifest['name']!r} has {manifest['num_partitions']} "
+            f"partitions on disk but the configuration asks for "
+            f"{config.total_partitions}"
+        )
+    dataset = Dataset(
+        name=manifest["name"],
+        layout=manifest["layout"],
+        config=config,
+        device=device,
+        buffer_cache=buffer_cache,
+        log_manager=log_manager,
+        primary_key_field=manifest["primary_key_field"],
+        manifest_path=manifest_path,
+        created_lsn=manifest.get("created_lsn", 0),
+    )
+    dataset.records_ingested = manifest.get("records_ingested", 0)
+    dataset.ingest_watermark_lsn = manifest.get("records_ingested_watermark", 0)
+    for state in manifest["partitions"]:
+        tree = dataset.partitions[state["partition_id"]]
+        tree.schema = Schema.from_dict(state["schema"])
+        tree.field_dictionary = FieldNameDictionary.from_dict(state["field_names"])
+        components = [
+            load_component(device.open_file(name), buffer_cache)
+            for name in state["components"]
+        ]
+        tree.restore_state(
+            components,
+            component_counter=state["component_counter"],
+            flush_count=state["flush_count"],
+            merge_count=state["merge_count"],
+            durable_lsn=state["durable_lsn"],
+        )
+    for name, state in manifest["secondary_indexes"].items():
+        dataset.secondary_indexes[name] = SecondaryIndex.restore(state, device)
+    if manifest["primary_key_index"] is not None:
+        dataset.primary_key_index = PrimaryKeyIndex.restore(
+            manifest["primary_key_index"], device
+        )
+    return dataset
+
+
+# ======================================================================================
+# Datastore root manifest
+# ======================================================================================
+
+
+def build_datastore_manifest(config, dataset_names) -> dict:
+    return {
+        "format": DATASTORE_MANIFEST_FORMAT,
+        "config": config.to_dict(),
+        "datasets": sorted(dataset_names),
+    }
+
+
+def read_datastore_manifest(directory: str) -> dict:
+    path = os.path.join(directory, DATASTORE_MANIFEST)
+    if not os.path.exists(path):
+        raise StorageError(
+            f"no datastore manifest at {path!r}: nothing to open"
+        )
+    manifest = read_json(path)
+    if manifest.get("format") != DATASTORE_MANIFEST_FORMAT:
+        raise StorageError(
+            f"unsupported datastore manifest format {manifest.get('format')!r}"
+        )
+    return manifest
