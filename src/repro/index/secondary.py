@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import bisect
 import json
+import threading
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -163,6 +164,9 @@ class SecondaryIndex:
         self._runs: List[_Run] = []  # newest first
         self._run_counter = 0
         self.lookups = 0
+        #: Guards buffer/run transitions: ingestion threads append and spill
+        #: while reader threads search and background flushes force spills.
+        self._lock = threading.RLock()
 
     # -- maintenance -----------------------------------------------------------------
     def extract(self, document: Optional[dict]):
@@ -188,15 +192,17 @@ class SecondaryIndex:
         """Add one ``value → primary_key`` entry (no-op for unindexable values)."""
         if value is None:
             return
-        self._buffer.append((value, primary_key, False))
-        self._maybe_spill()
+        with self._lock:
+            self._buffer.append((value, primary_key, False))
+            self._maybe_spill()
 
     def delete(self, value, primary_key) -> None:
         """Anti-matter one entry (the §4.6 stale-entry cleanout on update/delete)."""
         if value is None:
             return
-        self._buffer.append((value, primary_key, True))
-        self._maybe_spill()
+        with self._lock:
+            self._buffer.append((value, primary_key, True))
+            self._maybe_spill()
 
     def _maybe_spill(self) -> None:
         if len(self._buffer) >= self.buffer_limit:
@@ -213,17 +219,22 @@ class SecondaryIndex:
         type-ranked value key — ``1 == True`` in Python, but they are
         distinct index values.
         """
-        if not self._buffer:
-            return
-        deduped: dict = {}
-        for value, primary_key, antimatter in self._buffer:
-            deduped[(_order_key(value), primary_key)] = (value, primary_key, antimatter)
-        self._run_counter += 1
-        run = _Run(
-            list(deduped.values()), self.device, f"{self.name}-run{self._run_counter}"
-        )
-        self._runs.insert(0, run)
-        self._buffer = []
+        with self._lock:
+            if not self._buffer:
+                return
+            deduped: dict = {}
+            for value, primary_key, antimatter in self._buffer:
+                deduped[(_order_key(value), primary_key)] = (
+                    value, primary_key, antimatter,
+                )
+            self._run_counter += 1
+            run = _Run(
+                list(deduped.values()),
+                self.device,
+                f"{self.name}-run{self._run_counter}",
+            )
+            self._runs = [run] + self._runs
+            self._buffer = []
 
     # -- search -----------------------------------------------------------------------
     def search_range(self, low=None, high=None) -> List[object]:
@@ -239,16 +250,23 @@ class SecondaryIndex:
             dropped.  Callers that feed point lookups sort the keys first
             (§4.6's sorted batched fetch).
         """
-        self.lookups += 1
         decided: dict = {}
         sources: List[Iterable[tuple]] = []
+        with self._lock:
+            # Snapshot both tiers atomically: a spill moving buffered entries
+            # into a run mid-search must not make them visible twice or not
+            # at all.  Runs are immutable once created, so searching them can
+            # happen outside the lock.
+            self.lookups += 1
+            buffered_snapshot = list(self._buffer)
+            runs = list(self._runs)
         buffered = [
             entry
-            for entry in reversed(self._buffer)
+            for entry in reversed(buffered_snapshot)
             if _value_in_range(entry[0], low, high)
         ]
         sources.append(buffered)
-        for run in self._runs:
+        for run in runs:
             sources.append(run.search(low, high))
         for source in sources:
             for value, primary_key, antimatter in source:
@@ -267,7 +285,8 @@ class SecondaryIndex:
     @property
     def size_bytes(self) -> int:
         """On-device bytes of the spilled runs (Figure 12a's index sizes)."""
-        return sum(run.size_bytes for run in self._runs)
+        with self._lock:
+            return sum(run.size_bytes for run in self._runs)
 
     @property
     def entry_count(self) -> int:
@@ -277,7 +296,8 @@ class SecondaryIndex:
         cost-based optimizer through
         :class:`~repro.query.stats.DatasetStatistics`.
         """
-        return len(self._buffer) + sum(len(run.entries) for run in self._runs)
+        with self._lock:
+            return len(self._buffer) + sum(len(run.entries) for run in self._runs)
 
     @property
     def run_count(self) -> int:
@@ -286,10 +306,12 @@ class SecondaryIndex:
         return self._run_counter
 
     def destroy(self) -> None:
-        for run in self._runs:
+        with self._lock:
+            runs = self._runs
+            self._runs = []
+            self._buffer = []
+        for run in runs:
             run.destroy()
-        self._runs = []
-        self._buffer = []
 
     # -- durability --------------------------------------------------------------------
     def manifest_state(self) -> dict:
@@ -298,12 +320,13 @@ class SecondaryIndex:
         Only spilled runs are referenced; buffered entries are recovered by
         replaying the WAL tail through the dataset's index-maintenance path.
         """
-        return {
-            "name": self.name,
-            "path": list(self.path.steps),
-            "run_counter": self._run_counter,
-            "runs": [run.file.name for run in self._runs],
-        }
+        with self._lock:
+            return {
+                "name": self.name,
+                "path": list(self.path.steps),
+                "run_counter": self._run_counter,
+                "runs": [run.file.name for run in self._runs],
+            }
 
     @classmethod
     def restore(
@@ -327,52 +350,59 @@ class PrimaryKeyIndex:
         self._pending: List[object] = []
         self._runs: List[_Run] = []
         self._run_counter = 0
+        self._lock = threading.RLock()
 
     def insert(self, key) -> None:
-        if key in self._keys:
-            return
-        self._keys.add(key)
-        self._pending.append(key)
-        if len(self._pending) >= self.buffer_limit:
-            self.flush()
+        with self._lock:
+            if key in self._keys:
+                return
+            self._keys.add(key)
+            self._pending.append(key)
+            if len(self._pending) >= self.buffer_limit:
+                self.flush()
 
     def flush(self) -> None:
-        if not self._pending:
-            return
-        self._run_counter += 1
-        run = _Run(
-            [(key, key, False) for key in self._pending],
-            self.device,
-            f"{self.name}-run{self._run_counter}",
-        )
-        self._runs.insert(0, run)
-        self._pending = []
+        with self._lock:
+            if not self._pending:
+                return
+            self._run_counter += 1
+            run = _Run(
+                [(key, key, False) for key in self._pending],
+                self.device,
+                f"{self.name}-run{self._run_counter}",
+            )
+            self._runs = [run] + self._runs
+            self._pending = []
 
     def __contains__(self, key) -> bool:
         return key in self._keys
 
     @property
     def size_bytes(self) -> int:
-        return sum(run.size_bytes for run in self._runs)
+        with self._lock:
+            return sum(run.size_bytes for run in self._runs)
 
     @property
     def key_count(self) -> int:
         return len(self._keys)
 
     def destroy(self) -> None:
-        for run in self._runs:
+        with self._lock:
+            runs = self._runs
+            self._runs = []
+            self._keys = set()
+            self._pending = []
+        for run in runs:
             run.destroy()
-        self._runs = []
-        self._keys = set()
-        self._pending = []
 
     # -- durability --------------------------------------------------------------------
     def manifest_state(self) -> dict:
-        return {
-            "name": self.name,
-            "run_counter": self._run_counter,
-            "runs": [run.file.name for run in self._runs],
-        }
+        with self._lock:
+            return {
+                "name": self.name,
+                "run_counter": self._run_counter,
+                "runs": [run.file.name for run in self._runs],
+            }
 
     @classmethod
     def restore(

@@ -15,9 +15,10 @@ from .component import (
     RowComponentBuilder,
 )
 from .keys import decode_key, encode_key
-from .lsm_tree import LSMTree
-from .memtable import MemTable
+from .lsm_tree import LSMTree, TreeSnapshot
+from .memtable import FrozenMemtable, MemTable
 from .merge_policy import MergeScheduler, NoMergePolicy, TieringMergePolicy
+from .scheduler import BackgroundScheduler, BackgroundTaskError, SerialScheduler
 from .wal import LogManager, TransactionLog
 
 __all__ = [
@@ -28,9 +29,12 @@ __all__ = [
     "LAYOUT_OPEN",
     "LAYOUT_VECTOR",
     "ROW_LAYOUTS",
+    "BackgroundScheduler",
+    "BackgroundTaskError",
     "ComponentCursor",
     "ComponentMetadata",
     "DiskComponent",
+    "FrozenMemtable",
     "LSMTree",
     "LogManager",
     "MemTable",
@@ -38,8 +42,10 @@ __all__ = [
     "NoMergePolicy",
     "RowComponent",
     "RowComponentBuilder",
+    "SerialScheduler",
     "TieringMergePolicy",
     "TransactionLog",
+    "TreeSnapshot",
     "decode_key",
     "encode_key",
 ]

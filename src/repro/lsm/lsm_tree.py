@@ -5,11 +5,24 @@ in-memory component, the stack of immutable on-disk components (newest first),
 flushing, merging (vertical merges for the columnar layouts), reconciling
 scans, and point lookups.  The on-disk layout — ``open``, ``vector``,
 ``apax``, or ``amax`` — is chosen per dataset and fixed at creation time.
+
+Concurrency model (see ``docs/ARCHITECTURE.md`` for the full picture): every
+mutation of the tree's published state (memtable, frozen memtables, component
+stack, counters) happens under a per-tree lock and replaces lists instead of
+mutating them; readers *pin* an immutable snapshot of that state and never
+block writers.  When a :class:`~repro.lsm.scheduler.BackgroundScheduler` is
+attached, a full memtable is *rotated* (swapped for a fresh one, O(1)) and
+flushed on a worker thread; merges run on the pool too.  Component building —
+the expensive part — always happens outside the tree lock.  Per tree, at most
+one background flush-or-merge runs at a time (``_maintenance_lock``), which
+keeps the component stack, the durable-LSN publication order, and the
+inferred schema single-writer.
 """
 
 from __future__ import annotations
 
 import heapq
+import threading
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.columns import ShreddedColumn
@@ -34,8 +47,9 @@ from .component import (
     RowComponent,
     RowComponentBuilder,
 )
-from .memtable import MemTable
+from .memtable import FrozenMemtable, MemTable
 from .merge_policy import MergeScheduler, TieringMergePolicy
+from .scheduler import BackgroundScheduler
 from .wal import TransactionLog
 
 #: Sentinel yielded by :func:`_reconciled` for live records whose newest
@@ -43,9 +57,14 @@ from .wal import TransactionLog
 #: still shadows older versions) but no document is assembled for it.
 FILTERED = object()
 
+#: How long a rotation waits for a background flush to free a frozen-memtable
+#: slot before proceeding anyway (soft backpressure; avoids deadlocking when
+#: the pool is paused or wedged).
+ROTATION_STALL_TIMEOUT_S = 2.0
+
 
 class _MemtableCursor(ComponentCursor):
-    """Cursor adapter over the in-memory component's sorted entries."""
+    """Cursor adapter over an in-memory component's sorted entries."""
 
     def __init__(self, entries: List[FlushEntry]) -> None:
         self._entries = entries
@@ -65,6 +84,65 @@ class _MemtableCursor(ComponentCursor):
 
     def document(self) -> Optional[dict]:
         return self._entries[self._position][2]
+
+
+class TreeSnapshot:
+    """A pinned, immutable view of one partition's component stack.
+
+    Holds the in-memory entry sources (current-memtable copy plus any frozen
+    memtables, newest first) and the disk components that were live at pin
+    time.  The disk components stay pinned — a merge that retires them defers
+    their destruction — until :meth:`close` releases the pins, so a long scan
+    never observes a torn or half-deleted stack.
+    """
+
+    def __init__(
+        self,
+        tree: "LSMTree",
+        memtable_sources: List[object],
+        components: Tuple[DiskComponent, ...],
+    ) -> None:
+        self._tree = tree
+        #: Entry providers newest → oldest: materialized lists or FrozenMemtables.
+        self.memtable_sources = memtable_sources
+        self.components = components
+        self._closed = False
+
+    def cursors(
+        self,
+        fields: Optional[Sequence[str]] = None,
+        pushdown=None,
+        include_memtables: bool = True,
+    ) -> List[ComponentCursor]:
+        """Cursors over every source, newest first (reconciliation order)."""
+        cursors: List[ComponentCursor] = []
+        if include_memtables:
+            for source in self.memtable_sources:
+                entries = source if isinstance(source, list) else source.entries
+                if entries:
+                    cursors.append(_MemtableCursor(entries))
+        for component in self.components:
+            cursors.append(component.cursor(fields, pushdown))
+        return cursors
+
+    def close(self) -> None:
+        """Release the component pins (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._tree._unpin_components(self.components)
+
+    def __del__(self) -> None:
+        # Safety net for abandoned scans: a generator that was never started
+        # runs none of its body on close/GC (PEP 342), so the scan's
+        # ``finally`` cannot be the only unpin path — without this, a
+        # peek-one-row-and-drop caller would pin retired components forever.
+        self.close()
+
+    def __enter__(self) -> "TreeSnapshot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 class LSMTree:
@@ -87,6 +165,8 @@ class LSMTree:
         dataset_name: Optional[str] = None,
         partition_id: int = 0,
         on_disk_state_changed=None,
+        scheduler: Optional[BackgroundScheduler] = None,
+        max_frozen_memtables: int = 4,
     ) -> None:
         if layout not in ROW_LAYOUTS + COLUMNAR_LAYOUTS:
             raise StorageError(f"unknown layout {layout!r}")
@@ -97,7 +177,7 @@ class LSMTree:
         self.buffer_cache = buffer_cache
         self.compression = compression
         self.memtable = MemTable(memory_budget_bytes)
-        self.components: List[DiskComponent] = []  # newest first
+        self.components: List[DiskComponent] = []  # newest first, never mutated in place
         self.merge_policy = merge_policy or TieringMergePolicy()
         self.merge_scheduler = merge_scheduler or MergeScheduler()
         self.transaction_log = transaction_log
@@ -115,22 +195,46 @@ class LSMTree:
         #: Callback fired after every flush/merge (the dataset uses it to
         #: re-persist its manifest atomically); None for transient trees.
         self.on_disk_state_changed = on_disk_state_changed
+        #: Background pool for flushes/merges; None = fully synchronous.
+        self.scheduler = scheduler
+        self.max_frozen_memtables = max_frozen_memtables
         self._component_counter = 0
         self.flush_count = 0
         self.merge_count = 0
+        #: Guards every published-state transition (memtable swap, component
+        #: stack replacement, counters, pins).  Held only for O(stack) work.
+        self._lock = threading.RLock()
+        #: Signalled whenever a frozen memtable drains (rotation backpressure).
+        self._stack_changed = threading.Condition(self._lock)
+        #: Serializes flush/merge *execution* per tree (component building,
+        #: schema inference); never held while ingesting or reading.
+        self._maintenance_lock = threading.Lock()
+        #: Rotated memtables awaiting flush, oldest first.
+        self._frozen: List[FrozenMemtable] = []
+        #: id(component) -> number of snapshots pinning it.
+        self._pins: Dict[int, int] = {}
+        #: id(component) -> merged-away component awaiting its last unpin.
+        self._retired: Dict[int, DiskComponent] = {}
+        #: Schema / field-dictionary snapshots as of the last completed
+        #: flush/merge — what the manifest persists (never a torn mid-build
+        #: inference state).
+        self._durable_schema = schema.to_dict()
+        self._durable_field_names = self.field_dictionary.to_dict()
 
     # -- ingestion --------------------------------------------------------------------
     def insert(self, key, document: dict) -> None:
         """Insert (or blindly overwrite) a record in the in-memory component."""
-        self._log(key, document, antimatter=False)
-        self.memtable.put(key, document)
+        with self._lock:
+            self._log(key, document, antimatter=False)
+            self.memtable.put(key, document)
 
     upsert = insert
 
     def delete(self, key) -> None:
         """Delete a record by adding an anti-matter entry."""
-        self._log(key, None, antimatter=True)
-        self.memtable.delete(key)
+        with self._lock:
+            self._log(key, None, antimatter=True)
+            self.memtable.delete(key)
 
     def _log(self, key, document: Optional[dict], antimatter: bool) -> None:
         if self.transaction_log is None:
@@ -141,11 +245,12 @@ class LSMTree:
 
     def apply_replayed(self, key, document: Optional[dict], antimatter: bool, lsn: int) -> None:
         """Apply one recovered WAL record to the memtable without re-logging it."""
-        if antimatter:
-            self.memtable.delete(key)
-        else:
-            self.memtable.put(key, document)
-        self.last_logged_lsn = max(self.last_logged_lsn, lsn)
+        with self._lock:
+            if antimatter:
+                self.memtable.delete(key)
+            else:
+                self.memtable.put(key, document)
+            self.last_logged_lsn = max(self.last_logged_lsn, lsn)
 
     @property
     def needs_flush(self) -> bool:
@@ -153,26 +258,119 @@ class LSMTree:
 
     # -- flush -----------------------------------------------------------------------
     def flush(self, force: bool = True) -> Optional[DiskComponent]:
-        """Flush the in-memory component into a new on-disk component."""
-        if self.memtable.is_empty:
-            return None
-        if not force and not self.memtable.is_full:
-            return None
-        entries = self.memtable.sorted_entries()
-        component = self._build_component(entries)
-        self.components.insert(0, component)
-        self.memtable.clear()
-        # Everything logged so far is now in a disk component; after a crash,
-        # replay starts just above this watermark.
-        self.durable_lsn = self.last_logged_lsn
-        self.flush_count += 1
-        self.maybe_merge()
-        self._notify_disk_state_changed()
-        return component
+        """Flush the in-memory component into a new on-disk component.
+
+        Synchronous: rotates the current memtable (if non-empty) and drains
+        every frozen memtable inline, returning the newest component built
+        (None when there was nothing to flush).  Safe to call while a
+        background scheduler is attached — execution serializes with any
+        in-flight background flush/merge of this tree.
+        """
+        with self._lock:
+            if self.memtable.is_empty and not self._frozen:
+                return None
+            if not force and not self.memtable.is_full and not self._frozen:
+                return None
+            if not self.memtable.is_empty:
+                self._rotate_locked()
+        return self._drain_frozen()
+
+    def request_flush(self) -> None:
+        """Rotate the memtable and flush it in the background (sync fallback).
+
+        This is the ingestion path's flush trigger: with a scheduler attached
+        the caller only pays the O(1) rotation — the component build and its
+        I/O happen on a worker — and rotation applies soft backpressure when
+        too many frozen memtables are already waiting.
+        """
+        if self.scheduler is None:
+            self.flush(force=True)
+            return
+        with self._lock:
+            if self.memtable.is_empty:
+                return
+            self._rotate_locked()
+        submitted = self.scheduler.submit(
+            self._drain_frozen,
+            label=f"flush:{self.name}",
+            key=("flush", self.name),
+            best_effort=True,
+            # Bounded, like the rotation backpressure: a wedged pool with a
+            # full queue must stall ingestion at most briefly, never forever.
+            timeout=ROTATION_STALL_TIMEOUT_S,
+        )
+        if not submitted and self.scheduler.is_stopped:
+            # The pool is gone (clean shutdown): degrade to the synchronous
+            # engine rather than letting frozen memtables pile up unflushed.
+            self._drain_frozen()
+        # Any other False is benign: either an identical flush request is
+        # already queued (dedup) and will drain every frozen memtable, or
+        # the bounded wait timed out — the frozen list is capped by rotation
+        # backpressure and the next successful flush (or flush_all) drains
+        # the backlog.
+
+    def _rotate_locked(self) -> FrozenMemtable:
+        """Swap in a fresh memtable; the old one becomes a frozen source."""
+        while (
+            self.scheduler is not None
+            and not self.scheduler.is_stopped
+            and len(self._frozen) >= self.max_frozen_memtables
+        ):
+            # Writer backpressure: wait for a background flush to drain a
+            # slot, but never indefinitely (a paused/wedged pool must not
+            # deadlock ingestion — memory overshoot beats a hang).
+            if not self._stack_changed.wait(timeout=ROTATION_STALL_TIMEOUT_S):
+                break
+        frozen = FrozenMemtable(self.memtable, self.last_logged_lsn)
+        self._frozen = self._frozen + [frozen]
+        self.memtable = MemTable(self.memtable.budget_bytes)
+        return frozen
+
+    def _drain_frozen(self) -> Optional[DiskComponent]:
+        """Build a disk component from every frozen memtable, oldest first.
+
+        Runs under the per-tree maintenance lock (one flush/merge at a time
+        per tree), so frozen memtables flush in rotation order and the
+        durable LSN only ever advances to an LSN whose every predecessor is
+        already on disk.  The component build happens outside the tree lock —
+        ingestion and reads proceed concurrently.
+        """
+        built: Optional[DiskComponent] = None
+        with self._maintenance_lock:
+            while True:
+                with self._lock:
+                    if not self._frozen:
+                        break
+                    frozen = self._frozen[0]
+                component = self._build_component(frozen.entries)
+                with self._lock:
+                    self._frozen = self._frozen[1:]
+                    self.components = [component] + self.components
+                    # Everything logged up to the rotation point is now in a
+                    # disk component; after a crash, replay starts above it.
+                    self.durable_lsn = max(self.durable_lsn, frozen.rotated_lsn)
+                    self.flush_count += 1
+                    self._refresh_durable_state_locked()
+                    self._stack_changed.notify_all()
+                built = component
+        if built is not None:
+            self.maybe_merge()
+            self._notify_disk_state_changed()
+        return built
 
     def _notify_disk_state_changed(self) -> None:
         if self.on_disk_state_changed is not None:
             self.on_disk_state_changed(self)
+
+    def _refresh_durable_state_locked(self) -> None:
+        """Re-snapshot the schema/field dictionary for manifest writes.
+
+        Called at the end of every flush/merge while the maintenance lock is
+        held: the schema is only ever mutated by component builds, so this
+        snapshot can never capture a torn mid-inference state.
+        """
+        self._durable_schema = self.schema.to_dict()
+        self._durable_field_names = self.field_dictionary.to_dict()
 
     # -- recovery ----------------------------------------------------------------------
     def restore_state(
@@ -184,16 +382,41 @@ class LSMTree:
         durable_lsn: int,
     ) -> None:
         """Adopt recovered on-disk state (components newest first)."""
-        self.components = list(components)
-        self._component_counter = component_counter
-        self.flush_count = flush_count
-        self.merge_count = merge_count
-        self.durable_lsn = durable_lsn
-        self.last_logged_lsn = durable_lsn
+        with self._lock:
+            self.components = list(components)
+            self._component_counter = component_counter
+            self.flush_count = flush_count
+            self.merge_count = merge_count
+            self.durable_lsn = durable_lsn
+            self.last_logged_lsn = durable_lsn
+            self._refresh_durable_state_locked()
+
+    def durable_state(self) -> dict:
+        """A consistent snapshot of the manifest-relevant state.
+
+        Component stack, counters, and the durable LSN are read together
+        under the tree lock, so a manifest written concurrently with a
+        background flush always describes a stack that actually existed —
+        and its durable LSN never runs ahead of the components that carry
+        those operations.
+        """
+        with self._lock:
+            return {
+                "partition_id": self.partition_id,
+                "component_counter": self._component_counter,
+                "flush_count": self.flush_count,
+                "merge_count": self.merge_count,
+                "durable_lsn": self.durable_lsn,
+                "last_logged_lsn": self.last_logged_lsn,
+                "components": [component.file.name for component in self.components],
+                "schema": self._durable_schema,
+                "field_names": self._durable_field_names,
+            }
 
     def _next_component_id(self) -> str:
-        self._component_counter += 1
-        return f"{self.name}-c{self._component_counter}"
+        with self._lock:
+            self._component_counter += 1
+            return f"{self.name}-c{self._component_counter}"
 
     def _build_component(self, entries: Sequence[FlushEntry]) -> DiskComponent:
         component_id = self._next_component_id()
@@ -230,7 +453,22 @@ class LSMTree:
 
     # -- merge ------------------------------------------------------------------------
     def maybe_merge(self) -> bool:
-        """Apply the merge policy; run at most one merge."""
+        """Apply the merge policy; run (or schedule) at most one merge."""
+        if self.scheduler is not None:
+            with self._lock:
+                sizes = [component.size_bytes for component in self.components]
+            if not self.merge_policy.select(sizes):
+                return False
+            # One pending merge request per tree: duplicates are deduplicated
+            # by the pool; the running task re-evaluates the policy itself.
+            # Best-effort: a request racing a clean shutdown is simply
+            # dropped (the next flush re-evaluates the policy anyway).
+            return self.scheduler.submit(
+                self._background_merge,
+                label=f"merge:{self.name}",
+                key=("merge", self.name),
+                best_effort=True,
+            )
         sizes = [component.size_bytes for component in self.components]
         window = self.merge_policy.select(sizes)
         if not window:
@@ -243,29 +481,59 @@ class LSMTree:
             self.merge_scheduler.finish()
         return True
 
+    def _background_merge(self) -> None:
+        """One background merge pass; re-queues itself while the policy asks."""
+        with self._maintenance_lock:
+            # Re-evaluate under the maintenance lock: the stack may have
+            # changed since the request was queued (and only maintenance —
+            # which we now are — changes it further).
+            with self._lock:
+                sizes = [component.size_bytes for component in self.components]
+            window = self.merge_policy.select(sizes)
+            if not window:
+                return
+            if not self.merge_scheduler.try_start():
+                return  # over the concurrent-merge cap; the next flush retries
+            try:
+                self._merge(window)
+            finally:
+                self.merge_scheduler.finish()
+        # Chain: merging may leave the stack still over policy (e.g. a burst
+        # of flushes landed meanwhile); submit a fresh deduplicated request.
+        self.maybe_merge()
+
     def _merge(self, window: List[int]) -> None:
+        """Merge the components at the given stack indexes into one.
+
+        Callers must ensure the stack cannot change underneath the window:
+        either the tree is synchronous (single-threaded callers) or the
+        per-tree maintenance lock is held (background path).  Readers are
+        unaffected throughout — they hold pinned snapshots, and merged-away
+        components are only destroyed once every pin is released.
+        """
         merging = [self.components[index] for index in window]
         keep_antimatter = len(window) < len(self.components)
         if self.layout in COLUMNAR_LAYOUTS:
             merged = self._merge_columnar(merging, keep_antimatter)
         else:
             merged = self._merge_rows(merging, keep_antimatter)
-        survivors = [
-            component
-            for index, component in enumerate(self.components)
-            if index not in set(window)
-        ]
-        position = min(window)
-        survivors.insert(position, merged)
-        self.components = survivors
-        self.merge_count += 1
+        with self._lock:
+            survivors = [
+                component
+                for index, component in enumerate(self.components)
+                if index not in set(window)
+            ]
+            position = min(window)
+            survivors.insert(position, merged)
+            self.components = survivors
+            self.merge_count += 1
+            self._refresh_durable_state_locked()
         # Persist the manifest that references the merged component *before*
         # deleting the inputs: a crash in between only orphans the old files,
         # whereas the reverse order would leave the last durable manifest
         # pointing at deleted components and the store unopenable.
         self._notify_disk_state_changed()
-        for component in merging:
-            component.destroy()
+        self._retire_components(merging)
 
     def _merge_rows(
         self, merging: Sequence[DiskComponent], keep_antimatter: bool
@@ -347,6 +615,74 @@ class LSMTree:
         builder = self._columnar_builder(self._next_component_id())
         return builder.build_from_columns(columns, len(picks))
 
+    # -- snapshot pinning ---------------------------------------------------------------
+    def pin_snapshot(self, include_memtables: bool = True) -> TreeSnapshot:
+        """Pin the current component stack and capture the in-memory sources.
+
+        The returned snapshot is immutable: subsequent inserts, rotations,
+        flushes, and merges do not affect it, and components it references
+        survive (undestroyed) until :meth:`TreeSnapshot.close`.
+        """
+        raw_entries = None
+        with self._lock:
+            components = tuple(self.components)
+            for component in components:
+                cid = id(component)
+                self._pins[cid] = self._pins.get(cid, 0) + 1
+            memtable_sources: List[object] = []
+            if include_memtables:
+                if not self.memtable.is_empty:
+                    # Only the O(n) copy of the mutable memtable needs the
+                    # lock; the O(n log n) sort happens below, with writers
+                    # already unblocked.  Frozen memtables are immutable and
+                    # materialize lazily.
+                    raw_entries = self.memtable.entries_snapshot()
+                memtable_sources.extend(reversed(self._frozen))  # newest first
+        if raw_entries is not None:
+            memtable_sources.insert(
+                0,
+                [
+                    (key, antimatter, document)
+                    for key, (antimatter, document) in sorted(raw_entries)
+                ],
+            )
+        return TreeSnapshot(self, memtable_sources, components)
+
+    def _unpin_components(self, components: Sequence[DiskComponent]) -> None:
+        to_destroy: List[DiskComponent] = []
+        with self._lock:
+            for component in components:
+                cid = id(component)
+                remaining = self._pins.get(cid, 0) - 1
+                if remaining > 0:
+                    self._pins[cid] = remaining
+                else:
+                    self._pins.pop(cid, None)
+                    retired = self._retired.pop(cid, None)
+                    if retired is not None:
+                        to_destroy.append(retired)
+        for component in to_destroy:
+            component.destroy()
+
+    def _retire_components(self, components: Sequence[DiskComponent]) -> None:
+        """Destroy merged-away components now, or once their last pin drops."""
+        to_destroy: List[DiskComponent] = []
+        with self._lock:
+            for component in components:
+                cid = id(component)
+                if self._pins.get(cid, 0) > 0:
+                    self._retired[cid] = component
+                else:
+                    to_destroy.append(component)
+        for component in to_destroy:
+            component.destroy()
+
+    @property
+    def retired_component_count(self) -> int:
+        """Merged-away components kept alive by reader pins (observability)."""
+        with self._lock:
+            return len(self._retired)
+
     # -- reads -------------------------------------------------------------------------
     def scan(
         self,
@@ -356,33 +692,40 @@ class LSMTree:
     ) -> Iterator[Tuple[object, dict]]:
         """Reconciled scan over every component, newest first wins.
 
+        The snapshot is pinned *when scan() is called* (not at first
+        iteration), so the caller sees exactly the records live at that
+        moment, however long the iteration takes and whatever flushes or
+        merges happen meanwhile.
+
         ``pushdown`` (a :class:`~repro.query.pushdown.PushdownSpec`) lets the
         columnar components prune columns and pre-filter leaf groups; rows
         whose *winning* version fails a pushed predicate are dropped here
         without ever being assembled.  Memtable rows and row-layout components
         ignore the spec and flow through to the engine's residual filter.
         """
-        cursors: List[ComponentCursor] = []
-        if include_memtable and not self.memtable.is_empty:
-            cursors.append(_MemtableCursor(self.memtable.sorted_entries()))
-        for component in self.components:
-            cursors.append(component.cursor(fields, pushdown))
-        for key, antimatter, document in _reconciled(cursors):
-            if antimatter or document is FILTERED:
-                continue
-            yield key, document
+        snapshot = self.pin_snapshot(include_memtables=include_memtable)
+        return self._scan_snapshot(snapshot, fields, pushdown)
+
+    def _scan_snapshot(
+        self, snapshot: TreeSnapshot, fields, pushdown
+    ) -> Iterator[Tuple[object, dict]]:
+        try:
+            cursors = snapshot.cursors(fields, pushdown)
+            for key, antimatter, document in _reconciled(cursors):
+                if antimatter or document is FILTERED:
+                    continue
+                yield key, document
+        finally:
+            snapshot.close()
 
     def count(self) -> int:
         """Number of live records (reconciled, but without decoding values)."""
         total = 0
-        cursors: List[ComponentCursor] = []
-        if not self.memtable.is_empty:
-            cursors.append(_MemtableCursor(self.memtable.sorted_entries()))
-        for component in self.components:
-            cursors.append(component.cursor([]))
-        for _, antimatter, _ in _reconciled(cursors, decode_documents=False):
-            if not antimatter:
-                total += 1
+        with self.pin_snapshot() as snapshot:
+            cursors = snapshot.cursors([])
+            for _, antimatter, _ in _reconciled(cursors, decode_documents=False):
+                if not antimatter:
+                    total += 1
         return total
 
     def point_lookup(self, key, fields: Optional[Sequence[str]] = None) -> Optional[dict]:
@@ -396,16 +739,29 @@ class LSMTree:
                 more fields than requested — projection is an optimization,
                 never a semantic contract.
         """
-        entry = self.memtable.get(key)
-        if entry is not None:
-            antimatter, document = entry
-            return None if antimatter else document
-        for component in self.components:
-            found = component.point_lookup(key, fields)
-            if found is not None:
-                antimatter, document = found
+        with self._lock:
+            entry = self.memtable.get(key)
+            if entry is None:
+                for frozen in reversed(self._frozen):  # newest rotation first
+                    entry = frozen.get(key)
+                    if entry is not None:
+                        break
+            if entry is not None:
+                antimatter, document = entry
                 return None if antimatter else document
-        return None
+            components = tuple(self.components)
+            for component in components:
+                cid = id(component)
+                self._pins[cid] = self._pins.get(cid, 0) + 1
+        try:
+            for component in components:
+                found = component.point_lookup(key, fields)
+                if found is not None:
+                    antimatter, document = found
+                    return None if antimatter else document
+            return None
+        finally:
+            self._unpin_components(components)
 
     def contains(self, key) -> bool:
         return self.point_lookup(key) is not None

@@ -8,7 +8,8 @@ place; deletes leave an anti-matter marker so the flush writes a tombstone.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+import threading
+from typing import Dict, List, Optional, Tuple
 
 from ..model.errors import StorageError
 from ..model.values import estimate_json_size
@@ -79,9 +80,56 @@ class MemTable:
             for key, (antimatter, document) in sorted(self._entries.items())
         ]
 
-    def iter_sorted(self) -> Iterator[Tuple[object, bool, Optional[dict]]]:
-        return iter(self.sorted_entries())
+    def entries_snapshot(self) -> List[Tuple[object, MemEntry]]:
+        """An unordered O(n) copy of the raw entries.
 
-    def clear(self) -> None:
-        self._entries.clear()
-        self._approximate_bytes = 0
+        For readers that must copy under a lock but can afford to sort
+        outside it (snapshot pinning): the copy is the only part that needs
+        the entries to hold still.
+        """
+        return list(self._entries.items())
+
+
+class FrozenMemtable:
+    """An immutable, rotated-out memtable awaiting its background flush.
+
+    When the writer rotates (swaps in a fresh mutable memtable so ingestion
+    never waits on flush I/O), the old memtable is wrapped here together with
+    the partition's ``last_logged_lsn`` at rotation time: once this memtable's
+    flush completes, every logged operation up to ``rotated_lsn`` lives in a
+    disk component, so that LSN becomes the partition's durable LSN.
+
+    Readers treat a frozen memtable exactly like the mutable one (it is newer
+    than every disk component, older than the current memtable); the sorted
+    entry list is computed once, lazily, by whoever needs it first — the flush
+    worker or a pinned-snapshot scan.
+    """
+
+    def __init__(self, memtable: MemTable, rotated_lsn: int) -> None:
+        self._memtable = memtable
+        self.rotated_lsn = rotated_lsn
+        self._entries: Optional[List[Tuple[object, bool, Optional[dict]]]] = None
+        self._entries_lock = threading.Lock()
+
+    def get(self, key) -> Optional[MemEntry]:
+        return self._memtable.get(key)
+
+    @property
+    def is_empty(self) -> bool:
+        return self._memtable.is_empty
+
+    @property
+    def approximate_bytes(self) -> int:
+        return self._memtable.approximate_bytes
+
+    def __len__(self) -> int:
+        return len(self._memtable)
+
+    @property
+    def entries(self) -> List[Tuple[object, bool, Optional[dict]]]:
+        """The frozen contents in flush order (computed once, cached)."""
+        if self._entries is None:
+            with self._entries_lock:
+                if self._entries is None:
+                    self._entries = self._memtable.sorted_entries()
+        return self._entries

@@ -3,13 +3,17 @@
 The experiments (§6.3) use AsterixDB's *tiering* (a.k.a. size-tiered) merge
 policy with a size ratio of 1.2 and a maximum of 5 tolerable components, with
 a fair (first-come, first-served) scheduler and a cap on concurrent merges for
-the columnar layouts (§4.5.3).  Concurrency is simulated — the engine is
-single-threaded — but the scheduler tracks how many merges *would* run
-concurrently so the ablation bench can report the effect of the cap.
+the columnar layouts (§4.5.3).  With a
+:class:`~repro.lsm.scheduler.BackgroundScheduler` attached to the datastore,
+merges really do run concurrently (one per tree, capped across trees by
+:class:`MergeScheduler`); without one, execution stays synchronous and the
+scheduler still tracks how many merge requests were outstanding at once so
+the ablation bench can report the pressure.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -71,17 +75,26 @@ class MergeScheduler:
     max_observed_concurrency: int = 0
     _active: int = 0
     deferred: int = 0
+    #: One scheduler is shared by every partition of a dataset, and with a
+    #: background pool its merges race — the accounting must be atomic.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def try_start(self) -> bool:
         """Ask to start a merge; returns False when the cap would be exceeded."""
-        if self._active >= self.max_concurrent_merges:
-            self.deferred += 1
-            return False
-        self._active += 1
-        self.started += 1
-        self.max_observed_concurrency = max(self.max_observed_concurrency, self._active)
-        return True
+        with self._lock:
+            if self._active >= self.max_concurrent_merges:
+                self.deferred += 1
+                return False
+            self._active += 1
+            self.started += 1
+            self.max_observed_concurrency = max(
+                self.max_observed_concurrency, self._active
+            )
+            return True
 
     def finish(self) -> None:
-        self._active = max(0, self._active - 1)
-        self.completed += 1
+        with self._lock:
+            self._active = max(0, self._active - 1)
+            self.completed += 1

@@ -1,0 +1,307 @@
+"""The background flush/merge scheduler: a bounded worker pool.
+
+AsterixDB runs memtable flushes and component merges on background threads so
+that ingestion never stalls on component I/O and queries keep reading
+immutable component snapshots while the stack is being rewritten.  This module
+provides that worker pool for the reproduction:
+
+* **Bounded queue** — submissions beyond ``queue_capacity`` block the caller
+  (writer backpressure) or are rejected when ``block=False``.
+* **Deduplication** — tasks submitted with a ``key`` are dropped while an
+  identical key is still *queued* (a merge request per tree is only ever
+  pending once; the running task re-evaluates the policy itself).
+* **Error surfacing** — an exception on a worker is captured and re-raised on
+  the next :meth:`submit`, :meth:`drain`, or :meth:`shutdown` as a
+  :class:`BackgroundTaskError`, never silently swallowed.
+* **Crash simulation** — :meth:`pause` parks the workers *before* they pick
+  up new tasks and :meth:`kill` abandons everything still queued, which is
+  how the recovery tests model a process dying with in-flight background
+  work (threads cannot be killed mid-task in Python, so tests pause first).
+
+The pool is deliberately storage-agnostic: it runs opaque callables.  The
+:class:`~repro.lsm.lsm_tree.LSMTree` owns the flush/merge logic and submits
+closures; one pool is shared by every dataset of a datastore.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..model.errors import StorageError
+
+
+class BackgroundTaskError(StorageError):
+    """A background flush/merge task raised; carries the original exception."""
+
+    def __init__(self, label: str, cause: BaseException) -> None:
+        super().__init__(f"background task {label!r} failed: {cause!r}")
+        self.label = label
+        self.cause = cause
+
+
+@dataclass
+class _Task:
+    fn: Callable[[], object]
+    label: str
+    key: Optional[object]
+
+
+#: Queue sentinel asking a worker thread to exit.
+_STOP = None
+
+
+class BackgroundScheduler:
+    """A fixed pool of daemon workers draining one bounded FIFO task queue.
+
+    An idle worker pre-claims the next task before checking the pause flag,
+    so a fully saturated (or paused) pool holds up to ``queue_capacity +
+    workers`` accepted tasks before submissions block or reject.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        queue_capacity: int = 64,
+        name: str = "lsm-background",
+    ) -> None:
+        if workers <= 0:
+            raise StorageError("the background scheduler needs at least one worker")
+        if queue_capacity <= 0:
+            raise StorageError("the task queue needs capacity for at least one task")
+        self.num_workers = workers
+        self.queue_capacity = queue_capacity
+        self._queue: "queue.Queue[Optional[_Task]]" = queue.Queue(maxsize=queue_capacity)
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._pending_keys: set = set()
+        self._in_flight = 0  # queued + currently executing tasks
+        self._errors: List[BackgroundTaskError] = []
+        self._stopped = False
+        self._killed = False
+        #: Set = workers may pick up tasks; cleared by :meth:`pause`.
+        self._unpaused = threading.Event()
+        self._unpaused.set()
+        self.tasks_submitted = 0
+        self.tasks_completed = 0
+        self.tasks_deduplicated = 0
+        self.tasks_rejected = 0
+        self.tasks_failed = 0
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"{name}-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission --------------------------------------------------------------------
+    def submit(
+        self,
+        fn: Callable[[], object],
+        label: str = "task",
+        key: Optional[object] = None,
+        block: bool = True,
+        timeout: Optional[float] = None,
+        best_effort: bool = False,
+    ) -> bool:
+        """Enqueue one task; returns False when deduplicated or rejected.
+
+        Blocks while the queue is full (backpressure) unless ``block`` is
+        False, in which case a full queue rejects the task.  Raises any
+        pending :class:`BackgroundTaskError` from earlier tasks first.
+        ``best_effort`` turns "scheduler already shut down" into a False
+        return instead of an error — for maintenance chains (a merge
+        re-requesting itself) that race a clean shutdown.
+        """
+        with self._lock:
+            if self._stopped and best_effort:
+                return False
+            self._raise_errors_locked()
+            if self._stopped:
+                raise StorageError("background scheduler is shut down")
+            if key is not None and key in self._pending_keys:
+                self.tasks_deduplicated += 1
+                return False
+            # Register before the (possibly blocking) put so duplicate
+            # requests keep deduplicating while we wait for queue space.
+            if key is not None:
+                self._pending_keys.add(key)
+            self._in_flight += 1
+            self.tasks_submitted += 1
+        task = _Task(fn=fn, label=label, key=key)
+        try:
+            self._queue.put(task, block=block, timeout=timeout)
+        except queue.Full:
+            with self._lock:
+                if key is not None:
+                    self._pending_keys.discard(key)
+                self._in_flight -= 1
+                self.tasks_submitted -= 1
+                self.tasks_rejected += 1
+                self._idle.notify_all()
+            return False
+        return True
+
+    # -- worker loop --------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            self._unpaused.wait()
+            task = self._queue.get()
+            if task is _STOP:
+                return
+            self._unpaused.wait()
+            if self._killed:
+                # Simulated crash: abandon the task exactly as a dead process
+                # would have (the WAL replays it on the next open).
+                with self._lock:
+                    self._in_flight -= 1
+                    self._idle.notify_all()
+                continue
+            with self._lock:
+                # The key unblocks as soon as the task *starts*: a request
+                # arriving mid-run reflects state the running task may already
+                # have consumed, so it must queue a fresh task.
+                if task.key is not None:
+                    self._pending_keys.discard(task.key)
+            try:
+                task.fn()
+            except BaseException as exc:  # noqa: BLE001 - surfaced to callers
+                with self._lock:
+                    self._errors.append(BackgroundTaskError(task.label, exc))
+                    self.tasks_failed += 1
+            finally:
+                with self._lock:
+                    self._in_flight -= 1
+                    self.tasks_completed += 1
+                    self._idle.notify_all()
+
+    # -- synchronization ----------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every queued and running task finished; re-raise errors."""
+        with self._idle:
+            if not self._idle.wait_for(lambda: self._in_flight == 0, timeout=timeout):
+                raise StorageError(
+                    f"background scheduler did not drain within {timeout}s "
+                    f"({self._in_flight} tasks in flight)"
+                )
+            self._raise_errors_locked()
+
+    def raise_pending_errors(self) -> None:
+        """Re-raise the first captured worker exception, if any."""
+        with self._lock:
+            self._raise_errors_locked()
+
+    def _raise_errors_locked(self) -> None:
+        if self._errors:
+            error = self._errors[0]
+            self._errors = []
+            raise error
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    @property
+    def is_stopped(self) -> bool:
+        return self._stopped
+
+    # -- test hooks ---------------------------------------------------------------------
+    def pause(self) -> None:
+        """Park the workers before their next task pickup (tasks keep queueing)."""
+        self._unpaused.clear()
+
+    def resume(self) -> None:
+        self._unpaused.set()
+
+    # -- lifecycle ----------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting tasks; drain in-flight work, then stop the workers.
+
+        With ``wait=True`` (the default) every already-queued task still runs
+        to completion before the workers exit, and any captured task error is
+        re-raised after the join.
+        """
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+        # Unpark the workers *before* feeding the sentinels: with a paused
+        # pool and a full queue the puts below would otherwise block forever
+        # (no worker would ever drain a slot).
+        self._unpaused.set()
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+            self.raise_pending_errors()
+
+    def kill(self) -> None:
+        """Simulate a crash: discard queued tasks, stop workers, run nothing.
+
+        Used by the recovery tests together with :meth:`pause`: pause first so
+        no worker is mid-task, write (tasks queue up), then kill — the queued
+        flushes/merges are lost exactly like a process death would lose them.
+        A task already executing cannot be interrupted and will finish.
+        """
+        with self._lock:
+            self._stopped = True
+            self._killed = True
+            self._pending_keys.clear()
+        # Drop everything still queued, accounting each as vanished.
+        while True:
+            try:
+                task = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if task is not _STOP:
+                with self._lock:
+                    self._in_flight -= 1
+                    self._idle.notify_all()
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        self._unpaused.set()
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+
+
+class SerialScheduler:
+    """A degenerate scheduler that runs every task inline on the caller.
+
+    Lets the dataset layer treat "no background workers configured" and "pool
+    attached" uniformly — and gives tests a deterministic way to execute the
+    exact background code paths synchronously.
+    """
+
+    is_stopped = False
+
+    def __init__(self) -> None:
+        self.tasks_submitted = 0
+
+    def submit(
+        self,
+        fn: Callable[[], object],
+        label: str = "task",
+        key: Optional[object] = None,
+        block: bool = True,
+        timeout: Optional[float] = None,
+        best_effort: bool = False,
+    ) -> bool:
+        self.tasks_submitted += 1
+        fn()
+        return True
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        return None
+
+    def raise_pending_errors(self) -> None:
+        return None
+
+    def shutdown(self, wait: bool = True) -> None:
+        return None
+
+    def kill(self) -> None:
+        return None

@@ -26,6 +26,7 @@ Two concerns live side by side here, deliberately:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional
 
@@ -150,6 +151,11 @@ class TransactionLog:
     #: back to a log-local counter.
     lsn_allocator: Optional[Callable[[], int]] = None
     _local_lsn: int = 0
+    #: Serializes LSN allocation + file append: one node log is shared by
+    #: several partitions, whose writer threads may commit concurrently.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def append(self, entry_bytes: int) -> float:
         """Charge one commit entry to the cost model; returns simulated seconds."""
@@ -178,14 +184,15 @@ class TransactionLog:
         antimatter: bool,
     ) -> int:
         """Serialize and append one operation; returns its LSN."""
-        lsn = self._allocate_lsn()
-        payload = encode_wal_record(
-            WALRecord(lsn, dataset, partition_id, antimatter, key, document)
-        )
-        self.append(len(payload))
-        if self.log_file is not None:
-            self.log_file.append_record(payload)
-        return lsn
+        with self._lock:
+            lsn = self._allocate_lsn()
+            payload = encode_wal_record(
+                WALRecord(lsn, dataset, partition_id, antimatter, key, document)
+            )
+            self.append(len(payload))
+            if self.log_file is not None:
+                self.log_file.append_record(payload)
+            return lsn
 
     def iter_records(self) -> Iterator[WALRecord]:
         if self.log_file is None:
@@ -213,6 +220,10 @@ class LogManager:
     device: Optional[StorageDevice] = None
     logs: Dict[int, TransactionLog] = field(default_factory=dict)
     _next_lsn: int = 1
+    #: Guards the global LSN counter (shared by every node log).
+    _lsn_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         for node_id in range(self.num_nodes):
@@ -228,9 +239,10 @@ class LogManager:
 
     # -- LSNs ---------------------------------------------------------------------
     def _allocate_lsn(self) -> int:
-        lsn = self._next_lsn
-        self._next_lsn += 1
-        return lsn
+        with self._lsn_lock:
+            lsn = self._next_lsn
+            self._next_lsn += 1
+            return lsn
 
     @property
     def next_lsn(self) -> int:
@@ -238,7 +250,8 @@ class LogManager:
 
     def advance_lsn(self, minimum_next: int) -> None:
         """Ensure future LSNs exceed everything seen before a restart."""
-        self._next_lsn = max(self._next_lsn, minimum_next)
+        with self._lsn_lock:
+            self._next_lsn = max(self._next_lsn, minimum_next)
 
     # -- routing -------------------------------------------------------------------
     def log_for_partition(self, partition_id: int) -> TransactionLog:

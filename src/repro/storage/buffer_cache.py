@@ -8,10 +8,17 @@ The cache serves two roles in the reproduction, mirroring §2.1.1 and §4.5.2:
 * the AMAX writer *confiscates* pages from it to buffer growing megapages
   instead of using a dedicated memory budget (§4.5.2) — modelled here by the
   :meth:`confiscate` / :meth:`return_confiscated` budget accounting.
+
+The cache is shared by concurrent reader threads, background flush/merge
+workers, and parallel partition scans, so every structural operation takes
+the internal lock (an ``OrderedDict`` cannot survive concurrent
+``move_to_end`` / eviction).  Page *contents* are immutable bytes, safe to
+hand out without copying.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Tuple
 
@@ -28,6 +35,7 @@ class BufferCache:
         self.capacity_pages = capacity_pages
         self._pages: "OrderedDict[Tuple[str, int], bytes]" = OrderedDict()
         self._confiscated = 0
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -36,26 +44,32 @@ class BufferCache:
     def read_page(self, component_file: ComponentFile, page_id: int) -> bytes:
         """Read a page through the cache, recording hit/miss statistics."""
         key = (component_file.name, page_id)
-        cached = self._pages.get(key)
         stats = component_file.device.stats
-        if cached is not None:
-            self._pages.move_to_end(key)
-            self.hits += 1
-            stats.record_cache(True)
-            return cached
-        self.misses += 1
-        stats.record_cache(False)
+        with self._lock:
+            cached = self._pages.get(key)
+            if cached is not None:
+                self._pages.move_to_end(key)
+                self.hits += 1
+                stats.record_cache(True)
+                return cached
+            self.misses += 1
+            stats.record_cache(False)
+        # The device read happens outside the lock (it may sleep under the
+        # wall-clock disk model); a racing reader of the same page just
+        # performs a duplicate read and the second insert wins harmlessly.
         data = component_file.read_page(page_id)
-        self._insert(key, data)
+        with self._lock:
+            self._insert_locked(key, data)
         return data
 
     def invalidate_file(self, name: str) -> None:
         """Drop every cached page of a deleted component."""
-        stale = [key for key in self._pages if key[0] == name]
-        for key in stale:
-            del self._pages[key]
+        with self._lock:
+            stale = [key for key in self._pages if key[0] == name]
+            for key in stale:
+                del self._pages[key]
 
-    def _insert(self, key: Tuple[str, int], data: bytes) -> None:
+    def _insert_locked(self, key: Tuple[str, int], data: bytes) -> None:
         self._pages[key] = data
         self._pages.move_to_end(key)
         while len(self._pages) + self._confiscated > self.capacity_pages and self._pages:
@@ -67,14 +81,19 @@ class BufferCache:
         """Reserve cache pages as temporary write buffers."""
         if pages < 0:
             raise StorageError("cannot confiscate a negative number of pages")
-        self._confiscated += pages
-        while len(self._pages) + self._confiscated > self.capacity_pages and self._pages:
-            self._pages.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._confiscated += pages
+            while (
+                len(self._pages) + self._confiscated > self.capacity_pages
+                and self._pages
+            ):
+                self._pages.popitem(last=False)
+                self.evictions += 1
 
     def return_confiscated(self, pages: int = 1) -> None:
         """Give confiscated pages back to the cache."""
-        self._confiscated = max(0, self._confiscated - pages)
+        with self._lock:
+            self._confiscated = max(0, self._confiscated - pages)
 
     @property
     def confiscated_pages(self) -> int:

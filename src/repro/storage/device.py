@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import zlib
 from typing import Dict, List, Optional
 from urllib.parse import quote, unquote
@@ -84,9 +85,9 @@ class ComponentFile:
         page_id = len(self._pages)
         self._pages.append(bytes(data))
         self._write_slot(page_id, data)
-        self.device.stats.record_write(
-            self.device.page_size, self.device.disk_model.write_cost(len(data))
-        )
+        cost = self.device.disk_model.write_cost(len(data))
+        self.device.stats.record_write(self.device.page_size, cost)
+        self.device.disk_model.charge(cost)
         return page_id
 
     def rewrite_page(self, page_id: int, data: bytes) -> None:
@@ -101,9 +102,9 @@ class ComponentFile:
             )
         self._pages[page_id] = bytes(data)
         self._write_slot(page_id, data)
-        self.device.stats.record_write(
-            self.device.page_size, self.device.disk_model.write_cost(len(data))
-        )
+        cost = self.device.disk_model.write_cost(len(data))
+        self.device.stats.record_write(self.device.page_size, cost)
+        self.device.disk_model.charge(cost)
 
     @property
     def _slot_stride(self) -> int:
@@ -167,9 +168,9 @@ class ComponentFile:
                 f"({len(self._pages)} pages)"
             )
         data = self._pages[page_id]
-        self.device.stats.record_read(
-            self.device.page_size, self.device.disk_model.read_cost(len(data))
-        )
+        cost = self.device.disk_model.read_cost(len(data))
+        self.device.stats.record_read(self.device.page_size, cost)
+        self.device.disk_model.charge(cost)
         return data
 
     # -- metadata ---------------------------------------------------------------
@@ -227,10 +228,9 @@ class LogFile:
     # -- writing ---------------------------------------------------------------
     def append_record(self, payload: bytes) -> None:
         self._records.append(bytes(payload))
-        self.device.stats.record_wal_append(
-            len(payload) + _HEADER.size,
-            self.device.disk_model.write_cost(len(payload) + _HEADER.size),
-        )
+        cost = self.device.disk_model.write_cost(len(payload) + _HEADER.size)
+        self.device.stats.record_wal_append(len(payload) + _HEADER.size, cost)
+        self.device.disk_model.charge(cost)
         if self._on_disk_path is None:
             return
         if self._handle is None:
@@ -320,15 +320,19 @@ class StorageDevice:
         self._log_files: Dict[str, LogFile] = {}
         self._disk_paths: Dict[str, str] = {}  # on-disk path -> component name
         self._name_counter = 0
+        #: Guards the file registries: background flush/merge workers create
+        #: and delete component files concurrently with readers and writers.
+        self._lock = threading.Lock()
 
     def create_file(self, name: Optional[str] = None) -> ComponentFile:
-        if name is None:
-            name = f"component-{self._name_counter}"
-            self._name_counter += 1
-        if name in self._files:
-            raise StorageError(f"component file {name!r} already exists")
-        handle = ComponentFile(self, name)
-        self._register(handle)
+        with self._lock:
+            if name is None:
+                name = f"component-{self._name_counter}"
+                self._name_counter += 1
+            if name in self._files:
+                raise StorageError(f"component file {name!r} already exists")
+            handle = ComponentFile(self, name)
+            self._register_locked(handle)
         # A fresh component must not inherit a stale on-disk file (e.g. an
         # orphan left behind by a crash between a spill and its manifest).
         if handle._on_disk_path is not None and os.path.exists(handle._on_disk_path):
@@ -337,18 +341,19 @@ class StorageDevice:
 
     def open_file(self, name: str) -> ComponentFile:
         """Open an existing on-disk component file and load its pages (recovery)."""
-        if name in self._files:
-            return self._files[name]
-        if self.directory is None:
-            raise StorageError(
-                f"cannot open component file {name!r}: device has no directory"
-            )
-        handle = ComponentFile(self, name)
-        handle.load_from_disk()
-        self._register(handle)
-        return handle
+        with self._lock:
+            if name in self._files:
+                return self._files[name]
+            if self.directory is None:
+                raise StorageError(
+                    f"cannot open component file {name!r}: device has no directory"
+                )
+            handle = ComponentFile(self, name)
+            handle.load_from_disk()
+            self._register_locked(handle)
+            return handle
 
-    def _register(self, handle: ComponentFile) -> None:
+    def _register_locked(self, handle: ComponentFile) -> None:
         if handle._on_disk_path is not None:
             owner = self._disk_paths.get(handle._on_disk_path)
             if owner is not None and owner != handle.name:
@@ -368,41 +373,49 @@ class StorageDevice:
             raise StorageError(f"unknown component file {name!r}") from exc
 
     def delete_file(self, name: str) -> None:
-        handle = self._files.pop(name, None)
-        if handle is not None:
-            if handle._on_disk_path is not None:
+        with self._lock:
+            handle = self._files.pop(name, None)
+            if handle is not None and handle._on_disk_path is not None:
                 self._disk_paths.pop(handle._on_disk_path, None)
+        if handle is not None:
             handle.delete()
 
     # -- log files --------------------------------------------------------------
     def open_log_file(self, name: str) -> LogFile:
         """Create-or-open an append-only log file (loads any persisted prefix)."""
-        existing = self._log_files.get(name)
-        if existing is not None:
-            return existing
-        log_file = LogFile(self, name)
-        log_file.load_from_disk()
-        self._log_files[name] = log_file
-        return log_file
+        with self._lock:
+            existing = self._log_files.get(name)
+            if existing is not None:
+                return existing
+            log_file = LogFile(self, name)
+            log_file.load_from_disk()
+            self._log_files[name] = log_file
+            return log_file
 
     # -- lifecycle ---------------------------------------------------------------
     def close(self) -> None:
         """Close every OS file handle (pages already reached the OS on write)."""
-        for handle in self._files.values():
+        with self._lock:
+            handles = list(self._files.values())
+            log_files = list(self._log_files.values())
+        for handle in handles:
             handle.close()
-        for log_file in self._log_files.values():
+        for log_file in log_files:
             log_file.close()
 
     @property
     def total_size_bytes(self) -> int:
-        return sum(handle.size_bytes for handle in self._files.values())
+        with self._lock:
+            return sum(handle.size_bytes for handle in self._files.values())
 
     @property
     def total_payload_bytes(self) -> int:
-        return sum(handle.payload_bytes for handle in self._files.values())
+        with self._lock:
+            return sum(handle.payload_bytes for handle in self._files.values())
 
     def list_files(self) -> List[str]:
-        return sorted(self._files)
+        with self._lock:
+            return sorted(self._files)
 
     def list_disk_component_names(self) -> List[str]:
         """Names of component files present in the backing directory."""

@@ -18,6 +18,8 @@ Two kinds of statistics live here:
 from __future__ import annotations
 
 import math
+import threading
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -25,7 +27,13 @@ from typing import Dict, List, Optional, Sequence
 
 @dataclass
 class IOStats:
-    """Counters for page-level I/O plus a simulated device-time accumulator."""
+    """Counters for page-level I/O plus a simulated device-time accumulator.
+
+    One instance is shared by every thread touching the device (writers,
+    background flush/merge workers, parallel scans), so the increments are
+    taken under a lock — Python's ``+=`` on an attribute is a read-modify-
+    write that loses updates under contention.
+    """
 
     pages_read: int = 0
     pages_written: int = 0
@@ -36,28 +44,35 @@ class IOStats:
     wal_appends: int = 0
     wal_bytes_written: int = 0
     simulated_io_seconds: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record_read(self, num_bytes: int, seconds: float = 0.0) -> None:
-        self.pages_read += 1
-        self.bytes_read += num_bytes
-        self.simulated_io_seconds += seconds
+        with self._lock:
+            self.pages_read += 1
+            self.bytes_read += num_bytes
+            self.simulated_io_seconds += seconds
 
     def record_write(self, num_bytes: int, seconds: float = 0.0) -> None:
-        self.pages_written += 1
-        self.bytes_written += num_bytes
-        self.simulated_io_seconds += seconds
+        with self._lock:
+            self.pages_written += 1
+            self.bytes_written += num_bytes
+            self.simulated_io_seconds += seconds
 
     def record_wal_append(self, num_bytes: int, seconds: float = 0.0) -> None:
         """Account one write-ahead-log record append (not page-oriented)."""
-        self.wal_appends += 1
-        self.wal_bytes_written += num_bytes
-        self.simulated_io_seconds += seconds
+        with self._lock:
+            self.wal_appends += 1
+            self.wal_bytes_written += num_bytes
+            self.simulated_io_seconds += seconds
 
     def record_cache(self, hit: bool) -> None:
-        if hit:
-            self.cache_hits += 1
-        else:
-            self.cache_misses += 1
+        with self._lock:
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
 
     def snapshot(self) -> "IOStats":
         return IOStats(
@@ -113,12 +128,22 @@ class DiskModel:
     read_bandwidth_bytes_per_s: float = 3400e6
     write_bandwidth_bytes_per_s: float = 2500e6
     per_operation_latency_s: float = 20e-6
+    #: When True, every device page read/write really sleeps for its modelled
+    #: cost (releasing the GIL), so wall-clock benchmarks observe I/O latency
+    #: that background flushing and parallel partition scans can overlap.
+    #: Default False: the cost only feeds the ``simulated_io_seconds`` meter.
+    wall_clock: bool = False
 
     def read_cost(self, num_bytes: int) -> float:
         return self.per_operation_latency_s + num_bytes / self.read_bandwidth_bytes_per_s
 
     def write_cost(self, num_bytes: int) -> float:
         return self.per_operation_latency_s + num_bytes / self.write_bandwidth_bytes_per_s
+
+    def charge(self, seconds: float) -> None:
+        """Apply one operation's cost to wall-clock time (no-op by default)."""
+        if self.wall_clock and seconds > 0:
+            time.sleep(seconds)
 
 
 # ======================================================================================

@@ -42,6 +42,26 @@ class StoreConfig:
     storage_directory: Optional[str] = None
     #: Default primary key field name.
     primary_key_field: str = "id"
+    #: Background flush/merge worker threads; 0 (the default) preserves the
+    #: fully synchronous engine — flushes and merges run inline on the
+    #: caller's thread, exactly as before the concurrency subsystem existed.
+    background_workers: int = 0
+    #: Bounded background task queue (writer backpressure past this depth).
+    flush_queue_capacity: int = 64
+    #: Rotated-but-unflushed memtables a partition may accumulate before the
+    #: writer blocks waiting for a background flush (memory backpressure).
+    max_frozen_memtables: int = 4
+    #: Thread-pool size for fanning a scan out across partitions; 0 keeps
+    #: scans sequential on the caller's thread.
+    parallel_scan_workers: int = 0
+    #: When True the disk model's per-operation costs become real sleeps, so
+    #: wall-clock benchmarks observe device latency that background flushing
+    #: and parallel scans can overlap (see bench_concurrency.py).
+    simulate_device_latency: bool = False
+    #: Override the disk model's per-operation latency in seconds (None keeps
+    #: the NVMe default).  Raising it models slower devices — e.g. ~1 ms for
+    #: cloud block storage — where overlapping I/O matters most.
+    device_latency_s: Optional[float] = None
 
     @property
     def total_partitions(self) -> int:
@@ -59,6 +79,14 @@ class StoreConfig:
             raise ValueError("at least one partition is required")
         if not 0.0 <= self.amax_empty_page_tolerance < 1.0:
             raise ValueError("amax_empty_page_tolerance must be in [0, 1)")
+        if self.background_workers < 0:
+            raise ValueError("background_workers must be >= 0")
+        if self.parallel_scan_workers < 0:
+            raise ValueError("parallel_scan_workers must be >= 0")
+        if self.flush_queue_capacity < 1:
+            raise ValueError("flush_queue_capacity must be >= 1")
+        if self.max_frozen_memtables < 1:
+            raise ValueError("max_frozen_memtables must be >= 1")
 
     # -- serialization (the datastore root manifest) -------------------------------
     def to_dict(self) -> dict:

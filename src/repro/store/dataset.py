@@ -8,6 +8,10 @@ engine and measured by the benchmarks (storage size, ingestion time, scans).
 
 from __future__ import annotations
 
+import itertools
+import threading
+from concurrent.futures import as_completed
+from contextlib import contextmanager
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.schema import Schema
@@ -15,6 +19,7 @@ from ..index import PrimaryKeyIndex, SecondaryIndex
 from ..lsm import LSMTree, MergeScheduler, TieringMergePolicy
 from ..lsm.component import ALL_LAYOUTS
 from ..lsm.keys import stable_key_hash
+from ..lsm.scheduler import BackgroundScheduler
 from ..lsm.wal import LogManager, WALRecord
 from ..model.errors import DatasetError, StorageError
 from ..storage.buffer_cache import BufferCache
@@ -37,6 +42,7 @@ class Dataset:
         primary_key_field: Optional[str] = None,
         manifest_path: Optional[str] = None,
         created_lsn: int = 0,
+        scheduler: Optional[BackgroundScheduler] = None,
     ) -> None:
         if layout not in ALL_LAYOUTS:
             raise DatasetError(
@@ -54,6 +60,8 @@ class Dataset:
         #: Global LSN at creation time; WAL records below it belong to an
         #: earlier, dropped incarnation of a same-named dataset.
         self.created_lsn = created_lsn
+        #: Shared background flush/merge pool (None = synchronous engine).
+        self.scheduler = scheduler
         merge_scheduler = MergeScheduler(
             max_concurrent_merges=config.concurrent_merge_limit()
         )
@@ -85,6 +93,8 @@ class Dataset:
                     dataset_name=name,
                     partition_id=partition_id,
                     on_disk_state_changed=self._on_partition_state_changed,
+                    scheduler=scheduler,
+                    max_frozen_memtables=config.max_frozen_memtables,
                 )
             )
         self.secondary_indexes: Dict[str, SecondaryIndex] = {}
@@ -99,6 +109,19 @@ class Dataset:
         self._spilled_durable_lsns: Dict[int, int] = {}
         #: (version, DatasetStatistics) cache for :meth:`statistics`.
         self._statistics_cache = None
+        #: Striped per-key locks make the fetch-old → index-fixup →
+        #: primary-insert sequence atomic per key across concurrent writers
+        #: (without them, two updates of the same key could both see the same
+        #: old document and leave a stale index entry behind).  Striping by
+        #: the stable key hash keeps writers of *different* keys parallel —
+        #: the indexes themselves are internally locked — while all ops on
+        #: one key serialize.  Taken only when the dataset has indexes.
+        self._key_locks = [threading.RLock() for _ in range(16)]
+        #: Guards ingestion counters shared across writer threads.
+        self._counter_lock = threading.Lock()
+        #: Serializes the flush/merge callback (index spill + manifest
+        #: rewrite) across partitions whose background tasks finish together.
+        self._durability_lock = threading.Lock()
 
     # -- indexes -----------------------------------------------------------------------
     def create_secondary_index(self, name: str, path: str) -> SecondaryIndex:
@@ -124,6 +147,25 @@ class Dataset:
             self.manifest_path, manifest_io.build_dataset_manifest(self)
         )
 
+    def _has_indexes(self) -> bool:
+        return bool(self.secondary_indexes) or self.primary_key_index is not None
+
+    def _lock_for_key(self, key) -> threading.RLock:
+        return self._key_locks[stable_key_hash(key) % len(self._key_locks)]
+
+    @contextmanager
+    def _all_key_locks(self):
+        """Hold every key stripe (fixed order, so concurrent holders cannot
+        deadlock); writers hold exactly one stripe, never while waiting on
+        the durability lock, so this always makes progress."""
+        for lock in self._key_locks:
+            lock.acquire()
+        try:
+            yield
+        finally:
+            for lock in reversed(self._key_locks):
+                lock.release()
+
     def _on_partition_state_changed(self, tree: LSMTree) -> None:
         """After a flush/merge: make the matching index state durable too.
 
@@ -138,13 +180,24 @@ class Dataset:
         """
         if self.manifest_path is None:
             return
-        if tree.durable_lsn > self._spilled_durable_lsns.get(tree.partition_id, 0):
-            self._spilled_durable_lsns[tree.partition_id] = tree.durable_lsn
-            for index in self.secondary_indexes.values():
-                index.flush()
-            if self.primary_key_index is not None:
-                self.primary_key_index.flush()
-        self.persist_manifest()
+        with self._durability_lock:
+            # Exclude in-flight indexed writes while spilling + persisting:
+            # an insert appends its index-buffer entry and its WAL record
+            # inside one per-key stripe lock, so holding every stripe here
+            # guarantees no spilled run ever contains an entry whose
+            # operation was not yet logged (a crash right after this spill
+            # would otherwise leave a phantom index entry with no WAL record
+            # to justify it).
+            with self._all_key_locks():
+                if tree.durable_lsn > self._spilled_durable_lsns.get(
+                    tree.partition_id, 0
+                ):
+                    self._spilled_durable_lsns[tree.partition_id] = tree.durable_lsn
+                    for index in self.secondary_indexes.values():
+                        index.flush()
+                    if self.primary_key_index is not None:
+                        self.primary_key_index.flush()
+                self.persist_manifest()
 
     def apply_wal_record(self, record: WALRecord) -> None:
         """Replay one recovered WAL operation (recovery only).
@@ -186,14 +239,27 @@ class Dataset:
             ) from exc
 
     def insert(self, document: dict, auto_flush: bool = True) -> None:
-        """Insert or upsert one document (newest version wins at query time)."""
+        """Insert or upsert one document (newest version wins at query time).
+
+        Thread-safe: each partition serializes its own writers; when the
+        dataset maintains indexes, the old-value fetch, the index fixup, and
+        the primary insert additionally execute as one atomic step so
+        concurrent updates of the same key cannot strand stale index entries.
+        With a background scheduler attached, a full memtable is rotated and
+        flushed on a worker instead of stalling this call.
+        """
         key = self._key_of(document)
-        self._maintain_secondary_indexes(key, document)
         partition = self._partition_for(key)
-        partition.insert(key, document)
-        self.records_ingested += 1
+        if self._has_indexes():
+            with self._lock_for_key(key):
+                self._maintain_secondary_indexes(key, document)
+                partition.insert(key, document)
+        else:
+            partition.insert(key, document)
+        with self._counter_lock:
+            self.records_ingested += 1
         if auto_flush and partition.needs_flush:
-            partition.flush()
+            partition.request_flush()
 
     def insert_many(self, documents: Iterable[dict], auto_flush: bool = True) -> int:
         count = 0
@@ -204,11 +270,15 @@ class Dataset:
 
     def delete(self, key) -> None:
         """Delete by primary key (adds anti-matter)."""
+        partition = self._partition_for(key)
         if self.secondary_indexes:
-            old_document = self._fetch_old_document(key)
-            for index in self.secondary_indexes.values():
-                index.delete(index.extract(old_document), key)
-        self._partition_for(key).delete(key)
+            with self._lock_for_key(key):
+                old_document = self._fetch_old_document(key)
+                for index in self.secondary_indexes.values():
+                    index.delete(index.extract(old_document), key)
+                partition.delete(key)
+        else:
+            partition.delete(key)
 
     def _maintain_secondary_indexes(self, key, document: dict) -> None:
         if not self.secondary_indexes:
@@ -232,14 +302,22 @@ class Dataset:
 
     # -- maintenance -----------------------------------------------------------------------
     def flush_all(self) -> None:
-        """Flush every partition's in-memory component (and the index buffers)."""
+        """Flush every partition's in-memory component (and the index buffers).
+
+        Synchronous even with a background scheduler attached: each
+        partition's flush runs inline (serializing with any in-flight
+        background work for that partition), so when this returns every
+        ingested record sits in a disk component.
+        """
         for partition in self.partitions:
             partition.flush()
-        for index in self.secondary_indexes.values():
-            index.flush()
-        if self.primary_key_index is not None:
-            self.primary_key_index.flush()
-        self.persist_manifest()
+        with self._durability_lock:
+            with self._all_key_locks():  # same spill/WAL atomicity as the callback
+                for index in self.secondary_indexes.values():
+                    index.flush()
+                if self.primary_key_index is not None:
+                    self.primary_key_index.flush()
+                self.persist_manifest()
 
     # -- reads -------------------------------------------------------------------------------
     def scan(
@@ -247,12 +325,49 @@ class Dataset:
     ) -> Iterator[Tuple[object, dict]]:
         """Reconciled scan over every partition (keys are not globally ordered).
 
+        Every partition's snapshot is pinned *when scan() is called* — not
+        when its turn in the iteration comes — so a scan started before a
+        flush or merge reads the pre-flush/pre-merge state of every
+        partition, however long the caller takes to consume it.
+
         ``pushdown`` carries the query's projection paths and pushed
         predicates down to the columnar component cursors (see
         :mod:`repro.query.pushdown`); row layouts ignore it.
         """
-        for partition in self.partitions:
-            yield from partition.scan(fields, pushdown=pushdown)
+        scans = [
+            partition.scan(fields, pushdown=pushdown) for partition in self.partitions
+        ]
+        return itertools.chain.from_iterable(scans)
+
+    def parallel_scan(
+        self,
+        fields: Optional[Sequence[str]] = None,
+        pushdown=None,
+        executor=None,
+    ) -> Iterator[Tuple[object, dict]]:
+        """Fan the reconciled scan out across partitions on a thread pool.
+
+        Each partition pins its snapshot up front (on the calling thread, so
+        the set of visible records is fixed before this returns an iterator),
+        then materializes on a pool worker; results stream back in completion
+        order — partition order was never meaningful, keys are hash-routed.
+        Falls back to the sequential :meth:`scan` without an executor or with
+        a single partition.
+        """
+        if executor is None or len(self.partitions) <= 1:
+            return self.scan(fields, pushdown=pushdown)
+        # Pin all snapshots (and start the workers) before returning: the
+        # scan observes one point in time however late it is consumed.
+        scans = [
+            partition.scan(fields, pushdown=pushdown) for partition in self.partitions
+        ]
+        futures = [executor.submit(list, scan) for scan in scans]
+
+        def _completion_order():
+            for future in as_completed(futures):
+                yield from future.result()
+
+        return _completion_order()
 
     def count(self) -> int:
         return sum(partition.count() for partition in self.partitions)

@@ -17,14 +17,16 @@ from __future__ import annotations
 
 import os
 import tempfile
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
+from ..lsm.scheduler import BackgroundScheduler
 from ..lsm.wal import LogManager
 from ..model.errors import DatasetError
 from ..storage.buffer_cache import BufferCache
 from ..storage.device import StorageDevice
-from ..storage.stats import IOStats
+from ..storage.stats import DiskModel, IOStats
 from . import manifest as manifest_io
 from .config import StoreConfig
 from .dataset import Dataset
@@ -60,11 +62,30 @@ class Datastore:
             )
         self.config = config
         self.config.validate()
+        disk_model = DiskModel(wall_clock=self.config.simulate_device_latency)
+        if self.config.device_latency_s is not None:
+            disk_model.per_operation_latency_s = self.config.device_latency_s
         self.device = StorageDevice(
             page_size=self.config.page_size,
             directory=self.config.storage_directory,
+            disk_model=disk_model,
         )
         self.buffer_cache = BufferCache(capacity_pages=self.config.buffer_cache_pages)
+        #: Background flush/merge pool shared by every dataset; None keeps
+        #: the engine fully synchronous (the default).
+        self.scheduler: Optional[BackgroundScheduler] = None
+        if self.config.background_workers > 0:
+            self.scheduler = BackgroundScheduler(
+                workers=self.config.background_workers,
+                queue_capacity=self.config.flush_queue_capacity,
+            )
+        #: Thread pool for parallel multi-partition scans (None = sequential).
+        self.scan_executor: Optional[ThreadPoolExecutor] = None
+        if self.config.parallel_scan_workers > 0:
+            self.scan_executor = ThreadPoolExecutor(
+                max_workers=self.config.parallel_scan_workers,
+                thread_name_prefix="scan-worker",
+            )
         self.log_manager = LogManager(
             num_nodes=self.config.num_nodes,
             partitions_per_node=self.config.partitions_per_node,
@@ -126,6 +147,7 @@ class Datastore:
                 store.buffer_cache,
                 store.log_manager,
                 manifest_path,
+                scheduler=store.scheduler,
             )
             store.datasets[name] = dataset
             info.datasets_recovered += 1
@@ -164,21 +186,55 @@ class Datastore:
         (memtables are empty), so the log carries no information the
         manifests do not — it is safe to drop, and recovery after a
         subsequent crash replays only operations logged after this point.
+        Requires quiesced writers (as before the concurrency subsystem);
+        in-flight background flushes and merges are drained first, and any
+        exception raised on a worker resurfaces here.
         """
+        self.drain_background()
         for dataset in self.datasets.values():
             dataset.flush_all()
         self._persist_root_manifest()
         self.log_manager.truncate()
 
+    def drain_background(self) -> None:
+        """Wait for every queued/running background flush and merge."""
+        if self.scheduler is not None:
+            self.scheduler.drain()
+
+    def kill_background(self) -> None:
+        """Crash-test hook: abandon background work like a dying process.
+
+        Queued flushes/merges never run, workers stop, and parallel-scan
+        threads are shut down without waiting — afterwards the process-level
+        objects can be dropped and the directory reopened with
+        :meth:`open`, which replays the WAL tail exactly as after a real
+        crash with in-flight background work.
+        """
+        if self.scheduler is not None:
+            self.scheduler.kill()
+        if self.scan_executor is not None:
+            self.scan_executor.shutdown(wait=False, cancel_futures=True)
+
     def close(self) -> None:
-        """Checkpoint (when durable) and release every OS file handle.
+        """Checkpoint (when durable), stop the pools, release file handles.
 
         A closed store reopens via :meth:`open` with empty logs; a killed
         one reopens the same way, paying WAL replay for the tail instead.
+        The pools and file handles are torn down even when the checkpoint
+        (or a background task error it surfaces) raises — the first error
+        still propagates to the caller.
         """
-        if self.is_durable:
-            self.checkpoint()
-        self.device.close()
+        try:
+            if self.is_durable:
+                self.checkpoint()
+        finally:
+            try:
+                if self.scheduler is not None:
+                    self.scheduler.shutdown(wait=True)
+            finally:
+                if self.scan_executor is not None:
+                    self.scan_executor.shutdown(wait=True)
+                self.device.close()
 
     def __enter__(self) -> "Datastore":
         return self
@@ -206,6 +262,7 @@ class Datastore:
             primary_key_field=primary_key_field,
             manifest_path=self._dataset_manifest_path(name),
             created_lsn=self.log_manager.next_lsn,
+            scheduler=self.scheduler,
         )
         self.datasets[name] = dataset
         dataset.persist_manifest()
@@ -222,6 +279,9 @@ class Datastore:
         dataset = self.datasets.pop(name, None)
         if dataset is None:
             return
+        # A background flush/merge of this dataset racing the file deletions
+        # below would rebuild or resurrect components; let it finish first.
+        self.drain_background()
         # Unlist the dataset durably first: after this write a crash only
         # orphans its files.  Deleting files before the root manifest stopped
         # referencing the dataset would make the next open() fail.

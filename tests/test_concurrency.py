@@ -1,0 +1,407 @@
+"""Randomized concurrent-workload stress suite and snapshot-isolation tests.
+
+The stress tests run N writer threads and M reader/query threads against one
+datastore with background flushing/merging and parallel partition scans
+enabled, then verify the final state *post-hoc* against a single-threaded
+oracle — the same differential-oracle pattern as ``tests/test_recovery.py``.
+Writers own disjoint key ranges (key ``% N == writer id``), so the union of
+the per-writer journals is a well-defined oracle even though the thread
+interleaving is not.
+
+While the workload runs, readers continuously scan, count, point-look-up, and
+execute queries; they assert only *invariants* (every observed document is a
+version some writer actually produced, iteration never crashes, counts are
+sane).  Linearizable equality is checked once, after the writers join and the
+background pool drains.
+
+The snapshot-isolation tests pin a scan before flushes/merges rewrite the
+component stack and assert the scan still returns exactly the pinned state —
+and that merged-away components stay alive until the last reader unpins.
+
+Iteration counts scale with ``REPRO_STRESS_OPS`` (per writer; default keeps
+the suite fast — CI's stress job raises it).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+
+import pytest
+
+from repro import Datastore, StoreConfig
+from repro.lsm.component import ALL_LAYOUTS
+from repro.query import Field, Query, Var
+
+#: Operations per writer thread (CI's stress job raises this via the env).
+STRESS_OPS = int(os.environ.get("REPRO_STRESS_OPS", "250"))
+NUM_WRITERS = 3
+NUM_READERS = 2
+KEYS_PER_WRITER = 40
+INDEX_PATH = "metrics.score"
+
+
+def make_config(**overrides) -> StoreConfig:
+    settings = dict(
+        page_size=8192,
+        memory_component_budget=6000,  # a handful of records per flush
+        partitions_per_node=2,
+        amax_max_records_per_leaf=64,
+        buffer_cache_pages=128,
+        background_workers=2,
+        parallel_scan_workers=2,
+        max_frozen_memtables=4,
+    )
+    settings.update(overrides)
+    return StoreConfig(**settings)
+
+
+def make_document(rng: random.Random, key: int, version: int) -> dict:
+    document = {
+        "id": key,
+        "version": version,
+        "name": f"user-{rng.randrange(50)}",
+    }
+    if rng.random() < 0.85:
+        document["metrics"] = {
+            "score": round(rng.uniform(0, 100), 3),
+            "visits": rng.randrange(1000),
+        }
+    if rng.random() < 0.6:
+        document["tags"] = [f"t{rng.randrange(8)}" for _ in range(rng.randrange(4))]
+    if rng.random() < 0.3:
+        document["flag"] = rng.choice([True, False, None, "maybe", 7])
+    return document
+
+
+class WriterJournal:
+    """One writer's deterministic record of what it did to its own keys."""
+
+    def __init__(self, writer_id: int, seed: int) -> None:
+        self.writer_id = writer_id
+        self.rng = random.Random(seed)
+        self.oracle: dict = {}  # key -> last written document (or absent)
+        self.error: BaseException | None = None
+
+    def keys(self):
+        return [
+            self.writer_id + NUM_WRITERS * slot for slot in range(KEYS_PER_WRITER)
+        ]
+
+    def run(self, dataset, produced_versions: dict) -> None:
+        try:
+            version = 0
+            keys = self.keys()
+            for _ in range(STRESS_OPS):
+                action = self.rng.random()
+                key = self.rng.choice(keys)
+                if action < 0.8 or key not in self.oracle:
+                    version += 1
+                    document = make_document(self.rng, key, version)
+                    # Register the version *before* inserting so a racing
+                    # reader can never observe an unregistered document.
+                    produced_versions[key].add(version)
+                    dataset.insert(document)
+                    self.oracle[key] = document
+                else:
+                    dataset.delete(key)
+                    self.oracle.pop(key, None)
+        except BaseException as exc:  # noqa: BLE001 - surfaced by the test
+            self.error = exc
+
+
+class ReaderWorker:
+    """Continuously reads while writers run; checks invariants only."""
+
+    def __init__(self, reader_id: int, seed: int, produced_versions: dict) -> None:
+        self.reader_id = reader_id
+        self.rng = random.Random(seed)
+        self.produced_versions = produced_versions
+        self.stop = threading.Event()
+        self.error: BaseException | None = None
+        self.scans = 0
+
+    def run(self, store, dataset) -> None:
+        try:
+            while not self.stop.is_set():
+                choice = self.rng.random()
+                if choice < 0.4:
+                    for key, document in dataset.scan():
+                        assert document["id"] == key
+                        assert document["version"] in self.produced_versions[key], (
+                            f"scan observed version {document['version']} of key "
+                            f"{key} that no writer produced"
+                        )
+                elif choice < 0.6:
+                    count = dataset.count()
+                    assert 0 <= count <= NUM_WRITERS * KEYS_PER_WRITER
+                elif choice < 0.8:
+                    key = self.rng.randrange(NUM_WRITERS * KEYS_PER_WRITER)
+                    document = dataset.point_lookup(key)
+                    if document is not None:
+                        assert document["version"] in self.produced_versions[key]
+                else:
+                    rows = (
+                        Query("docs", "d")
+                        .where(Field(Var("d"), "metrics.score") > 50)
+                        .count()
+                        .execute(store)
+                    )
+                    assert rows[0]["count"] >= 0
+                self.scans += 1
+        except BaseException as exc:  # noqa: BLE001 - surfaced by the test
+            self.error = exc
+
+
+def verify_against_oracle(dataset, oracle: dict, rng: random.Random) -> None:
+    assert dataset.count() == len(oracle)
+    assert dict(dataset.scan()) == oracle
+    for key in rng.sample(range(-3, NUM_WRITERS * KEYS_PER_WRITER + 3), 25):
+        assert dataset.point_lookup(key) == oracle.get(key)
+    index = dataset.secondary_indexes["score"]
+    for _ in range(5):
+        low = rng.uniform(0, 80)
+        high = low + rng.uniform(0, 40)
+        expected = sorted(
+            key
+            for key, document in oracle.items()
+            if isinstance(document.get("metrics", {}).get("score"), (int, float))
+            and not isinstance(document.get("metrics", {}).get("score"), bool)
+            and low <= document["metrics"]["score"] <= high
+        )
+        assert sorted(index.search_range(low, high)) == expected
+
+
+@pytest.mark.parametrize("layout", ALL_LAYOUTS)
+def test_concurrent_writers_and_readers_match_oracle(layout):
+    """N writers + M readers against one store; post-hoc oracle equality."""
+    store = Datastore(make_config())
+    dataset = store.create_dataset("docs", layout=layout)
+    dataset.create_secondary_index("score", INDEX_PATH)
+    produced_versions = {
+        key: set() for key in range(NUM_WRITERS * KEYS_PER_WRITER)
+    }
+    writers = [
+        WriterJournal(writer_id, seed=1000 + writer_id)
+        for writer_id in range(NUM_WRITERS)
+    ]
+    readers = [
+        ReaderWorker(reader_id, seed=2000 + reader_id, produced_versions=produced_versions)
+        for reader_id in range(NUM_READERS)
+    ]
+    writer_threads = [
+        threading.Thread(target=writer.run, args=(dataset, produced_versions))
+        for writer in writers
+    ]
+    reader_threads = [
+        threading.Thread(target=reader.run, args=(store, dataset))
+        for reader in readers
+    ]
+    for thread in writer_threads + reader_threads:
+        thread.start()
+    for thread in writer_threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "writer thread hung"
+    for reader in readers:
+        reader.stop.set()
+    for thread in reader_threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "reader thread hung"
+    for worker in writers + readers:
+        if worker.error is not None:
+            raise worker.error
+
+    # Quiesce the background pool; any worker exception surfaces here.
+    store.drain_background()
+
+    oracle: dict = {}
+    for writer in writers:
+        oracle.update(writer.oracle)  # key ranges are disjoint by construction
+    rng = random.Random(7)
+    verify_against_oracle(dataset, oracle, rng)
+    assert all(reader.scans > 0 for reader in readers)
+
+    # The engine keeps working single-threaded afterwards.
+    dataset.insert({"id": 10_000, "version": 1, "metrics": {"score": 55.5}})
+    assert dataset.point_lookup(10_000)["version"] == 1
+    store.close()
+
+
+def test_stress_survives_checkpoint_and_reopen_when_durable(tmp_path):
+    """Concurrent ingest, then checkpoint + reopen equals the oracle."""
+    store = Datastore(make_config(storage_directory=str(tmp_path)))
+    dataset = store.create_dataset("docs", layout="amax")
+    dataset.create_secondary_index("score", INDEX_PATH)
+    produced_versions = {key: set() for key in range(NUM_WRITERS * KEYS_PER_WRITER)}
+    writers = [WriterJournal(i, seed=3000 + i) for i in range(NUM_WRITERS)]
+    threads = [
+        threading.Thread(target=w.run, args=(dataset, produced_versions))
+        for w in writers
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive()
+    for writer in writers:
+        if writer.error is not None:
+            raise writer.error
+    store.close()
+
+    oracle: dict = {}
+    for writer in writers:
+        oracle.update(writer.oracle)
+    reopened = Datastore.open(str(tmp_path))
+    verify_against_oracle(reopened.dataset("docs"), oracle, random.Random(11))
+    reopened.close()
+
+
+@pytest.mark.parametrize("layout", ALL_LAYOUTS)
+def test_scan_pinned_before_flush_and_merge_sees_consistent_snapshot(layout):
+    """A long scan pinned before flush/merge returns exactly the pinned state."""
+    store = Datastore(make_config(background_workers=0, parallel_scan_workers=0))
+    dataset = store.create_dataset("docs", layout=layout)
+    rng = random.Random(5)
+    oracle_at_pin: dict = {}
+    for key in range(150):
+        document = make_document(rng, key, version=1)
+        dataset.insert(document)
+        oracle_at_pin[key] = document
+    dataset.flush_all()
+
+    # Pin the snapshot, consume a few rows, then rewrite the world under it.
+    scan = dataset.scan()
+    consumed = [next(scan) for _ in range(10)]
+
+    for key in range(150):
+        if key % 3 == 0:
+            dataset.delete(key)
+        else:
+            dataset.insert(make_document(rng, key, version=2))
+    dataset.flush_all()
+    # Force merges until every partition is down to one component: the
+    # components the scan pinned are all merged away (retired).
+    for partition in dataset.partitions:
+        while partition.num_components > 1:
+            partition._merge(list(range(partition.num_components)))
+    retained = sum(p.retired_component_count for p in dataset.partitions)
+    assert retained > 0, "the pinned scan should be keeping retired components alive"
+
+    observed = dict(consumed)
+    observed.update(dict(scan))  # drain the rest of the pinned scan
+    assert observed == oracle_at_pin
+
+    # Closing the scan released the pins: retired components are destroyed.
+    assert sum(p.retired_component_count for p in dataset.partitions) == 0
+    # And a fresh scan sees the new world.
+    fresh = dict(dataset.scan())
+    assert len(fresh) == 100
+    assert all(document["version"] == 2 for document in fresh.values())
+    store.close()
+
+
+def test_abandoned_scan_does_not_leak_pins():
+    """Dropping a scan before reaching every partition must release all pins.
+
+    Dataset.scan pins every partition eagerly, but a generator that is never
+    started runs none of its body on GC — so unpinning cannot rely on the
+    scan's ``finally`` alone (TreeSnapshot.__del__ backstops it).
+    """
+    import gc
+
+    store = Datastore(make_config(background_workers=0, parallel_scan_workers=0))
+    dataset = store.create_dataset("docs", layout="vector")
+    rng = random.Random(13)
+    for version in (1, 2):
+        for key in range(100):
+            dataset.insert(make_document(rng, key, version))
+        dataset.flush_all()
+
+    scan = dataset.scan()
+    next(scan)  # start partition 0's generator only; the rest never run
+    del scan
+    gc.collect()
+
+    assert all(not partition._pins for partition in dataset.partitions)
+    for partition in dataset.partitions:
+        while partition.num_components > 1:
+            partition._merge(list(range(partition.num_components)))
+    # With no leaked pins, merged-away inputs were destroyed immediately.
+    assert sum(p.retired_component_count for p in dataset.partitions) == 0
+    store.close()
+
+
+def test_scan_pinned_across_background_flushes(tmp_path):
+    """A scan pinned while background flushes land still reads its snapshot."""
+    store = Datastore(make_config(storage_directory=str(tmp_path)))
+    dataset = store.create_dataset("docs", layout="vector")
+    rng = random.Random(9)
+    oracle_at_pin: dict = {}
+    for key in range(120):
+        document = make_document(rng, key, version=1)
+        dataset.insert(document)
+        oracle_at_pin[key] = document
+    store.drain_background()
+
+    scan = dataset.scan()  # pins all partitions now
+    for key in range(120):
+        dataset.insert(make_document(rng, key, version=2))  # triggers rotations
+    store.drain_background()
+
+    assert dict(scan) == oracle_at_pin
+    assert all(
+        document["version"] == 2 for _, document in dataset.scan()
+    )
+    store.close()
+
+
+def test_parallel_scan_matches_sequential_scan():
+    """Fan-out across partitions returns the same rows as the serial path."""
+    store = Datastore(make_config(partitions_per_node=4, parallel_scan_workers=3))
+    dataset = store.create_dataset("docs", layout="apax")
+    rng = random.Random(3)
+    oracle = {}
+    for key in range(400):
+        document = make_document(rng, key, version=1)
+        dataset.insert(document)
+        oracle[key] = document
+    dataset.flush_all()
+
+    sequential = dict(dataset.scan())
+    parallel = dict(dataset.parallel_scan(executor=store.scan_executor))
+    assert sequential == parallel == oracle
+
+    # The query layer produces identical results through either path.
+    predicate = Field(Var("d"), "metrics.score") > 30
+    serial_rows = (
+        Query("docs", "d").where(predicate).count().parallel_scan(False).execute(store)
+    )
+    parallel_rows = (
+        Query("docs", "d").where(predicate).count().parallel_scan(True).execute(store)
+    )
+    default_rows = Query("docs", "d").where(predicate).count().execute(store)
+    assert serial_rows == parallel_rows == default_rows
+    store.close()
+
+
+def test_background_flush_error_surfaces_to_caller():
+    """An exception on a flush worker is raised at the next drain, not lost."""
+    store = Datastore(make_config())
+    dataset = store.create_dataset("docs", layout="open")
+    tree = dataset.partitions[0]
+    original = tree._build_component
+
+    def broken_build(entries):
+        raise RuntimeError("injected flush failure")
+
+    tree._build_component = broken_build
+    try:
+        rng = random.Random(1)
+        for key in range(0, 400, 2):  # all keys route somewhere; enough hit p0
+            dataset.insert(make_document(rng, key, version=1))
+        with pytest.raises(Exception, match="injected flush failure"):
+            store.drain_background()
+    finally:
+        tree._build_component = original
+        store.kill_background()

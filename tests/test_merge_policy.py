@@ -1,106 +1,213 @@
-"""Unit tests for the tiering merge policy and the merge scheduler."""
+"""Unit tests for the tiering merge policy and the merge scheduler.
+
+The policy/scheduler decision cases run twice: synchronously (pure unit
+semantics) and through the :class:`~repro.lsm.scheduler.BackgroundScheduler`
+worker pool, which is how a live datastore actually executes them — the
+decisions must be identical and the accounting must survive the pool's
+concurrency.
+"""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.core import Schema
+from repro.lsm import LSMTree
 from repro.lsm.merge_policy import MergeScheduler, NoMergePolicy, TieringMergePolicy
+from repro.lsm.scheduler import BackgroundScheduler
+from repro.storage import BufferCache, StorageDevice
+
+#: Execution modes for the parametrized decision cases: "sync" runs on the
+#: caller, "background" routes the same calls through the worker pool.
+MODES = ("sync", "background")
 
 
+def run_ops(mode: str, operations):
+    """Execute thunks either inline or one-at-a-time on a background worker.
+
+    One worker and a drain per operation keep the schedule deterministic —
+    the point is that crossing the pool boundary must not change any
+    decision, not to fuzz interleavings (test_concurrency.py does that).
+    """
+    if mode == "sync":
+        return [operation() for operation in operations]
+    scheduler = BackgroundScheduler(workers=1, queue_capacity=8)
+    try:
+        results = []
+        for operation in operations:
+            scheduler.submit(lambda op=operation: results.append(op()))
+            scheduler.drain(timeout=30)
+        return results
+    finally:
+        scheduler.shutdown()
+
+
+@pytest.mark.parametrize("mode", MODES)
 class TestTieringMergePolicySelect:
-    def test_no_merge_at_or_below_tolerance(self):
-        policy = TieringMergePolicy(size_ratio=1.2, max_tolerable_components=5)
-        assert policy.select([]) is None
-        assert policy.select([100]) is None
-        assert policy.select([100] * 5) is None  # exactly at the tolerance
+    def select(self, mode, policy, sizes):
+        return run_ops(mode, [lambda: policy.select(sizes)])[0]
 
-    def test_merge_triggered_above_tolerance(self):
+    def test_no_merge_at_or_below_tolerance(self, mode):
+        policy = TieringMergePolicy(size_ratio=1.2, max_tolerable_components=5)
+        assert self.select(mode, policy, []) is None
+        assert self.select(mode, policy, [100]) is None
+        assert self.select(mode, policy, [100] * 5) is None  # at the tolerance
+
+    def test_merge_triggered_above_tolerance(self, mode):
         policy = TieringMergePolicy(size_ratio=1.2, max_tolerable_components=3)
-        window = policy.select([100, 100, 100, 100])
+        window = self.select(mode, policy, [100, 100, 100, 100])
         assert window is not None
         assert window[0] == 0
         assert len(window) >= 2
 
-    def test_window_extends_while_ratio_holds(self):
+    def test_window_extends_while_ratio_holds(self, mode):
         # Equal sizes: accumulated(=100) >= 1.0 * next(=100) at every step,
         # so the whole stack merges in one window.
         policy = TieringMergePolicy(size_ratio=1.0, max_tolerable_components=2)
-        assert policy.select([100, 100, 100]) == [0, 1, 2]
+        assert self.select(mode, policy, [100, 100, 100]) == [0, 1, 2]
 
-    def test_window_stops_at_much_larger_older_component(self):
+    def test_window_stops_at_much_larger_older_component(self, mode):
         # The two young components sum to 200 < 1.2 * 10_000: the old giant
         # stays out of the window.
         policy = TieringMergePolicy(size_ratio=1.2, max_tolerable_components=1)
-        assert policy.select([100, 100, 10_000]) == [0, 1]
+        assert self.select(mode, policy, [100, 100, 10_000]) == [0, 1]
 
-    def test_ratio_boundary_is_inclusive(self):
+    def test_ratio_boundary_is_inclusive(self, mode):
         # accumulated == size_ratio * next extends the window (>=, not >).
         policy = TieringMergePolicy(size_ratio=2.0, max_tolerable_components=1)
-        assert policy.select([100, 50, 1000]) == [0, 1]
+        assert self.select(mode, policy, [100, 50, 1000]) == [0, 1]
         # Just below the boundary the window cannot even reach two members,
         # so the policy falls back to merging the two youngest.
-        assert policy.select([99, 50]) == [0, 1]
+        assert self.select(mode, policy, [99, 50]) == [0, 1]
 
-    def test_zero_size_components_always_join_the_window(self):
+    def test_zero_size_components_always_join_the_window(self, mode):
         policy = TieringMergePolicy(size_ratio=1.2, max_tolerable_components=2)
-        assert policy.select([0, 0, 0]) == [0, 1, 2]
+        assert self.select(mode, policy, [0, 0, 0]) == [0, 1, 2]
         # A zero-size component in the middle cannot block the extension.
-        assert policy.select([100, 0, 50]) == [0, 1, 2]
+        assert self.select(mode, policy, [100, 0, 50]) == [0, 1, 2]
 
-    def test_minimum_window_of_two(self):
+    def test_minimum_window_of_two(self, mode):
         # A tiny young component next to a huge old one: the ratio never
         # holds, but a merge is still owed — the two youngest are merged.
         policy = TieringMergePolicy(size_ratio=10.0, max_tolerable_components=1)
-        assert policy.select([1, 1000, 1000]) == [0, 1]
+        assert self.select(mode, policy, [1, 1000, 1000]) == [0, 1]
 
-    def test_no_merge_policy_never_selects(self):
-        assert NoMergePolicy().select([100] * 50) is None
+    def test_no_merge_policy_never_selects(self, mode):
+        assert self.select(mode, NoMergePolicy(), [100] * 50) is None
 
 
+@pytest.mark.parametrize("mode", MODES)
 class TestMergeScheduler:
-    def test_concurrency_cap(self):
+    def test_concurrency_cap(self, mode):
         scheduler = MergeScheduler(max_concurrent_merges=2)
-        assert scheduler.try_start() is True
-        assert scheduler.try_start() is True
-        assert scheduler.try_start() is False  # at the cap
+        results = run_ops(
+            mode, [scheduler.try_start, scheduler.try_start, scheduler.try_start]
+        )
+        assert results == [True, True, False]  # third hits the cap
         assert scheduler.started == 2
         assert scheduler.deferred == 1
 
-    def test_finish_releases_slots(self):
+    def test_finish_releases_slots(self, mode):
         scheduler = MergeScheduler(max_concurrent_merges=1)
-        assert scheduler.try_start() is True
-        assert scheduler.try_start() is False
-        scheduler.finish()
-        assert scheduler.try_start() is True
+        results = run_ops(
+            mode,
+            [
+                scheduler.try_start,
+                scheduler.try_start,
+                scheduler.finish,
+                scheduler.try_start,
+            ],
+        )
+        assert results[0] is True and results[1] is False and results[3] is True
         assert scheduler.started == 2
         assert scheduler.completed == 1
         assert scheduler.deferred == 1
 
-    def test_max_observed_concurrency(self):
+    def test_max_observed_concurrency(self, mode):
         scheduler = MergeScheduler(max_concurrent_merges=4)
-        scheduler.try_start()
-        scheduler.try_start()
-        scheduler.try_start()
+        run_ops(mode, [scheduler.try_start] * 3)
         assert scheduler.max_observed_concurrency == 3
-        scheduler.finish()
-        scheduler.finish()
-        scheduler.try_start()
+        run_ops(mode, [scheduler.finish, scheduler.finish, scheduler.try_start])
         # The high-water mark does not decrease when merges drain.
         assert scheduler.max_observed_concurrency == 3
 
-    def test_finish_never_goes_negative(self):
+    def test_finish_never_goes_negative(self, mode):
         scheduler = MergeScheduler(max_concurrent_merges=1)
-        scheduler.finish()  # spurious finish
+        run_ops(mode, [scheduler.finish])  # spurious finish
         assert scheduler.completed == 1
         # The active count is clamped at zero, so a start still succeeds.
-        assert scheduler.try_start() is True
+        assert run_ops(mode, [scheduler.try_start]) == [True]
 
-    def test_accounting_over_a_burst(self):
+    def test_accounting_over_a_burst(self, mode):
         scheduler = MergeScheduler(max_concurrent_merges=2)
-        accepted = sum(1 for _ in range(10) if scheduler.try_start())
+        accepted = sum(1 for ok in run_ops(mode, [scheduler.try_start] * 10) if ok)
         assert accepted == 2
         assert scheduler.deferred == 8
-        scheduler.finish()
-        scheduler.finish()
+        run_ops(mode, [scheduler.finish, scheduler.finish])
         assert scheduler.completed == 2
-        assert scheduler.try_start() is True
+        assert run_ops(mode, [scheduler.try_start]) == [True]
+
+    def test_cap_holds_under_true_concurrency(self, mode):
+        """Racing try_start calls from pool workers never exceed the cap."""
+        if mode == "sync":
+            pytest.skip("the race only exists on the pool")
+        scheduler = MergeScheduler(max_concurrent_merges=3)
+        pool = BackgroundScheduler(workers=4, queue_capacity=64)
+        try:
+            for _ in range(40):
+                pool.submit(scheduler.try_start)
+            pool.drain(timeout=30)
+            assert scheduler.started == 3
+            assert scheduler.deferred == 37
+            assert scheduler.max_observed_concurrency <= 3
+        finally:
+            pool.shutdown()
+
+
+def make_tree(layout: str, merge_policy, scheduler=None) -> LSMTree:
+    device = StorageDevice(page_size=32 * 1024)
+    cache = BufferCache(capacity_pages=512)
+    return LSMTree(
+        name=f"t-{layout}",
+        layout=layout,
+        schema=Schema(),
+        device=device,
+        buffer_cache=cache,
+        memory_budget_bytes=64 * 1024,
+        merge_policy=merge_policy,
+        scheduler=scheduler,
+    )
+
+
+@pytest.mark.parametrize("layout", ["vector", "amax"])
+def test_background_merges_reach_the_same_stack_as_sync(layout):
+    """The same flush schedule merges to the same contents either way."""
+
+    def ingest(tree):
+        for flush in range(8):
+            for i in range(30):
+                key = flush * 100 + i
+                tree.insert(key, {"id": key, "v": f"val-{key}"})
+            if tree.scheduler is None:
+                tree.flush()
+            else:
+                tree.request_flush()
+
+    policy = TieringMergePolicy(size_ratio=1.0, max_tolerable_components=3)
+    sync_tree = make_tree(layout, policy)
+    ingest(sync_tree)
+
+    pool = BackgroundScheduler(workers=2, queue_capacity=32)
+    try:
+        background_tree = make_tree(layout, policy, scheduler=pool)
+        ingest(background_tree)
+        pool.drain(timeout=60)
+    finally:
+        pool.shutdown()
+
+    assert background_tree.merge_count > 0
+    assert dict(background_tree.scan()) == dict(sync_tree.scan())
+    assert background_tree.count() == sync_tree.count() == 240
+    # The tiering invariant holds on both stacks once the pool is quiet.
+    assert background_tree.num_components <= policy.max_tolerable_components + 1
+    assert sync_tree.num_components <= policy.max_tolerable_components + 1

@@ -29,8 +29,8 @@ KEY_SPACE = 70  # small, so updates and deletes hit existing keys often
 INDEX_PATH = "metrics.score"
 
 
-def make_config(tmp_path) -> StoreConfig:
-    return StoreConfig(
+def make_config(tmp_path, **overrides) -> StoreConfig:
+    settings = dict(
         storage_directory=str(tmp_path),
         page_size=8192,
         memory_component_budget=6000,  # a handful of records per flush
@@ -38,6 +38,8 @@ def make_config(tmp_path) -> StoreConfig:
         amax_max_records_per_leaf=64,
         buffer_cache_pages=128,
     )
+    settings.update(overrides)
+    return StoreConfig(**settings)
 
 
 def random_document(rng: random.Random, key) -> dict:
@@ -228,6 +230,72 @@ def test_drop_and_recreate_skips_old_wal_records(tmp_path):
     # incarnation; replay must not resurrect them.
     assert reopened.last_recovery.wal_records_skipped_unknown == 30
     assert dict(recovered.scan()) == {1: {"id": 1, "generation": "new"}}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("layout", ALL_LAYOUTS)
+def test_crash_with_in_flight_background_work(tmp_path, layout, seed):
+    """Kill while the scheduler holds queued flushes/merges; replay recovers.
+
+    Phase 1 runs a workload with the background pool live (flushes and merges
+    complete and publish durable LSNs through their manifests).  Phase 2
+    pauses the pool — rotations and merge requests queue up but never
+    execute — and then "crashes" (kills the pool, abandons the objects).
+    The queued work is lost exactly like a process death would lose it; the
+    WAL tail above each partition's *published* durable LSN must rebuild the
+    oracle state.  A durable LSN published before its component (or its
+    manifest) were safely on disk would lose the rotated records here.
+    """
+    rng = random.Random(seed * 677 + stable_key_hash(layout) % 89)
+    store = Datastore(
+        make_config(
+            tmp_path,
+            background_workers=2,
+            # Rotations must never block on the paused pool: the test relies
+            # on piling up frozen memtables the "crash" then throws away.
+            max_frozen_memtables=1000,
+        )
+    )
+    dataset = store.create_dataset("docs", layout=layout)
+    dataset.create_secondary_index("score", INDEX_PATH)
+    dataset.create_primary_key_index()
+    oracle: dict = {}
+
+    # Phase 1: background flushing/merging actually runs and publishes.
+    run_workload(dataset, oracle, rng, operations=rng.randrange(120, 220))
+    store.drain_background()
+
+    # Phase 2: the pool is wedged; new flush/merge work queues but never runs.
+    store.scheduler.pause()
+    run_workload(dataset, oracle, rng, operations=rng.randrange(40, 90))
+    for i in range(250):  # burst of fresh keys forces rotations onto the queue
+        key = 5000 + i
+        document = random_document(rng, key)
+        dataset.insert(document)
+        oracle[key] = document
+    for partition in dataset.partitions:
+        partition.maybe_merge()  # queue merge requests too (never executed)
+    assert store.scheduler.in_flight > 0, "the crash must lose in-flight work"
+
+    store.kill_background()  # the process "dies" with background work queued
+    del store, dataset
+
+    reopened = Datastore.open(str(tmp_path))
+    info = reopened.last_recovery
+    assert info.wal_records_replayed > 0  # the lost rotations came back
+    recovered = reopened.dataset("docs")
+    verify_against_oracle(recovered, oracle, rng)
+
+    # The reopened store has its own live pool: keep writing, crash again.
+    run_workload(recovered, oracle, rng, operations=50)
+    reopened.drain_background()
+    verify_against_oracle(recovered, oracle, rng)
+    reopened.kill_background()
+    del reopened, recovered
+
+    final = Datastore.open(str(tmp_path))
+    verify_against_oracle(final.dataset("docs"), oracle, rng)
+    final.close()
 
 
 def test_records_ingested_not_double_counted_by_replay(tmp_path):

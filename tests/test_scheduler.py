@@ -1,0 +1,284 @@
+"""Unit tests for the background flush/merge worker pool.
+
+Covers the scheduler's contract in isolation (no LSM machinery): bounded-queue
+backpressure, per-key request deduplication, clean shutdown draining in-flight
+work, worker exceptions surfacing to the caller, and the crash-simulation
+hooks (pause/kill) the recovery tests rely on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.lsm.scheduler import (
+    BackgroundScheduler,
+    BackgroundTaskError,
+    SerialScheduler,
+)
+from repro.model.errors import StorageError
+
+
+def make_paused_scheduler(workers: int = 1, capacity: int = 2) -> BackgroundScheduler:
+    scheduler = BackgroundScheduler(workers=workers, queue_capacity=capacity)
+    scheduler.pause()
+    return scheduler
+
+
+def saturate(scheduler: BackgroundScheduler) -> None:
+    """Fill a paused single-worker scheduler until its bounded queue is full.
+
+    A paused worker still pre-claims one task before parking, so the pool
+    absorbs ``queue_capacity + workers`` tasks: one per worker (parked,
+    pre-execution) plus a full queue.  Submit one task, wait for the worker
+    to claim it, then deterministically fill the queue.
+    """
+    assert scheduler.submit(lambda: None, block=False) is True
+    deadline = time.monotonic() + 10
+    while scheduler._queue.qsize() > 0:
+        assert time.monotonic() < deadline, "worker never claimed the first task"
+        time.sleep(0.002)
+    for _ in range(scheduler.queue_capacity):
+        assert scheduler.submit(lambda: None, block=False) is True
+
+
+class TestBackpressure:
+    def test_nonblocking_submit_rejected_when_queue_full(self):
+        scheduler = make_paused_scheduler(workers=1, capacity=2)
+        try:
+            saturate(scheduler)
+            assert scheduler.submit(lambda: None, block=False) is False
+            assert scheduler.submit(lambda: None, block=False) is False
+            assert scheduler.tasks_rejected == 2
+            scheduler.resume()
+            scheduler.drain(timeout=10)
+            # Every accepted task ran once the pool resumed.
+            assert scheduler.tasks_completed == 1 + scheduler.queue_capacity
+        finally:
+            scheduler.shutdown()
+
+    def test_blocking_submit_waits_for_queue_space(self):
+        scheduler = make_paused_scheduler(workers=1, capacity=1)
+        try:
+            saturate(scheduler)
+            release = threading.Timer(0.2, scheduler.resume)
+            release.start()
+            start = time.monotonic()
+            # Blocks until the resumed worker frees queue space.
+            assert scheduler.submit(lambda: None, block=True, timeout=10) is True
+            assert time.monotonic() - start > 0.05
+            release.join()
+            scheduler.drain(timeout=10)
+        finally:
+            scheduler.shutdown()
+
+    def test_blocking_submit_times_out_as_rejection(self):
+        scheduler = make_paused_scheduler(workers=1, capacity=1)
+        try:
+            saturate(scheduler)
+            assert scheduler.submit(lambda: None, block=True, timeout=0.05) is False
+            assert scheduler.tasks_rejected >= 1
+        finally:
+            scheduler.kill()
+
+
+class TestDeduplication:
+    def test_same_key_requests_collapse_while_queued(self):
+        scheduler = make_paused_scheduler(workers=1, capacity=8)
+        try:
+            runs = []
+            assert scheduler.submit(lambda: runs.append(1), key=("merge", "t")) is True
+            assert scheduler.submit(lambda: runs.append(2), key=("merge", "t")) is False
+            assert scheduler.submit(lambda: runs.append(3), key=("merge", "t")) is False
+            assert scheduler.tasks_deduplicated == 2
+            scheduler.resume()
+            scheduler.drain(timeout=10)
+            assert runs == [1]
+        finally:
+            scheduler.shutdown()
+
+    def test_key_frees_up_once_the_task_starts(self):
+        scheduler = BackgroundScheduler(workers=1, queue_capacity=8)
+        try:
+            started = threading.Event()
+            proceed = threading.Event()
+            runs = []
+
+            def slow():
+                runs.append("first")
+                started.set()
+                proceed.wait(timeout=10)
+
+            scheduler.submit(slow, key=("merge", "t"))
+            assert started.wait(timeout=10)
+            # The first task is *running*, not queued: a new request for the
+            # same key must queue a fresh task (state may have changed since
+            # the running task sampled it).
+            assert scheduler.submit(lambda: runs.append("second"), key=("merge", "t"))
+            proceed.set()
+            scheduler.drain(timeout=10)
+            assert runs == ["first", "second"]
+        finally:
+            scheduler.shutdown()
+
+    def test_distinct_keys_do_not_dedup(self):
+        scheduler = make_paused_scheduler(workers=1, capacity=8)
+        try:
+            assert scheduler.submit(lambda: None, key=("merge", "a")) is True
+            assert scheduler.submit(lambda: None, key=("merge", "b")) is True
+            scheduler.resume()
+            scheduler.drain(timeout=10)
+            assert scheduler.tasks_deduplicated == 0
+        finally:
+            scheduler.shutdown()
+
+
+class TestShutdownAndDrain:
+    def test_clean_shutdown_drains_in_flight_work(self):
+        scheduler = BackgroundScheduler(workers=2, queue_capacity=16)
+        done = []
+        for i in range(8):
+            scheduler.submit(lambda i=i: (time.sleep(0.01), done.append(i)))
+        scheduler.shutdown(wait=True)
+        assert sorted(done) == list(range(8))
+        with pytest.raises(StorageError):
+            scheduler.submit(lambda: None)
+
+    def test_drain_waits_for_running_tasks(self):
+        scheduler = BackgroundScheduler(workers=1, queue_capacity=4)
+        try:
+            finished = threading.Event()
+            scheduler.submit(lambda: (time.sleep(0.05), finished.set()))
+            scheduler.drain(timeout=10)
+            assert finished.is_set()
+            assert scheduler.in_flight == 0
+        finally:
+            scheduler.shutdown()
+
+    def test_drain_timeout_raises(self):
+        scheduler = make_paused_scheduler(workers=1, capacity=4)
+        try:
+            scheduler.submit(lambda: None)
+            with pytest.raises(StorageError, match="did not drain"):
+                scheduler.drain(timeout=0.05)
+        finally:
+            scheduler.kill()
+
+
+class TestErrorSurfacing:
+    def test_worker_exception_surfaces_on_drain(self):
+        scheduler = BackgroundScheduler(workers=1, queue_capacity=4)
+        try:
+            scheduler.submit(self._boom, label="flush:p0")
+            with pytest.raises(BackgroundTaskError, match="flush:p0"):
+                scheduler.drain(timeout=10)
+            assert scheduler.tasks_failed == 1
+        finally:
+            scheduler.shutdown()
+
+    def test_worker_exception_surfaces_on_next_submit(self):
+        scheduler = BackgroundScheduler(workers=1, queue_capacity=4)
+        try:
+            scheduler.submit(self._boom)
+            deadline = time.monotonic() + 10
+            with pytest.raises(BackgroundTaskError):
+                while time.monotonic() < deadline:
+                    scheduler.submit(lambda: None)
+                    time.sleep(0.005)
+        finally:
+            try:
+                scheduler.shutdown()
+            except BackgroundTaskError:
+                pass  # late tasks queued above may themselves have raised
+
+    def test_worker_exception_surfaces_on_shutdown(self):
+        scheduler = BackgroundScheduler(workers=1, queue_capacity=4)
+        scheduler.submit(self._boom)
+        with pytest.raises(BackgroundTaskError):
+            scheduler.shutdown(wait=True)
+
+    def test_pool_survives_a_failing_task(self):
+        scheduler = BackgroundScheduler(workers=1, queue_capacity=4)
+        try:
+            ran = threading.Event()
+            scheduler.submit(self._boom)
+            scheduler.submit(ran.set)
+            with pytest.raises(BackgroundTaskError):
+                scheduler.drain(timeout=10)
+            assert ran.wait(timeout=10)
+        finally:
+            scheduler.shutdown()
+
+    @staticmethod
+    def _boom():
+        raise ValueError("injected failure")
+
+
+class TestKill:
+    def test_kill_abandons_queued_tasks(self):
+        scheduler = make_paused_scheduler(workers=1, capacity=8)
+        ran = []
+        for i in range(4):
+            scheduler.submit(lambda i=i: ran.append(i))
+        scheduler.kill()
+        assert ran == []  # nothing ran: the "process" died with work queued
+        with pytest.raises(StorageError):
+            scheduler.submit(lambda: None)
+
+    def test_kill_is_idempotent_after_shutdown(self):
+        scheduler = BackgroundScheduler(workers=1, queue_capacity=4)
+        scheduler.shutdown(wait=True)
+        scheduler.kill()
+
+    def test_shutdown_does_not_deadlock_when_paused_and_full(self):
+        # Regression: shutdown used to feed the stop sentinels into the
+        # bounded queue *before* unparking the workers — with a paused pool
+        # and a full queue the put blocked forever.
+        scheduler = make_paused_scheduler(workers=1, capacity=1)
+        saturate(scheduler)
+        finished = threading.Event()
+
+        def close():
+            scheduler.shutdown(wait=True)
+            finished.set()
+
+        thread = threading.Thread(target=close)
+        thread.start()
+        thread.join(timeout=10)
+        assert finished.is_set(), "shutdown deadlocked on a paused, full pool"
+        assert scheduler.tasks_completed == 1 + scheduler.queue_capacity
+
+
+class TestSerialScheduler:
+    def test_runs_inline(self):
+        scheduler = SerialScheduler()
+        ran = []
+        assert scheduler.submit(lambda: ran.append(1)) is True
+        assert ran == [1]
+        scheduler.drain()
+        scheduler.shutdown()
+
+    def test_drives_the_tree_background_paths_inline(self):
+        # Regression: submit() lacked the best_effort kwarg the tree passes,
+        # so plugging a SerialScheduler into an LSMTree raised TypeError.
+        from repro.core import Schema
+        from repro.lsm import LSMTree
+        from repro.storage import BufferCache, StorageDevice
+
+        tree = LSMTree(
+            name="serial",
+            layout="vector",
+            schema=Schema(),
+            device=StorageDevice(page_size=32 * 1024),
+            buffer_cache=BufferCache(capacity_pages=64),
+            memory_budget_bytes=2_000,
+            scheduler=SerialScheduler(),
+        )
+        for i in range(200):
+            tree.insert(i, {"id": i, "v": f"value-{i}"})
+            if tree.needs_flush:
+                tree.request_flush()
+        assert tree.flush_count > 0
+        assert tree.count() == 200
