@@ -1,0 +1,217 @@
+"""SQL++ frontend parity: the paper's queries from text vs. the builders.
+
+The paper states every evaluation query in SQL++; this benchmark runs the
+Figure 11 query and the Figure 14 suites from their SQL++ *text* and verifies,
+per dataset × query × layout, that the parsed-and-lowered plan is at parity
+with the handwritten-builder plan:
+
+* the cost-based optimizer chooses the **same access path**,
+* the scan carries the **same pushdown spec** (pruned paths + predicates),
+* both executions return **identical rows**,
+
+and reports the wall-clock of both paths (the frontend adds only parse/bind
+time, which is microseconds against any real scan).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.bench import load_all_layouts, resolve_query, run_query
+from repro.bench.queries import (
+    FIGURE11_SQLPP,
+    QUERY_SUITES,
+    SQLPP_QUERY_SUITES,
+    figure11_query,
+)
+from repro.bench.reporting import print_figure
+from repro.query.plan import DataScanNode, IndexScanNode
+
+LAYOUT_ORDER = ("open", "vector", "apax", "amax")
+
+NUM_GAMERS = 2000
+
+
+def _gamer_documents(num_records: int, seed: int = 11):
+    """Synthetic Figure 4-style gamer records (heterogeneous ``games`` arrays)."""
+    rng = random.Random(seed)
+    titles = ["NFL", "FIFA", "NBA", "PES", "GT", "Halo", "Zelda", "Doom"]
+    consoles = ["PC", "PS4", "XBOX", "Switch"]
+    for record_id in range(num_records):
+        document = {"id": record_id}
+        if rng.random() < 0.9:
+            document["games"] = [
+                {
+                    "title": rng.choice(titles),
+                    **(
+                        {"consoles": rng.sample(consoles, rng.randint(1, 3))}
+                        if rng.random() < 0.7
+                        else {}
+                    ),
+                }
+                for _ in range(rng.randint(0, 4))
+            ]
+        if rng.random() < 0.5:
+            document["name"] = {"last": f"fam{rng.randint(0, 200)}"}
+        yield document
+
+
+@pytest.fixture(scope="session")
+def gamers_fixtures():
+    return load_all_layouts(
+        "gamers", documents=list(_gamer_documents(NUM_GAMERS)), num_records=None
+    )
+
+
+def plan_signature(plan) -> dict:
+    """What "plan parity" means: access path + pushdown spec, order-insensitive.
+
+    Path/predicate ordering inside the spec follows clause order, which SQL++
+    fixes differently than a builder chain may; sets compare the specs by
+    meaning.
+    """
+    source = plan.source
+    if isinstance(source, IndexScanNode):
+        return {
+            "path": "index",
+            "index": source.index_name,
+            "bounds": (source.low, source.high),
+            "keys_only": source.keys_only,
+        }
+    assert isinstance(source, DataScanNode)
+    spec = source.pushdown
+    return {
+        "path": "scan",
+        "chosen": plan.optimizer.chosen.kind if plan.optimizer else "scan",
+        "fields": None if source.fields is None else frozenset(source.fields),
+        "paths": None
+        if spec is None or spec.paths is None
+        else frozenset(str(p) for p in spec.paths),
+        "predicates": frozenset()
+        if spec is None
+        else frozenset(repr(p) for p in spec.predicates),
+    }
+
+
+def _compare_one(fixture, builder_factory, sqlpp_text):
+    """Run builder and text variants on one fixture; return the report row."""
+    store = fixture.store
+    dataset = fixture.dataset_name
+
+    builder_plan = builder_factory(dataset).optimized_plan(store)
+    start = time.perf_counter()
+    text_query = resolve_query(sqlpp_text, dataset)
+    frontend_seconds = time.perf_counter() - start
+    text_plan = text_query.optimized_plan(store)
+
+    builder_signature = plan_signature(builder_plan)
+    text_signature = plan_signature(text_plan)
+    assert text_signature == builder_signature, (
+        f"{dataset}/{fixture.layout}: text plan diverges from builder plan\n"
+        f"text:    {text_signature}\nbuilder: {builder_signature}\n"
+        f"--- text plan ---\n{text_plan.describe()}\n"
+        f"--- builder plan ---\n{builder_plan.describe()}"
+    )
+
+    builder_result = run_query(fixture, builder_factory)
+    text_result = run_query(fixture, sqlpp_text)
+    assert text_result.rows == builder_result.rows, (
+        f"{dataset}/{fixture.layout}: text rows diverge from builder rows"
+    )
+    return {
+        "layout": fixture.layout,
+        "builder_s": builder_result.seconds,
+        "text_s": text_result.seconds,
+        "frontend_s": frontend_seconds,
+        "access_path": text_signature.get("chosen", text_signature["path"]),
+        "parity": "ok",
+    }
+
+
+def _parity_rows(fixtures, builder_factory, sqlpp_text, query_name):
+    rows = []
+    for layout in LAYOUT_ORDER:
+        report = _compare_one(fixtures[layout], builder_factory, sqlpp_text)
+        rows.append(
+            [
+                query_name,
+                report["layout"],
+                report["access_path"],
+                round(report["builder_s"], 4),
+                round(report["text_s"], 4),
+                round(report["frontend_s"] * 1000, 3),
+                report["parity"],
+            ]
+        )
+    return rows
+
+
+_HEADER = [
+    "query",
+    "layout",
+    "access path",
+    "builder (s)",
+    "sqlpp (s)",
+    "parse+bind (ms)",
+    "plan parity",
+]
+
+
+def test_figure11_sqlpp_parity(benchmark, gamers_fixtures):
+    """The Figure 11 query, verbatim SQL++, against all four layouts."""
+    rows = benchmark.pedantic(
+        lambda: _parity_rows(
+            gamers_fixtures, figure11_query, FIGURE11_SQLPP, "figure11"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure("Figure 11 — SQL++ text vs builder (gamers)", _HEADER, rows)
+    # Beyond signature parity, Figure 11 must match the builder *node for
+    # node*: the full explain rendering (plan + optimizer report) is equal.
+    for layout in LAYOUT_ORDER:
+        fixture = gamers_fixtures[layout]
+        text_explain = resolve_query(FIGURE11_SQLPP, fixture.dataset_name).explain(
+            fixture.store
+        )
+        builder_explain = figure11_query(fixture.dataset_name).explain(fixture.store)
+        assert text_explain == builder_explain, f"{layout}: explain diverges"
+
+
+def _suite_parity(fixtures, suite_name):
+    rows = []
+    factories = {factory.__name__: factory for factory in QUERY_SUITES[suite_name]}
+    for query_name, text in SQLPP_QUERY_SUITES[suite_name].items():
+        rows.extend(_parity_rows(fixtures, factories[query_name], text, query_name))
+    return rows
+
+
+def test_fig14a_cell_sqlpp_parity(benchmark, cell_fixtures):
+    rows = benchmark.pedantic(
+        lambda: _suite_parity(cell_fixtures, "cell"), rounds=1, iterations=1
+    )
+    print_figure("Figure 14a — cell queries from SQL++ text", _HEADER, rows)
+
+
+def test_fig14b_sensors_sqlpp_parity(benchmark, sensors_fixtures):
+    rows = benchmark.pedantic(
+        lambda: _suite_parity(sensors_fixtures, "sensors"), rounds=1, iterations=1
+    )
+    print_figure("Figure 14b — sensors queries from SQL++ text", _HEADER, rows)
+
+
+def test_fig14c_tweet1_sqlpp_parity(benchmark, tweet1_fixtures):
+    rows = benchmark.pedantic(
+        lambda: _suite_parity(tweet1_fixtures, "tweet_1"), rounds=1, iterations=1
+    )
+    print_figure("Figure 14c — tweet_1 queries from SQL++ text", _HEADER, rows)
+
+
+def test_fig14d_wos_sqlpp_parity(benchmark, wos_fixtures):
+    rows = benchmark.pedantic(
+        lambda: _suite_parity(wos_fixtures, "wos"), rounds=1, iterations=1
+    )
+    print_figure("Figure 14d — wos queries from SQL++ text", _HEADER, rows)

@@ -42,9 +42,24 @@ def main() -> None:
     print(gamers.partitions[0].schema.describe())
     print()
 
-    count = Query("gamers", "g").count().execute(store)
+    # The README quickstart: declarative SQL++ straight against the store.
+    count = store.query("SELECT COUNT(*) FROM gamers AS g;")
     print("COUNT(*):", count[0]["count"])
 
+    top_titles_sqlpp = store.query(
+        """
+        SELECT t.title AS title, COUNT(*) AS n
+        FROM gamers AS g
+        UNNEST g.games AS t
+        GROUP BY t.title
+        ORDER BY n DESC
+        LIMIT 10;
+        """
+    )
+    print("Top game titles (SQL++):", top_titles_sqlpp)
+    print(store.explain("SELECT COUNT(*) FROM gamers AS g WHERE g.id > 1;"))
+
+    # The same query through the fluent builder — identical plan and rows.
     top_titles = (
         Query("gamers", "g")
         .unnest("t", "games[*].title")

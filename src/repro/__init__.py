@@ -16,8 +16,12 @@ Quickstart::
     gamers.insert({"id": 1, "name": {"first": "Ann"}, "games": [{"title": "NBA"}]})
     gamers.flush_all()
 
-    from repro.query import Query
+    result = store.query("SELECT COUNT(*) FROM gamers AS g;")   # SQL++ text
+
+    from repro.query import Query                               # or the builder
     result = Query("gamers").count().execute(store)
+
+There is also an interactive SQL++ shell: ``python -m repro.shell``.
 """
 
 from __future__ import annotations

@@ -8,10 +8,11 @@ from .harness import (
     default_config,
     load_all_layouts,
     load_dataset,
+    resolve_query,
     run_query,
     update_workload,
 )
-from .queries import QUERY_SUITES, tweet2_range_count
+from .queries import QUERY_SUITES, SQLPP_QUERY_SUITES, tweet2_range_count
 from .reporting import format_table, print_figure, speedup_summary
 
 __all__ = [
@@ -20,11 +21,13 @@ __all__ = [
     "LoadResult",
     "QUERY_SUITES",
     "QueryResult",
+    "SQLPP_QUERY_SUITES",
     "default_config",
     "format_table",
     "load_all_layouts",
     "load_dataset",
     "print_figure",
+    "resolve_query",
     "run_query",
     "speedup_summary",
     "tweet2_range_count",

@@ -122,13 +122,18 @@ def load_all_layouts(
     num_records: Optional[int] = None,
     layouts: Sequence[str] = LAYOUTS,
     config: Optional[StoreConfig] = None,
+    documents: Optional[Iterable[dict]] = None,
     **kwargs,
 ) -> Dict[str, LayoutFixture]:
-    """Ingest the same dataset under every layout (fresh store per layout)."""
-    documents = None
-    if num_records is not None or True:
-        # Materialize once so all layouts ingest byte-identical documents.
-        documents = list(make_generator(dataset_name, num_records, seed=kwargs.pop("seed", 7)))
+    """Ingest the same dataset under every layout (fresh store per layout).
+
+    ``documents`` overrides the synthetic generator (for ad-hoc corpora like
+    ``bench_sqlpp``'s gamer records); either way the documents are
+    materialized once so all layouts ingest byte-identical input.
+    """
+    if documents is None:
+        documents = make_generator(dataset_name, num_records, seed=kwargs.pop("seed", 7))
+    documents = list(documents)
     return {
         layout: load_dataset(
             layout,
@@ -141,31 +146,54 @@ def load_all_layouts(
     }
 
 
+def resolve_query(
+    query_factory: "Callable[[str], Query] | str", dataset_name: str
+) -> Query:
+    """Materialize a benchmark query for one dataset.
+
+    ``query_factory`` is either a builder factory (``dataset name → Query``)
+    or SQL++ text — the parsed-query path: any ``{dataset}`` placeholder is
+    substituted and the text is compiled through :mod:`repro.sqlpp`, so text
+    queries exercise exactly the same planner/executor stack.
+    """
+    if isinstance(query_factory, str):
+        from ..sqlpp import compile_query
+
+        text = query_factory.replace("{dataset}", dataset_name)
+        compiled = compile_query(text)
+        if compiled.query is None:
+            raise ValueError("benchmark SQL++ text must contain a FROM clause")
+        return compiled.query
+    return query_factory(dataset_name)
+
+
 def run_query(
     fixture: LayoutFixture,
-    query_factory: Callable[[str], Query],
+    query_factory: "Callable[[str], Query] | str",
     executor: str = "codegen",
     repetitions: int = 1,
     pushdown: bool = True,
 ) -> QueryResult:
     """Run one query against a loaded fixture, reporting time and pages read.
 
-    ``pushdown=False`` disables the scan-pushdown rewrite so benchmarks can
-    compare against the assemble-then-filter baseline.
+    ``query_factory`` may be SQL++ text instead of a builder factory (see
+    :func:`resolve_query`).  ``pushdown=False`` disables the scan-pushdown
+    rewrite so benchmarks can compare against the assemble-then-filter
+    baseline.
     """
     store = fixture.store
     rows: List[dict] = []
     before = store.io_snapshot()
     start = time.perf_counter()
     for _ in range(repetitions):
-        rows = query_factory(fixture.dataset_name).execute(
+        rows = resolve_query(query_factory, fixture.dataset_name).execute(
             store, executor=executor, pushdown=pushdown
         )
     seconds = (time.perf_counter() - start) / max(repetitions, 1)
     delta = store.io_stats.delta_since(before)
     return QueryResult(
         layout=fixture.layout,
-        query=getattr(query_factory, "__name__", "query"),
+        query=getattr(query_factory, "__name__", "sqlpp"),
         executor=executor,
         seconds=seconds,
         pages_read=delta.pages_read + delta.cache_hits,

@@ -222,3 +222,130 @@ QUERY_SUITES: Dict[str, List[Callable[[str], Query]]] = {
     "tweet_1": [tweet1_q1, tweet1_q2, tweet1_q3],
     "wos": [wos_q1, wos_q2, wos_q3, wos_q4],
 }
+
+
+# -- the same suites as SQL++ text --------------------------------------------------------
+#
+# ``{dataset}`` is substituted by the harness (:func:`repro.bench.resolve_query`).
+# These are the paper's appendix queries in their original declarative form;
+# ``bench_sqlpp.py`` asserts plan parity (same chosen access path, same
+# pushdown spec) and row equality against the builder versions above.
+
+#: The paper's Figure 11 query (top-10 games by number of gamers), verbatim.
+FIGURE11_SQLPP = """
+SELECT t AS t, COUNT(*) AS cnt
+FROM {dataset} AS g
+UNNEST g.games AS t
+GROUP BY t
+ORDER BY cnt DESC
+LIMIT 10;
+"""
+
+
+def figure11_query(dataset: str) -> Query:
+    """The Figure 11 query as the handwritten builder (the parity baseline)."""
+    return (
+        Query(dataset, "g")
+        .unnest("t", "games")
+        .group_by(key=("t", Var("t")), aggregates=[("cnt", "count", None)])
+        .order_by("cnt", descending=True)
+        .limit(10)
+    )
+
+
+_WOS_ADDRESSES = "p.static_data.fullrecord_metadata.addresses.address_name"
+
+SQLPP_QUERY_SUITES: Dict[str, Dict[str, str]] = {
+    "cell": {
+        "cell_q1": "SELECT COUNT(*) FROM {dataset} AS c;",
+        "cell_q2": """
+            SELECT caller AS caller, MAX(c.duration) AS m
+            FROM {dataset} AS c
+            GROUP BY c.caller AS caller
+            ORDER BY m DESC
+            LIMIT 10;
+        """,
+        "cell_q3": "SELECT COUNT(*) FROM {dataset} AS c WHERE c.duration >= 600;",
+    },
+    "sensors": {
+        "sensors_q1": "SELECT COUNT(*) FROM {dataset} AS s UNNEST s.readings AS r;",
+        "sensors_q2": """
+            SELECT MAX(r.temp) AS max_temp, MIN(r.temp) AS min_temp
+            FROM {dataset} AS s
+            UNNEST s.readings AS r;
+        """,
+        "sensors_q3": """
+            SELECT sid AS sid, MAX(r.temp) AS max_temp
+            FROM {dataset} AS s
+            UNNEST s.readings AS r
+            GROUP BY s.sensor_id AS sid
+            ORDER BY max_temp DESC
+            LIMIT 10;
+        """,
+        "sensors_q4": """
+            SELECT sid AS sid, MAX(r.temp) AS max_temp
+            FROM {dataset} AS s
+            WHERE s.report_time > 1556496000000 AND s.report_time < 1556582400000
+            UNNEST s.readings AS r
+            GROUP BY s.sensor_id AS sid
+            ORDER BY max_temp DESC
+            LIMIT 10;
+        """,
+    },
+    "tweet_1": {
+        "tweet1_q1": "SELECT COUNT(*) FROM {dataset} AS t;",
+        "tweet1_q2": """
+            SELECT uname AS uname, MAX(length(t.text)) AS a
+            FROM {dataset} AS t
+            GROUP BY t.user.name AS uname
+            ORDER BY a DESC
+            LIMIT 10;
+        """,
+        "tweet1_q3": """
+            SELECT uname AS uname, COUNT(*) AS c
+            FROM {dataset} AS t
+            WHERE SOME ht IN t.entities.hashtags SATISFIES lowercase(ht.text) = "jobs"
+            GROUP BY t.user.name AS uname
+            ORDER BY c DESC
+            LIMIT 10;
+        """,
+    },
+    "wos": {
+        "wos_q1": "SELECT COUNT(*) FROM {dataset} AS p;",
+        "wos_q2": """
+            SELECT v AS v, COUNT(*) AS cnt
+            FROM {dataset} AS p
+            UNNEST p.static_data.fullrecord_metadata.category_info.subjects.subject
+                AS subject
+            WHERE subject.ascatype = "extended"
+            GROUP BY subject.value AS v
+            ORDER BY cnt DESC
+            LIMIT 10;
+        """,
+        "wos_q3": f"""
+            SELECT country AS country, COUNT(*) AS cnt
+            FROM {{dataset}} AS p
+            LET countries = array_distinct({_WOS_ADDRESSES}[*].address_spec.country)
+            WHERE is_array({_WOS_ADDRESSES})
+              AND array_count(countries) > 1
+              AND array_contains(countries, "USA")
+            UNNEST countries AS country
+            WHERE country != "USA"
+            GROUP BY country
+            ORDER BY cnt DESC
+            LIMIT 10;
+        """,
+        "wos_q4": f"""
+            SELECT pair AS pair, COUNT(*) AS cnt
+            FROM {{dataset}} AS p
+            LET countries = array_distinct({_WOS_ADDRESSES}[*].address_spec.country)
+            WHERE is_array({_WOS_ADDRESSES})
+              AND array_count(countries) > 1
+            LET pairs = array_pairs(countries)
+            UNNEST pairs AS pair
+            GROUP BY pair
+            ORDER BY cnt DESC
+            LIMIT 10;
+        """,
+    },
+}

@@ -44,6 +44,28 @@ class QueryError(ReproError):
     """Raised when a logical plan is malformed or cannot be executed."""
 
 
+class UnknownFunctionError(QueryError):
+    """Raised when a :class:`~repro.query.expressions.Call` names no built-in.
+
+    The message lists every registered function so a typo is immediately
+    diagnosable (``register_function`` extends the list at runtime).
+    """
+
+
+class SqlppError(QueryError):
+    """A SQL++ frontend error (lexing, parsing, or binding) with a position.
+
+    ``line`` and ``column`` are 1-based and point at the offending token; the
+    message always embeds them (``... at line 2 col 14``) so errors stay
+    diagnostic even when only the string survives.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
 class CodegenError(QueryError):
     """Raised when code generation fails for a pipeline segment."""
 

@@ -1,8 +1,20 @@
 """Analytical query engine: expressions, plans, interpreted and code-generating executors."""
 
+from ..model.errors import UnknownFunctionError
 from .codegen import GeneratedPipeline, generate_pipeline
 from .executor import execute_plan
-from .expressions import And, Call, Compare, Field, Literal, Or, SomeSatisfies, Var, lift
+from .expressions import (
+    And,
+    Call,
+    Compare,
+    Field,
+    Literal,
+    Or,
+    SomeSatisfies,
+    Var,
+    lift,
+    register_function,
+)
 from .optimizer import CostModel, OptimizerReport, optimize_plan
 from .plan import Query, QueryPlan
 from .pushdown import ColumnPredicate, PushdownSpec, attach_pushdown
@@ -24,6 +36,7 @@ __all__ = [
     "Query",
     "QueryPlan",
     "SomeSatisfies",
+    "UnknownFunctionError",
     "Var",
     "attach_pushdown",
     "collect_dataset_statistics",
@@ -31,4 +44,5 @@ __all__ = [
     "generate_pipeline",
     "lift",
     "optimize_plan",
+    "register_function",
 ]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..model.errors import QueryError
+from ..model.errors import QueryError, UnknownFunctionError
 from ..model.path import FieldPath, get_path
 from ..model.values import MISSING
 
@@ -266,6 +266,9 @@ class And(Expression):
             out |= operand.referenced_bare_variables()
         return out
 
+    def __repr__(self) -> str:
+        return "And(" + ", ".join(repr(operand) for operand in self.operands) + ")"
+
 
 class Or(Expression):
     def __init__(self, *operands: Expression) -> None:
@@ -294,6 +297,9 @@ class Or(Expression):
         for operand in self.operands:
             out |= operand.referenced_bare_variables()
         return out
+
+    def __repr__(self) -> str:
+        return "Or(" + ", ".join(repr(operand) for operand in self.operands) + ")"
 
 
 # -- built-in functions -----------------------------------------------------------------
@@ -369,12 +375,41 @@ FUNCTIONS: Dict[str, Callable] = {
 }
 
 
+def register_function(name: str, fn: Callable) -> None:
+    """Register (or replace) a scalar function usable from ``Call`` and SQL++.
+
+    The registry is shared by the interpreted evaluator, the code-generating
+    executor, and the SQL++ frontend, so a function registered here is
+    immediately callable from all three.  Arguments arrive with MISSING
+    already normalized to None (as for the built-ins).
+
+    Args:
+        name: Function name; matched case-insensitively by the SQL++ parser,
+            stored lowercase.
+        fn: The implementation; called positionally with the evaluated
+            argument values.
+
+    Example:
+        >>> register_function("double_it", lambda v: None if v is None else v * 2)
+        >>> Call("double_it", Literal(21)).evaluate({})
+        42
+    """
+    if not callable(fn):
+        raise QueryError(f"register_function({name!r}): implementation is not callable")
+    if not name or not name.replace("_", "a").isalnum() or name[0].isdigit():
+        raise QueryError(f"register_function: invalid function name {name!r}")
+    FUNCTIONS[name.lower()] = fn
+
+
 class Call(Expression):
     """A call to one of the built-in SQL++-style functions."""
 
     def __init__(self, function: str, *arguments) -> None:
         if function not in FUNCTIONS:
-            raise QueryError(f"unknown function {function!r}")
+            raise UnknownFunctionError(
+                f"unknown function {function!r}; available built-ins: "
+                + ", ".join(sorted(FUNCTIONS))
+            )
         self.function = function
         self.arguments = [lift(argument) for argument in arguments]
 
@@ -406,6 +441,10 @@ class Call(Expression):
         for argument in self.arguments:
             out |= argument.referenced_bare_variables()
         return out
+
+    def __repr__(self) -> str:
+        arguments = "".join(f", {argument!r}" for argument in self.arguments)
+        return f"Call({self.function!r}{arguments})"
 
 
 class SomeSatisfies(Expression):
@@ -450,6 +489,11 @@ class SomeSatisfies(Expression):
     def referenced_bare_variables(self) -> set:
         return self.array.referenced_bare_variables() | (
             self.predicate.referenced_bare_variables() - {self.item_var}
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SomeSatisfies({self.array!r}, {self.item_var!r}, {self.predicate!r})"
         )
 
 

@@ -99,6 +99,29 @@ PipelineOp = object
 BreakerOp = object
 
 
+def _describe_aggregate(aggregate: Tuple[str, str, Optional[Expression]]) -> str:
+    name, function, expression = aggregate
+    return f"{name}={function}({'*' if expression is None else repr(expression)})"
+
+
+def _describe_breaker(op: BreakerOp) -> str:
+    """One diagnostic line per breaker (group keys, sort direction, limit...)."""
+    if isinstance(op, GroupByNode):
+        keys = ", ".join(f"{name}={expression!r}" for name, expression in op.keys)
+        aggregates = ", ".join(_describe_aggregate(a) for a in op.aggregates)
+        return f"GROUPBY keys=[{keys}] aggregates=[{aggregates}]"
+    if isinstance(op, AggregateNode):
+        return "AGGREGATE " + ", ".join(_describe_aggregate(a) for a in op.aggregates)
+    if isinstance(op, OrderByNode):
+        return f"ORDERBY {op.key} {'DESC' if op.descending else 'ASC'}"
+    if isinstance(op, LimitNode):
+        return f"LIMIT {op.count}"
+    if isinstance(op, ProjectNode):
+        columns = ", ".join(f"{name}={expression!r}" for name, expression in op.columns)
+        return f"PROJECT {columns}"
+    return type(op).__name__.replace("Node", "").upper()
+
+
 def collect_expressions(
     pipeline: Sequence[PipelineOp], breakers: Sequence[BreakerOp]
 ) -> List[Expression]:
@@ -165,7 +188,7 @@ class QueryPlan:
             elif isinstance(op, FilterNode):
                 lines.append(f"FILTER {op.predicate!r}")
         for op in self.breakers:
-            lines.append(type(op).__name__.replace("Node", "").upper())
+            lines.append(_describe_breaker(op))
         if self.optimizer is not None:
             lines.append(self.optimizer.describe())
         return "\n".join(lines)
@@ -461,7 +484,7 @@ class Query:
             SCAN d AS $t (fields=['a'])
               PUSHDOWN paths=[a]; predicates=[a == 1]
             FILTER Compare(Field(Var('t'), 'a') == Literal(1))
-            AGGREGATE
+            AGGREGATE count=count(*)
         """
         if store is None:
             return self.build_plan(pushdown=pushdown).describe()

@@ -1,0 +1,269 @@
+"""Interactive SQL++ shell: ``python -m repro.shell``.
+
+A small psql-style REPL over a :class:`~repro.store.datastore.Datastore`.
+Statements may span multiple lines and end with ``;``; backslash commands
+control the session:
+
+==============  ========================================================
+``\\help``       Show the command summary.
+``\\d``          List datasets (layout, record count).
+``\\explain``    Toggle printing the optimizer-explained plan per query.
+``\\timing``     Toggle printing wall-clock time per query.
+``\\q``          Quit.
+==============  ========================================================
+
+By default the shell opens an in-memory store seeded with the paper's
+``gamers`` demo collection (Figure 4) so queries work immediately; pass
+``--store DIR`` to open a durable datastore instead, or ``--empty`` for a
+bare store.  ``--batch`` reads statements from stdin without prompts and
+exits non-zero on the first error — CI smoke-tests the shell with
+``printf 'SELECT 1;\\n' | python -m repro.shell --batch``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from .model.errors import ReproError
+from .model.values import MISSING
+from .store import Datastore, StoreConfig
+
+#: The quickstart demo collection (the paper's Figure 4 video-gamer records).
+DEMO_GAMERS = [
+    {"id": 0, "games": [{"title": "NFL"}]},
+    {
+        "id": 1,
+        "name": {"last": "Brown"},
+        "games": [{"title": "FIFA", "consoles": ["PC", "PS4"]}],
+    },
+    {
+        "id": 2,
+        "name": {"first": "John", "last": "Smith"},
+        "games": [
+            {"title": "NBA", "consoles": ["PS4", "PC"]},
+            {"title": "NFL", "consoles": ["XBOX"]},
+        ],
+    },
+    {"id": 3},
+    {"id": 4, "name": "Ann", "games": ["NBA", ["FIFA", "PES"], "NFL"]},
+]
+
+PROMPT = "sqlpp> "
+CONTINUATION = "  ...> "
+
+
+def statement_terminated(text: str) -> bool:
+    """True when ``text`` is a complete statement (trailing ``;``).
+
+    A ``;`` inside a string that is still open does not terminate — the
+    buffer is checked with the real lexer, so multi-line string literals
+    keep accumulating instead of being cut at the first line.
+    """
+    if not text.rstrip().endswith(";"):
+        return False
+    from .sqlpp import SqlppError, tokenize
+
+    try:
+        tokenize(text)
+    except SqlppError as error:
+        if "unterminated string" in str(error):
+            return False
+    return True
+
+
+def _render_cell(value) -> str:
+    if value is MISSING or value is None:
+        return "null"
+    if isinstance(value, str):
+        return value
+    return json.dumps(value, sort_keys=True, default=str)
+
+
+def render_result_table(rows: List[object]) -> str:
+    """Render query-result rows as an aligned text table with a row count.
+
+    Dict rows become columns in first-seen key order; bare values (from
+    ``SELECT VALUE``) render as a single ``value`` column.  Cells are
+    rendered here (JSON for nested values, ``null`` for NULL/MISSING) and the
+    alignment is delegated to the shared
+    :func:`repro.bench.reporting.format_table`.
+    """
+    count = f"({len(rows)} row{'s' if len(rows) != 1 else ''})"
+    if not rows:
+        return count
+    if not all(isinstance(row, dict) for row in rows):
+        rows = [{"value": row} for row in rows]
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    cells = [
+        [_render_cell(row.get(column, MISSING)) for column in columns] for row in rows
+    ]
+    from .bench.reporting import format_table
+
+    return "\n".join([format_table(columns, cells), count])
+
+
+class Shell:
+    """One shell session: a store, toggles, and the statement loop."""
+
+    def __init__(
+        self,
+        store: Datastore,
+        batch: bool = False,
+        out=None,
+        err=None,
+    ) -> None:
+        self.store = store
+        self.batch = batch
+        self.out = out or sys.stdout
+        self.err = err or sys.stderr
+        self.show_explain = False
+        self.show_timing = False
+        self.executor = "codegen"
+
+    # -- output ------------------------------------------------------------------------
+    def print(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    def print_error(self, message: str) -> None:
+        print(f"ERROR: {message}", file=self.err)
+
+    # -- commands ----------------------------------------------------------------------
+    def run_command(self, line: str) -> Optional[int]:
+        """Execute one backslash command; returns an exit code to quit, else None."""
+        command = line.split(" ", 1)[0]
+        if command in ("\\q", "\\quit"):
+            return 0
+        if command in ("\\help", "\\?"):
+            self.print(
+                "\\d            list datasets\n"
+                "\\explain      toggle plan output (currently "
+                f"{'on' if self.show_explain else 'off'})\n"
+                "\\timing       toggle query timing (currently "
+                f"{'on' if self.show_timing else 'off'})\n"
+                "\\q            quit\n"
+                "Statements end with ';' and may span lines."
+            )
+        elif command == "\\d":
+            if not self.store.datasets:
+                self.print("(no datasets)")
+            for name, dataset in sorted(self.store.datasets.items()):
+                self.print(f"{name}  layout={dataset.layout}  records={dataset.count()}")
+        elif command == "\\explain":
+            self.show_explain = not self.show_explain
+            self.print(f"explain is {'on' if self.show_explain else 'off'}")
+        elif command == "\\timing":
+            self.show_timing = not self.show_timing
+            self.print(f"timing is {'on' if self.show_timing else 'off'}")
+        else:
+            self.print_error(f"unknown command {command!r}; try \\help")
+            return 1 if self.batch else None
+        return None
+
+    # -- statements --------------------------------------------------------------------
+    def run_statement(self, text: str) -> bool:
+        """Compile and run one statement; returns False on error in batch mode."""
+        from .sqlpp import compile_query
+
+        try:
+            compiled = compile_query(text)
+            if self.show_explain and compiled.query is not None:
+                self.print(compiled.explain(self.store))
+            start = time.perf_counter()
+            rows = compiled.execute(self.store, executor=self.executor)
+            elapsed = time.perf_counter() - start
+        except ReproError as error:
+            self.print_error(str(error))
+            return not self.batch
+        self.print(render_result_table(rows))
+        if self.show_timing:
+            self.print(f"Time: {elapsed * 1000:.2f} ms")
+        return True
+
+    # -- the loop ----------------------------------------------------------------------
+    def run(self, stream) -> int:
+        """Drive the shell over ``stream``; returns the process exit code."""
+        interactive = not self.batch
+        if interactive:
+            self.print(
+                "repro SQL++ shell — statements end with ';', \\help for help."
+            )
+        buffer: List[str] = []
+        while True:
+            if interactive:
+                self.out.write(CONTINUATION if buffer else PROMPT)
+                self.out.flush()
+            line = stream.readline()
+            if not line:  # EOF
+                if buffer:
+                    self.print_error("unterminated statement at end of input")
+                    return 1 if self.batch else 0
+                return 0
+            stripped = line.strip()
+            if not buffer and not stripped:
+                continue
+            if not buffer and stripped.startswith("\\"):
+                exit_code = self.run_command(stripped)
+                if exit_code is not None:
+                    return exit_code
+                continue
+            buffer.append(line)
+            if statement_terminated("".join(buffer)):
+                statement = "".join(buffer)
+                buffer = []
+                if not self.run_statement(statement):
+                    return 1
+
+
+def make_demo_store() -> Datastore:
+    """An in-memory store with the ``gamers`` demo dataset loaded."""
+    store = Datastore(StoreConfig(partitions_per_node=1))
+    gamers = store.create_dataset("gamers", layout="amax")
+    gamers.insert_many(DEMO_GAMERS)
+    gamers.flush_all()
+    return store
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.shell", description="Interactive SQL++ shell."
+    )
+    parser.add_argument(
+        "--store", metavar="DIR", help="open a durable datastore directory"
+    )
+    parser.add_argument(
+        "--empty", action="store_true", help="start with an empty in-memory store"
+    )
+    parser.add_argument(
+        "--batch",
+        action="store_true",
+        help="read statements from stdin without prompts; exit 1 on first error",
+    )
+    args = parser.parse_args(argv)
+    if args.store:
+        store = Datastore.open(args.store)
+    elif args.empty:
+        store = Datastore(StoreConfig(partitions_per_node=1))
+    else:
+        store = make_demo_store()
+    shell = Shell(store, batch=args.batch)
+    if not args.batch and not args.store and not args.empty:
+        shell.print('demo dataset "gamers" loaded — try: SELECT COUNT(*) FROM gamers AS g;')
+    try:
+        return shell.run(sys.stdin)
+    except KeyboardInterrupt:
+        shell.print()
+        return 130
+    finally:
+        store.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

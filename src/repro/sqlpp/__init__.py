@@ -1,0 +1,55 @@
+"""SQL++ query-language frontend: lexer → parser → binder → lowering.
+
+The paper's whole workload is written in SQL++; this package lets every one
+of those queries be stated in its original declarative form and still flow
+through the engine's existing machinery (pushdown, the cost-based optimizer,
+both executors, parallel scans), because lowering targets the same
+:class:`~repro.query.plan.Query` builder a user would call by hand.
+
+Entry points:
+
+* :func:`compile_query` — text → :class:`CompiledQuery` (parse + bind + lower);
+* :func:`parse` — text → typed AST with source positions (for tooling);
+* ``Datastore.query("SELECT ...")`` / ``Datastore.explain(...)`` — the
+  store-level surface built on top of this package;
+* ``python -m repro.shell`` — the interactive shell.
+
+Example:
+    >>> from repro.sqlpp import compile_query
+    >>> compiled = compile_query('''
+    ...     SELECT t AS t, COUNT(*) AS cnt
+    ...     FROM gamers AS g
+    ...     UNNEST g.games AS t
+    ...     GROUP BY t
+    ...     ORDER BY cnt DESC
+    ...     LIMIT 10;
+    ... ''')
+    >>> print(compiled.query.explain())
+    SCAN gamers AS $g (fields=['games'])
+      PUSHDOWN paths=[games]
+    UNNEST $t <- Field(Var('g'), 'games')
+    GROUPBY keys=[t=Var('t')] aggregates=[cnt=count(*)]
+    ORDERBY cnt DESC
+    LIMIT 10
+"""
+
+from ..model.errors import SqlppError, UnknownFunctionError
+from .ast import SelectStatement
+from .binder import Scope, bind_expression
+from .lexer import Token, tokenize
+from .lower import CompiledQuery, compile_query, compile_statement
+from .parser import parse
+
+__all__ = [
+    "CompiledQuery",
+    "Scope",
+    "SelectStatement",
+    "SqlppError",
+    "Token",
+    "UnknownFunctionError",
+    "bind_expression",
+    "compile_query",
+    "compile_statement",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,192 @@
+"""The typed SQL++ AST produced by the parser.
+
+Every node carries the 1-based ``line``/``column`` of the token that started
+it, so the binder can point error messages at the exact source location.  The
+AST is deliberately close to the textual grammar; lowering onto the engine's
+:class:`~repro.query.plan.QueryPlan` nodes happens in
+:mod:`repro.sqlpp.lower` after the binder resolved every name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base of every AST node: the source position it started at."""
+
+    line: int
+    column: int
+
+    @property
+    def where(self) -> str:
+        return f"line {self.line} col {self.column}"
+
+
+# -- expressions -------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LiteralExpr(Node):
+    """A constant: number, string, TRUE/FALSE, NULL."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class IdentRef(Node):
+    """A bare identifier — an alias reference (or an output-column name)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class PathExpr(Node):
+    """Navigation on a base expression: dotted fields, ``[*]``, ``["field"]``."""
+
+    base: "ExprNode"
+    steps: Tuple[str, ...]  # field names and the array step "[*]"
+
+
+@dataclass(frozen=True)
+class ArrayExpr(Node):
+    """An array literal ``[e1, e2, ...]`` (elements must be constant)."""
+
+    items: Tuple["ExprNode", ...]
+
+
+@dataclass(frozen=True)
+class ObjectExpr(Node):
+    """An object literal ``{"k": v, ...}`` (values must be constant)."""
+
+    pairs: Tuple[Tuple[str, "ExprNode"], ...]
+
+
+@dataclass(frozen=True)
+class CallExpr(Node):
+    """A function call; ``star`` marks ``COUNT(*)``-style calls."""
+
+    name: str
+    args: Tuple["ExprNode", ...]
+    star: bool = False
+
+
+@dataclass(frozen=True)
+class CompareExpr(Node):
+    """A binary comparison (``=``/``==``, ``!=``/``<>``, ``<``, ``<=``, ``>``, ``>=``)."""
+
+    op: str
+    lhs: "ExprNode"
+    rhs: "ExprNode"
+
+
+@dataclass(frozen=True)
+class AndExpr(Node):
+    operands: Tuple["ExprNode", ...]
+
+
+@dataclass(frozen=True)
+class OrExpr(Node):
+    operands: Tuple["ExprNode", ...]
+
+
+@dataclass(frozen=True)
+class SomeExpr(Node):
+    """``SOME item IN collection SATISFIES predicate``."""
+
+    item: str
+    collection: "ExprNode"
+    predicate: "ExprNode"
+
+
+@dataclass(frozen=True)
+class ExistsExpr(Node):
+    """``EXISTS collection`` — true when the collection has at least one item."""
+
+    collection: "ExprNode"
+
+
+ExprNode = Union[
+    LiteralExpr,
+    IdentRef,
+    PathExpr,
+    ArrayExpr,
+    ObjectExpr,
+    CallExpr,
+    CompareExpr,
+    AndExpr,
+    OrExpr,
+    SomeExpr,
+    ExistsExpr,
+]
+
+
+# -- clauses -----------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem(Node):
+    """One projection: expression plus optional ``AS`` alias."""
+
+    expression: ExprNode
+    alias: Optional[str]
+
+
+@dataclass(frozen=True)
+class UnnestClause(Node):
+    """``UNNEST expr AS alias`` — one output row per array element."""
+
+    expression: ExprNode
+    alias: str
+
+
+@dataclass(frozen=True)
+class LetClause(Node):
+    """``LET name = expr`` — bind a derived value per row."""
+
+    name: str
+    expression: ExprNode
+
+
+@dataclass(frozen=True)
+class WhereClause(Node):
+    predicate: ExprNode
+
+
+PipelineClause = Union[UnnestClause, LetClause, WhereClause]
+
+
+@dataclass(frozen=True)
+class GroupKey(Node):
+    """One GROUP BY key with its (possibly defaulted) output name."""
+
+    expression: ExprNode
+    alias: Optional[str]
+
+
+@dataclass(frozen=True)
+class OrderItem(Node):
+    """One ORDER BY key: an output-column name plus direction."""
+
+    name: str
+    descending: bool
+
+
+@dataclass(frozen=True)
+class SelectStatement(Node):
+    """A full SELECT statement of the supported subset.
+
+    ``dataset``/``alias`` are None for FROM-less queries (``SELECT 1;``).
+    ``pipeline`` preserves the written order of UNNEST/LET/WHERE clauses.
+    """
+
+    select_value: bool
+    select_items: Tuple[SelectItem, ...]
+    dataset: Optional[str] = None
+    alias: Optional[str] = None
+    pipeline: Tuple[PipelineClause, ...] = ()
+    group_by: Tuple[GroupKey, ...] = ()
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None

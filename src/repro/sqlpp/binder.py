@@ -1,0 +1,165 @@
+"""Name resolution: SQL++ AST expressions → engine expressions.
+
+The binder walks AST expressions with an ordered *scope* of the aliases bound
+so far (FROM alias, UNNEST aliases, LET names, quantifier item variables) and
+produces the engine's :mod:`repro.query.expressions` objects:
+
+* a bare identifier must name an in-scope alias (``Var``),
+* a path rooted at an alias becomes ``Field(Var(alias), path)``,
+* calls resolve against the shared function registry (aggregates are rejected
+  here — they are legal only in the SELECT clause, which
+  :mod:`repro.sqlpp.lower` handles itself),
+* errors carry the exact source position and the live scope, e.g.
+  ``unknown alias `g` at line 2 col 14; in scope: t, x``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..model.errors import SqlppError
+from ..model.path import FieldPath
+from ..query.expressions import (
+    And,
+    Call,
+    Compare,
+    Expression,
+    Field,
+    FUNCTIONS,
+    Literal,
+    Or,
+    SomeSatisfies,
+    Var,
+)
+from ..query.plan import AGGREGATE_FUNCTIONS
+from . import ast
+
+#: Parser comparison spellings → engine operators.
+_OP_CANON = {"=": "==", "==": "==", "<>": "!=", "!=": "!=",
+             "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+class Scope:
+    """The ordered set of variables visible to an expression."""
+
+    def __init__(self, names: Optional[List[str]] = None) -> None:
+        self._names: List[str] = list(names or [])
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    def add(self, name: str, node: ast.Node) -> None:
+        if name in self._names:
+            raise SqlppError(
+                f"duplicate alias `{name}` at {node.where}; "
+                f"already bound by FROM/UNNEST/LET",
+                node.line,
+                node.column,
+            )
+        self._names.append(name)
+
+    def child(self, extra: str) -> "Scope":
+        """A nested scope with one more variable (quantifier items may shadow)."""
+        return Scope(self._names + [extra])
+
+    def describe(self) -> str:
+        return ", ".join(self._names) if self._names else "(empty)"
+
+
+def unknown_alias_error(name: str, node: ast.Node, scope: Scope) -> SqlppError:
+    return SqlppError(
+        f"unknown alias `{name}` at {node.where}; in scope: {scope.describe()}",
+        node.line,
+        node.column,
+    )
+
+
+def bind_expression(node: ast.ExprNode, scope: Scope) -> Expression:
+    """Resolve one AST expression against ``scope`` into an engine expression.
+
+    Raises:
+        SqlppError: Unknown aliases or functions, aggregates outside SELECT,
+            and non-constant array/object literals — all with positions.
+    """
+    if isinstance(node, ast.LiteralExpr):
+        return Literal(node.value)
+    if isinstance(node, ast.IdentRef):
+        if node.name not in scope:
+            raise unknown_alias_error(node.name, node, scope)
+        return Var(node.name)
+    if isinstance(node, ast.PathExpr):
+        base = node.base
+        if isinstance(base, ast.IdentRef):
+            if base.name not in scope:
+                raise unknown_alias_error(base.name, base, scope)
+            return Field(Var(base.name), FieldPath(node.steps))
+        return Field(bind_expression(base, scope), FieldPath(node.steps))
+    if isinstance(node, (ast.ArrayExpr, ast.ObjectExpr)):
+        return Literal(_constant_value(node))
+    if isinstance(node, ast.CallExpr):
+        return _bind_call(node, scope)
+    if isinstance(node, ast.CompareExpr):
+        return Compare(
+            _OP_CANON[node.op],
+            bind_expression(node.lhs, scope),
+            bind_expression(node.rhs, scope),
+        )
+    if isinstance(node, ast.AndExpr):
+        return And(*[bind_expression(operand, scope) for operand in node.operands])
+    if isinstance(node, ast.OrExpr):
+        return Or(*[bind_expression(operand, scope) for operand in node.operands])
+    if isinstance(node, ast.SomeExpr):
+        collection = bind_expression(node.collection, scope)
+        predicate = bind_expression(node.predicate, scope.child(node.item))
+        return SomeSatisfies(collection, node.item, predicate)
+    if isinstance(node, ast.ExistsExpr):
+        # EXISTS c ≡ "c is a non-empty collection": array_count yields NULL
+        # for non-arrays and the filter semantics treat NULL as false.
+        return Compare(">", Call("array_count", bind_expression(node.collection, scope)), Literal(0))
+    raise SqlppError(  # pragma: no cover - the parser emits no other nodes
+        f"unsupported expression at {node.where}", node.line, node.column
+    )
+
+
+def _bind_call(node: ast.CallExpr, scope: Scope) -> Expression:
+    name = node.name.lower()
+    if name in AGGREGATE_FUNCTIONS:
+        raise SqlppError(
+            f"aggregate function {node.name.upper()} at {node.where} is only "
+            f"allowed in the SELECT clause of a grouped or aggregate query",
+            node.line,
+            node.column,
+        )
+    if node.star:
+        raise SqlppError(
+            f"'*' argument at {node.where} is only valid in COUNT(*)",
+            node.line,
+            node.column,
+        )
+    if name not in FUNCTIONS:
+        raise SqlppError(
+            f"unknown function `{node.name}` at {node.where}; available "
+            f"built-ins: {', '.join(sorted(FUNCTIONS))}",
+            node.line,
+            node.column,
+        )
+    return Call(name, *[bind_expression(argument, scope) for argument in node.args])
+
+
+def _constant_value(node: ast.ExprNode):
+    """Fold a constant literal tree (arrays/objects) to its Python value."""
+    if isinstance(node, ast.LiteralExpr):
+        return node.value
+    if isinstance(node, ast.ArrayExpr):
+        return [_constant_value(item) for item in node.items]
+    if isinstance(node, ast.ObjectExpr):
+        out: Dict[str, object] = {}
+        for key, value in node.pairs:
+            out[key] = _constant_value(value)
+        return out
+    raise SqlppError(
+        f"array/object literals must be constant; found a non-literal element "
+        f"at {node.where}",
+        node.line,
+        node.column,
+    )

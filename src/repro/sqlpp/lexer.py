@@ -1,0 +1,200 @@
+"""The SQL++ lexer: text → a stream of position-tagged tokens.
+
+Hand-written (no regex tables) so error positions are exact and the token
+rules stay readable.  Keywords are matched case-insensitively and surfaced as
+``KEYWORD`` tokens carrying their canonical uppercase spelling; identifiers
+keep their original case.  ``--`` starts a comment running to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..model.errors import SqlppError
+
+#: Reserved words of the supported subset (canonical uppercase spellings).
+KEYWORDS = frozenset(
+    {
+        "SELECT", "VALUE", "FROM", "AS", "UNNEST", "LET", "WHERE",
+        "AND", "OR", "NOT", "GROUP", "BY", "ORDER", "ASC", "DESC",
+        "LIMIT", "SOME", "IN", "SATISFIES", "EXISTS",
+        "TRUE", "FALSE", "NULL", "MISSING",
+    }
+)
+
+#: Multi-character operators first so maximal munch works.
+_OPERATORS = ("==", "!=", "<>", "<=", ">=", "=", "<", ">")
+_PUNCTUATION = "()[]{},.;:*"
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "'": "'", "\\": "\\", "/": "/"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its 1-based source position."""
+
+    kind: str  # KEYWORD | IDENT | INT | FLOAT | STRING | OP | PUNCT | EOF
+    value: object
+    line: int
+    column: int
+
+    def describe(self) -> str:
+        if self.kind == "EOF":
+            return "end of input"
+        if self.kind == "KEYWORD":
+            return str(self.value)
+        if self.kind == "STRING":
+            return f"string {self.value!r}"
+        return repr(str(self.value))
+
+
+class _Scanner:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def error(self, message: str) -> SqlppError:
+        return SqlppError(
+            f"{message} at line {self.line} col {self.column}", self.line, self.column
+        )
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def advance(self) -> str:
+        char = self.text[self.pos]
+        self.pos += 1
+        if char == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return char
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex ``text`` into tokens (always ending with an EOF token).
+
+    Raises:
+        SqlppError: On an unterminated string or an unexpected character,
+            with the 1-based line/column of the offence.
+    """
+    scanner = _Scanner(text)
+    tokens: List[Token] = []
+    while scanner.pos < len(scanner.text):
+        char = scanner.peek()
+        if char in " \t\r\n":
+            scanner.advance()
+            continue
+        if char == "-" and scanner.peek(1) == "-":  # comment to end of line
+            while scanner.pos < len(scanner.text) and scanner.peek() != "\n":
+                scanner.advance()
+            continue
+        line, column = scanner.line, scanner.column
+        if char.isalpha() or char == "_":
+            word = _scan_word(scanner)
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, line, column))
+            else:
+                tokens.append(Token("IDENT", word, line, column))
+            continue
+        if char.isdigit() or (
+            char == "-" and (scanner.peek(1).isdigit() or scanner.peek(1) == ".")
+        ):
+            tokens.append(_scan_number(scanner, line, column))
+            continue
+        if char in "'\"":
+            tokens.append(_scan_string(scanner, line, column))
+            continue
+        two = char + scanner.peek(1)
+        if two in _OPERATORS:
+            scanner.advance()
+            scanner.advance()
+            tokens.append(Token("OP", two, line, column))
+            continue
+        if char in _OPERATORS:
+            scanner.advance()
+            tokens.append(Token("OP", char, line, column))
+            continue
+        if char in _PUNCTUATION:
+            scanner.advance()
+            tokens.append(Token("PUNCT", char, line, column))
+            continue
+        raise scanner.error(f"unexpected character {char!r}")
+    tokens.append(Token("EOF", None, scanner.line, scanner.column))
+    return tokens
+
+
+def _scan_word(scanner: _Scanner) -> str:
+    out = []
+    while scanner.pos < len(scanner.text):
+        char = scanner.peek()
+        if char.isalnum() or char == "_":
+            out.append(scanner.advance())
+        else:
+            break
+    return "".join(out)
+
+
+def _scan_number(scanner: _Scanner, line: int, column: int) -> Token:
+    out = []
+    if scanner.peek() == "-":
+        out.append(scanner.advance())
+    is_float = False
+    while scanner.pos < len(scanner.text):
+        char = scanner.peek()
+        if char.isdigit():
+            out.append(scanner.advance())
+        elif char == "." and scanner.peek(1).isdigit():
+            # A dot not followed by a digit is path navigation, not a fraction.
+            is_float = True
+            out.append(scanner.advance())
+        elif char in "eE" and (
+            scanner.peek(1).isdigit()
+            or (scanner.peek(1) in "+-" and scanner.peek(2).isdigit())
+        ):
+            is_float = True
+            out.append(scanner.advance())
+            if scanner.peek() in "+-":
+                out.append(scanner.advance())
+        else:
+            break
+    literal = "".join(out)
+    try:
+        value: object = float(literal) if is_float else int(literal)
+    except ValueError:  # pragma: no cover - the scan rules prevent this
+        raise SqlppError(
+            f"malformed number {literal!r} at line {line} col {column}", line, column
+        ) from None
+    return Token("FLOAT" if is_float else "INT", value, line, column)
+
+
+def _scan_string(scanner: _Scanner, line: int, column: int) -> Token:
+    quote = scanner.advance()
+    out = []
+    while True:
+        if scanner.pos >= len(scanner.text):
+            raise SqlppError(
+                f"unterminated string at line {line} col {column}", line, column
+            )
+        char = scanner.advance()
+        if char == "\\":
+            if scanner.pos >= len(scanner.text):
+                raise SqlppError(
+                    f"unterminated string at line {line} col {column}", line, column
+                )
+            escape = scanner.advance()
+            out.append(_ESCAPES.get(escape, escape))
+            continue
+        if char == quote:
+            if scanner.peek() == quote:  # doubled quote escapes itself
+                out.append(scanner.advance())
+                continue
+            break
+        out.append(char)
+    return Token("STRING", "".join(out), line, column)

@@ -1,0 +1,403 @@
+"""Lowering: bound SQL++ AST → the engine's fluent :class:`Query` builder.
+
+The compiled query is a thin wrapper around the *same* ``Query`` object a
+user would build by hand, so every parsed query flows unchanged through
+pushdown (:mod:`repro.query.pushdown`), cost-based access-path selection
+(:mod:`repro.query.optimizer`), both executors, and parallel scans.  Clause
+order becomes pipeline order; GROUP BY aggregates come from the SELECT list
+(as in SQL++), and a trailing PROJECT is added only when the SELECT list does
+not match the grouped row shape exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import List, Optional, Tuple
+
+from ..model.errors import QueryError, SqlppError
+from ..model.values import MISSING
+from ..query.expressions import Expression
+from ..query.plan import AGGREGATE_FUNCTIONS, Query, QueryPlan
+from . import ast
+from .binder import Scope, bind_expression
+from .parser import parse
+
+#: Output column name of ``SELECT VALUE`` projections (internal, unwrapped).
+VALUE_COLUMN_FALLBACK = "$1"
+
+
+@dataclass
+class CompiledQuery:
+    """A parsed, bound, and lowered SQL++ statement, ready to execute.
+
+    ``query`` is the engine's fluent builder (None for FROM-less statements,
+    which evaluate without touching a datastore); ``select_value`` marks
+    ``SELECT VALUE`` queries whose rows unwrap to bare values.
+    """
+
+    text: str
+    statement: ast.SelectStatement
+    query: Optional[Query] = None
+    select_value: bool = False
+    value_column: Optional[str] = None
+    #: FROM-less statements: the named constant expressions to evaluate.
+    constant_columns: List[Tuple[str, Expression]] = dataclass_field(
+        default_factory=list
+    )
+
+    # -- execution ---------------------------------------------------------------------
+    def execute(
+        self,
+        store=None,
+        executor: str = "codegen",
+        pushdown: bool = True,
+        optimize: Optional[bool] = None,
+    ) -> list:
+        """Run the query; returns rows (dicts), or bare values for SELECT VALUE."""
+        if self.query is None:
+            row = {
+                name: _none_if_missing(expression.evaluate({}))
+                for name, expression in self.constant_columns
+            }
+            rows = [row]
+            if self.statement.limit is not None:
+                rows = rows[: self.statement.limit]
+        else:
+            if store is None:
+                raise QueryError(
+                    "this query reads a dataset; pass the datastore to execute against"
+                )
+            rows = self.query.execute(
+                store, executor=executor, pushdown=pushdown, optimize=optimize
+            )
+        if self.select_value:
+            return [row[self.value_column] for row in rows]
+        return rows
+
+    def explain(self, store=None, pushdown: bool = True, analyze: bool = False) -> str:
+        """Render the plan (with costs/alternatives when a store is given)."""
+        if self.query is None:
+            names = ", ".join(name for name, _ in self.constant_columns)
+            return f"VALUES [{names}] (no datastore access)"
+        return self.query.explain(store, pushdown=pushdown, analyze=analyze)
+
+    def build_plan(self, pushdown: bool = True) -> QueryPlan:
+        """The logical plan (see :meth:`repro.query.plan.Query.build_plan`)."""
+        if self.query is None:
+            raise QueryError("FROM-less statements have no dataset plan")
+        return self.query.build_plan(pushdown=pushdown)
+
+
+def _none_if_missing(value):
+    return None if value is MISSING else value
+
+
+def compile_query(text: str) -> CompiledQuery:
+    """Parse, bind, and lower one SQL++ statement.
+
+    Raises:
+        SqlppError: On any syntax or binding offence, with source positions.
+
+    Example:
+        >>> compiled = compile_query("SELECT COUNT(*) FROM d AS t WHERE t.a = 1;")
+        >>> print(compiled.query.explain())
+        SCAN d AS $t (fields=['a'])
+          PUSHDOWN paths=[a]; predicates=[a == 1]
+        FILTER Compare(Field(Var('t'), 'a') == Literal(1))
+        AGGREGATE count=count(*)
+    """
+    return compile_statement(parse(text), text)
+
+
+def compile_statement(statement: ast.SelectStatement, text: str = "") -> CompiledQuery:
+    """Lower a parsed statement (see :func:`compile_query`)."""
+    if statement.dataset is None:
+        return _compile_constant(statement, text)
+    return _compile_dataset_query(statement, text)
+
+
+# ======================================================================================
+# FROM-less statements (SELECT 1;)
+# ======================================================================================
+
+
+def _compile_constant(statement: ast.SelectStatement, text: str) -> CompiledQuery:
+    scope = Scope()
+    columns: List[Tuple[str, Expression]] = []
+    for index, item in enumerate(statement.select_items):
+        if _aggregate_name(item.expression) is not None:
+            raise SqlppError(
+                f"aggregate at {item.where} requires a FROM clause",
+                item.line,
+                item.column,
+            )
+        name = _output_name(item, index)
+        columns.append((name, bind_expression(item.expression, scope)))
+    _reject_duplicate_names(columns, statement)
+    if statement.pipeline or statement.group_by or statement.order_by:
+        raise SqlppError(
+            f"FROM-less SELECT supports no other clauses (at {statement.where})",
+            statement.line,
+            statement.column,
+        )
+    compiled = CompiledQuery(text, statement, constant_columns=columns)
+    if statement.select_value:
+        compiled.select_value = True
+        compiled.value_column = columns[0][0]
+    return compiled
+
+
+# ======================================================================================
+# Dataset queries
+# ======================================================================================
+
+
+def _compile_dataset_query(statement: ast.SelectStatement, text: str) -> CompiledQuery:
+    scope = Scope()
+    scope.add(statement.alias, statement)
+    query = Query(statement.dataset, statement.alias)
+    for clause in statement.pipeline:
+        if isinstance(clause, ast.UnnestClause):
+            expression = bind_expression(clause.expression, scope)
+            scope.add(clause.alias, clause)
+            query.unnest(clause.alias, expression)
+        elif isinstance(clause, ast.LetClause):
+            expression = bind_expression(clause.expression, scope)
+            scope.add(clause.name, clause)
+            query.assign(clause.name, expression)
+        elif isinstance(clause, ast.WhereClause):
+            # Top-level conjuncts become separate FILTER operators, exactly
+            # like chained ``.where()`` calls on the builder.
+            for conjunct in _top_level_conjuncts(clause.predicate):
+                query.where(bind_expression(conjunct, scope))
+    if statement.group_by:
+        output_names = _lower_group_by(statement, scope, query)
+    else:
+        output_names = _lower_select(statement, scope, query)
+    _lower_order_limit(statement, query, output_names)
+    compiled = CompiledQuery(text, statement, query=query)
+    if statement.select_value:
+        compiled.select_value = True
+        compiled.value_column = output_names[0]
+    return compiled
+
+
+def _top_level_conjuncts(node: ast.ExprNode):
+    if isinstance(node, ast.AndExpr):
+        for operand in node.operands:
+            yield from _top_level_conjuncts(operand)
+    else:
+        yield node
+
+
+def _fingerprint(node: ast.ExprNode):
+    """A position-free structural key, for matching SELECT items to group keys."""
+    if isinstance(node, ast.LiteralExpr):
+        return ("lit", type(node.value).__name__, node.value)
+    if isinstance(node, ast.IdentRef):
+        return ("var", node.name)
+    if isinstance(node, ast.PathExpr):
+        return ("path", _fingerprint(node.base), node.steps)
+    if isinstance(node, ast.CallExpr):
+        return ("call", node.name.lower(), node.star,
+                tuple(_fingerprint(a) for a in node.args))
+    if isinstance(node, ast.CompareExpr):
+        return ("cmp", node.op, _fingerprint(node.lhs), _fingerprint(node.rhs))
+    if isinstance(node, (ast.AndExpr, ast.OrExpr)):
+        kind = "and" if isinstance(node, ast.AndExpr) else "or"
+        return (kind, tuple(_fingerprint(o) for o in node.operands))
+    if isinstance(node, ast.SomeExpr):
+        return ("some", node.item, _fingerprint(node.collection),
+                _fingerprint(node.predicate))
+    if isinstance(node, ast.ExistsExpr):
+        return ("exists", _fingerprint(node.collection))
+    if isinstance(node, ast.ArrayExpr):
+        return ("array", tuple(_fingerprint(i) for i in node.items))
+    if isinstance(node, ast.ObjectExpr):
+        return ("object", tuple((k, _fingerprint(v)) for k, v in node.pairs))
+    return ("other", id(node))  # pragma: no cover - all node kinds are covered
+
+
+def _aggregate_name(node: ast.ExprNode) -> Optional[str]:
+    """The lowercase aggregate function name when the node is a top-level call."""
+    if isinstance(node, ast.CallExpr) and node.name.lower() in AGGREGATE_FUNCTIONS:
+        return node.name.lower()
+    return None
+
+
+def _derived_name(node: ast.ExprNode) -> Optional[str]:
+    """The implicit output name SQL++ gives an unaliased expression."""
+    if isinstance(node, ast.IdentRef):
+        return node.name
+    if isinstance(node, ast.PathExpr):
+        for step in reversed(node.steps):
+            if step != "[*]":
+                return step
+    if isinstance(node, ast.CallExpr):
+        name = node.name.lower()
+        return "count" if (node.star and name == "count") else name
+    return None
+
+
+def _output_name(item: ast.SelectItem, index: int) -> str:
+    if item.alias:
+        return item.alias
+    derived = _derived_name(item.expression)
+    return derived if derived else f"${index + 1}"
+
+
+def _reject_duplicate_names(columns, statement: ast.SelectStatement) -> None:
+    seen = set()
+    for name, _ in columns:
+        if name in seen:
+            raise SqlppError(
+                f"duplicate output column `{name}` at {statement.where}; "
+                f"disambiguate with AS",
+                statement.line,
+                statement.column,
+            )
+        seen.add(name)
+
+
+def _bind_aggregate(
+    node: ast.CallExpr, scope: Scope
+) -> Tuple[str, Optional[Expression]]:
+    """One SELECT-clause aggregate call → (function, bound argument)."""
+    function = node.name.lower()
+    if function == "count":
+        if not node.star:
+            raise SqlppError(
+                f"only COUNT(*) is supported at {node.where} "
+                f"(COUNT(expr) is not implemented)",
+                node.line,
+                node.column,
+            )
+        return function, None
+    if node.star or len(node.args) != 1:
+        raise SqlppError(
+            f"{node.name.upper()} at {node.where} takes exactly one argument",
+            node.line,
+            node.column,
+        )
+    return function, bind_expression(node.args[0], scope)
+
+
+def _lower_select(
+    statement: ast.SelectStatement, scope: Scope, query: Query
+) -> List[str]:
+    """SELECT without GROUP BY: a projection or an aggregate-only query."""
+    aggregate_flags = [
+        _aggregate_name(item.expression) is not None
+        for item in statement.select_items
+    ]
+    if any(aggregate_flags):
+        if not all(aggregate_flags):
+            first_plain = statement.select_items[aggregate_flags.index(False)]
+            raise SqlppError(
+                f"cannot mix aggregates and plain expressions without GROUP BY "
+                f"(at {first_plain.where})",
+                first_plain.line,
+                first_plain.column,
+            )
+        aggregates = []
+        for index, item in enumerate(statement.select_items):
+            function, argument = _bind_aggregate(item.expression, scope)
+            name = item.alias or ("count" if function == "count" else function)
+            aggregates.append((name, function, argument))
+        _reject_duplicate_names([(n, None) for n, _, _ in aggregates], statement)
+        query.aggregate(aggregates)
+        return [name for name, _, _ in aggregates]
+    columns = []
+    for index, item in enumerate(statement.select_items):
+        name = _output_name(item, index)
+        columns.append((name, bind_expression(item.expression, scope)))
+    _reject_duplicate_names(columns, statement)
+    query.select(columns)
+    return [name for name, _ in columns]
+
+
+def _lower_group_by(
+    statement: ast.SelectStatement, scope: Scope, query: Query
+) -> List[str]:
+    """GROUP BY: keys from the GROUP BY clause, aggregates from SELECT."""
+    keys: List[Tuple[str, Expression]] = []
+    for key in statement.group_by:
+        name = key.alias or _derived_name(key.expression)
+        if not name:
+            raise SqlppError(
+                f"GROUP BY key at {key.where} needs an AS alias "
+                f"(no name can be derived from the expression)",
+                key.line,
+                key.column,
+            )
+        keys.append((name, bind_expression(key.expression, scope)))
+    key_names = [name for name, _ in keys]
+    _reject_duplicate_names(keys, statement)
+
+    key_fingerprints = {
+        _fingerprint(key.expression): name
+        for key, (name, _) in zip(statement.group_by, keys)
+    }
+    aggregates: List[Tuple[str, str, Optional[Expression]]] = []
+    selected: List[Tuple[str, str]] = []  # (output name, grouped-row source name)
+    for item in statement.select_items:
+        if _aggregate_name(item.expression) is not None:
+            function, argument = _bind_aggregate(item.expression, scope)
+            name = item.alias or ("count" if function == "count" else function)
+            aggregates.append((name, function, argument))
+            selected.append((name, name))
+        elif isinstance(item.expression, ast.IdentRef) and (
+            item.expression.name in key_names
+        ):
+            selected.append((item.alias or item.expression.name, item.expression.name))
+        elif _fingerprint(item.expression) in key_fingerprints:
+            # The item repeats a grouping expression (``SELECT t.title ...
+            # GROUP BY t.title``): it references that key's output column.
+            source = key_fingerprints[_fingerprint(item.expression)]
+            selected.append((item.alias or source, source))
+        else:
+            raise SqlppError(
+                f"under GROUP BY, SELECT items must be group keys or aggregates; "
+                f"the item at {item.where} is neither (group keys: "
+                f"{', '.join(key_names)})",
+                item.line,
+                item.column,
+            )
+    _reject_duplicate_names([(n, None) for n, _ in selected], statement)
+    query.group_by(key=keys, aggregates=aggregates)
+
+    # The grouped row is keys (in GROUP BY order) then aggregates; skipping
+    # the PROJECT is only transparent when the SELECT list is exactly that
+    # shape — same names, same order.
+    grouped_shape = key_names + [name for name, _, _ in aggregates]
+    renamed = any(name != source for name, source in selected)
+    if renamed or [source for _, source in selected] != grouped_shape:
+        # The SELECT list does not match the grouped row shape — project it.
+        from ..query.expressions import Var
+
+        query.select([(name, Var(source)) for name, source in selected])
+        return [name for name, _ in selected]
+    return key_names + [name for name, _, _ in aggregates]
+
+
+def _lower_order_limit(
+    statement: ast.SelectStatement, query: Query, output_names: List[str]
+) -> None:
+    if statement.order_by:
+        # SELECT VALUE still has one (derived or aliased) output column; the
+        # unwrap to bare values happens after the sort, so ordering by that
+        # name is fine and the unknown-column check below covers the rest.
+        for item in statement.order_by:
+            if item.name not in output_names:
+                raise SqlppError(
+                    f"ORDER BY references unknown output column `{item.name}` at "
+                    f"{item.where}; output columns: {', '.join(output_names)}",
+                    item.line,
+                    item.column,
+                )
+        # The engine sorts one key per (stable) ORDERBY operator: applying the
+        # minor keys first makes the leftmost written key the primary order.
+        for item in reversed(statement.order_by):
+            query.order_by(item.name, descending=item.descending)
+    if statement.limit is not None:
+        query.limit(statement.limit)

@@ -1,0 +1,404 @@
+"""Recursive-descent parser for the supported SQL++ subset.
+
+Grammar (see ``docs/QUERY_LANGUAGE.md`` for the prose version)::
+
+    statement   := SELECT ( VALUE expr | item ("," item)* )
+                   [ FROM ident AS ident clause* ]
+                   [ GROUP BY group_key ("," group_key)* ]
+                   [ ORDER BY order_item ("," order_item)* ]
+                   [ LIMIT INT ] [ ";" ]
+    item        := expr [ AS ident ]
+    clause      := UNNEST expr AS ident
+                 | LET ident "=" expr ("," ident "=" expr)*
+                 | WHERE expr
+    group_key   := expr [ AS ident ]
+    order_item  := ident [ ASC | DESC ]
+
+    expr        := and_expr ( OR and_expr )*
+    and_expr    := cmp_expr ( AND cmp_expr )*
+    cmp_expr    := SOME ident IN path_expr SATISFIES expr
+                 | EXISTS path_expr
+                 | path_expr [ cmp_op path_expr ]
+    path_expr   := primary ( "." name | "[" "*" "]" | "[" STRING "]" )*
+    primary     := literal | array | object | ident | call | "(" expr ")"
+
+Clauses may repeat and interleave (``WHERE`` before a later ``UNNEST`` is
+legal here, unlike AsterixDB) — the written order becomes the pipeline order,
+which keeps text plans structurally identical to hand-built ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..model.errors import SqlppError
+from . import ast
+from .lexer import Token, tokenize
+
+_COMPARE_OPS = {"=", "==", "!=", "<>", "<", "<=", ">", ">="}
+
+#: Keywords additionally accepted as *output-column names* (AS aliases and
+#: ORDER BY items).  Only words that can never begin the next clause in those
+#: positions are safe; ``t.value`` already derives the column name ``value``,
+#: so the same spelling must be addressable.
+_NAME_KEYWORDS = frozenset({"VALUE", "SOME", "IN", "SATISFIES", "EXISTS", "MISSING"})
+
+
+def parse(text: str) -> ast.SelectStatement:
+    """Parse one SQL++ SELECT statement into its AST.
+
+    Raises:
+        SqlppError: On any lexical or syntactic offence, carrying the 1-based
+            line/column of the unexpected token.
+    """
+    return _Parser(tokenize(text)).parse_statement()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing -----------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "EOF":
+            self.index += 1
+        return token
+
+    def error(self, message: str, token: Optional[Token] = None) -> SqlppError:
+        token = token or self.current
+        return SqlppError(
+            f"{message} at line {token.line} col {token.column}",
+            token.line,
+            token.column,
+        )
+
+    def at_keyword(self, *words: str) -> bool:
+        return self.current.kind == "KEYWORD" and self.current.value in words
+
+    def accept_keyword(self, *words: str) -> Optional[Token]:
+        if self.at_keyword(*words):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.accept_keyword(word)
+        if token is None:
+            raise self.error(f"expected {word}, found {self.current.describe()}")
+        return token
+
+    def at_punct(self, char: str) -> bool:
+        return self.current.kind == "PUNCT" and self.current.value == char
+
+    def accept_punct(self, char: str) -> Optional[Token]:
+        if self.at_punct(char):
+            return self.advance()
+        return None
+
+    def expect_punct(self, char: str) -> Token:
+        token = self.accept_punct(char)
+        if token is None:
+            raise self.error(f"expected {char!r}, found {self.current.describe()}")
+        return token
+
+    def expect_ident(self, what: str) -> Token:
+        if self.current.kind != "IDENT":
+            raise self.error(f"expected {what}, found {self.current.describe()}")
+        return self.advance()
+
+    def expect_name(self, what: str) -> Tuple[str, Token]:
+        """An output-column name: an identifier, or a safe keyword (lowercased)."""
+        token = self.current
+        if token.kind == "IDENT":
+            self.advance()
+            return token.value, token
+        if token.kind == "KEYWORD" and token.value in _NAME_KEYWORDS:
+            self.advance()
+            return str(token.value).lower(), token
+        raise self.error(f"expected {what}, found {token.describe()}")
+
+    # -- statement ---------------------------------------------------------------------
+    def parse_statement(self) -> ast.SelectStatement:
+        start = self.expect_keyword("SELECT")
+        select_value = self.accept_keyword("VALUE") is not None
+        items = [self.parse_select_item()]
+        if select_value and self.at_punct(","):
+            raise self.error("SELECT VALUE takes exactly one expression")
+        while self.accept_punct(","):
+            items.append(self.parse_select_item())
+        dataset = alias = None
+        pipeline: List[ast.PipelineClause] = []
+        if self.accept_keyword("FROM"):
+            dataset = self.expect_ident("a dataset name").value
+            self.expect_keyword("AS")
+            alias = self.expect_ident("an alias after AS").value
+            pipeline = self.parse_pipeline_clauses()
+        group_by = self.parse_group_by()
+        order_by = self.parse_order_by()
+        limit = self.parse_limit()
+        self.accept_punct(";")
+        if self.current.kind != "EOF":
+            raise self.error(f"unexpected {self.current.describe()} after statement end")
+        return ast.SelectStatement(
+            start.line,
+            start.column,
+            select_value=select_value,
+            select_items=tuple(items),
+            dataset=dataset,
+            alias=alias,
+            pipeline=tuple(pipeline),
+            group_by=group_by,
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def parse_select_item(self) -> ast.SelectItem:
+        token = self.current
+        expression = self.parse_expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias, _ = self.expect_name("an alias after AS")
+        return ast.SelectItem(token.line, token.column, expression, alias)
+
+    def parse_pipeline_clauses(self) -> List[ast.PipelineClause]:
+        clauses: List[ast.PipelineClause] = []
+        while True:
+            token = self.current
+            if self.accept_keyword("UNNEST"):
+                expression = self.parse_expression()
+                self.expect_keyword("AS")
+                alias_token = self.expect_ident("an alias after AS")
+                # The clause carries the alias position: binder errors about
+                # the alias (duplicates) should point at the alias itself.
+                clauses.append(
+                    ast.UnnestClause(
+                        alias_token.line, alias_token.column, expression, alias_token.value
+                    )
+                )
+            elif self.accept_keyword("LET"):
+                while True:
+                    name_token = self.expect_ident("a variable name after LET")
+                    equals = self.current
+                    if not (equals.kind == "OP" and equals.value in ("=", "==")):
+                        raise self.error("expected '=' in LET binding")
+                    self.advance()
+                    expression = self.parse_expression()
+                    clauses.append(
+                        ast.LetClause(
+                            name_token.line,
+                            name_token.column,
+                            name_token.value,
+                            expression,
+                        )
+                    )
+                    if not self.accept_punct(","):
+                        break
+            elif self.accept_keyword("WHERE"):
+                predicate = self.parse_expression()
+                clauses.append(ast.WhereClause(token.line, token.column, predicate))
+            else:
+                return clauses
+
+    def parse_group_by(self) -> Tuple[ast.GroupKey, ...]:
+        if not self.accept_keyword("GROUP"):
+            return ()
+        self.expect_keyword("BY")
+        keys = []
+        while True:
+            token = self.current
+            expression = self.parse_expression()
+            alias = None
+            if self.accept_keyword("AS"):
+                alias, _ = self.expect_name("an alias after AS")
+            keys.append(ast.GroupKey(token.line, token.column, expression, alias))
+            if not self.accept_punct(","):
+                return tuple(keys)
+
+    def parse_order_by(self) -> Tuple[ast.OrderItem, ...]:
+        if not self.accept_keyword("ORDER"):
+            return ()
+        self.expect_keyword("BY")
+        items = []
+        while True:
+            name, token = self.expect_name("an output column name in ORDER BY")
+            descending = False
+            if self.accept_keyword("DESC"):
+                descending = True
+            else:
+                self.accept_keyword("ASC")
+            items.append(ast.OrderItem(token.line, token.column, name, descending))
+            if not self.accept_punct(","):
+                return tuple(items)
+
+    def parse_limit(self) -> Optional[int]:
+        if not self.accept_keyword("LIMIT"):
+            return None
+        token = self.current
+        if token.kind != "INT" or token.value < 0:
+            raise self.error("expected a non-negative integer after LIMIT")
+        self.advance()
+        return token.value
+
+    # -- expressions -------------------------------------------------------------------
+    def parse_expression(self) -> ast.ExprNode:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.ExprNode:
+        first = self.parse_and()
+        if not self.at_keyword("OR"):
+            return first
+        operands = [first]
+        while self.accept_keyword("OR"):
+            operands.append(self.parse_and())
+        return ast.OrExpr(first.line, first.column, tuple(operands))
+
+    def parse_and(self) -> ast.ExprNode:
+        first = self.parse_comparison()
+        if not self.at_keyword("AND"):
+            return first
+        operands = [first]
+        while self.accept_keyword("AND"):
+            operands.append(self.parse_comparison())
+        return ast.AndExpr(first.line, first.column, tuple(operands))
+
+    def parse_comparison(self) -> ast.ExprNode:
+        token = self.current
+        if self.accept_keyword("SOME"):
+            item = self.expect_ident("an item variable after SOME").value
+            self.expect_keyword("IN")
+            collection = self.parse_path_expression()
+            self.expect_keyword("SATISFIES")
+            predicate = self.parse_expression()
+            return ast.SomeExpr(token.line, token.column, item, collection, predicate)
+        if self.accept_keyword("EXISTS"):
+            collection = self.parse_path_expression()
+            return ast.ExistsExpr(token.line, token.column, collection)
+        if self.at_keyword("NOT"):
+            raise self.error("NOT is not supported; rewrite with the inverse comparison")
+        left = self.parse_path_expression()
+        if self.current.kind == "OP" and self.current.value in _COMPARE_OPS:
+            op = self.advance().value
+            right = self.parse_path_expression()
+            return ast.CompareExpr(left.line, left.column, op, left, right)
+        return left
+
+    def parse_path_expression(self) -> ast.ExprNode:
+        expression = self.parse_primary()
+        steps: List[str] = []
+        while True:
+            if self.accept_punct("."):
+                token = self.current
+                # Keywords are legal as field names after a dot (``t.value``).
+                if token.kind in ("IDENT", "KEYWORD"):
+                    self.advance()
+                    steps.append(
+                        str(token.value).lower()
+                        if token.kind == "KEYWORD"
+                        else token.value
+                    )
+                else:
+                    raise self.error("expected a field name after '.'")
+            elif self.at_punct("["):
+                if self._bracket_starts_step(expression, steps):
+                    self.advance()
+                    if self.accept_punct("*"):
+                        self.expect_punct("]")
+                        steps.append("[*]")
+                    elif self.current.kind == "STRING":
+                        steps.append(self.advance().value)
+                        self.expect_punct("]")
+                    elif self.current.kind == "INT":
+                        raise self.error(
+                            "numeric array indexing is not supported (use [*])"
+                        )
+                    else:
+                        raise self.error("expected '*' or a string inside '[...]'")
+                else:
+                    break
+            else:
+                break
+        if not steps:
+            return expression
+        return ast.PathExpr(
+            expression.line, expression.column, expression, tuple(steps)
+        )
+
+    def _bracket_starts_step(self, expression, steps) -> bool:
+        """A '[' continues a path only after a navigable expression.
+
+        After a fresh literal (``SELECT 1 [ ...``) a bracket is a syntax
+        error downstream, not a path step; after idents, paths, calls, and
+        parenthesized expressions it is navigation.
+        """
+        if steps:
+            return True
+        return isinstance(
+            expression, (ast.IdentRef, ast.PathExpr, ast.CallExpr, ast.ObjectExpr)
+        )
+
+    def parse_primary(self) -> ast.ExprNode:
+        token = self.current
+        if token.kind in ("INT", "FLOAT", "STRING"):
+            self.advance()
+            return ast.LiteralExpr(token.line, token.column, token.value)
+        if self.accept_keyword("TRUE"):
+            return ast.LiteralExpr(token.line, token.column, True)
+        if self.accept_keyword("FALSE"):
+            return ast.LiteralExpr(token.line, token.column, False)
+        if self.accept_keyword("NULL") or self.accept_keyword("MISSING"):
+            return ast.LiteralExpr(token.line, token.column, None)
+        if self.accept_punct("("):
+            expression = self.parse_expression()
+            self.expect_punct(")")
+            return expression
+        if self.accept_punct("["):
+            items = []
+            if not self.at_punct("]"):
+                items.append(self.parse_expression())
+                while self.accept_punct(","):
+                    items.append(self.parse_expression())
+            self.expect_punct("]")
+            return ast.ArrayExpr(token.line, token.column, tuple(items))
+        if self.accept_punct("{"):
+            pairs = []
+            if not self.at_punct("}"):
+                pairs.append(self.parse_object_pair())
+                while self.accept_punct(","):
+                    pairs.append(self.parse_object_pair())
+            self.expect_punct("}")
+            return ast.ObjectExpr(token.line, token.column, tuple(pairs))
+        if token.kind == "IDENT":
+            self.advance()
+            if self.accept_punct("("):
+                return self.parse_call(token)
+            return ast.IdentRef(token.line, token.column, token.value)
+        raise self.error(f"expected an expression, found {token.describe()}")
+
+    def parse_object_pair(self) -> Tuple[str, ast.ExprNode]:
+        token = self.current
+        if token.kind not in ("STRING", "IDENT"):
+            raise self.error("expected an object key (string or identifier)")
+        self.advance()
+        self.expect_punct(":")
+        return (str(token.value), self.parse_expression())
+
+    def parse_call(self, name_token: Token) -> ast.CallExpr:
+        if self.accept_punct("*"):
+            self.expect_punct(")")
+            return ast.CallExpr(
+                name_token.line, name_token.column, name_token.value, (), star=True
+            )
+        args = []
+        if not self.at_punct(")"):
+            args.append(self.parse_expression())
+            while self.accept_punct(","):
+                args.append(self.parse_expression())
+        self.expect_punct(")")
+        return ast.CallExpr(
+            name_token.line, name_token.column, name_token.value, tuple(args)
+        )

@@ -296,6 +296,61 @@ class Datastore:
         if dataset.primary_key_index is not None:
             dataset.primary_key_index.destroy()
 
+    # -- SQL++ ---------------------------------------------------------------------------
+    def query(
+        self,
+        text: str,
+        executor: str = "codegen",
+        pushdown: bool = True,
+        optimize: Optional[bool] = None,
+    ) -> list:
+        """Run a SQL++ statement against this store and return its rows.
+
+        The text is parsed, bound, and lowered onto the same plan nodes the
+        fluent :class:`~repro.query.plan.Query` builder produces, so the
+        cost-based optimizer, scan pushdown, and both executors apply
+        unchanged (see :mod:`repro.sqlpp` and ``docs/QUERY_LANGUAGE.md``).
+
+        Args:
+            text: One SQL++ SELECT statement (a trailing ``;`` is optional).
+            executor: ``"codegen"`` (default) or ``"interpreted"``.
+            pushdown: Disable to keep the assemble-then-filter baseline.
+            optimize: Skip/force cost-based access-path selection
+                (default: follows ``pushdown``).
+
+        Returns:
+            Result rows as dicts — or bare values for ``SELECT VALUE``.
+
+        Example:
+            >>> from repro.store import Datastore, StoreConfig
+            >>> store = Datastore(StoreConfig(partitions_per_node=1))
+            >>> d = store.create_dataset("d", layout="amax")
+            >>> _ = d.insert_many([{"id": 1, "a": 2}, {"id": 2, "a": 5}])
+            >>> store.query("SELECT COUNT(*) FROM d AS t WHERE t.a > 3;")
+            [{'count': 1}]
+        """
+        from ..sqlpp import compile_query
+
+        return compile_query(text).execute(
+            self, executor=executor, pushdown=pushdown, optimize=optimize
+        )
+
+    def explain(self, text: str, pushdown: bool = True, analyze: bool = False) -> str:
+        """Explain a SQL++ statement: plan, chosen access path, alternatives.
+
+        Args:
+            text: One SQL++ SELECT statement.
+            pushdown: Attach the scan-pushdown spec before explaining.
+            analyze: Also execute every candidate access path and report
+                estimated vs. actual row counts.
+
+        Returns:
+            A multi-line plan rendering (see :meth:`repro.query.plan.Query.explain`).
+        """
+        from ..sqlpp import compile_query
+
+        return compile_query(text).explain(self, pushdown=pushdown, analyze=analyze)
+
     # -- statistics ----------------------------------------------------------------------
     @property
     def io_stats(self) -> IOStats:

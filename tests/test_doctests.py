@@ -19,6 +19,8 @@ MODULES_WITH_EXAMPLES = [
     "repro.query.plan",
     "repro.query.expressions",
     "repro.index.secondary",
+    "repro.sqlpp",
+    "repro.sqlpp.lower",
 ]
 
 #: Modules checked opportunistically (examples run if present).
@@ -29,6 +31,11 @@ MODULES_CHECKED = [
     "repro.query.executor",
     "repro.query.codegen",
     "repro.index",
+    "repro.sqlpp.lexer",
+    "repro.sqlpp.parser",
+    "repro.sqlpp.binder",
+    "repro.store.datastore",
+    "repro.shell",
 ]
 
 
