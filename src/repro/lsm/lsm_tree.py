@@ -125,6 +125,35 @@ class TreeSnapshot:
             cursors.append(component.cursor(fields, pushdown))
         return cursors
 
+    def point_lookup(self, key, fields: Optional[Sequence[str]] = None) -> Optional[dict]:
+        """Newest version of ``key`` *as of the pin* (None when absent/deleted).
+
+        The same newest-first resolution as :meth:`LSMTree.point_lookup`, but
+        against the pinned sources only — inserts, rotations, flushes, and
+        merges that happened after the pin are invisible.  This is the read
+        path of multi-statement transactions (see :mod:`repro.store.txn`).
+        """
+        import bisect
+
+        for source in self.memtable_sources:
+            if isinstance(source, list):
+                # Materialized (key, antimatter, document) entries in key order.
+                index = bisect.bisect_left(source, (key,))
+                if index < len(source) and source[index][0] == key:
+                    _, antimatter, document = source[index]
+                    return None if antimatter else document
+            else:  # FrozenMemtable
+                entry = source.get(key)
+                if entry is not None:
+                    antimatter, document = entry
+                    return None if antimatter else document
+        for component in self.components:
+            found = component.point_lookup(key, fields)
+            if found is not None:
+                antimatter, document = found
+                return None if antimatter else document
+        return None
+
     def close(self) -> None:
         """Release the component pins (idempotent)."""
         if not self._closed:
@@ -244,7 +273,12 @@ class LSMTree:
         )
 
     def apply_replayed(self, key, document: Optional[dict], antimatter: bool, lsn: int) -> None:
-        """Apply one recovered WAL record to the memtable without re-logging it."""
+        """Apply one already-logged operation without re-logging it.
+
+        Two callers: WAL replay during recovery, and transaction commit
+        (which logged all of its write records plus a commit record before
+        applying any of them).
+        """
         with self._lock:
             if antimatter:
                 self.memtable.delete(key)

@@ -43,11 +43,21 @@ from .keys import decode_key, encode_key
 #: Operation tags inside a WAL record.
 OP_INSERT = 0
 OP_DELETE = 1
+OP_COMMIT = 2
+
+#: ``txn_id`` of records logged outside any multi-statement transaction.
+AUTO_COMMIT = 0
 
 
 @dataclass
 class WALRecord:
-    """One logged operation: an insert/upsert or a delete (anti-matter)."""
+    """One logged operation: an insert/upsert or a delete (anti-matter).
+
+    ``txn_id`` is :data:`AUTO_COMMIT` (0) for single-document operations,
+    which are applied unconditionally on replay; a non-zero id marks the
+    record as part of a multi-statement transaction, applied on replay only
+    when a matching :class:`CommitRecord` follows it in the log.
+    """
 
     lsn: int
     dataset: str
@@ -55,18 +65,39 @@ class WALRecord:
     antimatter: bool
     key: object
     document: Optional[dict] = None
+    txn_id: int = AUTO_COMMIT
 
 
-def encode_wal_record(record: WALRecord) -> bytes:
+@dataclass
+class CommitRecord:
+    """The atomic commit point of a multi-statement transaction.
+
+    Appended strictly *after* every one of the transaction's write records
+    (each log append flushes before returning), so the presence of this
+    record guarantees all ``write_count`` writes are durable too — replay is
+    all-or-nothing: either the commit record survived the crash and every
+    write is applied, or it did not and every write is skipped.
+    """
+
+    lsn: int
+    txn_id: int
+    write_count: int
+
+
+def encode_wal_record(record) -> bytes:
     """Serialize one WAL record (self-contained, no shared dictionary state).
 
     Layout (all integers uvarint unless noted)::
 
         lsn
-        dataset-name length + UTF-8 bytes
-        partition id
-        op byte (0 = insert, 1 = delete)
-        primary key (repro.lsm.keys codec)
+        txn id (0 = auto-commit)
+        op byte (0 = insert, 1 = delete, 2 = commit)
+        commits only:
+          write count
+        inserts and deletes:
+          dataset-name length + UTF-8 bytes
+          partition id
+          primary key (repro.lsm.keys codec)
         inserts only:
           field-name count, then per name: length + UTF-8 bytes
           VB document length + VB document bytes
@@ -78,11 +109,16 @@ def encode_wal_record(record: WALRecord) -> bytes:
     """
     out = bytearray()
     encode_uvarint(record.lsn, out)
+    encode_uvarint(record.txn_id, out)
+    if isinstance(record, CommitRecord):
+        out.append(OP_COMMIT)
+        encode_uvarint(record.write_count, out)
+        return bytes(out)
+    out.append(OP_DELETE if record.antimatter else OP_INSERT)
     name = record.dataset.encode("utf-8")
     encode_uvarint(len(name), out)
     out.extend(name)
     encode_uvarint(record.partition_id, out)
-    out.append(OP_DELETE if record.antimatter else OP_INSERT)
     encode_key(record.key, out)
     if not record.antimatter:
         dictionary = FieldNameDictionary()
@@ -98,20 +134,24 @@ def encode_wal_record(record: WALRecord) -> bytes:
     return bytes(out)
 
 
-def decode_wal_record(data: bytes) -> WALRecord:
-    """Inverse of :func:`encode_wal_record`."""
+def decode_wal_record(data: bytes):
+    """Inverse of :func:`encode_wal_record` (a WALRecord or a CommitRecord)."""
     lsn, offset = decode_uvarint(data, 0)
+    txn_id, offset = decode_uvarint(data, offset)
+    op = data[offset]
+    offset += 1
+    if op == OP_COMMIT:
+        write_count, offset = decode_uvarint(data, offset)
+        return CommitRecord(lsn, txn_id, write_count)
+    if op not in (OP_INSERT, OP_DELETE):
+        raise StorageError(f"unknown WAL operation tag {op}")
     length, offset = decode_uvarint(data, offset)
     dataset = data[offset:offset + length].decode("utf-8")
     offset += length
     partition_id, offset = decode_uvarint(data, offset)
-    op = data[offset]
-    offset += 1
     key, offset = decode_key(data, offset)
     if op == OP_DELETE:
-        return WALRecord(lsn, dataset, partition_id, True, key)
-    if op != OP_INSERT:
-        raise StorageError(f"unknown WAL operation tag {op}")
+        return WALRecord(lsn, dataset, partition_id, True, key, txn_id=txn_id)
     name_count, offset = decode_uvarint(data, offset)
     dictionary = FieldNameDictionary()
     for _ in range(name_count):
@@ -120,7 +160,7 @@ def decode_wal_record(data: bytes) -> WALRecord:
         offset += length
     length, offset = decode_uvarint(data, offset)
     document = decode_document(data[offset:offset + length], dictionary)
-    return WALRecord(lsn, dataset, partition_id, False, key, document)
+    return WALRecord(lsn, dataset, partition_id, False, key, document, txn_id=txn_id)
 
 
 @dataclass
@@ -182,13 +222,32 @@ class TransactionLog:
         key,
         document: Optional[dict],
         antimatter: bool,
+        txn_id: int = AUTO_COMMIT,
     ) -> int:
         """Serialize and append one operation; returns its LSN."""
         with self._lock:
             lsn = self._allocate_lsn()
             payload = encode_wal_record(
-                WALRecord(lsn, dataset, partition_id, antimatter, key, document)
+                WALRecord(
+                    lsn, dataset, partition_id, antimatter, key, document,
+                    txn_id=txn_id,
+                )
             )
+            self.append(len(payload))
+            if self.log_file is not None:
+                self.log_file.append_record(payload)
+            return lsn
+
+    def log_commit(self, txn_id: int, write_count: int) -> int:
+        """Append a transaction's atomic commit record; returns its LSN.
+
+        Called strictly after every one of the transaction's write records
+        was appended (and therefore flushed): the commit record's durability
+        implies the durability of everything it commits.
+        """
+        with self._lock:
+            lsn = self._allocate_lsn()
+            payload = encode_wal_record(CommitRecord(lsn, txn_id, write_count))
             self.append(len(payload))
             if self.log_file is not None:
                 self.log_file.append_record(payload)
@@ -252,6 +311,26 @@ class LogManager:
         """Ensure future LSNs exceed everything seen before a restart."""
         with self._lsn_lock:
             self._next_lsn = max(self._next_lsn, minimum_next)
+
+    def allocate_txn_id(self) -> int:
+        """A transaction id drawn from the LSN space.
+
+        Recovery advances the LSN counter past every persisted record, so an
+        id allocated after a restart can never collide with the id of a
+        transaction whose uncommitted write records survived a crash — a
+        reused id would make replay resurrect those orphaned writes.
+        """
+        return self._allocate_lsn()
+
+    def log_commit_record(self, txn_id: int, write_count: int) -> int:
+        """Append a transaction's commit record (to node 0's log).
+
+        The transaction's write records may be spread across several node
+        logs; every append flushes before returning, so by the time this
+        record is durable all of them are, and replay (which merges the node
+        logs in LSN order) sees the commit record last.
+        """
+        return self.logs[0].log_commit(txn_id, write_count)
 
     # -- routing -------------------------------------------------------------------
     def log_for_partition(self, partition_id: int) -> TransactionLog:

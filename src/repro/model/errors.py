@@ -72,3 +72,23 @@ class CodegenError(QueryError):
 
 class DatasetError(ReproError):
     """Raised when a dataset (collection) is missing or misconfigured."""
+
+
+class TransactionError(ReproError):
+    """Raised when a transaction is used in an invalid lifecycle state."""
+
+
+class TransactionConflictError(TransactionError):
+    """Raised at commit when first-write-wins validation fails.
+
+    Another transaction (or an auto-committed single-document write)
+    committed a version of one of this transaction's written keys after this
+    transaction pinned its snapshot; the transaction is aborted, nothing was
+    applied, and the caller may retry on a fresh snapshot.  ``dataset`` and
+    ``key`` identify the first conflicting write found.
+    """
+
+    def __init__(self, message: str, dataset: str = "", key: object = None) -> None:
+        super().__init__(message)
+        self.dataset = dataset
+        self.key = key

@@ -1,8 +1,19 @@
 """Interactive SQL++ shell: ``python -m repro.shell``.
 
 A small psql-style REPL over a :class:`~repro.store.datastore.Datastore`.
-Statements may span multiple lines and end with ``;``; backslash commands
-control the session:
+Statements may span multiple lines and end with ``;``.  Besides SELECT, the
+shell speaks DML and transaction control::
+
+    BEGIN;                                   -- open a transaction
+    INSERT INTO accounts {"id": 7, "b": 10}; -- buffered inside the txn
+    DELETE FROM accounts WHERE id = 3;
+    COMMIT;                                  -- atomic; ROLLBACK discards
+
+Outside a transaction, INSERT/DELETE auto-commit per statement.  SELECT
+always reads the latest committed state — it does *not* see the open
+transaction's buffered writes (the engine's transactional reads are
+key-based; see ``docs/ARCHITECTURE.md``).  Backslash commands control the
+session:
 
 ==============  ========================================================
 ``\\help``       Show the command summary.
@@ -127,6 +138,8 @@ class Shell:
         self.show_explain = False
         self.show_timing = False
         self.executor = "codegen"
+        #: The session's open transaction (None between BEGIN/COMMIT pairs).
+        self.txn = None
 
     # -- output ------------------------------------------------------------------------
     def print(self, text: str = "") -> None:
@@ -149,7 +162,9 @@ class Shell:
                 "\\timing       toggle query timing (currently "
                 f"{'on' if self.show_timing else 'off'})\n"
                 "\\q            quit\n"
-                "Statements end with ';' and may span lines."
+                "Statements end with ';' and may span lines.\n"
+                "BEGIN; ... COMMIT; groups INSERT/DELETE statements into an\n"
+                "atomic transaction (ROLLBACK discards; quitting rolls back)."
             )
         elif command == "\\d":
             if not self.store.datasets:
@@ -168,28 +183,138 @@ class Shell:
         return None
 
     # -- statements --------------------------------------------------------------------
-    def run_statement(self, text: str) -> bool:
-        """Compile and run one statement; returns False on error in batch mode."""
-        from .sqlpp import compile_query
+    def execute_statement(self, text: str):
+        """Parse and execute one statement of any kind.
 
+        Returns the SELECT result rows (a list), or a status string for
+        transaction-control and DML statements.  Raises
+        :class:`~repro.model.errors.ReproError` subclasses on failure —
+        transaction misuse (nested BEGIN, COMMIT/ROLLBACK outside a
+        transaction) raises :class:`SqlppError` with the statement's exact
+        line/column, in the same style as parse and bind errors.
+        """
+        from .model.errors import SqlppError
+        from .sqlpp import (
+            BeginStatement,
+            CommitStatement,
+            DeleteStatement,
+            InsertStatement,
+            RollbackStatement,
+            compile_statement,
+            constant_value,
+            parse_any,
+        )
+
+        statement = parse_any(text)
+        if isinstance(statement, BeginStatement):
+            if self.txn is not None:
+                raise SqlppError(
+                    "nested BEGIN: a transaction is already open (COMMIT or "
+                    f"ROLLBACK it first) at {statement.where}",
+                    statement.line,
+                    statement.column,
+                )
+            self.txn = self.store.begin()
+            return f"BEGIN (transaction #{self.txn.id})"
+        if isinstance(statement, CommitStatement):
+            if self.txn is None:
+                raise SqlppError(
+                    f"COMMIT outside a transaction at {statement.where}",
+                    statement.line,
+                    statement.column,
+                )
+            txn, self.txn = self.txn, None
+            sequence = txn.commit()  # TransactionConflictError propagates
+            if sequence is None:
+                return "COMMIT (read-only)"
+            return f"COMMIT (sequence {sequence})"
+        if isinstance(statement, RollbackStatement):
+            if self.txn is None:
+                raise SqlppError(
+                    f"ROLLBACK outside a transaction at {statement.where}",
+                    statement.line,
+                    statement.column,
+                )
+            txn, self.txn = self.txn, None
+            txn.abort()
+            return "ROLLBACK"
+        if isinstance(statement, InsertStatement):
+            value = constant_value(statement.documents)
+            documents = value if isinstance(value, list) else [value]
+            if not documents or not all(
+                isinstance(document, dict) for document in documents
+            ):
+                raise SqlppError(
+                    "INSERT expects an object literal or a non-empty array of "
+                    f"objects at {statement.documents.where}",
+                    statement.documents.line,
+                    statement.documents.column,
+                )
+            if self.txn is not None:
+                for document in documents:
+                    self.txn.insert(statement.dataset, document)
+                return f"INSERT {len(documents)} (buffered in transaction)"
+            dataset = self.store.dataset(statement.dataset)
+            dataset.insert_many(documents)
+            return f"INSERT {len(documents)}"
+        if isinstance(statement, DeleteStatement):
+            dataset = self.store.dataset(statement.dataset)
+            if statement.key_field != dataset.primary_key_field:
+                raise SqlppError(
+                    f"DELETE key field `{statement.key_field}` is not the "
+                    f"primary key `{dataset.primary_key_field}` of dataset "
+                    f"{statement.dataset!r} at {statement.where}",
+                    statement.line,
+                    statement.column,
+                )
+            key = constant_value(statement.key)
+            if self.txn is not None:
+                self.txn.delete(statement.dataset, key)
+                return "DELETE 1 (buffered in transaction)"
+            dataset.delete(key)
+            return "DELETE 1"
+        compiled = compile_statement(statement)
+        if self.show_explain and compiled.query is not None:
+            self.print(compiled.explain(self.store))
+        return compiled.execute(self.store, executor=self.executor)
+
+    def run_statement(self, text: str) -> bool:
+        """Execute and render one statement; returns False on error in batch mode."""
         try:
-            compiled = compile_query(text)
-            if self.show_explain and compiled.query is not None:
-                self.print(compiled.explain(self.store))
             start = time.perf_counter()
-            rows = compiled.execute(self.store, executor=self.executor)
+            result = self.execute_statement(text)
             elapsed = time.perf_counter() - start
         except ReproError as error:
             self.print_error(str(error))
             return not self.batch
-        self.print(render_result_table(rows))
+        if isinstance(result, list):
+            self.print(render_result_table(result))
+        else:
+            self.print(result)
         if self.show_timing:
             self.print(f"Time: {elapsed * 1000:.2f} ms")
         return True
 
     # -- the loop ----------------------------------------------------------------------
     def run(self, stream) -> int:
-        """Drive the shell over ``stream``; returns the process exit code."""
+        """Drive the shell over ``stream``; returns the process exit code.
+
+        A transaction still open when the session ends is rolled back — its
+        buffered writes were never applied, so ending the session without a
+        COMMIT is equivalent to a ROLLBACK.
+        """
+        try:
+            return self._run_loop(stream)
+        finally:
+            if self.txn is not None:
+                txn, self.txn = self.txn, None
+                txn.abort()
+                self.print(
+                    f"rolled back open transaction #{txn.id} (session ended "
+                    "without COMMIT)"
+                )
+
+    def _run_loop(self, stream) -> int:
         interactive = not self.batch
         if interactive:
             self.print(

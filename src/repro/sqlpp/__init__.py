@@ -34,22 +34,38 @@ Example:
 """
 
 from ..model.errors import SqlppError, UnknownFunctionError
-from .ast import SelectStatement
-from .binder import Scope, bind_expression
+from .ast import (
+    BeginStatement,
+    CommitStatement,
+    DeleteStatement,
+    InsertStatement,
+    RollbackStatement,
+    SelectStatement,
+    Statement,
+)
+from .binder import Scope, bind_expression, constant_value
 from .lexer import Token, tokenize
 from .lower import CompiledQuery, compile_query, compile_statement
-from .parser import parse
+from .parser import parse, parse_any
 
 __all__ = [
+    "BeginStatement",
+    "CommitStatement",
     "CompiledQuery",
+    "DeleteStatement",
+    "InsertStatement",
+    "RollbackStatement",
     "Scope",
     "SelectStatement",
     "SqlppError",
+    "Statement",
     "Token",
     "UnknownFunctionError",
     "bind_expression",
     "compile_query",
     "compile_statement",
+    "constant_value",
     "parse",
+    "parse_any",
     "tokenize",
 ]

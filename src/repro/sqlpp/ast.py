@@ -190,3 +190,58 @@ class SelectStatement(Node):
     group_by: Tuple[GroupKey, ...] = ()
     order_by: Tuple[OrderItem, ...] = ()
     limit: Optional[int] = None
+
+
+# -- transaction and DML statements ------------------------------------------------------
+#
+# BEGIN/COMMIT/ROLLBACK/INSERT/DELETE are *not* lexer keywords: promoting
+# them would steal those spellings from field paths (``t.delete`` is a legal
+# path today).  The parser recognizes them as the leading identifier of a
+# statement instead, so expressions are untouched.
+
+
+@dataclass(frozen=True)
+class BeginStatement(Node):
+    """``BEGIN [TRANSACTION];`` — open a multi-statement transaction."""
+
+
+@dataclass(frozen=True)
+class CommitStatement(Node):
+    """``COMMIT;`` — validate and atomically apply the open transaction."""
+
+
+@dataclass(frozen=True)
+class RollbackStatement(Node):
+    """``ROLLBACK;`` — abort the open transaction, discarding its writes."""
+
+
+@dataclass(frozen=True)
+class InsertStatement(Node):
+    """``INSERT INTO dataset <object-or-array-literal>;``.
+
+    ``documents`` is the unevaluated literal (an :class:`ObjectExpr`, or an
+    :class:`ArrayExpr` of objects); executors fold it with the binder's
+    constant evaluator so non-constant elements fail with exact positions.
+    """
+
+    dataset: str
+    documents: ExprNode
+
+
+@dataclass(frozen=True)
+class DeleteStatement(Node):
+    """``DELETE FROM dataset WHERE <field> = <literal>;`` (primary-key delete)."""
+
+    dataset: str
+    key_field: str
+    key: ExprNode
+
+
+Statement = Union[
+    SelectStatement,
+    BeginStatement,
+    CommitStatement,
+    RollbackStatement,
+    InsertStatement,
+    DeleteStatement,
+]

@@ -146,6 +146,15 @@ def _bind_call(node: ast.CallExpr, scope: Scope) -> Expression:
     return Call(name, *[bind_expression(argument, scope) for argument in node.args])
 
 
+def constant_value(node: ast.ExprNode):
+    """Fold a constant literal tree to its Python value (public surface).
+
+    Used by DML execution (INSERT documents, DELETE keys) in the shell:
+    non-constant elements raise :class:`SqlppError` at their exact position.
+    """
+    return _constant_value(node)
+
+
 def _constant_value(node: ast.ExprNode):
     """Fold a constant literal tree (arrays/objects) to its Python value."""
     if isinstance(node, ast.LiteralExpr):

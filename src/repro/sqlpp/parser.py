@@ -54,6 +54,27 @@ def parse(text: str) -> ast.SelectStatement:
     return _Parser(tokenize(text)).parse_statement()
 
 
+#: Leading identifiers (not keywords — see the note in repro.sqlpp.ast) that
+#: start a transaction or DML statement in :func:`parse_any`.
+_STATEMENT_WORDS = frozenset({"BEGIN", "COMMIT", "ROLLBACK", "INSERT", "DELETE"})
+
+
+def parse_any(text: str) -> "ast.Statement":
+    """Parse one statement of any supported kind (the shell's entry point).
+
+    SELECT statements go through :func:`parse` unchanged; BEGIN / COMMIT /
+    ROLLBACK / INSERT / DELETE are recognized from their leading identifier.
+
+    Raises:
+        SqlppError: On any lexical or syntactic offence, with position.
+    """
+    parser = _Parser(tokenize(text))
+    token = parser.current
+    if token.kind == "IDENT" and token.value.upper() in _STATEMENT_WORDS:
+        return parser.parse_command_statement()
+    return parser.parse_statement()
+
+
 class _Parser:
     def __init__(self, tokens: List[Token]) -> None:
         self.tokens = tokens
@@ -111,6 +132,22 @@ class _Parser:
             raise self.error(f"expected {what}, found {self.current.describe()}")
         return self.advance()
 
+    def at_word(self, word: str) -> bool:
+        """An identifier compared case-insensitively (statement words like
+        INTO are not lexer keywords; see the note in repro.sqlpp.ast)."""
+        return self.current.kind == "IDENT" and self.current.value.upper() == word
+
+    def accept_word(self, word: str) -> Optional[Token]:
+        if self.at_word(word):
+            return self.advance()
+        return None
+
+    def expect_word(self, word: str) -> Token:
+        token = self.accept_word(word)
+        if token is None:
+            raise self.error(f"expected {word}, found {self.current.describe()}")
+        return token
+
     def expect_name(self, what: str) -> Tuple[str, Token]:
         """An output-column name: an identifier, or a safe keyword (lowercased)."""
         token = self.current
@@ -156,6 +193,53 @@ class _Parser:
             order_by=order_by,
             limit=limit,
         )
+
+    # -- transaction and DML statements -------------------------------------------------
+    def parse_command_statement(self) -> "ast.Statement":
+        """BEGIN/COMMIT/ROLLBACK/INSERT/DELETE (dispatched by parse_any)."""
+        start = self.advance()
+        word = start.value.upper()
+        if word == "BEGIN":
+            self.accept_word("TRANSACTION")
+            statement: ast.Statement = ast.BeginStatement(start.line, start.column)
+        elif word == "COMMIT":
+            statement = ast.CommitStatement(start.line, start.column)
+        elif word == "ROLLBACK":
+            statement = ast.RollbackStatement(start.line, start.column)
+        elif word == "INSERT":
+            statement = self.parse_insert(start)
+        else:
+            statement = self.parse_delete(start)
+        self.accept_punct(";")
+        if self.current.kind != "EOF":
+            raise self.error(f"unexpected {self.current.describe()} after statement end")
+        return statement
+
+    def parse_insert(self, start: Token) -> ast.InsertStatement:
+        self.expect_word("INTO")
+        dataset = self.expect_ident("a dataset name after INSERT INTO").value
+        if not (self.at_punct("{") or self.at_punct("[")):
+            raise self.error(
+                "expected an object literal (or an array of objects) to INSERT,"
+                f" found {self.current.describe()}"
+            )
+        documents = self.parse_expression()
+        return ast.InsertStatement(start.line, start.column, dataset, documents)
+
+    def parse_delete(self, start: Token) -> ast.DeleteStatement:
+        self.expect_keyword("FROM")
+        dataset = self.expect_ident("a dataset name after DELETE FROM").value
+        self.expect_keyword("WHERE")
+        key_field = self.expect_ident("the primary-key field in DELETE ... WHERE").value
+        operator = self.current
+        if not (operator.kind == "OP" and operator.value in ("=", "==")):
+            raise self.error(
+                "expected '=' comparing the primary key in DELETE ... WHERE,"
+                f" found {operator.describe()}"
+            )
+        self.advance()
+        key = self.parse_expression()
+        return ast.DeleteStatement(start.line, start.column, dataset, key_field, key)
 
     def parse_select_item(self) -> ast.SelectItem:
         token = self.current

@@ -1,7 +1,8 @@
-"""The datastore façade: configuration, datasets, and the store itself."""
+"""The datastore façade: configuration, datasets, transactions, and the store."""
 
 from .config import StoreConfig
 from .dataset import Dataset
 from .datastore import Datastore
+from .txn import CommitTable, Transaction
 
-__all__ = ["Dataset", "Datastore", "StoreConfig"]
+__all__ = ["CommitTable", "Dataset", "Datastore", "StoreConfig", "Transaction"]

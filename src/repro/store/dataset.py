@@ -99,6 +99,11 @@ class Dataset:
             )
         self.secondary_indexes: Dict[str, SecondaryIndex] = {}
         self.primary_key_index: Optional[PrimaryKeyIndex] = None
+        #: The datastore's :class:`~repro.store.txn.CommitTable` (set by the
+        #: owning Datastore); single-document writes stamp their key here so
+        #: open transactions can detect first-write-wins conflicts against
+        #: them.  None for standalone datasets — transactions need a store.
+        self.commit_table = None
         self.records_ingested = 0
         self.point_lookups_performed = 0
         #: Highest LSN the persisted ``records_ingested`` already covers
@@ -256,6 +261,11 @@ class Dataset:
                 partition.insert(key, document)
         else:
             partition.insert(key, document)
+        if self.commit_table is not None:
+            # Stamp strictly after the write is visible: a transaction whose
+            # snapshot missed this write is guaranteed to see a version above
+            # its start sequence and abort, never to overwrite it silently.
+            self.commit_table.record_write(self.name, key)
         with self._counter_lock:
             self.records_ingested += 1
         if auto_flush and partition.needs_flush:
@@ -279,6 +289,43 @@ class Dataset:
                 partition.delete(key)
         else:
             partition.delete(key)
+        if self.commit_table is not None:
+            self.commit_table.record_write(self.name, key)
+
+    def apply_committed_write(
+        self, key, document: Optional[dict], antimatter: bool, lsn: int
+    ) -> None:
+        """Apply one validated transactional write (commit path).
+
+        The caller (:meth:`repro.store.txn.Transaction.commit`) already
+        appended this operation's WAL record and the transaction's commit
+        record, so the write is applied through
+        :meth:`~repro.lsm.LSMTree.apply_replayed` — the same
+        index-maintenance + memtable path as ingestion, minus the logging.
+        The commit-table stamp for the whole transaction is published by the
+        caller in one step, after every write is applied.
+        """
+        partition = self._partition_for(key)
+        if antimatter:
+            if self.secondary_indexes:
+                with self._lock_for_key(key):
+                    old_document = self._fetch_old_document(key)
+                    for index in self.secondary_indexes.values():
+                        index.delete(index.extract(old_document), key)
+                    partition.apply_replayed(key, None, True, lsn)
+            else:
+                partition.apply_replayed(key, None, True, lsn)
+        else:
+            if self._has_indexes():
+                with self._lock_for_key(key):
+                    self._maintain_secondary_indexes(key, document)
+                    partition.apply_replayed(key, document, False, lsn)
+            else:
+                partition.apply_replayed(key, document, False, lsn)
+            with self._counter_lock:
+                self.records_ingested += 1
+        if partition.needs_flush:
+            partition.request_flush()
 
     def _maintain_secondary_indexes(self, key, document: dict) -> None:
         if not self.secondary_indexes:

@@ -15,14 +15,16 @@ the on-disk state, then the WAL tail is replayed into the memtables (see
 
 from __future__ import annotations
 
+import itertools
 import os
 import tempfile
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 from ..lsm.scheduler import BackgroundScheduler
-from ..lsm.wal import LogManager
+from ..lsm.wal import AUTO_COMMIT, CommitRecord, LogManager
 from ..model.errors import DatasetError
 from ..storage.buffer_cache import BufferCache
 from ..storage.device import StorageDevice
@@ -30,6 +32,7 @@ from ..storage.stats import DiskModel, IOStats
 from . import manifest as manifest_io
 from .config import StoreConfig
 from .dataset import Dataset
+from .txn import CommitTable, Transaction
 
 #: Environment variable: when set (to a directory), in-memory datastores are
 #: transparently given a fresh tmpdir-backed ``storage_directory`` under it.
@@ -47,6 +50,11 @@ class RecoveryInfo:
     wal_records_replayed: int = 0
     wal_records_skipped_durable: int = 0
     wal_records_skipped_unknown: int = 0
+    #: Transaction commit records found in the log tail.
+    wal_commit_records: int = 0
+    #: Transactional write records dropped because their transaction's
+    #: commit record never made it to disk (all-or-nothing replay).
+    wal_records_skipped_uncommitted: int = 0
 
 
 class Datastore:
@@ -92,6 +100,15 @@ class Datastore:
             device=self.device if self.is_durable else None,
         )
         self.datasets: Dict[str, Dataset] = {}
+        #: Last committed sequence per (dataset, key): what transaction
+        #: commits validate first-write-wins against (see repro.store.txn).
+        self.commits = CommitTable()
+        #: Serializes transaction commits, and synchronizes begin() with
+        #: them: a snapshot is pinned either before a commit's first apply or
+        #: after its last, never in between.  Outermost in the lock order
+        #: (commit lock > per-key stripe locks > tree locks).
+        self._commit_lock = threading.RLock()
+        self._txn_handles = itertools.count(1)
         #: Populated by :meth:`open`; None for a freshly created store.
         self.last_recovery: Optional[RecoveryInfo] = None
         if self.is_durable and not os.path.exists(self._root_manifest_path()):
@@ -149,6 +166,7 @@ class Datastore:
                 manifest_path,
                 scheduler=store.scheduler,
             )
+            dataset.commit_table = store.commits
             store.datasets[name] = dataset
             info.datasets_recovered += 1
             info.components_loaded += dataset.num_components()
@@ -156,8 +174,21 @@ class Datastore:
         for dataset in store.datasets.values():
             for tree in dataset.partitions:
                 durable_floor = max(durable_floor, tree.durable_lsn + 1)
-        for record in store.log_manager.iter_records():
+        records = store.log_manager.iter_records()
+        # Pass 1: which multi-statement transactions actually committed?  A
+        # write record tagged with a transaction id is applied only when its
+        # commit record survived the crash — all-or-nothing replay.
+        committed_txns = {
+            record.txn_id for record in records if isinstance(record, CommitRecord)
+        }
+        for record in records:
             info.wal_records_seen += 1
+            if isinstance(record, CommitRecord):
+                info.wal_commit_records += 1
+                continue
+            if record.txn_id != AUTO_COMMIT and record.txn_id not in committed_txns:
+                info.wal_records_skipped_uncommitted += 1
+                continue
             dataset = store.datasets.get(record.dataset)
             if (
                 dataset is None
@@ -242,6 +273,23 @@ class Datastore:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
+    # -- transactions ------------------------------------------------------------------
+    def begin(self) -> Transaction:
+        """Start a multi-statement transaction (snapshot reads, atomic commit).
+
+        Pins every dataset's snapshot and reads the commit sequence under the
+        commit lock, so the transaction's view is one commit-consistent point
+        in time: it can never straddle another transaction's apply step, and
+        every commit it missed is guaranteed to fail its first-write-wins
+        validation.  See :class:`repro.store.txn.Transaction` and
+        ``docs/ARCHITECTURE.md``.
+        """
+        with self._commit_lock:
+            txn = Transaction(self, next(self._txn_handles), self.commits.current_seq())
+            for name, dataset in self.datasets.items():
+                txn._pin_dataset(name, dataset)
+        return txn
+
     # -- dataset management ------------------------------------------------------------
     def create_dataset(
         self,
@@ -264,6 +312,7 @@ class Datastore:
             created_lsn=self.log_manager.next_lsn,
             scheduler=self.scheduler,
         )
+        dataset.commit_table = self.commits
         self.datasets[name] = dataset
         dataset.persist_manifest()
         self._persist_root_manifest()

@@ -1,0 +1,278 @@
+"""Multi-statement transactions: optimistic validation over pinned snapshots.
+
+A :class:`Transaction` (created with :meth:`Datastore.begin
+<repro.store.datastore.Datastore.begin>`) gives multi-key writes the three
+properties single-document operations already had individually:
+
+* **Snapshot reads** — at ``begin()`` the transaction pins every dataset's
+  component stack (the same :class:`~repro.lsm.lsm_tree.TreeSnapshot`
+  mechanism long scans use), so every ``get()`` observes one commit-atomic
+  point in time, however many commits land meanwhile.  Reads also see the
+  transaction's own buffered writes (read-your-writes).
+* **First-write-wins conflict detection** — writes are buffered, never
+  applied before commit.  At commit, validation checks a store-wide
+  :class:`CommitTable` (last committed sequence per ``(dataset, key)``): any
+  written key committed by someone else *after* this transaction's snapshot
+  was pinned aborts the commit with
+  :class:`~repro.model.errors.TransactionConflictError`, and nothing is
+  applied.
+* **Atomic durability** — a validated commit logs every buffered write to
+  the WAL tagged with the transaction's id, then appends one
+  :class:`~repro.lsm.wal.CommitRecord`.  Replay after a crash applies a
+  transaction's records only when its commit record survived, so recovery is
+  all-or-nothing (see ``docs/DURABILITY.md``).
+
+Commits serialize on the datastore's commit lock, and ``begin()`` pins its
+snapshot under the same lock — a transaction can never observe half of
+another transaction's apply step.  Plain (non-transactional) reads take no
+lock and may observe a committing transaction's writes one partition at a
+time; they are read-committed, not snapshot reads.  The
+:mod:`repro.verify` checker makes both claims testable from recorded
+histories.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..lsm.keys import stable_key_hash
+from ..model.errors import TransactionConflictError, TransactionError
+
+#: A buffered write: ``(antimatter, document)``.
+_BufferedWrite = Tuple[bool, Optional[dict]]
+
+
+class CommitTable:
+    """Last committed sequence number per ``(dataset, key)``.
+
+    One per datastore.  Every commit — a multi-statement transaction or an
+    auto-committed single-document write — advances the global sequence and
+    stamps the keys it wrote; validation compares those stamps against the
+    sequence a transaction observed when it pinned its snapshot.  The table
+    is process-local (rebuilt empty on recovery): conflicts only need to be
+    detected between transactions alive in the same process, and a fresh
+    process has none.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._versions: Dict[Tuple[str, object], int] = {}
+
+    def current_seq(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def record_write(self, dataset: str, key) -> int:
+        """Stamp one auto-committed single-document write; returns its seq.
+
+        Called *after* the write is applied (visible): a snapshot pinned
+        before the stamp therefore missed the write but will fail validation
+        against it — never the reverse (which would be a lost update).
+        """
+        with self._lock:
+            self._seq += 1
+            self._versions[(dataset, key)] = self._seq
+            return self._seq
+
+    def find_conflict(
+        self, start_seq: int, keys: Iterable[Tuple[str, object]]
+    ) -> Optional[Tuple[str, object]]:
+        """First written key committed after ``start_seq`` (None = valid)."""
+        with self._lock:
+            for identity in keys:
+                if self._versions.get(identity, 0) > start_seq:
+                    return identity
+            return None
+
+    def publish(self, keys: Iterable[Tuple[str, object]]) -> int:
+        """Stamp a validated transaction's keys with one new sequence."""
+        with self._lock:
+            self._seq += 1
+            for identity in keys:
+                self._versions[identity] = self._seq
+            return self._seq
+
+
+class Transaction:
+    """One multi-statement transaction over a datastore.
+
+    Create with :meth:`Datastore.begin`; use as a context manager to
+    guarantee the snapshot pins are released (an open transaction is aborted
+    on exit)::
+
+        with store.begin() as txn:
+            a = txn.get("accounts", 1)
+            b = txn.get("accounts", 2)
+            txn.insert("accounts", {**a, "balance": a["balance"] - 10})
+            txn.insert("accounts", {**b, "balance": b["balance"] + 10})
+            txn.commit()
+
+    All methods raise :class:`~repro.model.errors.TransactionError` once the
+    transaction is committed or aborted.
+    """
+
+    def __init__(self, store, txn_handle: int, start_seq: int) -> None:
+        self._store = store
+        #: Process-local handle (history recording, diagnostics); the WAL
+        #: transaction id is allocated separately at commit, from the LSN
+        #: space, so it can never collide with an id from a crashed run.
+        self.id = txn_handle
+        self.start_seq = start_seq
+        self.status = "open"
+        #: Commit sequence assigned at a successful writing commit.
+        self.commit_seq: Optional[int] = None
+        self._snapshots: Dict[str, Tuple] = {}
+        self._writes: Dict[Tuple[str, object], _BufferedWrite] = {}
+        #: Test-only fault hook: called at commit checkpoints with
+        #: ``(stage, index)`` — ``("write-logged", i)`` after the i-th write
+        #: record hit the WAL, ``("commit-logged", 0)`` after the commit
+        #: record, ``("applied", i)`` after the i-th write was applied.
+        #: Raising from the hook models a process crash mid-commit.
+        self.testing_fault: Optional[Callable[[str, int], None]] = None
+
+    # -- lifecycle ---------------------------------------------------------------------
+    def _require_open(self) -> None:
+        if self.status != "open":
+            raise TransactionError(
+                f"transaction #{self.id} is {self.status}; begin a new one"
+            )
+
+    def _pin_dataset(self, name: str, dataset) -> None:
+        self._snapshots[name] = tuple(
+            tree.pin_snapshot() for tree in dataset.partitions
+        )
+
+    def _release_snapshots(self) -> None:
+        for snapshots in self._snapshots.values():
+            for snapshot in snapshots:
+                snapshot.close()
+        self._snapshots = {}
+
+    def _finish(self, status: str) -> None:
+        self.status = status
+        self._release_snapshots()
+        self._writes = {}
+
+    def abort(self) -> None:
+        """Discard every buffered write and release the snapshot pins."""
+        self._require_open()
+        self._finish("aborted")
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.status == "open":
+            self.abort()
+
+    # -- reads -------------------------------------------------------------------------
+    def _snapshot_for(self, dataset_name: str):
+        snapshots = self._snapshots.get(dataset_name)
+        if snapshots is not None:
+            return snapshots
+        dataset = self._store.dataset(dataset_name)  # raises DatasetError
+        # Created after begin(): pin lazily, under the commit lock so the pin
+        # can never capture a half-applied commit.
+        with self._store._commit_lock:
+            self._pin_dataset(dataset_name, dataset)
+        return self._snapshots[dataset_name]
+
+    def get(self, dataset_name: str, key, fields: Optional[Sequence[str]] = None):
+        """Snapshot point lookup, overlaid with this transaction's writes."""
+        self._require_open()
+        buffered = self._writes.get((dataset_name, key))
+        if buffered is not None:
+            antimatter, document = buffered
+            return None if antimatter else document
+        snapshots = self._snapshot_for(dataset_name)
+        partition_index = stable_key_hash(key) % len(snapshots)
+        return snapshots[partition_index].point_lookup(key, fields)
+
+    def get_many(self, dataset_name: str, keys: Sequence) -> List[Optional[dict]]:
+        """One snapshot lookup per key, in the order given."""
+        return [self.get(dataset_name, key) for key in keys]
+
+    # -- writes ------------------------------------------------------------------------
+    def insert(self, dataset_name: str, document: dict) -> None:
+        """Buffer an insert/upsert (applied only at a successful commit)."""
+        self._require_open()
+        dataset = self._store.dataset(dataset_name)
+        key = dataset._key_of(document)
+        self._writes[(dataset_name, key)] = (False, document)
+
+    upsert = insert
+
+    def delete(self, dataset_name: str, key) -> None:
+        """Buffer a delete by primary key."""
+        self._require_open()
+        self._store.dataset(dataset_name)  # raises DatasetError when unknown
+        self._writes[(dataset_name, key)] = (True, None)
+
+    @property
+    def write_count(self) -> int:
+        return len(self._writes)
+
+    # -- commit ------------------------------------------------------------------------
+    def _fault(self, stage: str, index: int) -> None:
+        if self.testing_fault is not None:
+            self.testing_fault(stage, index)
+
+    def commit(self) -> Optional[int]:
+        """Validate, log, and apply the buffered writes atomically.
+
+        Returns:
+            The commit sequence number, or None for a read-only transaction.
+
+        Raises:
+            TransactionConflictError: First-write-wins validation failed —
+                a written key was committed by someone else after this
+                transaction pinned its snapshot.  The transaction is aborted
+                and nothing was applied.
+        """
+        self._require_open()
+        if not self._writes:
+            self._finish("committed")
+            return None
+        store = self._store
+        with store._commit_lock:
+            conflict = store.commits.find_conflict(self.start_seq, self._writes)
+            if conflict is not None:
+                dataset_name, key = conflict
+                self._finish("aborted")
+                raise TransactionConflictError(
+                    f"transaction #{self.id} conflicts on {dataset_name!r} key "
+                    f"{key!r}: committed after this transaction began "
+                    f"(first write wins); aborted — retry on a fresh snapshot",
+                    dataset=dataset_name,
+                    key=key,
+                )
+            # WAL: every write record first, the commit record last.  Each
+            # append flushes, so a surviving commit record implies every
+            # write record survived too — replay is all-or-nothing.
+            wal_txn_id = store.log_manager.allocate_txn_id()
+            logged = []
+            for index, ((dataset_name, key), (antimatter, document)) in enumerate(
+                self._writes.items()
+            ):
+                dataset = store.datasets[dataset_name]
+                partition_index = stable_key_hash(key) % len(dataset.partitions)
+                log = dataset.partitions[partition_index].transaction_log
+                lsn = log.log_record(
+                    dataset_name, partition_index, key, document, antimatter,
+                    txn_id=wal_txn_id,
+                )
+                logged.append((dataset, key, antimatter, document, lsn))
+                self._fault("write-logged", index)
+            store.log_manager.log_commit_record(wal_txn_id, len(logged))
+            self._fault("commit-logged", 0)
+            # Apply (indexes + memtables, no re-logging) while still holding
+            # the commit lock: begin() synchronizes on it, so no transaction
+            # snapshot can be pinned between the first and last apply.
+            for index, (dataset, key, antimatter, document, lsn) in enumerate(logged):
+                dataset.apply_committed_write(key, document, antimatter, lsn)
+                self._fault("applied", index)
+            self.commit_seq = store.commits.publish(self._writes)
+        self._finish("committed")
+        return self.commit_seq

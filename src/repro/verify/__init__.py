@@ -1,0 +1,44 @@
+"""Isolation verification: history recording + AWDIT-style offline checking.
+
+Record what concurrent clients actually observed with
+:class:`HistoryRecorder`, then validate the history against an isolation
+level with :func:`check_history`::
+
+    recorder = HistoryRecorder("stress-run")
+    session = recorder.session("writer-0")
+    txn = session.begin()
+    txn.read("accounts/1", None)
+    txn.write("accounts/1", "w0-op1")
+    txn.committed(commit_seq)
+
+    result = check_history(recorder.history(), level="snapshot")
+    assert result.ok, result.describe()
+
+``python -m repro.verify <history.json> --level snapshot`` checks saved
+histories from the command line (CI pipes the stress suite's recorded
+histories through it); exit status 1 signals a violation, with the minimal
+counterexample printed to stdout.
+"""
+
+from .checker import LEVELS, CheckResult, Violation, check_history
+from .history import (
+    History,
+    HistoryRecorder,
+    Operation,
+    SessionRecorder,
+    TransactionRecord,
+    TxnRecorder,
+)
+
+__all__ = [
+    "CheckResult",
+    "History",
+    "HistoryRecorder",
+    "LEVELS",
+    "Operation",
+    "SessionRecorder",
+    "TransactionRecord",
+    "TxnRecorder",
+    "Violation",
+    "check_history",
+]

@@ -1,0 +1,47 @@
+"""Check saved histories from the command line: ``python -m repro.verify``.
+
+Usage::
+
+    python -m repro.verify run1.json run2.json --level snapshot
+
+Prints one line per OK history and the full minimal counterexample for every
+violating one; exits 1 if any history fails (CI's ``txn-verify`` job relies
+on that to fail the build and archive the offending history file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .checker import LEVELS, check_history
+from .history import History
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Check recorded transaction histories against an isolation level.",
+    )
+    parser.add_argument("histories", nargs="+", metavar="HISTORY.json")
+    parser.add_argument(
+        "--level",
+        choices=LEVELS,
+        default="snapshot",
+        help="isolation level to certify (default: snapshot)",
+    )
+    args = parser.parse_args(argv)
+    failures = 0
+    for path in args.histories:
+        result = check_history(History.load(path), level=args.level)
+        print(result.describe())
+        if not result.ok:
+            failures += 1
+    if failures:
+        print(f"{failures} of {len(args.histories)} histories violate {args.level}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,509 @@
+"""AWDIT-style offline isolation checking over recorded histories.
+
+Given a client-observable :class:`~repro.verify.history.History`, the checker
+validates it against one of four cumulative isolation levels and, on failure,
+produces a *minimal counterexample*: the shortest dependency cycle (or the
+smallest axiom witness) that proves the violation.
+
+The dependency relations are inferred exactly the way AWDIT does:
+
+* **wr** (write-read) from values — the recording discipline is that every
+  written value is unique, so the value a read observed identifies the
+  transaction that wrote it;
+* **ww** (write-write) from the engine-reported ``commit_seq`` — the engine
+  serializes commits, so commit sequences are a trusted total order per key;
+* **rw** (read-write anti-dependency) derived from the two above: a reader
+  of version ``v`` anti-depends on the writer of the version that replaced
+  ``v``.
+
+Levels (each includes everything below it)::
+
+    read-committed   no aborted reads (G1a), no intermediate reads (G1b),
+                     read-your-writes, no reads of never-written or future
+                     values
+    read-atomic      no fractured reads: observing one of a transaction's
+                     writes means observing *all* of its writes at least
+                     that fresh
+    snapshot         reads form one consistent snapshot (an interval in the
+                     commit order consistent with every read), and lost
+                     updates are impossible (first-committer-wins); write
+                     skew is still allowed
+    serializable     the dependency graph (so ∪ wr ∪ ww ∪ rw) is acyclic
+
+A read observing ``None`` is taken to be the initial (never written) version
+— histories that exercise deletes should record unique tombstone values
+instead of ``None`` so the wr inference stays exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .history import History, Operation, TransactionRecord, WRITE
+
+#: The cumulative isolation levels, weakest first.
+LEVELS = ("read-committed", "read-atomic", "snapshot", "serializable")
+
+#: Sentinel "sequence" for the initial (never-written) version of a key.
+INITIAL_SEQ = 0
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One isolation-axiom violation found in a history."""
+
+    level: str  # weakest level this violation already breaks
+    axiom: str  # short axiom name, e.g. "G1a", "fractured-read"
+    message: str  # human-readable witness
+    cycle: Tuple[str, ...] = ()  # rendered dependency edges, when cyclic
+
+    def describe(self) -> str:
+        lines = [f"[{self.level}] {self.axiom}: {self.message}"]
+        if self.cycle:
+            lines.append("  counterexample cycle:")
+            for edge in self.cycle:
+                lines.append(f"    {edge}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CheckResult:
+    """The outcome of checking one history at one level."""
+
+    history_name: str
+    level: str
+    violations: List[Violation] = field(default_factory=list)
+    transactions_checked: int = 0
+    reads_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"history {self.history_name!r}: OK at {self.level} "
+                f"({self.transactions_checked} transactions, "
+                f"{self.reads_checked} reads)"
+            )
+        lines = [
+            f"history {self.history_name!r}: {len(self.violations)} "
+            f"violation(s) at {self.level}"
+        ]
+        for violation in self.violations:
+            lines.append(violation.describe())
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class _ReadView:
+    """One external read resolved to the version it observed."""
+
+    txn: TransactionRecord
+    op: Operation
+    version_seq: int  # INITIAL_SEQ for the never-written version
+    writer: Optional[TransactionRecord]  # None for the initial version
+
+
+def _txn_label(txn: TransactionRecord) -> str:
+    return f"{txn.session}/{txn.txn_id}"
+
+
+class _HistoryIndex:
+    """Everything the axioms need, computed once per history."""
+
+    def __init__(self, history: History, result: CheckResult) -> None:
+        self.history = history
+        self.result = result
+        self.transactions = history.transactions()
+        self.committed = [t for t in self.transactions if t.status == "committed"]
+        #: (key, value) -> (writer txn, op) for every write anywhere.
+        self.writer_of: Dict[Tuple[str, object], Tuple[TransactionRecord, Operation]] = {}
+        #: key -> committed versions [(commit_seq, txn)], ascending.
+        self.versions: Dict[str, List[Tuple[int, TransactionRecord]]] = {}
+        #: External reads resolved to versions (filled by _resolve_reads).
+        self.reads: List[_ReadView] = []
+        self._index_writes()
+        self._resolve_reads()
+
+    # -- writes -------------------------------------------------------------------------
+    def _index_writes(self) -> None:
+        for txn in self.transactions:
+            for op in txn.writes():
+                slot = (op.key, op.value)
+                if slot in self.writer_of:
+                    other, _ = self.writer_of[slot]
+                    self.result.violations.append(
+                        Violation(
+                            "read-committed",
+                            "history-error",
+                            f"value {op.value!r} for key {op.key!r} written by "
+                            f"both {_txn_label(other)} and {_txn_label(txn)}; "
+                            "written values must be unique for wr inference",
+                        )
+                    )
+                    continue
+                self.writer_of[slot] = (txn, op)
+        for txn in self.committed:
+            final = txn.final_writes()
+            if not final:
+                continue
+            if txn.commit_seq is None:
+                self.result.violations.append(
+                    Violation(
+                        "read-committed",
+                        "history-error",
+                        f"committed writer {_txn_label(txn)} has no commit_seq; "
+                        "the ww order cannot be established",
+                    )
+                )
+                continue
+            for key in final:
+                self.versions.setdefault(key, []).append((txn.commit_seq, txn))
+        for chain in self.versions.values():
+            chain.sort(key=lambda entry: entry[0])
+
+    def next_version_seq(self, key: str, version_seq: int) -> Optional[int]:
+        """Commit seq of the version replacing ``version_seq`` (None = latest)."""
+        for seq, _ in self.versions.get(key, []):
+            if seq > version_seq:
+                return seq
+        return None
+
+    def next_version_writer(
+        self, key: str, version_seq: int
+    ) -> Optional[TransactionRecord]:
+        for seq, txn in self.versions.get(key, []):
+            if seq > version_seq:
+                return txn
+        return None
+
+    # -- reads --------------------------------------------------------------------------
+    def _resolve_reads(self) -> None:
+        """Classify every read; the read-committed axioms live here.
+
+        Walking each transaction's operations in order with the set of its
+        own already-written keys distinguishes *external* reads (of other
+        transactions' versions — these feed the higher-level axioms) from
+        internal ones, which must observe the transaction's own latest write
+        (read-your-writes).
+        """
+        add = self.result.violations.append
+        for txn in self.transactions:
+            own: Dict[str, object] = {}
+            for op in txn.ops:
+                if op.kind == WRITE:
+                    own[op.key] = op.value
+                    continue
+                self.result.reads_checked += 1
+                if op.key in own:
+                    if op.value != own[op.key]:
+                        add(
+                            Violation(
+                                "read-committed",
+                                "read-your-writes",
+                                f"{_txn_label(txn)} op {op.op_id} read "
+                                f"{op.key!r}={op.value!r} after writing "
+                                f"{own[op.key]!r} in the same transaction",
+                            )
+                        )
+                    continue
+                if op.value is None:
+                    self.reads.append(_ReadView(txn, op, INITIAL_SEQ, None))
+                    continue
+                found = self.writer_of.get((op.key, op.value))
+                if found is None:
+                    add(
+                        Violation(
+                            "read-committed",
+                            "unwritten-value",
+                            f"{_txn_label(txn)} op {op.op_id} read "
+                            f"{op.key!r}={op.value!r}, a value no transaction "
+                            "wrote",
+                        )
+                    )
+                    continue
+                writer, write_op = found
+                if writer is txn:
+                    add(
+                        Violation(
+                            "read-committed",
+                            "future-read",
+                            f"{_txn_label(txn)} op {op.op_id} read its own "
+                            f"later write of {op.key!r} (op {write_op.op_id})",
+                        )
+                    )
+                    continue
+                if writer.status == "aborted":
+                    add(
+                        Violation(
+                            "read-committed",
+                            "G1a",
+                            f"{_txn_label(txn)} op {op.op_id} read "
+                            f"{op.key!r}={op.value!r} written by aborted "
+                            f"transaction {_txn_label(writer)}",
+                            cycle=(
+                                f"{_txn_label(writer)} --wr({op.key})--> "
+                                f"{_txn_label(txn)}  [writer aborted]",
+                            ),
+                        )
+                    )
+                    continue
+                if writer.status != "committed":
+                    add(
+                        Violation(
+                            "read-committed",
+                            "dirty-read",
+                            f"{_txn_label(txn)} op {op.op_id} read "
+                            f"{op.key!r}={op.value!r} from transaction "
+                            f"{_txn_label(writer)} which never committed",
+                        )
+                    )
+                    continue
+                if writer.final_writes()[op.key].value != op.value:
+                    add(
+                        Violation(
+                            "read-committed",
+                            "G1b",
+                            f"{_txn_label(txn)} op {op.op_id} read the "
+                            f"intermediate value {op.value!r} of {op.key!r} "
+                            f"from {_txn_label(writer)} (not its final write)",
+                            cycle=(
+                                f"{_txn_label(writer)} --wr({op.key})--> "
+                                f"{_txn_label(txn)}  [intermediate value]",
+                            ),
+                        )
+                    )
+                    continue
+                if writer.commit_seq is None:
+                    # Already reported as a history-error above.
+                    continue
+                self.reads.append(_ReadView(txn, op, writer.commit_seq, writer))
+
+
+def _check_read_atomic(index: _HistoryIndex) -> None:
+    """No fractured reads: observing S's write of k1 means every other key S
+    finally wrote must be observed at least as fresh as S's version of it."""
+    reads_by_txn: Dict[int, List[_ReadView]] = {}
+    for view in index.reads:
+        reads_by_txn.setdefault(id(view.txn), []).append(view)
+    for views in reads_by_txn.values():
+        txn = views[0].txn
+        by_key = {view.op.key: view for view in views}
+        for view in views:
+            writer = view.writer
+            if writer is None:
+                continue
+            for other_key in writer.final_writes():
+                other = by_key.get(other_key)
+                if other is None or other_key == view.op.key:
+                    continue
+                if other.version_seq < writer.commit_seq:
+                    index.result.violations.append(
+                        Violation(
+                            "read-atomic",
+                            "fractured-read",
+                            f"{_txn_label(txn)} read {view.op.key!r} from "
+                            f"{_txn_label(writer)} (seq {writer.commit_seq}) "
+                            f"but read {other_key!r} at older version "
+                            f"(seq {other.version_seq})",
+                            cycle=(
+                                f"{_txn_label(writer)} --wr({view.op.key})--> "
+                                f"{_txn_label(txn)}",
+                                f"{_txn_label(txn)} --rw({other_key})--> "
+                                f"{_txn_label(writer)}",
+                            ),
+                        )
+                    )
+
+
+def _check_snapshot(index: _HistoryIndex) -> None:
+    """Consistent-snapshot interval per transaction + first-committer-wins."""
+    reads_by_txn: Dict[int, List[_ReadView]] = {}
+    for view in index.reads:
+        reads_by_txn.setdefault(id(view.txn), []).append(view)
+    for views in reads_by_txn.values():
+        txn = views[0].txn
+        # Every read pins the snapshot to [version_seq, next_version_seq):
+        # one commit point must satisfy all of them simultaneously.
+        floor_view = max(views, key=lambda view: view.version_seq)
+        ceiling_view = min(
+            views,
+            key=lambda view: (
+                index.next_version_seq(view.op.key, view.version_seq)
+                if index.next_version_seq(view.op.key, view.version_seq) is not None
+                else float("inf")
+            ),
+        )
+        ceiling = index.next_version_seq(
+            ceiling_view.op.key, ceiling_view.version_seq
+        )
+        if ceiling is not None and floor_view.version_seq >= ceiling:
+            replacer = index.next_version_writer(
+                ceiling_view.op.key, ceiling_view.version_seq
+            )
+            floor_writer = (
+                _txn_label(floor_view.writer)
+                if floor_view.writer is not None
+                else "<initial>"
+            )
+            index.result.violations.append(
+                Violation(
+                    "snapshot",
+                    "inconsistent-snapshot",
+                    f"{_txn_label(txn)} read {floor_view.op.key!r} at seq "
+                    f"{floor_view.version_seq} (from {floor_writer}) but "
+                    f"{ceiling_view.op.key!r} at seq "
+                    f"{ceiling_view.version_seq}, already replaced at seq "
+                    f"{ceiling}: no single snapshot contains both reads",
+                    cycle=(
+                        f"{_txn_label(txn)} --rw({ceiling_view.op.key})--> "
+                        f"{_txn_label(replacer)}",
+                        f"{_txn_label(replacer)} --ww/wr--> ... --> "
+                        f"{floor_writer} --wr({floor_view.op.key})--> "
+                        f"{_txn_label(txn)}",
+                    ),
+                )
+            )
+    # Lost update: a committed transaction that read key k (version r) and
+    # wrote k must be the *first* committer after r — any other committed
+    # writer of k landing in between means this transaction overwrote a
+    # version it never saw.
+    for view in index.reads:
+        txn = view.txn
+        if txn.status != "committed" or txn.commit_seq is None:
+            continue
+        if view.op.key not in txn.final_writes():
+            continue
+        for seq, other in index.versions.get(view.op.key, []):
+            if other is txn:
+                continue
+            if view.version_seq < seq < txn.commit_seq:
+                index.result.violations.append(
+                    Violation(
+                        "snapshot",
+                        "lost-update",
+                        f"{_txn_label(txn)} read {view.op.key!r} at seq "
+                        f"{view.version_seq}, then committed its own write at "
+                        f"seq {txn.commit_seq}, silently overwriting "
+                        f"{_txn_label(other)}'s intervening commit (seq {seq})",
+                        cycle=(
+                            f"{_txn_label(txn)} --rw({view.op.key})--> "
+                            f"{_txn_label(other)}",
+                            f"{_txn_label(other)} --ww({view.op.key})--> "
+                            f"{_txn_label(txn)}",
+                        ),
+                    )
+                )
+                break
+
+
+def _check_serializable(index: _HistoryIndex) -> None:
+    """Acyclicity of the direct serialization graph (so ∪ wr ∪ ww ∪ rw)."""
+    nodes = [t for t in index.committed]
+    node_ids = {id(t): i for i, t in enumerate(nodes)}
+    edges: Dict[int, Dict[int, str]] = {i: {} for i in range(len(nodes))}
+
+    def add_edge(a: TransactionRecord, b: TransactionRecord, label: str) -> None:
+        if a is b:
+            return
+        i, j = node_ids.get(id(a)), node_ids.get(id(b))
+        if i is None or j is None:
+            return
+        edges[i].setdefault(j, label)
+
+    for records in index.history.sessions.values():
+        committed_in_session = [t for t in records if t.status == "committed"]
+        for first, second in zip(committed_in_session, committed_in_session[1:]):
+            add_edge(first, second, "so")
+    for view in index.reads:
+        if view.txn.status != "committed":
+            continue
+        if view.writer is not None:
+            add_edge(view.writer, view.txn, f"wr({view.op.key})")
+        replacer = index.next_version_writer(view.op.key, view.version_seq)
+        if replacer is not None:
+            add_edge(view.txn, replacer, f"rw({view.op.key})")
+    for key, chain in index.versions.items():
+        for (_, first), (_, second) in zip(chain, chain[1:]):
+            add_edge(first, second, f"ww({key})")
+
+    cycle = _shortest_cycle(edges)
+    if cycle is not None:
+        rendered = tuple(
+            f"{_txn_label(nodes[a])} --{edges[a][b]}--> {_txn_label(nodes[b])}"
+            for a, b in zip(cycle, cycle[1:] + cycle[:1])
+        )
+        index.result.violations.append(
+            Violation(
+                "serializable",
+                "dsg-cycle",
+                f"the dependency graph has a cycle of length {len(cycle)}; "
+                "no serial order of these transactions explains the history",
+                cycle=rendered,
+            )
+        )
+
+
+def _shortest_cycle(edges: Dict[int, Dict[int, str]]) -> Optional[List[int]]:
+    """Shortest directed cycle via BFS from every node (graphs here are small)."""
+    best: Optional[List[int]] = None
+    for start in edges:
+        # BFS back to `start`.
+        parents: Dict[int, int] = {start: start}
+        frontier = [start]
+        found = None
+        while frontier and found is None:
+            next_frontier = []
+            for node in frontier:
+                for neighbor in edges[node]:
+                    if neighbor == start:
+                        found = node
+                        break
+                    if neighbor not in parents:
+                        parents[neighbor] = node
+                        next_frontier.append(neighbor)
+                if found is not None:
+                    break
+            frontier = next_frontier
+        if found is None:
+            continue
+        cycle = [found]
+        while cycle[-1] != start:
+            cycle.append(parents[cycle[-1]])
+        cycle.reverse()  # start ... found, edges follow consecutive pairs
+        if best is None or len(cycle) < len(best):
+            best = cycle
+    return best
+
+
+def check_history(history: History, level: str = "snapshot") -> CheckResult:
+    """Check a recorded history against an isolation level.
+
+    Args:
+        history: The client-observable history to validate.
+        level: One of :data:`LEVELS`; each level also enforces every weaker
+            one (checking at ``"snapshot"`` includes read-committed and
+            read-atomic axioms).
+
+    Returns:
+        A :class:`CheckResult`; ``result.ok`` is True when no axiom of the
+        requested level (or below) is violated, otherwise
+        ``result.describe()`` renders every violation with its minimal
+        counterexample.
+    """
+    if level not in LEVELS:
+        raise ValueError(f"unknown isolation level {level!r}; expected one of {LEVELS}")
+    rank = LEVELS.index(level)
+    result = CheckResult(history_name=history.name, level=level)
+    index = _HistoryIndex(history, result)  # runs the read-committed axioms
+    result.transactions_checked = len(index.transactions)
+    if rank >= LEVELS.index("read-atomic"):
+        _check_read_atomic(index)
+    if rank >= LEVELS.index("snapshot"):
+        _check_snapshot(index)
+    if rank >= LEVELS.index("serializable"):
+        _check_serializable(index)
+    return result

@@ -1,0 +1,249 @@
+"""Client-observable transaction histories: recording, (de)serialization.
+
+A *history* is what AWDIT-style isolation checking consumes: per-session
+sequences of transactions, each a sequence of read/write operations with the
+values the client actually observed — no engine internals.  The checker
+(:mod:`repro.verify.checker`) infers the write-read relation from values (the
+recording discipline is that every written value is unique) and the
+write-write order from the engine-reported commit sequence numbers.
+
+Recording is thread-safe by construction: a :class:`HistoryRecorder` hands
+each client thread its own :class:`SessionRecorder`, which appends to a
+session-private list; only the global operation-id counter is shared (one
+atomic increment per event).  Histories serialize to a single JSON document
+so CI can archive a violating run as an artifact and replay it through
+``python -m repro.verify``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Operation kinds recorded in a history.
+READ = "read"
+WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One client-observed operation inside a transaction.
+
+    ``value`` is what the client read (None = key absent/deleted) or wrote
+    (None = delete).  ``op_id`` is globally unique within the history and
+    monotonic in recording order, so counterexamples can name the exact
+    events involved.
+    """
+
+    op_id: int
+    kind: str  # READ or WRITE
+    key: str
+    value: object
+
+
+@dataclass
+class TransactionRecord:
+    """One transaction: its session, lifecycle outcome, and operations.
+
+    ``commit_seq`` is the engine-assigned commit sequence (the write-write
+    order the checker trusts); None for aborted, read-only, or still-open
+    transactions.  Auto-committed single operations are recorded as
+    one-operation transactions.
+    """
+
+    txn_id: str
+    session: str
+    index: int  # position within the session (the session order)
+    status: str = "open"  # open | committed | aborted
+    commit_seq: Optional[int] = None
+    ops: List[Operation] = field(default_factory=list)
+
+    def reads(self) -> List[Operation]:
+        return [op for op in self.ops if op.kind == READ]
+
+    def writes(self) -> List[Operation]:
+        return [op for op in self.ops if op.kind == WRITE]
+
+    def final_writes(self) -> Dict[str, Operation]:
+        """Last write per key — what the transaction installs if it commits."""
+        final: Dict[str, Operation] = {}
+        for op in self.ops:
+            if op.kind == WRITE:
+                final[op.key] = op
+        return final
+
+
+@dataclass
+class History:
+    """A complete recorded history: every session's transaction sequence."""
+
+    name: str = "history"
+    sessions: Dict[str, List[TransactionRecord]] = field(default_factory=dict)
+
+    def transactions(self) -> List[TransactionRecord]:
+        out: List[TransactionRecord] = []
+        for records in self.sessions.values():
+            out.extend(records)
+        return out
+
+    # -- serialization ----------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "sessions": [
+                {
+                    "session": session,
+                    "transactions": [
+                        {
+                            "id": txn.txn_id,
+                            "status": txn.status,
+                            "commit_seq": txn.commit_seq,
+                            "ops": [
+                                {
+                                    "op_id": op.op_id,
+                                    "kind": op.kind,
+                                    "key": op.key,
+                                    "value": op.value,
+                                }
+                                for op in txn.ops
+                            ],
+                        }
+                        for txn in records
+                    ],
+                }
+                for session, records in self.sessions.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "History":
+        history = cls(name=data.get("name", "history"))
+        fallback_op_ids = itertools.count(1)
+        for session_data in data["sessions"]:
+            session = session_data["session"]
+            records: List[TransactionRecord] = []
+            for index, txn_data in enumerate(session_data["transactions"]):
+                record = TransactionRecord(
+                    txn_id=str(txn_data["id"]),
+                    session=session,
+                    index=index,
+                    status=txn_data.get("status", "committed"),
+                    commit_seq=txn_data.get("commit_seq"),
+                )
+                for op_data in txn_data["ops"]:
+                    record.ops.append(
+                        Operation(
+                            op_id=op_data.get("op_id", next(fallback_op_ids)),
+                            kind=op_data["kind"],
+                            key=op_data["key"],
+                            value=op_data["value"],
+                        )
+                    )
+                records.append(record)
+            history.sessions[session] = records
+        return history
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "History":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+class HistoryRecorder:
+    """Builds a :class:`History` from concurrently recording client threads."""
+
+    def __init__(self, name: str = "history") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._op_ids = itertools.count(1)
+        self._sessions: Dict[str, "SessionRecorder"] = {}
+
+    def _next_op_id(self) -> int:
+        # itertools.count.__next__ is atomic under the GIL, but taking the
+        # lock keeps the guarantee independent of that implementation detail.
+        with self._lock:
+            return next(self._op_ids)
+
+    def session(self, name: str) -> "SessionRecorder":
+        """The (single) recorder for one client thread; created on first use."""
+        with self._lock:
+            recorder = self._sessions.get(name)
+            if recorder is None:
+                recorder = SessionRecorder(self, name)
+                self._sessions[name] = recorder
+            return recorder
+
+    def history(self) -> History:
+        history = History(name=self.name)
+        with self._lock:
+            for name, session in self._sessions.items():
+                history.sessions[name] = list(session.records)
+        return history
+
+
+class SessionRecorder:
+    """Records one client thread's transactions, in session order.
+
+    Not thread-safe across threads — by design each session belongs to
+    exactly one client thread (that *is* the session order).
+    """
+
+    def __init__(self, recorder: HistoryRecorder, name: str) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.records: List[TransactionRecord] = []
+
+    def begin(self, txn_id: Optional[object] = None) -> "TxnRecorder":
+        index = len(self.records)
+        record = TransactionRecord(
+            txn_id=str(txn_id if txn_id is not None else f"{self.name}-{index}"),
+            session=self.name,
+            index=index,
+        )
+        self.records.append(record)
+        return TxnRecorder(self._recorder, record)
+
+    def auto_write(self, key: str, value: object, commit_seq: int) -> None:
+        """Record one auto-committed single write as its own transaction."""
+        txn = self.begin()
+        txn.write(key, value)
+        txn.committed(commit_seq)
+
+    def auto_read(self, key: str, value: object) -> None:
+        """Record one non-transactional read as a read-only transaction."""
+        txn = self.begin()
+        txn.read(key, value)
+        txn.committed(None)
+
+
+class TxnRecorder:
+    """Appends operations to one open :class:`TransactionRecord`."""
+
+    def __init__(self, recorder: HistoryRecorder, record: TransactionRecord) -> None:
+        self._recorder = recorder
+        self.record = record
+
+    def read(self, key: str, value: object) -> None:
+        self.record.ops.append(
+            Operation(self._recorder._next_op_id(), READ, key, value)
+        )
+
+    def write(self, key: str, value: object) -> None:
+        self.record.ops.append(
+            Operation(self._recorder._next_op_id(), WRITE, key, value)
+        )
+
+    def committed(self, commit_seq: Optional[int]) -> None:
+        self.record.status = "committed"
+        self.record.commit_seq = commit_seq
+
+    def aborted(self) -> None:
+        self.record.status = "aborted"

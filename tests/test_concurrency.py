@@ -26,13 +26,17 @@ from __future__ import annotations
 
 import os
 import random
+import tempfile
 import threading
 
 import pytest
 
+from conftest import derive_seed, resolve_seed, seeded_rng
 from repro import Datastore, StoreConfig
 from repro.lsm.component import ALL_LAYOUTS
+from repro.model.errors import TransactionConflictError
 from repro.query import Field, Query, Var
+from repro.verify import HistoryRecorder, check_history
 
 #: Operations per writer thread (CI's stress job raises this via the env).
 STRESS_OPS = int(os.environ.get("REPRO_STRESS_OPS", "250"))
@@ -40,6 +44,10 @@ NUM_WRITERS = 3
 NUM_READERS = 2
 KEYS_PER_WRITER = 40
 INDEX_PATH = "metrics.score"
+
+#: Where the transactional stress tests dump their recorded histories (CI's
+#: txn-verify job sets this and re-checks the files with python -m repro.verify).
+HISTORY_DIR_ENV = "REPRO_HISTORY_DIR"
 
 
 def make_config(**overrides) -> StoreConfig:
@@ -182,12 +190,17 @@ def test_concurrent_writers_and_readers_match_oracle(layout):
     produced_versions = {
         key: set() for key in range(NUM_WRITERS * KEYS_PER_WRITER)
     }
+    base_seed = resolve_seed(17)
     writers = [
-        WriterJournal(writer_id, seed=1000 + writer_id)
+        WriterJournal(writer_id, seed=derive_seed(base_seed, 1000 + writer_id))
         for writer_id in range(NUM_WRITERS)
     ]
     readers = [
-        ReaderWorker(reader_id, seed=2000 + reader_id, produced_versions=produced_versions)
+        ReaderWorker(
+            reader_id,
+            seed=derive_seed(base_seed, 2000 + reader_id),
+            produced_versions=produced_versions,
+        )
         for reader_id in range(NUM_READERS)
     ]
     writer_threads = [
@@ -218,7 +231,7 @@ def test_concurrent_writers_and_readers_match_oracle(layout):
     oracle: dict = {}
     for writer in writers:
         oracle.update(writer.oracle)  # key ranges are disjoint by construction
-    rng = random.Random(7)
+    rng = random.Random(derive_seed(base_seed, 7))
     verify_against_oracle(dataset, oracle, rng)
     assert all(reader.scans > 0 for reader in readers)
 
@@ -234,7 +247,11 @@ def test_stress_survives_checkpoint_and_reopen_when_durable(tmp_path):
     dataset = store.create_dataset("docs", layout="amax")
     dataset.create_secondary_index("score", INDEX_PATH)
     produced_versions = {key: set() for key in range(NUM_WRITERS * KEYS_PER_WRITER)}
-    writers = [WriterJournal(i, seed=3000 + i) for i in range(NUM_WRITERS)]
+    base_seed = resolve_seed(31)
+    writers = [
+        WriterJournal(i, seed=derive_seed(base_seed, 3000 + i))
+        for i in range(NUM_WRITERS)
+    ]
     threads = [
         threading.Thread(target=w.run, args=(dataset, produced_versions))
         for w in writers
@@ -253,7 +270,9 @@ def test_stress_survives_checkpoint_and_reopen_when_durable(tmp_path):
     for writer in writers:
         oracle.update(writer.oracle)
     reopened = Datastore.open(str(tmp_path))
-    verify_against_oracle(reopened.dataset("docs"), oracle, random.Random(11))
+    verify_against_oracle(
+        reopened.dataset("docs"), oracle, random.Random(derive_seed(base_seed, 11))
+    )
     reopened.close()
 
 
@@ -262,7 +281,7 @@ def test_scan_pinned_before_flush_and_merge_sees_consistent_snapshot(layout):
     """A long scan pinned before flush/merge returns exactly the pinned state."""
     store = Datastore(make_config(background_workers=0, parallel_scan_workers=0))
     dataset = store.create_dataset("docs", layout=layout)
-    rng = random.Random(5)
+    rng = seeded_rng(5)
     oracle_at_pin: dict = {}
     for key in range(150):
         document = make_document(rng, key, version=1)
@@ -312,7 +331,7 @@ def test_abandoned_scan_does_not_leak_pins():
 
     store = Datastore(make_config(background_workers=0, parallel_scan_workers=0))
     dataset = store.create_dataset("docs", layout="vector")
-    rng = random.Random(13)
+    rng = seeded_rng(13)
     for version in (1, 2):
         for key in range(100):
             dataset.insert(make_document(rng, key, version))
@@ -336,7 +355,7 @@ def test_scan_pinned_across_background_flushes(tmp_path):
     """A scan pinned while background flushes land still reads its snapshot."""
     store = Datastore(make_config(storage_directory=str(tmp_path)))
     dataset = store.create_dataset("docs", layout="vector")
-    rng = random.Random(9)
+    rng = seeded_rng(9)
     oracle_at_pin: dict = {}
     for key in range(120):
         document = make_document(rng, key, version=1)
@@ -360,7 +379,7 @@ def test_parallel_scan_matches_sequential_scan():
     """Fan-out across partitions returns the same rows as the serial path."""
     store = Datastore(make_config(partitions_per_node=4, parallel_scan_workers=3))
     dataset = store.create_dataset("docs", layout="apax")
-    rng = random.Random(3)
+    rng = seeded_rng(3)
     oracle = {}
     for key in range(400):
         document = make_document(rng, key, version=1)
@@ -385,6 +404,206 @@ def test_parallel_scan_matches_sequential_scan():
     store.close()
 
 
+# -- transactional stress: recorded histories checked for isolation ------------------
+
+TXN_KEYS = 24
+TXN_WRITERS = 3
+TXN_READERS = 2
+TXN_OPS = max(25, STRESS_OPS // 5)  # transactions per writer session
+
+
+def _history_key(key: int) -> str:
+    return f"accounts/{key}"
+
+
+def dump_history(history, name: str):
+    """Save the history to $REPRO_HISTORY_DIR (None when the env is unset)."""
+    directory = os.environ.get(HISTORY_DIR_ENV)
+    if not directory:
+        return None
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    history.save(path)
+    return path
+
+
+def assert_certified(history, level: str) -> None:
+    """Check the history, archiving it next to a useful message on failure."""
+    result = check_history(history, level=level)
+    if not result.ok:
+        path = dump_history(history, f"violation-{history.name}")
+        if path is None:
+            path = os.path.join(
+                tempfile.mkdtemp(prefix="repro-history-"), f"{history.name}.json"
+            )
+            history.save(path)
+        pytest.fail(
+            f"isolation violation at {level} (history saved to {path}):\n"
+            + result.describe()
+        )
+
+
+class TxnWriter:
+    """One session of randomized multi-key read-modify-write transactions.
+
+    Every written value is globally unique (``w<id>-<counter>``), which is
+    what lets the checker infer the write-read relation exactly.
+    """
+
+    def __init__(self, worker_id: int, seed: int, recorder: HistoryRecorder) -> None:
+        self.worker_id = worker_id
+        self.rng = random.Random(seed)
+        self.session = recorder.session(f"txn-writer-{worker_id}")
+        self.error: BaseException | None = None
+        self.commits = 0
+        self.conflicts = 0
+
+    def run(self, store) -> None:
+        try:
+            counter = 0
+            for _ in range(TXN_OPS):
+                txn = store.begin()
+                record = self.session.begin()
+                try:
+                    read_keys = self.rng.sample(
+                        range(TXN_KEYS), self.rng.randint(1, 3)
+                    )
+                    for key in read_keys:
+                        document = txn.get("accounts", key)
+                        record.read(
+                            _history_key(key),
+                            None if document is None else document["val"],
+                        )
+                    for key in self.rng.sample(
+                        range(TXN_KEYS), self.rng.randint(1, 2)
+                    ):
+                        counter += 1
+                        value = f"w{self.worker_id}-{counter}"
+                        txn.insert("accounts", {"id": key, "val": value})
+                        record.write(_history_key(key), value)
+                    record.committed(txn.commit())
+                    self.commits += 1
+                except TransactionConflictError:
+                    record.aborted()
+                    self.conflicts += 1
+        except BaseException as exc:  # noqa: BLE001 - surfaced by the test
+            self.error = exc
+
+
+class TxnReader:
+    """Concurrent readers: snapshot (transactional) and plain point reads."""
+
+    def __init__(self, reader_id: int, seed: int, recorder: HistoryRecorder) -> None:
+        self.rng = random.Random(seed)
+        self.session = recorder.session(f"txn-reader-{reader_id}")
+        self.stop = threading.Event()
+        self.error: BaseException | None = None
+        self.reads = 0
+
+    def run(self, store, dataset) -> None:
+        try:
+            while not self.stop.is_set():
+                if self.rng.random() < 0.7:
+                    # A read-only transaction: multi-key snapshot read.
+                    with store.begin() as txn:
+                        record = self.session.begin()
+                        for key in self.rng.sample(
+                            range(TXN_KEYS), self.rng.randint(2, 4)
+                        ):
+                            document = txn.get("accounts", key)
+                            record.read(
+                                _history_key(key),
+                                None if document is None else document["val"],
+                            )
+                        record.committed(txn.commit())
+                else:
+                    # A plain (non-transactional) read: read committed.  One
+                    # read per recorded transaction can never fracture, so it
+                    # is safe to certify alongside the snapshot sessions.
+                    key = self.rng.randrange(TXN_KEYS)
+                    document = dataset.point_lookup(key)
+                    self.session.auto_read(
+                        _history_key(key),
+                        None if document is None else document["val"],
+                    )
+                self.reads += 1
+        except BaseException as exc:  # noqa: BLE001 - surfaced by the test
+            self.error = exc
+
+
+def test_transactional_stress_history_certifies_snapshot_isolation():
+    """Concurrent multi-key transactions; the recorded history must certify.
+
+    This is the AWDIT posture: instead of trusting an oracle replay, record
+    what every client actually observed and *check* the history against the
+    claimed isolation level (snapshot: consistent reads + no lost updates),
+    failing with a minimal counterexample cycle if the engine ever lied.
+    """
+    base_seed = resolve_seed(29)
+    store = Datastore(make_config())
+    dataset = store.create_dataset("accounts", layout="amax")
+    recorder = HistoryRecorder("txn-stress")
+
+    # Seed the keys through recorded single-document writes (single-threaded,
+    # so the commit-table sequence read right after each insert is exact).
+    init = recorder.session("init")
+    for key in range(TXN_KEYS):
+        value = f"init-{key}"
+        dataset.insert({"id": key, "val": value})
+        init.auto_write(_history_key(key), value, store.commits.current_seq())
+
+    writers = [
+        TxnWriter(i, derive_seed(base_seed, 100 + i), recorder)
+        for i in range(TXN_WRITERS)
+    ]
+    readers = [
+        TxnReader(i, derive_seed(base_seed, 200 + i), recorder)
+        for i in range(TXN_READERS)
+    ]
+    writer_threads = [
+        threading.Thread(target=writer.run, args=(store,)) for writer in writers
+    ]
+    reader_threads = [
+        threading.Thread(target=reader.run, args=(store, dataset))
+        for reader in readers
+    ]
+    for thread in writer_threads + reader_threads:
+        thread.start()
+    for thread in writer_threads:
+        thread.join(timeout=180)
+        assert not thread.is_alive(), "transaction writer hung"
+    for reader in readers:
+        reader.stop.set()
+    for thread in reader_threads:
+        thread.join(timeout=180)
+        assert not thread.is_alive(), "transaction reader hung"
+    for worker in writers + readers:
+        if worker.error is not None:
+            raise worker.error
+    store.drain_background()
+
+    assert sum(writer.commits for writer in writers) > 0
+    history = recorder.history()
+    dump_history(history, "txn-stress")
+    assert_certified(history, "snapshot")
+
+    # Differential closure: the store's final state must equal the history's
+    # newest committed version of every key (aborted writes never applied).
+    final_versions: dict = {}
+    for txn in history.transactions():
+        if txn.status != "committed" or txn.commit_seq is None:
+            continue
+        for key, op in txn.final_writes().items():
+            seq, _ = final_versions.get(key, (-1, None))
+            if txn.commit_seq > seq:
+                final_versions[key] = (txn.commit_seq, op.value)
+    for key in range(TXN_KEYS):
+        document = dataset.point_lookup(key)
+        _, expected = final_versions[_history_key(key)]
+        assert document is not None and document["val"] == expected
+    store.close()
+
+
 def test_background_flush_error_surfaces_to_caller():
     """An exception on a flush worker is raised at the next drain, not lost."""
     store = Datastore(make_config())
@@ -397,7 +616,7 @@ def test_background_flush_error_surfaces_to_caller():
 
     tree._build_component = broken_build
     try:
-        rng = random.Random(1)
+        rng = seeded_rng(1)
         for key in range(0, 400, 2):  # all keys route somewhere; enough hit p0
             dataset.insert(make_document(rng, key, version=1))
         with pytest.raises(Exception, match="injected flush failure"):

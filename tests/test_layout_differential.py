@@ -16,6 +16,8 @@ import random
 
 import pytest
 
+from conftest import resolve_seed
+
 from repro import Datastore, StoreConfig
 from repro.query import And, Call, Field, Or, Query, Var
 
@@ -71,7 +73,7 @@ def _heterogeneous_document(rng: random.Random, record_id: int) -> dict:
 
 
 def _corpus():
-    rng = random.Random(SEED)
+    rng = random.Random(resolve_seed(SEED))
     documents = [_heterogeneous_document(rng, i) for i in range(NUM_RECORDS)]
     # Updates: rewrite ~15% of the records with a *different* random shape so
     # the newest version may flip a predicate outcome (reconciliation must

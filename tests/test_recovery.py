@@ -18,9 +18,12 @@ import random
 
 import pytest
 
+from conftest import derive_seed, resolve_seed, seeded_rng
+
 from repro import Datastore, StoreConfig
 from repro.lsm.component import ALL_LAYOUTS
 from repro.lsm.keys import stable_key_hash
+from repro.model.errors import TransactionConflictError
 
 #: Random workload seeds; every (layout, seed) pair is an independent test.
 SEEDS = [11, 23]
@@ -120,7 +123,7 @@ def verify_against_oracle(dataset, oracle: dict, rng: random.Random) -> None:
 @pytest.mark.parametrize("layout", ALL_LAYOUTS)
 def test_kill_and_reopen_round_trip(tmp_path, layout, seed):
     """Crash at a random point; the reopened store must equal the oracle."""
-    rng = random.Random(seed * 1000 + stable_key_hash(layout) % 97)
+    rng = random.Random(derive_seed(resolve_seed(seed), stable_key_hash(layout) % 97))
     store = Datastore(make_config(tmp_path))
     dataset = store.create_dataset("docs", layout=layout)
     dataset.create_secondary_index("score", INDEX_PATH)
@@ -150,7 +153,7 @@ def test_kill_and_reopen_round_trip(tmp_path, layout, seed):
 @pytest.mark.parametrize("layout", ALL_LAYOUTS)
 def test_wal_replay_only_covers_the_unflushed_tail(tmp_path, layout):
     """After a checkpoint, recovery re-applies only post-checkpoint records."""
-    rng = random.Random(7)
+    rng = seeded_rng(7)
     store = Datastore(make_config(tmp_path))
     dataset = store.create_dataset("docs", layout=layout)
     dataset.create_secondary_index("score", INDEX_PATH)
@@ -178,7 +181,7 @@ def test_clean_close_leaves_no_wal_tail(tmp_path):
     store = Datastore(make_config(tmp_path))
     dataset = store.create_dataset("docs", layout="amax")
     dataset.create_secondary_index("score", INDEX_PATH)
-    rng = random.Random(3)
+    rng = seeded_rng(3)
     oracle: dict = {}
     run_workload(dataset, oracle, rng, operations=80)
     store.close()
@@ -246,7 +249,7 @@ def test_crash_with_in_flight_background_work(tmp_path, layout, seed):
     oracle state.  A durable LSN published before its component (or its
     manifest) were safely on disk would lose the rotated records here.
     """
-    rng = random.Random(seed * 677 + stable_key_hash(layout) % 89)
+    rng = random.Random(derive_seed(resolve_seed(seed), 677 + stable_key_hash(layout) % 89))
     store = Datastore(
         make_config(
             tmp_path,
@@ -313,6 +316,185 @@ def test_records_ingested_not_double_counted_by_replay(tmp_path):
     recovered = Datastore.open(str(tmp_path)).dataset("docs")
     assert recovered.count() == 50
     assert recovered.records_ingested == 50
+
+
+# -- transaction commit atomicity under crashes ----------------------------------------
+
+
+class SimulatedCrash(BaseException):
+    """Raised from a transaction's fault hook to model dying mid-commit.
+
+    A ``BaseException`` so no library code accidentally swallows it.
+    """
+
+
+def crash_during_commit(txn, stage: str, index: int) -> None:
+    """Arrange for ``txn.commit()`` to die right after (stage, index)."""
+
+    def fault(at_stage: str, at_index: int) -> None:
+        if (at_stage, at_index) == (stage, index):
+            raise SimulatedCrash(f"crashed after {stage}[{index}]")
+
+    txn.testing_fault = fault
+
+
+#: Commit-path crash points for a three-write transaction: before the commit
+#: record (nothing may survive) and after it (everything must survive).
+CRASH_POINTS = [
+    ("write-logged", 0, False),
+    ("write-logged", 2, False),
+    ("commit-logged", 0, True),
+    ("applied", 0, True),
+    ("applied", 1, True),
+]
+
+
+@pytest.mark.parametrize("stage,index,must_survive", CRASH_POINTS)
+def test_crash_mid_commit_is_all_or_nothing(tmp_path, stage, index, must_survive):
+    """A reopened store never exposes part of a transaction.
+
+    The commit record is the atomic point: crashes anywhere before it (even
+    with every write record already in the WAL) must recover none of the
+    transaction's writes; crashes anywhere after it (even before a single
+    write was applied in memory) must recover all three.
+    """
+    store = Datastore(make_config(tmp_path))
+    dataset = store.create_dataset("docs", layout="amax")
+    dataset.create_secondary_index("score", INDEX_PATH)
+    for key in range(3):
+        dataset.insert({"id": key, "generation": "old", "metrics": {"score": 1.0 + key}})
+
+    txn = store.begin()
+    for key in range(3):
+        txn.insert(
+            "docs", {"id": key, "generation": "new", "metrics": {"score": 50.0 + key}}
+        )
+    crash_during_commit(txn, stage, index)
+    with pytest.raises(SimulatedCrash):
+        txn.commit()
+    del store, dataset, txn  # the process "dies"; the directory survives
+
+    reopened = Datastore.open(str(tmp_path))
+    info = reopened.last_recovery
+    recovered = reopened.dataset("docs")
+    expected_generation = "new" if must_survive else "old"
+    for key in range(3):
+        document = recovered.point_lookup(key)
+        assert document["generation"] == expected_generation, (
+            f"crash after {stage}[{index}]: partial transaction exposed"
+        )
+    # The secondary index agrees with the surviving generation.
+    index_keys = sorted(recovered.secondary_indexes["score"].search_range(0.0, 100.0))
+    assert index_keys == [0, 1, 2]
+    assert sorted(recovered.secondary_indexes["score"].search_range(50.0, 53.0)) == (
+        [0, 1, 2] if must_survive else []
+    )
+    if must_survive:
+        assert info.wal_commit_records == 1
+        assert info.wal_records_skipped_uncommitted == 0
+    else:
+        assert info.wal_commit_records == 0
+        # Whatever write records made it to the log were orphaned and skipped.
+        assert info.wal_records_skipped_uncommitted == index + 1
+    reopened.close()
+
+
+def test_crash_after_commit_record_survives_even_with_flushed_neighbors(tmp_path):
+    """Replayed transaction writes coexist with checkpointed auto-commits."""
+    store = Datastore(make_config(tmp_path))
+    dataset = store.create_dataset("docs", layout="vector")
+    for key in range(20):
+        dataset.insert({"id": key, "v": "base"})
+    store.checkpoint()  # the base generation is durable without the WAL
+
+    txn = store.begin()
+    txn.insert("docs", {"id": 5, "v": "txn"})
+    txn.insert("docs", {"id": 50, "v": "txn"})
+    crash_during_commit(txn, "commit-logged", 0)
+    with pytest.raises(SimulatedCrash):
+        txn.commit()
+    del store, dataset, txn
+
+    reopened = Datastore.open(str(tmp_path))
+    recovered = reopened.dataset("docs")
+    assert recovered.point_lookup(5) == {"id": 5, "v": "txn"}
+    assert recovered.point_lookup(50) == {"id": 50, "v": "txn"}
+    assert recovered.point_lookup(6) == {"id": 6, "v": "base"}
+    assert recovered.count() == 21
+    reopened.close()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_randomized_crash_mid_commit_differential(tmp_path, seed):
+    """Random workloads + a transaction crashing at a random commit stage.
+
+    The oracle applies the transaction's writes exactly when the crash point
+    lies at-or-after the commit record; recovery must match the oracle on
+    every probe, run after run (the reopened store hosts the next round).
+    """
+    base_seed = resolve_seed(seed)
+    rng = random.Random(derive_seed(base_seed, 5000))
+    oracle: dict = {}
+    store = Datastore(make_config(tmp_path))
+    dataset = store.create_dataset("docs", layout="amax")
+    dataset.create_secondary_index("score", INDEX_PATH)
+    dataset.create_primary_key_index()
+
+    for round_index in range(6):
+        run_workload(dataset, oracle, rng, operations=rng.randrange(30, 90))
+
+        txn = store.begin()
+        staged = {}
+        for _ in range(rng.randint(1, 5)):
+            key = rng.randrange(KEY_SPACE)
+            if rng.random() < 0.85:
+                document = random_document(rng, key)
+                txn.insert("docs", document)
+                staged[key] = document
+            else:
+                txn.delete("docs", key)
+                staged[key] = None
+        stage, index = rng.choice(
+            [
+                ("write-logged", rng.randrange(len(staged))),
+                ("commit-logged", 0),
+                ("applied", rng.randrange(len(staged))),
+            ]
+        )
+        crash_during_commit(txn, stage, index)
+        with pytest.raises(SimulatedCrash):
+            txn.commit()
+        if stage != "write-logged":  # the commit record made it out
+            for key, document in staged.items():
+                if document is None:
+                    oracle.pop(key, None)
+                else:
+                    oracle[key] = document
+        del store, dataset, txn
+
+        store = Datastore.open(str(tmp_path))
+        dataset = store.dataset("docs")
+        verify_against_oracle(dataset, oracle, rng)
+    store.close()
+
+
+def test_conflicting_commit_leaves_no_wal_residue(tmp_path):
+    """A validation failure aborts before logging: replay sees nothing."""
+    store = Datastore(make_config(tmp_path))
+    dataset = store.create_dataset("docs", layout="open")
+    dataset.insert({"id": 1, "v": "first"})
+    txn = store.begin()
+    txn.insert("docs", {"id": 1, "v": "loser"})
+    dataset.insert({"id": 1, "v": "winner"})  # invalidates the transaction
+    with pytest.raises(TransactionConflictError):
+        txn.commit()
+    del store, dataset, txn
+
+    reopened = Datastore.open(str(tmp_path))
+    assert reopened.last_recovery.wal_records_skipped_uncommitted == 0
+    assert reopened.last_recovery.wal_commit_records == 0
+    assert reopened.dataset("docs").point_lookup(1) == {"id": 1, "v": "winner"}
+    reopened.close()
 
 
 def test_reopen_preserves_statistics_and_schema(tmp_path):

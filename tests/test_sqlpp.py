@@ -450,3 +450,180 @@ def test_shell_semicolon_inside_multiline_string():
     result = _run_shell('SELECT COUNT(*) AS n FROM gamers AS g WHERE g.name = "a;\nb";\n')
     assert result.returncode == 0, result.stderr
     assert "(1 row)" in result.stdout
+
+
+# ======================================================================================
+# Transaction and DML statements
+# ======================================================================================
+
+
+def _fresh_shell():
+    from io import StringIO
+
+    from repro.shell import Shell
+
+    store = Datastore(StoreConfig(partitions_per_node=2))
+    store.create_dataset("accounts", layout="amax")
+    return Shell(store, batch=True, out=StringIO(), err=StringIO())
+
+
+def test_parse_any_statement_kinds():
+    from repro.sqlpp import (
+        BeginStatement,
+        CommitStatement,
+        DeleteStatement,
+        InsertStatement,
+        RollbackStatement,
+        SelectStatement,
+        parse_any,
+    )
+
+    assert isinstance(parse_any("BEGIN;"), BeginStatement)
+    assert isinstance(parse_any("begin transaction;"), BeginStatement)
+    assert isinstance(parse_any("Commit"), CommitStatement)
+    assert isinstance(parse_any("rollback ;"), RollbackStatement)
+    insert = parse_any("INSERT INTO accounts {'id': 1};")
+    assert isinstance(insert, InsertStatement) and insert.dataset == "accounts"
+    delete = parse_any("DELETE FROM accounts WHERE id = 7;")
+    assert isinstance(delete, DeleteStatement)
+    assert (delete.dataset, delete.key_field) == ("accounts", "id")
+    assert isinstance(parse_any("SELECT 1;"), SelectStatement)
+
+
+def test_statement_words_are_still_legal_field_names():
+    # BEGIN/COMMIT/... are deliberately not lexer keywords: they must keep
+    # working as field names and aliases inside queries.
+    plan = plan_text("SELECT t.begin AS begin, t.commit AS commit FROM d AS t;")
+    assert "Field(Var('t'), 'begin')" in plan
+    assert "Field(Var('t'), 'commit')" in plan
+
+
+#: Transaction/DML misuse → exact message and position (run in a fresh shell
+#: session; ``open_txn`` first opens a transaction so COMMIT/BEGIN nesting
+#: rules apply).  Same contract as GOLDEN_ERRORS: messages are UI.
+GOLDEN_TXN_ERRORS = [
+    (False, "COMMIT;", "COMMIT outside a transaction at line 1 col 1"),
+    (False, "ROLLBACK;", "ROLLBACK outside a transaction at line 1 col 1"),
+    (False, "  commit;", "COMMIT outside a transaction at line 1 col 3"),
+    (False, "\n  ROLLBACK;", "ROLLBACK outside a transaction at line 2 col 3"),
+    (
+        True,
+        "BEGIN;",
+        "nested BEGIN: a transaction is already open (COMMIT or ROLLBACK it "
+        "first) at line 1 col 1",
+    ),
+    (
+        False,
+        "INSERT accounts {'id': 1};",
+        "expected INTO, found 'accounts' at line 1 col 8",
+    ),
+    (
+        False,
+        "INSERT INTO accounts 42;",
+        "expected an object literal (or an array of objects) to INSERT, "
+        "found '42' at line 1 col 22",
+    ),
+    (
+        False,
+        "INSERT INTO accounts [1, 2];",
+        "INSERT expects an object literal or a non-empty array of objects "
+        "at line 1 col 22",
+    ),
+    (
+        False,
+        "INSERT INTO accounts [];",
+        "INSERT expects an object literal or a non-empty array of objects "
+        "at line 1 col 22",
+    ),
+    (False, "DELETE FROM accounts;", "expected WHERE, found ';' at line 1 col 21"),
+    (
+        False,
+        "DELETE FROM accounts WHERE balance = 1;",
+        "DELETE key field `balance` is not the primary key `id` of dataset "
+        "'accounts' at line 1 col 1",
+    ),
+    (
+        False,
+        "DELETE FROM accounts WHERE id > 1;",
+        "expected '=' comparing the primary key in DELETE ... WHERE, "
+        "found '>' at line 1 col 31",
+    ),
+    (False, "BEGIN EXTRA;", "unexpected 'EXTRA' after statement end at line 1 col 7"),
+]
+
+
+@pytest.mark.parametrize(
+    "open_txn,sql,message",
+    GOLDEN_TXN_ERRORS,
+    ids=[f"txnerr{i}" for i in range(len(GOLDEN_TXN_ERRORS))],
+)
+def test_golden_transaction_error(open_txn, sql, message):
+    shell = _fresh_shell()
+    if open_txn:
+        shell.execute_statement("BEGIN;")
+    with pytest.raises(SqlppError) as excinfo:
+        shell.execute_statement(sql)
+    assert str(excinfo.value) == message
+    assert excinfo.value.line >= 1 and excinfo.value.column >= 1
+
+
+def test_shell_transaction_commit_and_rollback_semantics():
+    shell = _fresh_shell()
+    dataset = shell.store.dataset("accounts")
+
+    assert shell.execute_statement("INSERT INTO accounts {'id': 1, 'balance': 100};") == "INSERT 1"
+    assert shell.execute_statement("BEGIN;") == "BEGIN (transaction #1)"
+    status = shell.execute_statement(
+        "INSERT INTO accounts [{'id': 1, 'balance': 90}, {'id': 2, 'balance': 10}];"
+    )
+    assert status == "INSERT 2 (buffered in transaction)"
+    assert dataset.point_lookup(2) is None  # not visible before COMMIT
+    assert shell.execute_statement("COMMIT;").startswith("COMMIT (sequence ")
+    assert dataset.point_lookup(1)["balance"] == 90
+    assert dataset.point_lookup(2)["balance"] == 10
+
+    shell.execute_statement("BEGIN;")
+    assert (
+        shell.execute_statement("DELETE FROM accounts WHERE id = 1;")
+        == "DELETE 1 (buffered in transaction)"
+    )
+    assert shell.execute_statement("ROLLBACK;") == "ROLLBACK"
+    assert dataset.point_lookup(1)["balance"] == 90  # delete discarded
+
+    # A conflicting COMMIT raises but always closes the shell's transaction.
+    shell.execute_statement("BEGIN;")
+    shell.execute_statement("INSERT INTO accounts {'id': 1, 'balance': 0};")
+    dataset.insert({"id": 1, "balance": 77})  # invalidates the snapshot
+    from repro.model.errors import TransactionConflictError
+
+    with pytest.raises(TransactionConflictError):
+        shell.execute_statement("COMMIT;")
+    assert shell.txn is None
+    assert shell.execute_statement("BEGIN;") == "BEGIN (transaction #4)"
+    assert shell.execute_statement("COMMIT;") == "COMMIT (read-only)"
+
+
+def test_shell_subprocess_transaction_round_trip():
+    result = _run_shell(
+        "BEGIN;\n"
+        "INSERT INTO gamers {'id': 999, 'name': 'txn-user', 'games': []};\n"
+        "COMMIT;\n"
+        "SELECT g.name AS name FROM gamers AS g WHERE g.id = 999;\n"
+    )
+    assert result.returncode == 0, result.stderr
+    assert "BEGIN (transaction #1)" in result.stdout
+    assert "INSERT 1 (buffered in transaction)" in result.stdout
+    assert "COMMIT (sequence" in result.stdout
+    assert "txn-user" in result.stdout
+
+
+def test_shell_subprocess_rolls_back_open_transaction_on_exit():
+    result = _run_shell(
+        "BEGIN;\n"
+        "INSERT INTO gamers {'id': 998, 'name': 'ghost', 'games': []};\n"
+        "SELECT COUNT(*) AS n FROM gamers AS g WHERE g.id = 998;\n"
+    )
+    assert result.returncode == 0, result.stderr
+    # SELECT reads latest-committed state: the buffered insert is invisible,
+    # and quitting with the transaction still open rolled it back.
+    assert "rolled back open transaction" in result.stdout + result.stderr

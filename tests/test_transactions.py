@@ -1,0 +1,258 @@
+"""Engine-level tests for multi-statement transactions.
+
+Covers the three commitments of :mod:`repro.store.txn`: snapshot reads
+(pinned at ``begin()``, overlaid with the transaction's own writes),
+first-write-wins optimistic validation (against both other transactions and
+auto-committed single-document writes), and atomic apply (all writes visible
+together, none on abort).  Crash-atomicity of commit is exercised separately
+by the fault-injection tests in ``test_recovery.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import seeded_rng
+
+from repro import Datastore, StoreConfig
+from repro.model.errors import (
+    DatasetError,
+    TransactionConflictError,
+    TransactionError,
+)
+from repro.store import CommitTable
+
+
+def make_store(**overrides) -> Datastore:
+    settings = dict(partitions_per_node=2, memory_component_budget=100_000)
+    settings.update(overrides)
+    return Datastore(StoreConfig(**settings))
+
+
+def test_commit_applies_all_writes_atomically():
+    store = make_store()
+    accounts = store.create_dataset("accounts", layout="amax")
+    ledger = store.create_dataset("ledger", layout="vector")
+    accounts.insert({"id": 1, "balance": 100})
+    accounts.insert({"id": 2, "balance": 50})
+
+    txn = store.begin()
+    a = txn.get("accounts", 1)
+    b = txn.get("accounts", 2)
+    txn.insert("accounts", {"id": 1, "balance": a["balance"] - 10})
+    txn.insert("accounts", {"id": 2, "balance": b["balance"] + 10})
+    txn.insert("ledger", {"id": "t-1", "amount": 10})
+    # Nothing is visible before commit.
+    assert accounts.point_lookup(1)["balance"] == 100
+    assert ledger.point_lookup("t-1") is None
+
+    seq = txn.commit()
+    assert seq is not None and txn.status == "committed"
+    assert accounts.point_lookup(1)["balance"] == 90
+    assert accounts.point_lookup(2)["balance"] == 60
+    assert ledger.point_lookup("t-1") == {"id": "t-1", "amount": 10}
+
+
+def test_snapshot_reads_ignore_concurrent_commits():
+    store = make_store()
+    dataset = store.create_dataset("accounts", layout="open")
+    dataset.insert({"id": 1, "v": "before"})
+
+    reader = store.begin()
+    dataset.insert({"id": 1, "v": "after"})  # auto-commit lands meanwhile
+    dataset.insert({"id": 2, "v": "new"})
+    assert reader.get("accounts", 1) == {"id": 1, "v": "before"}
+    assert reader.get("accounts", 2) is None  # did not exist at begin()
+    assert reader.commit() is None  # read-only
+    # A fresh transaction sees the new state.
+    with store.begin() as fresh:
+        assert fresh.get("accounts", 1) == {"id": 1, "v": "after"}
+
+
+def test_read_your_writes_and_buffered_delete():
+    store = make_store()
+    dataset = store.create_dataset("accounts", layout="amax")
+    dataset.insert({"id": 1, "v": 0})
+    txn = store.begin()
+    txn.insert("accounts", {"id": 1, "v": 1})
+    assert txn.get("accounts", 1) == {"id": 1, "v": 1}
+    txn.delete("accounts", 1)
+    assert txn.get("accounts", 1) is None  # buffered tombstone wins
+    txn.insert("accounts", {"id": 1, "v": 2})  # last buffered write wins
+    txn.commit()
+    assert dataset.point_lookup(1) == {"id": 1, "v": 2}
+
+
+def test_transactional_delete_round_trip():
+    store = make_store()
+    dataset = store.create_dataset("accounts", layout="vector")
+    dataset.insert({"id": 7, "v": "x"})
+    txn = store.begin()
+    txn.delete("accounts", 7)
+    txn.commit()
+    assert dataset.point_lookup(7) is None
+    assert dataset.count() == 0
+
+
+def test_first_writer_wins_between_transactions():
+    store = make_store()
+    dataset = store.create_dataset("accounts", layout="amax")
+    dataset.insert({"id": 1, "balance": 100})
+
+    first = store.begin()
+    second = store.begin()
+    first.insert("accounts", {"id": 1, "balance": 150})
+    second.insert("accounts", {"id": 1, "balance": 125})
+    assert first.commit() is not None
+
+    with pytest.raises(TransactionConflictError) as excinfo:
+        second.commit()
+    assert excinfo.value.dataset == "accounts"
+    assert excinfo.value.key == 1
+    assert second.status == "aborted"
+    # The loser applied nothing.
+    assert dataset.point_lookup(1)["balance"] == 150
+
+
+def test_auto_commit_write_conflicts_with_open_transaction():
+    store = make_store()
+    dataset = store.create_dataset("accounts", layout="open")
+    dataset.insert({"id": 1, "v": 0})
+    txn = store.begin()
+    txn.insert("accounts", {"id": 1, "v": "txn"})
+    dataset.insert({"id": 1, "v": "auto"})  # single-document write commits first
+    with pytest.raises(TransactionConflictError):
+        txn.commit()
+    assert dataset.point_lookup(1) == {"id": 1, "v": "auto"}
+
+
+def test_disjoint_writes_do_not_conflict():
+    store = make_store()
+    store.create_dataset("accounts", layout="amax")
+    first = store.begin()
+    second = store.begin()
+    first.insert("accounts", {"id": 1, "v": "a"})
+    second.insert("accounts", {"id": 2, "v": "b"})
+    seq_first = first.commit()
+    seq_second = second.commit()
+    assert seq_first is not None and seq_second is not None
+    assert seq_second > seq_first  # commit sequence is monotonic
+
+
+def test_abort_discards_writes_and_finishes():
+    store = make_store()
+    dataset = store.create_dataset("accounts", layout="vector")
+    dataset.insert({"id": 1, "v": "keep"})
+    txn = store.begin()
+    txn.insert("accounts", {"id": 1, "v": "discard"})
+    txn.delete("accounts", 1)
+    txn.abort()
+    assert txn.status == "aborted"
+    assert dataset.point_lookup(1) == {"id": 1, "v": "keep"}
+    for operation in (
+        lambda: txn.get("accounts", 1),
+        lambda: txn.insert("accounts", {"id": 2}),
+        lambda: txn.delete("accounts", 1),
+        lambda: txn.commit(),
+        lambda: txn.abort(),
+    ):
+        with pytest.raises(TransactionError):
+            operation()
+
+
+def test_context_manager_aborts_open_transaction():
+    store = make_store()
+    dataset = store.create_dataset("accounts", layout="amax")
+    with store.begin() as txn:
+        txn.insert("accounts", {"id": 1, "v": "never"})
+    assert txn.status == "aborted"
+    assert dataset.point_lookup(1) is None
+    # ...but leaves a committed transaction alone.
+    with store.begin() as txn:
+        txn.insert("accounts", {"id": 1, "v": "yes"})
+        txn.commit()
+    assert txn.status == "committed"
+    assert dataset.point_lookup(1) == {"id": 1, "v": "yes"}
+
+
+def test_dataset_created_after_begin_is_readable():
+    store = make_store()
+    txn = store.begin()
+    late = store.create_dataset("late", layout="open")
+    late.insert({"id": 1, "v": "x"})
+    # Pinned lazily at first read — after the insert, which it therefore sees.
+    assert txn.get("late", 1) == {"id": 1, "v": "x"}
+    txn.insert("late", {"id": 2, "v": "y"})
+    txn.commit()
+    assert late.point_lookup(2) == {"id": 2, "v": "y"}
+
+
+def test_unknown_dataset_raises():
+    store = make_store()
+    txn = store.begin()
+    with pytest.raises(DatasetError):
+        txn.get("missing", 1)
+    with pytest.raises(DatasetError):
+        txn.insert("missing", {"id": 1})
+    with pytest.raises(DatasetError):
+        txn.delete("missing", 1)
+
+
+def test_get_many_preserves_order():
+    store = make_store()
+    dataset = store.create_dataset("accounts", layout="amax")
+    for key in range(5):
+        dataset.insert({"id": key, "v": key * 10})
+    txn = store.begin()
+    documents = txn.get_many("accounts", [3, 0, 99, 1])
+    assert [d and d["v"] for d in documents] == [30, 0, None, 10]
+    txn.abort()
+
+
+def test_snapshot_survives_flush_during_transaction():
+    """Pinned snapshots keep pre-flush memtable state readable."""
+    store = make_store(memory_component_budget=4000)
+    dataset = store.create_dataset("accounts", layout="amax")
+    rng = seeded_rng(41)
+    for key in range(20):
+        dataset.insert({"id": key, "v": rng.randrange(1000)})
+    txn = store.begin()
+    before = txn.get_many("accounts", list(range(20)))
+    for key in range(20):  # overwrite everything, forcing flushes
+        dataset.insert({"id": key, "v": "overwritten"})
+    dataset.flush_all()
+    store.drain_background()
+    assert txn.get_many("accounts", list(range(20))) == before
+    txn.abort()
+    store.close()
+
+
+def test_commit_table_semantics():
+    table = CommitTable()
+    assert table.current_seq() == 0
+    seq_one = table.record_write("d", 1)
+    assert seq_one == 1
+    assert table.find_conflict(0, [("d", 1)]) == ("d", 1)
+    assert table.find_conflict(seq_one, [("d", 1)]) is None
+    assert table.find_conflict(0, [("d", 2), ("other", 1)]) is None
+    seq_two = table.publish([("d", 2), ("d", 3)])
+    assert seq_two == 2
+    assert table.find_conflict(seq_one, [("d", 3)]) == ("d", 3)
+
+
+def test_transactions_are_durable_after_clean_close(tmp_path):
+    store = Datastore(
+        StoreConfig(storage_directory=str(tmp_path), partitions_per_node=2)
+    )
+    store.create_dataset("accounts", layout="amax")
+    txn = store.begin()
+    txn.insert("accounts", {"id": 1, "v": "a"})
+    txn.insert("accounts", {"id": 2, "v": "b"})
+    txn.commit()
+    store.close()
+
+    reopened = Datastore.open(str(tmp_path))
+    dataset = reopened.dataset("accounts")
+    assert dataset.point_lookup(1) == {"id": 1, "v": "a"}
+    assert dataset.point_lookup(2) == {"id": 2, "v": "b"}
+    reopened.close()

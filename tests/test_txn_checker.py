@@ -1,0 +1,221 @@
+"""Tests for the isolation checker and the known-bad history fixtures.
+
+The fixtures under ``tests/fixtures/histories/`` are hand-built violating
+histories (lost update, fractured read, write skew, aborted/intermediate
+reads); the checker must reject each at its level — with a printed
+counterexample — while still accepting it at every strictly weaker level the
+anomaly is legal under.  That asymmetry is what pins the checker's precision:
+a checker that flags everything would also "catch" these.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from conftest import seeded_rng
+
+from repro.verify import (
+    History,
+    HistoryRecorder,
+    LEVELS,
+    check_history,
+)
+from repro.verify.__main__ import main as verify_main
+
+FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "fixtures", "histories")
+
+#: fixture file -> (weakest level that must reject it, expected axiom,
+#:                  strongest level that must still accept it, or None)
+FIXTURES = {
+    "aborted_read.json": ("read-committed", "G1a", None),
+    "intermediate_read.json": ("read-committed", "G1b", None),
+    "fractured_read.json": ("read-atomic", "fractured-read", "read-committed"),
+    "lost_update.json": ("snapshot", "lost-update", "read-atomic"),
+    "write_skew.json": ("serializable", "dsg-cycle", "snapshot"),
+}
+
+
+def load_fixture(name: str) -> History:
+    return History.load(os.path.join(FIXTURE_DIR, name))
+
+
+@pytest.mark.parametrize("name", sorted(FIXTURES))
+def test_known_bad_fixture_is_rejected_with_counterexample(name):
+    rejects_at, axiom, accepts_at = FIXTURES[name]
+    history = load_fixture(name)
+
+    result = check_history(history, level=rejects_at)
+    assert not result.ok, f"{name} must violate {rejects_at}"
+    violation = result.violations[0]
+    assert violation.axiom == axiom
+    assert violation.level == rejects_at
+    assert violation.cycle, "a minimal counterexample must be printed"
+    assert axiom in result.describe()
+
+    # Stronger levels reject it too (levels are cumulative)...
+    for level in LEVELS[LEVELS.index(rejects_at):]:
+        assert not check_history(history, level=level).ok
+    # ...and the anomaly is legal below its level.
+    if accepts_at is not None:
+        accepting = check_history(history, level=accepts_at)
+        assert accepting.ok, (
+            f"{name} must be legal at {accepts_at}: {accepting.describe()}"
+        )
+
+
+def test_fixture_table_covers_every_fixture_file():
+    on_disk = {f for f in os.listdir(FIXTURE_DIR) if f.endswith(".json")}
+    assert on_disk == set(FIXTURES)
+
+
+def build_clean_history() -> History:
+    """A serial multi-session history: legal at every level."""
+    recorder = HistoryRecorder("clean")
+    init = recorder.session("init")
+    init.auto_write("accounts/1", "init-1", 1)
+    init.auto_write("accounts/2", "init-2", 2)
+    s1 = recorder.session("s1")
+    t1 = s1.begin()
+    t1.read("accounts/1", "init-1")
+    t1.read("accounts/2", "init-2")
+    t1.write("accounts/1", "w1-1")
+    t1.committed(3)
+    s2 = recorder.session("s2")
+    t2 = s2.begin()
+    t2.read("accounts/1", "w1-1")
+    t2.read("accounts/2", "init-2")
+    t2.write("accounts/2", "w2-2")
+    t2.committed(4)
+    # An aborted transaction whose write nobody observed is fine.
+    t3 = s1.begin()
+    t3.write("accounts/1", "w1-never")
+    t3.aborted()
+    return recorder.history()
+
+
+def test_clean_history_passes_every_level():
+    history = build_clean_history()
+    for level in LEVELS:
+        result = check_history(history, level=level)
+        assert result.ok, result.describe()
+    assert result.transactions_checked == 5
+    assert "OK at serializable" in result.describe()
+
+
+def test_unknown_level_rejected():
+    with pytest.raises(ValueError):
+        check_history(build_clean_history(), level="linearizable")
+
+
+def test_read_your_writes_violation():
+    recorder = HistoryRecorder("ryw")
+    txn = recorder.session("s").begin()
+    txn.write("k", "v1")
+    txn.read("k", "stale")
+    txn.committed(1)
+    result = check_history(recorder.history(), level="read-committed")
+    assert [v.axiom for v in result.violations] == ["read-your-writes"]
+
+
+def test_unwritten_value_violation():
+    recorder = HistoryRecorder("phantom-value")
+    txn = recorder.session("s").begin()
+    txn.read("k", "nobody-wrote-this")
+    txn.committed(None)
+    result = check_history(recorder.history(), level="read-committed")
+    assert [v.axiom for v in result.violations] == ["unwritten-value"]
+
+
+def test_dirty_read_of_open_transaction():
+    recorder = HistoryRecorder("dirty")
+    writer = recorder.session("w").begin()
+    writer.write("k", "in-flight")  # never committed nor aborted
+    reader = recorder.session("r").begin()
+    reader.read("k", "in-flight")
+    reader.committed(None)
+    result = check_history(recorder.history(), level="read-committed")
+    assert [v.axiom for v in result.violations] == ["dirty-read"]
+
+
+def test_duplicate_written_values_are_a_history_error():
+    recorder = HistoryRecorder("dupes")
+    t1 = recorder.session("a").begin()
+    t1.write("k", "same")
+    t1.committed(1)
+    t2 = recorder.session("b").begin()
+    t2.write("k", "same")
+    t2.committed(2)
+    result = check_history(recorder.history(), level="read-committed")
+    assert [v.axiom for v in result.violations] == ["history-error"]
+    assert "must be unique" in result.violations[0].message
+
+
+def test_committed_writer_without_seq_is_a_history_error():
+    recorder = HistoryRecorder("no-seq")
+    txn = recorder.session("a").begin()
+    txn.write("k", "v")
+    txn.committed(None)  # a *writing* commit must carry its sequence
+    result = check_history(recorder.history(), level="read-committed")
+    assert [v.axiom for v in result.violations] == ["history-error"]
+
+
+def test_history_json_round_trip(tmp_path):
+    history = build_clean_history()
+    path = tmp_path / "clean.json"
+    history.save(str(path))
+    loaded = History.load(str(path))
+    assert loaded.to_dict() == history.to_dict()
+    assert check_history(loaded, level="serializable").ok
+
+
+def test_cli_accepts_clean_and_rejects_bad(tmp_path, capsys):
+    clean_path = tmp_path / "clean.json"
+    build_clean_history().save(str(clean_path))
+    bad_path = os.path.join(FIXTURE_DIR, "lost_update.json")
+
+    assert verify_main([str(clean_path), "--level", "serializable"]) == 0
+    assert "OK at serializable" in capsys.readouterr().out
+
+    assert verify_main([str(clean_path), bad_path, "--level", "snapshot"]) == 1
+    out = capsys.readouterr().out
+    assert "lost-update" in out
+    assert "counterexample cycle" in out
+    assert "1 of 2 histories violate snapshot" in out
+
+    # Below its level the same fixture is legal, so the CLI accepts it.
+    assert verify_main([bad_path, "--level", "read-atomic"]) == 0
+
+
+def test_random_serial_histories_always_certify():
+    """Property: faithfully recorded serial executions pass every level."""
+    rng = seeded_rng(211)
+    for trial in range(20):
+        recorder = HistoryRecorder(f"serial-{trial}")
+        sessions = [recorder.session(f"s{i}") for i in range(rng.randint(1, 4))]
+        committed: dict = {}  # key -> value, the serial ground truth
+        seq = 0
+        for txn_index in range(rng.randint(1, 15)):
+            session = rng.choice(sessions)
+            txn = session.begin()
+            staged: dict = {}
+            for op_index in range(rng.randint(1, 6)):
+                key = f"k{rng.randrange(5)}"
+                if rng.random() < 0.5:
+                    value = f"t{txn_index}-o{op_index}"
+                    txn.write(key, value)
+                    staged[key] = value
+                else:
+                    txn.read(key, staged.get(key, committed.get(key)))
+            if rng.random() < 0.2:
+                txn.aborted()
+            else:
+                if staged:
+                    seq += 1
+                    txn.committed(seq)
+                    committed.update(staged)
+                else:
+                    txn.committed(None)
+        result = check_history(recorder.history(), level="serializable")
+        assert result.ok, f"trial {trial}: {result.describe()}"

@@ -1,0 +1,182 @@
+"""Property-style round-trip tests for the WAL record codec.
+
+Randomized documents/keys go through ``encode_wal_record`` →
+``decode_wal_record`` and must come back identical; commit records round-trip
+too.  The torn-tail tests cut a persisted log file short at every byte
+boundary and assert the loader always recovers exactly the longest valid
+record prefix — never a corrupt record, never fewer than the intact ones.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import string
+import tempfile
+
+from conftest import seeded_rng
+
+from repro.lsm.wal import (
+    AUTO_COMMIT,
+    CommitRecord,
+    LogManager,
+    WALRecord,
+    decode_wal_record,
+    encode_wal_record,
+)
+from repro.storage.device import StorageDevice
+
+
+def random_scalar(rng: random.Random):
+    choice = rng.randrange(5)
+    if choice == 0:
+        return rng.randint(-(2**40), 2**40)
+    if choice == 1:
+        return round(rng.uniform(-1e6, 1e6), 3)
+    if choice == 2:
+        return "".join(rng.choices(string.ascii_letters + " é✓", k=rng.randint(0, 12)))
+    if choice == 3:
+        return rng.random() < 0.5
+    return None
+
+
+def random_value(rng: random.Random, depth: int = 0):
+    if depth < 2 and rng.random() < 0.3:
+        if rng.random() < 0.5:
+            return [random_value(rng, depth + 1) for _ in range(rng.randint(0, 4))]
+        return {
+            f"f{rng.randrange(6)}": random_value(rng, depth + 1)
+            for _ in range(rng.randint(0, 4))
+        }
+    return random_scalar(rng)
+
+
+def random_document(rng: random.Random) -> dict:
+    return {
+        "id": rng.randint(0, 10**9),
+        **{
+            "".join(rng.choices(string.ascii_lowercase, k=rng.randint(1, 8))):
+                random_value(rng)
+            for _ in range(rng.randint(0, 6))
+        },
+    }
+
+
+def random_key(rng: random.Random):
+    if rng.random() < 0.5:
+        return rng.randint(-(2**31), 2**31)
+    return "".join(rng.choices(string.ascii_letters + string.digits, k=rng.randint(1, 16)))
+
+
+def test_insert_records_round_trip():
+    rng = seeded_rng(101)
+    for trial in range(200):
+        record = WALRecord(
+            lsn=rng.randint(1, 2**40),
+            dataset="".join(rng.choices(string.ascii_lowercase, k=rng.randint(1, 12))),
+            partition_id=rng.randrange(64),
+            antimatter=False,
+            key=random_key(rng),
+            document=random_document(rng),
+            txn_id=rng.choice([AUTO_COMMIT, rng.randint(1, 2**40)]),
+        )
+        decoded = decode_wal_record(encode_wal_record(record))
+        assert decoded == record, f"trial {trial} mismatch"
+
+
+def test_delete_records_round_trip():
+    rng = seeded_rng(103)
+    for _ in range(200):
+        record = WALRecord(
+            lsn=rng.randint(1, 2**40),
+            dataset="events",
+            partition_id=rng.randrange(64),
+            antimatter=True,
+            key=random_key(rng),
+            txn_id=rng.choice([AUTO_COMMIT, rng.randint(1, 2**40)]),
+        )
+        assert decode_wal_record(encode_wal_record(record)) == record
+
+
+def test_commit_records_round_trip():
+    rng = seeded_rng(107)
+    for _ in range(200):
+        record = CommitRecord(
+            lsn=rng.randint(1, 2**40),
+            txn_id=rng.randint(1, 2**40),
+            write_count=rng.randrange(1000),
+        )
+        decoded = decode_wal_record(encode_wal_record(record))
+        assert isinstance(decoded, CommitRecord)
+        assert decoded == record
+
+
+def _fill_log(directory: str, rng: random.Random, record_count: int):
+    """Write a mixed WAL (writes + commit records) and return the records."""
+    device = StorageDevice(directory=directory)
+    manager = LogManager(num_nodes=1, partitions_per_node=2, device=device)
+    for index in range(record_count):
+        if index and index % 5 == 4:
+            manager.log_commit_record(manager.allocate_txn_id(), rng.randrange(1, 4))
+        else:
+            document = None if rng.random() < 0.3 else random_document(rng)
+            manager.logs[0].log_record(
+                "events", rng.randrange(2), random_key(rng), document,
+                document is None, txn_id=rng.choice([AUTO_COMMIT, 999]),
+            )
+    expected = manager.iter_records()
+    device.close()
+    return expected
+
+
+def test_torn_tail_truncation_recovers_longest_valid_prefix():
+    """Cut the log at random byte offsets; the loader must keep intact records."""
+    rng = seeded_rng(109)
+    with tempfile.TemporaryDirectory() as directory:
+        expected = _fill_log(directory, rng, record_count=20)
+        path = os.path.join(directory, "wal-node0.log")
+        pristine = open(path, "rb").read()
+
+        # Record the byte offset at which each framed record ends.
+        boundaries = []
+        device = StorageDevice(directory=directory)
+        log_file = device.open_log_file("wal-node0.log")
+        offset = 0
+        for payload in log_file.records:
+            offset += 8 + len(payload)  # uint32 length + uint32 crc + payload
+            boundaries.append(offset)
+        device.close()
+        assert boundaries[-1] == len(pristine)
+
+        cut_points = sorted(rng.sample(range(1, len(pristine)), 40))
+        for cut in cut_points:
+            with open(path, "wb") as handle:
+                handle.write(pristine[:cut])
+            device = StorageDevice(directory=directory)
+            log_file = device.open_log_file("wal-node0.log")
+            survivors = [decode_wal_record(raw) for raw in log_file.records]
+            device.close()
+            intact = sum(1 for boundary in boundaries if boundary <= cut)
+            assert survivors == expected[:intact], f"cut at byte {cut}"
+            # The torn tail was physically truncated away.
+            assert os.path.getsize(path) == (boundaries[intact - 1] if intact else 0)
+        # Restore for any later cut (and leave the file valid on exit).
+        with open(path, "wb") as handle:
+            handle.write(pristine)
+
+
+def test_corrupt_byte_in_tail_record_is_discarded():
+    """Flipping a byte in the last record fails its checksum; prefix survives."""
+    rng = seeded_rng(113)
+    with tempfile.TemporaryDirectory() as directory:
+        expected = _fill_log(directory, rng, record_count=8)
+        path = os.path.join(directory, "wal-node0.log")
+        raw = bytearray(open(path, "rb").read())
+        raw[-1] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(raw)
+        device = StorageDevice(directory=directory)
+        log_file = device.open_log_file("wal-node0.log")
+        survivors = [decode_wal_record(payload) for payload in log_file.records]
+        device.close()
+        assert survivors == expected[:-1]
