@@ -45,6 +45,16 @@ OP_INSERT = 0
 OP_DELETE = 1
 OP_COMMIT = 2
 
+#: First byte of every encoded record.  0x00 can never begin a legacy
+#: (unversioned) record — those start with the uvarint of an LSN ≥ 1 — so a
+#: log written before record versioning is detected deterministically
+#: instead of being misdecoded into garbage.
+WAL_FORMAT_MAGIC = 0x00
+#: Second byte; bump on any incompatible change to the record layout.
+#: Version 2 = txn-id field + commit records (the pre-transaction layout is
+#: retroactively version 1, which never wrote a header).
+WAL_FORMAT_VERSION = 2
+
 #: ``txn_id`` of records logged outside any multi-statement transaction.
 AUTO_COMMIT = 0
 
@@ -89,6 +99,7 @@ def encode_wal_record(record) -> bytes:
 
     Layout (all integers uvarint unless noted)::
 
+        magic byte 0x00 + format-version byte (see WAL_FORMAT_VERSION)
         lsn
         txn id (0 = auto-commit)
         op byte (0 = insert, 1 = delete, 2 = commit)
@@ -107,7 +118,7 @@ def encode_wal_record(record) -> bytes:
     the record, so replay never depends on in-memory dictionary state that
     died with the process.
     """
-    out = bytearray()
+    out = bytearray((WAL_FORMAT_MAGIC, WAL_FORMAT_VERSION))
     encode_uvarint(record.lsn, out)
     encode_uvarint(record.txn_id, out)
     if isinstance(record, CommitRecord):
@@ -135,8 +146,25 @@ def encode_wal_record(record) -> bytes:
 
 
 def decode_wal_record(data: bytes):
-    """Inverse of :func:`encode_wal_record` (a WALRecord or a CommitRecord)."""
-    lsn, offset = decode_uvarint(data, 0)
+    """Inverse of :func:`encode_wal_record` (a WALRecord or a CommitRecord).
+
+    Raises:
+        StorageError: The record carries no version header (log written by a
+            pre-versioning build) or a version this build does not read.
+    """
+    if len(data) < 2 or data[0] != WAL_FORMAT_MAGIC:
+        raise StorageError(
+            "incompatible WAL format: record has no version header — this "
+            "wal-node*.log was written by an older build; reopen it with "
+            "that build and checkpoint (which truncates the log) before "
+            "upgrading"
+        )
+    if data[1] != WAL_FORMAT_VERSION:
+        raise StorageError(
+            f"incompatible WAL format version {data[1]}: this build reads "
+            f"version {WAL_FORMAT_VERSION}"
+        )
+    lsn, offset = decode_uvarint(data, 2)
     txn_id, offset = decode_uvarint(data, offset)
     op = data[offset]
     offset += 1

@@ -11,7 +11,7 @@ from __future__ import annotations
 import itertools
 import threading
 from concurrent.futures import as_completed
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.schema import Schema
@@ -104,6 +104,11 @@ class Dataset:
         #: open transactions can detect first-write-wins conflicts against
         #: them.  None for standalone datasets — transactions need a store.
         self.commit_table = None
+        #: The datastore's commit lock (set together with ``commit_table``).
+        #: Auto-committed writes hold it across apply + stamp so they are
+        #: atomic with respect to transaction validation — see
+        #: :meth:`_autocommit_guard`.
+        self.commit_lock: Optional[threading.RLock] = None
         self.records_ingested = 0
         self.point_lookups_performed = 0
         #: Highest LSN the persisted ``records_ingested`` already covers
@@ -157,6 +162,20 @@ class Dataset:
 
     def _lock_for_key(self, key) -> threading.RLock:
         return self._key_locks[stable_key_hash(key) % len(self._key_locks)]
+
+    def _autocommit_guard(self):
+        """The datastore's commit lock, when transactions are possible.
+
+        An auto-committed write applies to the partition and stamps the
+        :class:`~repro.store.txn.CommitTable` inside one critical section
+        with transaction commits: without it, the write could land between a
+        committing transaction's ``find_conflict`` and its apply of the same
+        key, and the transaction would silently overwrite the just-committed
+        write with no conflict raised (a lost update, breaking
+        first-write-wins).  Standalone datasets (no commit table, so no
+        transactions to race) skip the lock entirely.
+        """
+        return self.commit_lock if self.commit_lock is not None else nullcontext()
 
     @contextmanager
     def _all_key_locks(self):
@@ -255,17 +274,19 @@ class Dataset:
         """
         key = self._key_of(document)
         partition = self._partition_for(key)
-        if self._has_indexes():
-            with self._lock_for_key(key):
-                self._maintain_secondary_indexes(key, document)
+        with self._autocommit_guard():
+            if self._has_indexes():
+                with self._lock_for_key(key):
+                    self._maintain_secondary_indexes(key, document)
+                    partition.insert(key, document)
+            else:
                 partition.insert(key, document)
-        else:
-            partition.insert(key, document)
-        if self.commit_table is not None:
-            # Stamp strictly after the write is visible: a transaction whose
-            # snapshot missed this write is guaranteed to see a version above
-            # its start sequence and abort, never to overwrite it silently.
-            self.commit_table.record_write(self.name, key)
+            if self.commit_table is not None:
+                # Stamp after the write is visible, inside the same commit-lock
+                # critical section: a transaction whose snapshot missed this
+                # write is guaranteed to see a version above its start sequence
+                # and abort, never to overwrite it silently.
+                self.commit_table.record_write(self.name, key)
         with self._counter_lock:
             self.records_ingested += 1
         if auto_flush and partition.needs_flush:
@@ -281,16 +302,17 @@ class Dataset:
     def delete(self, key) -> None:
         """Delete by primary key (adds anti-matter)."""
         partition = self._partition_for(key)
-        if self.secondary_indexes:
-            with self._lock_for_key(key):
-                old_document = self._fetch_old_document(key)
-                for index in self.secondary_indexes.values():
-                    index.delete(index.extract(old_document), key)
+        with self._autocommit_guard():
+            if self.secondary_indexes:
+                with self._lock_for_key(key):
+                    old_document = self._fetch_old_document(key)
+                    for index in self.secondary_indexes.values():
+                        index.delete(index.extract(old_document), key)
+                    partition.delete(key)
+            else:
                 partition.delete(key)
-        else:
-            partition.delete(key)
-        if self.commit_table is not None:
-            self.commit_table.record_write(self.name, key)
+            if self.commit_table is not None:
+                self.commit_table.record_write(self.name, key)
 
     def apply_committed_write(
         self, key, document: Optional[dict], antimatter: bool, lsn: int

@@ -105,7 +105,10 @@ class Datastore:
         self.commits = CommitTable()
         #: Serializes transaction commits, and synchronizes begin() with
         #: them: a snapshot is pinned either before a commit's first apply or
-        #: after its last, never in between.  Outermost in the lock order
+        #: after its last, never in between.  Auto-committed single-document
+        #: writes take it too (apply + commit-table stamp as one step), so a
+        #: write can never land inside a commit's validate→apply window and
+        #: be silently overwritten.  Outermost in the lock order
         #: (commit lock > per-key stripe locks > tree locks).
         self._commit_lock = threading.RLock()
         self._txn_handles = itertools.count(1)
@@ -167,6 +170,7 @@ class Datastore:
                 scheduler=store.scheduler,
             )
             dataset.commit_table = store.commits
+            dataset.commit_lock = store._commit_lock
             store.datasets[name] = dataset
             info.datasets_recovered += 1
             info.components_loaded += dataset.num_components()
@@ -313,6 +317,7 @@ class Datastore:
             scheduler=self.scheduler,
         )
         dataset.commit_table = self.commits
+        dataset.commit_lock = self._commit_lock
         self.datasets[name] = dataset
         dataset.persist_manifest()
         self._persist_root_manifest()

@@ -172,21 +172,32 @@ class Transaction:
         snapshots = self._snapshots.get(dataset_name)
         if snapshots is not None:
             return snapshots
-        dataset = self._store.dataset(dataset_name)  # raises DatasetError
-        # Created after begin(): pin lazily, under the commit lock so the pin
-        # can never capture a half-applied commit.
-        with self._store._commit_lock:
-            self._pin_dataset(dataset_name, dataset)
-        return self._snapshots[dataset_name]
+        self._store.dataset(dataset_name)  # raises DatasetError when unknown
+        # begin() pinned every dataset that existed, so an unpinned name was
+        # created *after* this transaction began: it held nothing at the
+        # snapshot point, and reads must see it that way.  Pinning its live
+        # trees now would splice a later point in time into the snapshot —
+        # a commit landing between begin() and this read would be visible
+        # here yet invisible in the datasets pinned at begin(), so the view
+        # would no longer be commit-consistent.
+        self._snapshots[dataset_name] = ()
+        return ()
 
     def get(self, dataset_name: str, key, fields: Optional[Sequence[str]] = None):
-        """Snapshot point lookup, overlaid with this transaction's writes."""
+        """Snapshot point lookup, overlaid with this transaction's writes.
+
+        A dataset created after ``begin()`` reads as empty (it was, at the
+        snapshot point), though the transaction still sees its own buffered
+        writes to it and may commit into it.
+        """
         self._require_open()
         buffered = self._writes.get((dataset_name, key))
         if buffered is not None:
             antimatter, document = buffered
             return None if antimatter else document
         snapshots = self._snapshot_for(dataset_name)
+        if not snapshots:  # created after begin(): empty at the snapshot point
+            return None
         partition_index = stable_key_hash(key) % len(snapshots)
         return snapshots[partition_index].point_lookup(key, fields)
 
@@ -230,6 +241,12 @@ class Transaction:
                 a written key was committed by someone else after this
                 transaction pinned its snapshot.  The transaction is aborted
                 and nothing was applied.
+
+        Once the commit record is durable the transaction is finalized as
+        *committed* even if applying a write afterwards raises: the error
+        propagates, but ``status``, ``commit_seq``, and the commit-table
+        stamp all reflect the on-disk outcome (a reopen replays the commit
+        and heals whatever the failed apply left behind).
         """
         self._require_open()
         if not self._writes:
@@ -266,13 +283,25 @@ class Transaction:
                 logged.append((dataset, key, antimatter, document, lsn))
                 self._fault("write-logged", index)
             store.log_manager.log_commit_record(wal_txn_id, len(logged))
-            self._fault("commit-logged", 0)
-            # Apply (indexes + memtables, no re-logging) while still holding
-            # the commit lock: begin() synchronizes on it, so no transaction
-            # snapshot can be pinned between the first and last apply.
-            for index, (dataset, key, antimatter, document, lsn) in enumerate(logged):
-                dataset.apply_committed_write(key, document, antimatter, lsn)
-                self._fault("applied", index)
-            self.commit_seq = store.commits.publish(self._writes)
-        self._finish("committed")
+            # The commit record is durable: from here on the transaction IS
+            # committed, whatever happens while applying.  Publish the
+            # commit-table stamp and finalize even if an apply raises
+            # (index-maintenance or flush-scheduling error), so in-process
+            # conflict detection and ``status`` never disagree with the
+            # on-disk truth — the error still propagates, and replay on the
+            # next open() heals whatever the failed apply left behind.
+            try:
+                self._fault("commit-logged", 0)
+                # Apply (indexes + memtables, no re-logging) while still
+                # holding the commit lock: begin() synchronizes on it, so no
+                # transaction snapshot can be pinned between the first and
+                # last apply.
+                for index, (dataset, key, antimatter, document, lsn) in enumerate(
+                    logged
+                ):
+                    dataset.apply_committed_write(key, document, antimatter, lsn)
+                    self._fault("applied", index)
+            finally:
+                self.commit_seq = store.commits.publish(self._writes)
+                self._finish("committed")
         return self.commit_seq

@@ -10,6 +10,9 @@ by the fault-injection tests in ``test_recovery.py``.
 
 from __future__ import annotations
 
+import threading
+import time
+
 import pytest
 
 from conftest import seeded_rng
@@ -126,6 +129,89 @@ def test_auto_commit_write_conflicts_with_open_transaction():
     assert dataset.point_lookup(1) == {"id": 1, "v": "auto"}
 
 
+def test_auto_commit_during_commit_window_is_not_lost():
+    """An auto-commit can never land inside a commit's validate→apply window.
+
+    Without the shared commit lock, a single-document write slipping in
+    between a committing transaction's validation and its apply of the same
+    key would be silently overwritten with no conflict raised — a lost
+    committed write.  With it, the write blocks until the commit finishes
+    and then lands strictly after it.
+    """
+    store = make_store()
+    dataset = store.create_dataset("accounts", layout="amax")
+    dataset.insert({"id": 1, "v": "base"})
+
+    txn = store.begin()
+    txn.insert("accounts", {"id": 1, "v": "txn"})
+
+    started = threading.Event()
+
+    def racing_auto_commit():
+        started.set()
+        dataset.insert({"id": 1, "v": "auto"})
+
+    racer = threading.Thread(target=racing_auto_commit)
+
+    def fault(stage: str, index: int) -> None:
+        # Right after the commit record, mid-window: launch the racing
+        # auto-commit and give it time to run — it must block on the
+        # commit lock instead of applying inside the window.
+        if stage == "commit-logged":
+            racer.start()
+            started.wait(timeout=5)
+            time.sleep(0.05)
+
+    txn.testing_fault = fault
+    assert txn.commit() is not None
+    racer.join(timeout=5)
+    assert not racer.is_alive()
+    # The auto-commit applied after the transaction, not inside it.
+    assert dataset.point_lookup(1) == {"id": 1, "v": "auto"}
+    # ...and stamped the commit table after the transaction's publish.
+    assert store.commits.find_conflict(txn.commit_seq, [("accounts", 1)]) == (
+        "accounts",
+        1,
+    )
+
+
+def test_apply_failure_after_commit_record_still_finalizes():
+    """Once the commit record is durable, the transaction IS committed.
+
+    An error while applying (index maintenance, flush scheduling) must not
+    leave the transaction 'open' with the commit-table stamp missing —
+    in-process conflict detection would then disagree with the on-disk
+    truth.  The error propagates, but status, commit_seq, and the stamp all
+    reflect the durable outcome.
+    """
+    store = make_store()
+    dataset = store.create_dataset("accounts", layout="amax")
+    dataset.insert({"id": 1, "v": "base"})
+
+    loser = store.begin()  # pinned before the failing commit
+    loser.insert("accounts", {"id": 1, "v": "loser"})
+
+    txn = store.begin()
+    txn.insert("accounts", {"id": 1, "v": "txn"})
+    original_apply = dataset.apply_committed_write
+
+    def failing_apply(*args, **kwargs):
+        raise RuntimeError("index maintenance failed")
+
+    dataset.apply_committed_write = failing_apply
+    try:
+        with pytest.raises(RuntimeError, match="index maintenance failed"):
+            txn.commit()
+    finally:
+        dataset.apply_committed_write = original_apply
+
+    assert txn.status == "committed"
+    assert txn.commit_seq is not None
+    # Conflict detection sees the committed-on-disk transaction.
+    with pytest.raises(TransactionConflictError):
+        loser.commit()
+
+
 def test_disjoint_writes_do_not_conflict():
     store = make_store()
     store.create_dataset("accounts", layout="amax")
@@ -175,15 +261,24 @@ def test_context_manager_aborts_open_transaction():
     assert dataset.point_lookup(1) == {"id": 1, "v": "yes"}
 
 
-def test_dataset_created_after_begin_is_readable():
+def test_dataset_created_after_begin_reads_empty():
+    """Post-begin datasets are empty-at-begin, not pinned at first touch.
+
+    Pinning the live trees at first read would splice a later point in time
+    into the snapshot: a commit landing between begin() and the read would
+    be visible in the late dataset but invisible in the ones pinned at
+    begin().  The dataset held nothing at the snapshot point, so reads see
+    nothing — while the transaction's own writes to it behave as usual.
+    """
     store = make_store()
     txn = store.begin()
     late = store.create_dataset("late", layout="open")
-    late.insert({"id": 1, "v": "x"})
-    # Pinned lazily at first read — after the insert, which it therefore sees.
-    assert txn.get("late", 1) == {"id": 1, "v": "x"}
+    late.insert({"id": 1, "v": "post-begin"})
+    assert txn.get("late", 1) is None  # committed after the snapshot point
     txn.insert("late", {"id": 2, "v": "y"})
+    assert txn.get("late", 2) == {"id": 2, "v": "y"}  # read-your-writes
     txn.commit()
+    assert late.point_lookup(1) == {"id": 1, "v": "post-begin"}
     assert late.point_lookup(2) == {"id": 2, "v": "y"}
 
 

@@ -14,16 +14,21 @@ import random
 import string
 import tempfile
 
+import pytest
+
 from conftest import seeded_rng
 
 from repro.lsm.wal import (
     AUTO_COMMIT,
+    WAL_FORMAT_MAGIC,
+    WAL_FORMAT_VERSION,
     CommitRecord,
     LogManager,
     WALRecord,
     decode_wal_record,
     encode_wal_record,
 )
+from repro.model.errors import StorageError
 from repro.storage.device import StorageDevice
 
 
@@ -109,6 +114,27 @@ def test_commit_records_round_trip():
         decoded = decode_wal_record(encode_wal_record(record))
         assert isinstance(decoded, CommitRecord)
         assert decoded == record
+
+
+def test_legacy_unversioned_record_is_rejected():
+    """A pre-versioning record is detected, not misdecoded into garbage.
+
+    The old layout began with the uvarint of an LSN ≥ 1, whose first byte is
+    never 0x00 — stripping the new two-byte header off a current record
+    yields exactly that shape.
+    """
+    record = WALRecord(7, "events", 0, False, 1, {"id": 1, "v": "x"})
+    payload = encode_wal_record(record)
+    assert payload[0] == WAL_FORMAT_MAGIC and payload[1] == WAL_FORMAT_VERSION
+    with pytest.raises(StorageError, match="incompatible WAL format"):
+        decode_wal_record(payload[2:])  # header-less = legacy layout
+
+
+def test_unknown_format_version_is_rejected():
+    payload = bytearray(encode_wal_record(CommitRecord(5, 3, 2)))
+    payload[1] = WAL_FORMAT_VERSION + 1
+    with pytest.raises(StorageError, match="incompatible WAL format version"):
+        decode_wal_record(bytes(payload))
 
 
 def _fill_log(directory: str, rng: random.Random, record_count: int):
