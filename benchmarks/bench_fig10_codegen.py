@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.bench import run_query
 from repro.bench.queries import tweet1_q1
-from repro.bench.reporting import print_figure
+from repro.bench.reporting import print_figure, query_result_payload, write_bench_json
 from repro.query import Query, Var
 
 LAYOUT_ORDER = ("open", "vector", "apax", "amax")
@@ -33,10 +33,12 @@ def _run(fixtures):
     for label, factory, executor in (
         ("Q1 count(*)", tweet1_q1, "codegen"),
         ("Q2 interpreted", figure11_query, "interpreted"),
+        ("Q2 batch", figure11_query, "batch"),
         ("Q2 codegen", figure11_query, "codegen"),
     ):
         per_layout = {}
         for layout in LAYOUT_ORDER:
+            run_query(fixtures[layout], factory, executor=executor)  # warm-up
             per_layout[layout] = run_query(
                 fixtures[layout], factory, executor=executor, repetitions=3
             )
@@ -84,16 +86,29 @@ def test_fig10_interpreted_vs_codegen(benchmark, tweet1_fixtures):
         ["query"] + list(LAYOUT_ORDER),
         rows,
     )
+    write_bench_json(
+        "fig10",
+        "executors",
+        {
+            label: {
+                layout: query_result_payload(per_layout[layout])
+                for layout in LAYOUT_ORDER
+            }
+            for label, per_layout in results.items()
+        },
+    )
     interpreted = results["Q2 interpreted"]
+    batched = results["Q2 batch"]
     generated = results["Q2 codegen"]
     # End-to-end, code generation never loses by more than measurement noise at
     # this scale: the scan/decode cost (identical for both executors) dominates
     # the tiny synthetic datasets, unlike the paper's 200 GB inputs.
     for layout in LAYOUT_ORDER:
         assert generated[layout].seconds <= interpreted[layout].seconds * 1.5, layout
-    # Both executors agree on the results.
+    # All three executors agree on the results.
     for layout in LAYOUT_ORDER:
         assert generated[layout].rows == interpreted[layout].rows
+        assert batched[layout].rows == interpreted[layout].rows
 
     # Isolating the execution model (the quantity Figure 10 is about).  NOTE:
     # this is the one experiment whose *magnitude* does not reproduce in pure
@@ -108,6 +123,11 @@ def test_fig10_interpreted_vs_codegen(benchmark, tweet1_fixtures):
         "Figure 10 (execution model only) — pipeline over 20k in-memory rows",
         ["executor", "seconds"],
         [["interpreted", round(interpreted_seconds, 4)], ["codegen", round(generated_seconds, 4)]],
+    )
+    write_bench_json(
+        "fig10",
+        "pipeline_only",
+        {"interpreted": interpreted_seconds, "codegen": generated_seconds},
     )
     assert generated_seconds < interpreted_seconds * 3
     assert interpreted_seconds < generated_seconds * 3

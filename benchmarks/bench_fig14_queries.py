@@ -16,10 +16,16 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import run_query
-from repro.bench.queries import QUERY_SUITES
-from repro.bench.reporting import print_figure
+from repro.bench.queries import QUERY_SUITES, cell_q1, cell_q3
+from repro.bench.reporting import print_figure, query_result_payload, write_bench_json
 
 LAYOUT_ORDER = ("open", "vector", "apax", "amax")
+
+#: The Figure 14 executor comparison runs the full-scan aggregate queries —
+#: the shapes where the batch executor's assembly-free columnar scan (and the
+#: COUNT(*) metadata shortcut) should pay off hardest.
+AGGREGATE_SUITE = (cell_q1, cell_q3)
+EXECUTOR_ORDER = ("interpreted", "batch", "codegen")
 
 
 def _run_suite(fixtures, dataset_name):
@@ -40,7 +46,7 @@ def _run_suite(fixtures, dataset_name):
     return results
 
 
-def _report(title, results):
+def _report(title, results, section):
     rows = []
     for query_name, per_layout in results.items():
         rows.append(
@@ -55,6 +61,17 @@ def _report(title, results):
         + [f"{layout} pages" for layout in LAYOUT_ORDER],
         rows,
     )
+    write_bench_json(
+        "fig14",
+        section,
+        {
+            query_name: {
+                layout: query_result_payload(per_layout[layout])
+                for layout in LAYOUT_ORDER
+            }
+            for query_name, per_layout in results.items()
+        },
+    )
     return rows
 
 
@@ -62,7 +79,7 @@ def test_fig14a_cell_queries(benchmark, cell_fixtures):
     results = benchmark.pedantic(
         lambda: _run_suite(cell_fixtures, "cell"), rounds=1, iterations=1
     )
-    _report("Figure 14a — cell queries (codegen executor)", results)
+    _report("Figure 14a — cell queries (codegen executor)", results, "cell")
     q1 = results["cell_q1"]
     # Q1 (COUNT(*)): AMAX touches only Page 0 → far fewer pages than the row layouts.
     assert q1["amax"].pages_read < q1["open"].pages_read
@@ -75,7 +92,7 @@ def test_fig14b_sensors_queries(benchmark, sensors_fixtures):
     results = benchmark.pedantic(
         lambda: _run_suite(sensors_fixtures, "sensors"), rounds=1, iterations=1
     )
-    _report("Figure 14b — sensors queries (codegen executor)", results)
+    _report("Figure 14b — sensors queries (codegen executor)", results, "sensors")
     # The sensors dataset fits in the buffer cache: repeated reads hit the cache,
     # and the row layouts touch more pages than the columnar ones for Q1.
     q1 = results["sensors_q1"]
@@ -89,7 +106,7 @@ def test_fig14c_tweet1_queries(benchmark, tweet1_fixtures):
     results = benchmark.pedantic(
         lambda: _run_suite(tweet1_fixtures, "tweet_1"), rounds=1, iterations=1
     )
-    _report("Figure 14c — tweet_1 queries (codegen executor)", results)
+    _report("Figure 14c — tweet_1 queries (codegen executor)", results, "tweet_1")
     q1 = results["tweet1_q1"]
     q2 = results["tweet1_q2"]
     # COUNT(*) under AMAX reads an order of magnitude fewer pages than Open.
@@ -104,9 +121,103 @@ def test_fig14d_wos_queries(benchmark, wos_fixtures):
     results = benchmark.pedantic(
         lambda: _run_suite(wos_fixtures, "wos"), rounds=1, iterations=1
     )
-    _report("Figure 14d — wos queries (codegen executor, heterogeneous values)", results)
+    _report("Figure 14d — wos queries (codegen executor, heterogeneous values)", results, "wos")
     q1 = results["wos_q1"]
     assert q1["amax"].pages_read < q1["open"].pages_read
     # Q3/Q4 exercise the union columns (object vs array of objects) and must
     # return identical results under every layout — checked inside _run_suite.
     assert set(results) == {"wos_q1", "wos_q2", "wos_q3", "wos_q4"}
+
+
+def _run_executor_comparison(fixtures):
+    results = {}
+    for query_factory in AGGREGATE_SUITE:
+        per_layout = {}
+        for layout in LAYOUT_ORDER:
+            per_executor = {}
+            reference_rows = None
+            for executor in EXECUTOR_ORDER:
+                # One warm-up run (lazy module imports, codegen compilation),
+                # then the average of warm runs — as the paper measures.
+                run_query(fixtures[layout], query_factory, executor=executor)
+                result = run_query(
+                    fixtures[layout], query_factory, executor=executor, repetitions=5
+                )
+                per_executor[executor] = result
+                if reference_rows is None:
+                    reference_rows = result.rows
+                else:
+                    assert result.rows == reference_rows, (
+                        f"{query_factory.__name__}/{layout}: "
+                        f"{executor} disagrees with interpreted"
+                    )
+            per_layout[layout] = per_executor
+        results[query_factory.__name__] = per_layout
+    return results
+
+
+def test_fig14_aggregate_suite_executors(benchmark, cell_fixtures):
+    """Row-at-a-time vs batch vs fused-batch on the full-scan aggregate suite.
+
+    The ROADMAP target: the batch executor's assembly-free columnar scan makes
+    the aggregate suite ≥5× faster than the interpreted row-at-a-time path on
+    the columnar layouts (apax/amax).
+    """
+    results = benchmark.pedantic(
+        lambda: _run_executor_comparison(cell_fixtures), rounds=1, iterations=1
+    )
+    suite_seconds = {
+        layout: {
+            executor: sum(
+                results[name][layout][executor].seconds for name in results
+            )
+            for executor in EXECUTOR_ORDER
+        }
+        for layout in LAYOUT_ORDER
+    }
+    speedups = {
+        layout: {
+            executor: suite_seconds[layout]["interpreted"] / suite_seconds[layout][executor]
+            for executor in ("batch", "codegen")
+        }
+        for layout in LAYOUT_ORDER
+    }
+    print_figure(
+        "Figure 14 (executor comparison) — aggregate suite seconds per layout",
+        ["layout"]
+        + [f"{executor} (s)" for executor in EXECUTOR_ORDER]
+        + ["batch speedup", "codegen speedup"],
+        [
+            [layout]
+            + [round(suite_seconds[layout][executor], 4) for executor in EXECUTOR_ORDER]
+            + [
+                round(speedups[layout]["batch"], 1),
+                round(speedups[layout]["codegen"], 1),
+            ]
+            for layout in LAYOUT_ORDER
+        ],
+    )
+    write_bench_json(
+        "fig14",
+        "aggregate_executors",
+        {
+            "queries": {
+                name: {
+                    layout: {
+                        executor: query_result_payload(
+                            results[name][layout][executor]
+                        )
+                        for executor in EXECUTOR_ORDER
+                    }
+                    for layout in LAYOUT_ORDER
+                }
+                for name in results
+            },
+            "suite_seconds": suite_seconds,
+            "speedup_vs_interpreted": speedups,
+        },
+    )
+    # The acceptance bar: ≥5× on the columnar layouts for both batch modes.
+    for layout in ("apax", "amax"):
+        assert speedups[layout]["batch"] >= 5.0, (layout, speedups[layout])
+        assert speedups[layout]["codegen"] >= 5.0, (layout, speedups[layout])

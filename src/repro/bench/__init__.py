@@ -13,7 +13,14 @@ from .harness import (
     update_workload,
 )
 from .queries import QUERY_SUITES, SQLPP_QUERY_SUITES, tweet2_range_count
-from .reporting import format_table, print_figure, speedup_summary
+from .reporting import (
+    bench_json_path,
+    format_table,
+    print_figure,
+    query_result_payload,
+    speedup_summary,
+    write_bench_json,
+)
 
 __all__ = [
     "LAYOUTS",
@@ -22,14 +29,17 @@ __all__ = [
     "QUERY_SUITES",
     "QueryResult",
     "SQLPP_QUERY_SUITES",
+    "bench_json_path",
     "default_config",
     "format_table",
     "load_all_layouts",
     "load_dataset",
     "print_figure",
+    "query_result_payload",
     "resolve_query",
     "run_query",
     "speedup_summary",
     "tweet2_range_count",
     "update_workload",
+    "write_bench_json",
 ]

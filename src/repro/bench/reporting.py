@@ -1,12 +1,20 @@
-"""Plain-text reporting for the benchmark harness.
+"""Plain-text and machine-readable reporting for the benchmark harness.
 
 Each benchmark prints a small table with the same rows/series as the paper's
 figure it reproduces, so the shapes (who wins, by roughly what factor) can be
 compared at a glance against the numbers quoted in EXPERIMENTS.md.
+
+The executor benchmarks additionally persist their timings as JSON
+(``BENCH_<figure>.json``, see :func:`write_bench_json`) so the perf
+trajectory across commits is diffable by tooling, not just eyeballs.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
 from typing import Dict, List, Sequence
 
 
@@ -51,3 +59,41 @@ def speedup_summary(times: Dict[str, float], baseline: str) -> List[List[object]
         speedup = (base / seconds) if (base and seconds) else float("nan")
         rows.append([layout, seconds, round(speedup, 2)])
     return rows
+
+
+def bench_json_path(figure: str) -> Path:
+    """Where ``BENCH_<figure>.json`` lives (``REPRO_BENCH_DIR``, default cwd)."""
+    return Path(os.environ.get("REPRO_BENCH_DIR", ".")) / f"BENCH_{figure}.json"
+
+
+def write_bench_json(figure: str, section: str, payload) -> Path:
+    """Merge one section of machine-readable timings into ``BENCH_<figure>.json``.
+
+    Benchmarks run as independent pytest tests, so each test merges its own
+    section into the shared per-figure file rather than overwriting it; a
+    corrupt or hand-edited file is replaced wholesale.
+    """
+    path = bench_json_path(figure)
+    document = {}
+    if path.exists():
+        try:
+            document = json.loads(path.read_text())
+        except ValueError:
+            document = {}
+    if not isinstance(document, dict):
+        document = {}
+    document["figure"] = figure
+    document["generated_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+    document.setdefault("sections", {})[section] = payload
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def query_result_payload(result) -> Dict[str, object]:
+    """JSON-ready summary of one :class:`~repro.bench.harness.QueryResult`."""
+    return {
+        "executor": result.executor,
+        "seconds": result.seconds,
+        "pages_read": result.pages_read,
+        "rows": len(result.rows),
+    }

@@ -109,12 +109,14 @@ class AmaxGroup(ColumnGroup):
         min_key,
         max_key,
         antimatter_defs_extent: Optional[Extent] = None,
+        antimatter_count: Optional[int] = None,
     ) -> None:
         self.component = component
         self.page_zero_id = page_zero_id
         self.record_count = record_count
         self.min_key = min_key
         self.max_key = max_key
+        self.antimatter_count = antimatter_count
         self._page_zero_parse: Optional[Tuple[bytes, tuple]] = None
 
     # -- page-zero access -------------------------------------------------------------
@@ -227,6 +229,7 @@ class AmaxComponent(ColumnarComponent):
                 info["record_count"],
                 info["min_key"],
                 info["max_key"],
+                antimatter_count=info.get("antimatter_count"),
             )
             for info in metadata.extra["groups"]
         ]
@@ -284,6 +287,7 @@ class AmaxComponentBuilder(ColumnarComponentBuilder):
                 info["record_count"],
                 info["min_key"],
                 info["max_key"],
+                antimatter_count=info.get("antimatter_count"),
             )
             for info in group_infos
         ]

@@ -69,6 +69,7 @@ class ApaxGroup(ColumnGroup):
         min_key,
         max_key,
         column_min_max: Optional[dict] = None,
+        antimatter_count: Optional[int] = None,
     ) -> None:
         self.component = component
         self.page_id = page_id
@@ -76,6 +77,7 @@ class ApaxGroup(ColumnGroup):
         self.min_key = min_key
         self.max_key = max_key
         self._column_min_max = column_min_max or {}
+        self.antimatter_count = antimatter_count
 
     def _load(self) -> Dict[int, bytes]:
         # Reading any column of an APAX leaf reads the whole page: minipages
@@ -156,6 +158,7 @@ class ApaxComponent(ColumnarComponent):
                 info["min_key"],
                 info["max_key"],
                 info.get("column_min_max"),
+                antimatter_count=info.get("antimatter_count"),
             )
             for info in metadata.extra["groups"]
         ]
@@ -229,6 +232,7 @@ class ApaxComponentBuilder(ColumnarComponentBuilder):
                 info["min_key"],
                 info["max_key"],
                 info.get("column_min_max"),
+                antimatter_count=info.get("antimatter_count"),
             )
             for info in group_infos
         ]

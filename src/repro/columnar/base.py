@@ -41,6 +41,10 @@ class ColumnGroup:
     record_count: int
     min_key: object
     max_key: object
+    #: Number of anti-matter records in the group, when the layout persisted
+    #: it (None = unknown).  Zero lets batch scans skip decoding the key
+    #: column entirely when only value columns are needed.
+    antimatter_count: Optional[int] = None
 
     def read_keys(self) -> Tuple[list, List[bool]]:
         """Decode the primary keys and anti-matter flags of the group."""

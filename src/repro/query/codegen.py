@@ -25,10 +25,22 @@ when the assumption fails (a "deoptimization", counted on the
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Iterator, List
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..model.errors import CodegenError
-from .expressions import CODEGEN_GLOBALS
+from ..model.path import FieldPath
+from .batch import ColumnBatch
+from .expressions import (
+    CODEGEN_GLOBALS,
+    And,
+    Call,
+    Compare,
+    Expression,
+    Field,
+    Literal,
+    Or,
+    Var,
+)
 from .plan import AssignNode, FilterNode, QueryPlan, UnnestNode
 
 _counter = itertools.count()
@@ -102,6 +114,197 @@ def run_generated_pipeline(rows: Iterable[dict], plan: QueryPlan) -> Iterator[di
         return iter(rows)
     generated = generate_pipeline(plan)
     return generated(rows)
+
+
+# -- batch fusion (the codegen executor's end-to-end vectorized mode) --------------------
+
+
+class _DirectContext:
+    """Name bindings while generating a direct (assembly-free) batch pipeline."""
+
+    def __init__(self, scan_variable: str) -> None:
+        self.scan_variable = scan_variable
+        #: ASSIGN/UNNEST variable name -> generated local (latest binding wins).
+        self.locals: Dict[str, str] = {}
+        #: Path on the scan variable -> (column local, namespace path constant).
+        self.columns: Dict[FieldPath, Tuple[str, str]] = {}
+
+    def column_local(self, path: FieldPath) -> str:
+        entry = self.columns.get(path)
+        if entry is None:
+            index = len(self.columns)
+            entry = (f"_c{index}", f"_path{index}")
+            self.columns[path] = entry
+        return entry[0]
+
+
+def _direct_source(expression: Expression, ctx: _DirectContext) -> str:
+    """Python source for one expression over column locals (direct batches).
+
+    Scalars come straight out of the prologue-materialized path vectors
+    (``_cN[_i]``) and ASSIGN/UNNEST locals; the helpers (`_compare`,
+    ``_get_path``, ``_functions``) are the same ones the row code generator
+    uses, so the scalar semantics are shared by construction.
+    """
+    if isinstance(expression, Literal):
+        return repr(expression.value)
+    if isinstance(expression, Var):
+        local = ctx.locals.get(expression.name)
+        if local is not None:
+            return local
+        if expression.name == ctx.scan_variable:
+            raise CodegenError(
+                "direct pipelines cannot materialize the scan variable"
+            )
+        return "MISSING"  # unbound variable, as in Var.evaluate
+    if isinstance(expression, Field):
+        base = expression.base
+        if isinstance(base, Var) and base.name not in ctx.locals:
+            if base.name == ctx.scan_variable:
+                return f"{ctx.column_local(expression.path)}[_i]"
+            return "MISSING"  # field of an unbound variable
+        return (
+            f"_get_path({_direct_source(base, ctx)}, {str(expression.path)!r})"
+        )
+    if isinstance(expression, Compare):
+        left = _direct_source(expression.left, ctx)
+        right = _direct_source(expression.right, ctx)
+        return f"_compare({expression.op!r}, {left}, {right})"
+    if isinstance(expression, And):
+        return (
+            "("
+            + " and ".join(
+                f"({_direct_source(o, ctx)} is True)" for o in expression.operands
+            )
+            + ")"
+        )
+    if isinstance(expression, Or):
+        return (
+            "("
+            + " or ".join(
+                f"({_direct_source(o, ctx)} is True)" for o in expression.operands
+            )
+            + ")"
+        )
+    if isinstance(expression, Call):
+        arguments = ", ".join(
+            f"_missing_to_none({_direct_source(a, ctx)})"
+            for a in expression.arguments
+        )
+        return f"_functions[{expression.function!r}]({arguments})"
+    raise CodegenError(
+        f"cannot generate direct code for {type(expression).__name__}"
+    )
+
+
+def generate_direct_pipeline(plan: QueryPlan) -> GeneratedPipeline:
+    """Fuse the pipelining prefix into one function over a *direct* batch.
+
+    The generated function materializes each referenced path vector once from
+    the batch, runs one fused loop over the row indices (FILTER = ``continue``,
+    UNNEST = inner loop), and gathers the surviving indices — plus any
+    ASSIGN/UNNEST output columns — with :meth:`ColumnBatch.take`.  No row
+    dict is ever built, which is what lets direct scans stay assembly-free
+    end to end.
+    """
+    name = f"_direct_pipeline_{next(_counter)}"
+    ctx = _DirectContext(plan.source.variable)
+    temp = itertools.count()
+    body: List[str] = []
+    indent = "        "
+    for op in plan.pipeline:
+        if isinstance(op, FilterNode):
+            body.append(
+                f"{indent}if {_direct_source(op.predicate, ctx)} is not True:"
+            )
+            body.append(f"{indent}    continue")
+        elif isinstance(op, AssignNode):
+            # Generate the expression before (re)binding, as in-place ASSIGN
+            # evaluates its right-hand side against the incoming row.
+            source_text = _direct_source(op.expression, ctx)
+            local = f"_v{next(temp)}"
+            body.append(f"{indent}{local} = {source_text}")
+            ctx.locals[op.variable] = local
+        elif isinstance(op, UnnestNode):
+            source_text = _direct_source(op.expression, ctx)
+            items = f"_u{next(temp)}"
+            local = f"_v{next(temp)}"
+            body.append(f"{indent}{items} = {source_text}")
+            body.append(f"{indent}if not isinstance({items}, (list, tuple)):")
+            body.append(f"{indent}    continue")
+            body.append(f"{indent}for {local} in {items}:")
+            indent += "    "
+            ctx.locals[op.variable] = local
+        else:
+            raise CodegenError(
+                f"cannot generate code for pipeline operator {type(op).__name__}"
+            )
+    body.append(f"{indent}_selection.append(_i)")
+    outputs = [
+        (variable, local, f"_o{index}")
+        for index, (variable, local) in enumerate(ctx.locals.items())
+    ]
+    for _, local, out in outputs:
+        body.append(f"{indent}{out}.append({local})")
+    lines = [f"def {name}(_batch):"]
+    namespace = dict(CODEGEN_GLOBALS)
+    for path, (column_local, path_constant) in ctx.columns.items():
+        namespace[path_constant] = path
+        lines.append(
+            f"    {column_local} = _batch.path_values("
+            f"{ctx.scan_variable!r}, {path_constant})"
+        )
+    lines.append("    _selection = []")
+    for _, _, out in outputs:
+        lines.append(f"    {out} = []")
+    lines.append("    for _i in range(_batch.length):")
+    lines.extend(body)
+    if outputs:
+        extra = (
+            "{" + ", ".join(f"{variable!r}: {out}" for variable, _, out in outputs) + "}"
+        )
+        lines.append(f"    return _batch.take(_selection, extra_vars={extra})")
+    else:
+        lines.append("    return _batch.take(_selection)")
+    source = "\n".join(lines)
+    try:
+        code = compile(source, filename=f"<generated:{name}>", mode="exec")
+        exec(code, namespace)  # noqa: S102 - this is the point of code generation
+    except SyntaxError as exc:  # pragma: no cover - would be a codegen bug
+        raise CodegenError(f"generated code failed to compile: {exc}\n{source}") from exc
+    return GeneratedPipeline(source, namespace[name])
+
+
+def run_generated_batches(
+    batches: Iterable[ColumnBatch], plan: QueryPlan
+) -> Iterator[ColumnBatch]:
+    """Run the fused pipeline batch-at-a-time (the ``codegen`` executor core).
+
+    Direct (path-column) batches go through :func:`generate_direct_pipeline`;
+    row-backed batches reuse the row code generator per batch.  Both pipeline
+    flavours are compiled lazily, at most once each per plan execution.
+    """
+    if not plan.pipeline:
+        for batch in batches:
+            if batch.length:
+                yield batch
+        return
+    row_pipeline: Optional[GeneratedPipeline] = None
+    direct_pipeline: Optional[GeneratedPipeline] = None
+    for batch in batches:
+        if not batch.length:
+            continue
+        if batch.paths:
+            if direct_pipeline is None:
+                direct_pipeline = generate_direct_pipeline(plan)
+            out = direct_pipeline.function(batch)
+        else:
+            if row_pipeline is None:
+                row_pipeline = generate_pipeline(plan)
+            rows = list(row_pipeline(batch.iter_rows()))
+            out = ColumnBatch.from_rows(rows) if rows else None
+        if out is not None and out.length:
+            yield out
 
 
 # unused scan_variable kept for clarity of the generated source header

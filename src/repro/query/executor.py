@@ -37,6 +37,25 @@ from .plan import (
 #: Batch size of the interpreted (Hyracks-like) executor.
 INTERPRETED_BATCH_SIZE = 256
 
+#: Rows per :class:`~repro.query.batch.ColumnBatch` in the batch executors.
+DEFAULT_BATCH_SIZE = 1024
+
+#: Executor names accepted by :func:`execute_plan` (``codegen-batch`` is the
+#: explicit spelling of the default fused batch mode).
+EXECUTORS = ("interpreted", "batch", "codegen", "codegen-batch")
+
+
+def describe_executor(executor: str, batch_size: Optional[int] = None) -> str:
+    """One EXPLAIN line describing how a plan will be executed."""
+    if executor == "interpreted":
+        return f"EXECUTOR interpreted (row batches of {INTERPRETED_BATCH_SIZE})"
+    size = batch_size or DEFAULT_BATCH_SIZE
+    if executor == "batch":
+        return f"EXECUTOR batch (column batches of {size})"
+    if executor in ("codegen", "codegen-batch"):
+        return f"EXECUTOR {executor} (fused column batches of {size})"
+    raise QueryError(f"unknown executor {executor!r}")
+
 
 # -- sources ----------------------------------------------------------------------------
 
@@ -291,26 +310,38 @@ def _none_if_missing(value):
 # -- entry point -----------------------------------------------------------------------------
 
 
-def execute_plan(store, plan: QueryPlan, executor: str = "codegen") -> List[dict]:
+def execute_plan(
+    store,
+    plan: QueryPlan,
+    executor: str = "codegen",
+    batch_size: Optional[int] = None,
+) -> List[dict]:
     """Execute a plan and return its result rows.
 
     Args:
         store: The datastore to run against.
         plan: A built (and possibly optimizer-rewritten) plan.
-        executor: ``"codegen"`` fuses the pipelining prefix into one
-            generated Python function (§5); ``"interpreted"`` runs the
-            Hyracks-style batch-at-a-time engine.  Breakers are shared.
+        executor: ``"interpreted"`` runs the Hyracks-style row-at-a-time
+            engine (the correctness oracle); ``"batch"`` exchanges column
+            batches between operators (:mod:`repro.query.batch_executor`);
+            ``"codegen"`` (default; alias ``"codegen-batch"``) additionally
+            fuses the pipelining prefix of every batch into one generated
+            Python function (§5).  Breakers are shared.
+        batch_size: Rows per column batch for the batch executors
+            (default :data:`DEFAULT_BATCH_SIZE`); ignored by
+            ``"interpreted"``.
 
     Returns:
         The materialized result rows.
     """
-    rows = source_rows(store, plan)
     if executor == "interpreted":
+        rows = source_rows(store, plan)
         piped = run_interpreted_pipeline(rows, plan.pipeline)
-    elif executor == "codegen":
-        from .codegen import run_generated_pipeline
+        return run_breakers(piped, plan.breakers)
+    if executor in ("batch", "codegen", "codegen-batch"):
+        from .batch_executor import run_batch_plan
 
-        piped = run_generated_pipeline(rows, plan)
-    else:
-        raise QueryError(f"unknown executor {executor!r}")
-    return run_breakers(piped, plan.breakers)
+        return run_batch_plan(
+            store, plan, fused=executor != "batch", batch_size=batch_size
+        )
+    raise QueryError(f"unknown executor {executor!r}")

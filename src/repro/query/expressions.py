@@ -28,6 +28,15 @@ class Expression:
     def evaluate(self, row: Tuple_):  # pragma: no cover - interface
         raise NotImplementedError
 
+    def evaluate_batch(self, batch) -> list:
+        """Evaluate against a :class:`~repro.query.batch.ColumnBatch`.
+
+        Returns one value per batch row.  The default materializes rows and
+        defers to :meth:`evaluate` (only row-backed batches support that);
+        vector-aware subclasses override it to stay columnar.
+        """
+        return [self.evaluate(row) for row in batch.iter_rows()]
+
     def to_source(self) -> str:  # pragma: no cover - interface
         raise NotImplementedError
 
@@ -88,6 +97,9 @@ class Literal(Expression):
     def evaluate(self, row: Tuple_):
         return self.value
 
+    def evaluate_batch(self, batch) -> list:
+        return [self.value] * batch.length
+
     def to_source(self) -> str:
         return repr(self.value)
 
@@ -103,6 +115,9 @@ class Var(Expression):
 
     def evaluate(self, row: Tuple_):
         return row.get(self.name, MISSING)
+
+    def evaluate_batch(self, batch) -> list:
+        return batch.var_values(self.name)
 
     def to_source(self) -> str:
         return f"_row[{self.name!r}]"
@@ -129,6 +144,14 @@ class Field(Expression):
         if value is MISSING or value is None:
             return MISSING
         return get_path(value, self.path)
+
+    def evaluate_batch(self, batch) -> list:
+        if isinstance(self.base, Var):
+            return batch.path_values(self.base.name, self.path)
+        return [
+            MISSING if value is MISSING or value is None else get_path(value, self.path)
+            for value in self.base.evaluate_batch(batch)
+        ]
 
     def to_source(self) -> str:
         return f"_get_path({self.base.to_source()}, {str(self.path)!r})"
@@ -161,6 +184,9 @@ _COMPARE_OPS: Dict[str, Callable[[Any, Any], bool]] = {
 }
 
 _NUMERIC = (int, float)
+
+#: Mirror image of each comparison operator (``lit <op> x`` ≡ ``x <flip> lit``).
+_FLIPPED_OPS = {"==": "==", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
 
 
 def compare_values(op: str, left, right):
@@ -214,6 +240,21 @@ class Compare(Expression):
     def evaluate(self, row: Tuple_):
         return compare_values(self.op, self.left.evaluate(row), self.right.evaluate(row))
 
+    def evaluate_batch(self, batch) -> list:
+        from . import kernels  # lazy: kernels imports compare_values from here
+
+        if isinstance(self.right, Literal):
+            return kernels.compare_with_literal(
+                self.op, self.left.evaluate_batch(batch), self.right.value
+            )
+        if isinstance(self.left, Literal):
+            return kernels.compare_with_literal(
+                _FLIPPED_OPS[self.op], self.right.evaluate_batch(batch), self.left.value
+            )
+        left = self.left.evaluate_batch(batch)
+        right = self.right.evaluate_batch(batch)
+        return [compare_values(self.op, a, b) for a, b in zip(left, right)]
+
     def to_source(self) -> str:
         return (
             f"_compare({self.op!r}, {self.left.to_source()}, {self.right.to_source()})"
@@ -244,6 +285,13 @@ class And(Expression):
             if operand.evaluate(row) is not True:
                 return False
         return True
+
+    def evaluate_batch(self, batch) -> list:
+        vectors = [operand.evaluate_batch(batch) for operand in self.operands]
+        return [
+            all(vector[index] is True for vector in vectors)
+            for index in range(batch.length)
+        ]
 
     def to_source(self) -> str:
         return "(" + " and ".join(f"({o.to_source()} is True)" for o in self.operands) + ")"
@@ -276,6 +324,13 @@ class Or(Expression):
 
     def evaluate(self, row: Tuple_):
         return any(operand.evaluate(row) is True for operand in self.operands)
+
+    def evaluate_batch(self, batch) -> list:
+        vectors = [operand.evaluate_batch(batch) for operand in self.operands]
+        return [
+            any(vector[index] is True for vector in vectors)
+            for index in range(batch.length)
+        ]
 
     def to_source(self) -> str:
         return "(" + " or ".join(f"({o.to_source()} is True)" for o in self.operands) + ")"
@@ -417,6 +472,16 @@ class Call(Expression):
         values = [argument.evaluate(row) for argument in self.arguments]
         values = [None if value is MISSING else value for value in values]
         return FUNCTIONS[self.function](*values)
+
+    def evaluate_batch(self, batch) -> list:
+        function = FUNCTIONS[self.function]
+        if not self.arguments:
+            return [function() for _ in range(batch.length)]
+        vectors = [argument.evaluate_batch(batch) for argument in self.arguments]
+        return [
+            function(*(None if value is MISSING else value for value in values))
+            for values in zip(*vectors)
+        ]
 
     def to_source(self) -> str:
         arguments = ", ".join(

@@ -431,13 +431,15 @@ class Query:
         executor: str = "codegen",
         pushdown: bool = True,
         optimize: Optional[bool] = None,
+        batch_size: Optional[int] = None,
     ) -> List[dict]:
         """Run the query against a datastore; returns the result rows.
 
         Args:
             store: The :class:`~repro.store.datastore.Datastore` to query.
-            executor: ``"codegen"`` (fused generated pipeline, §5) or
-                ``"interpreted"`` (batch-at-a-time Hyracks model).
+            executor: ``"codegen"`` (fused pipeline over column batches, §5),
+                ``"batch"`` (the same column batches, operator-at-a-time), or
+                ``"interpreted"`` (row-at-a-time oracle).
             pushdown: ``False`` disables the scan-pushdown rewrite (every
                 layout then assembles full projected documents and filters
                 tuple-at-a-time), which is what the differential tests and
@@ -445,6 +447,8 @@ class Query:
             optimize: ``False`` skips cost-based access-path selection,
                 ``True`` forces it; the default (None) follows ``pushdown``,
                 so baseline comparisons stay rewrite-free end to end.
+            batch_size: Rows per column batch for the batch executors
+                (default :data:`~repro.query.executor.DEFAULT_BATCH_SIZE`).
 
         Returns:
             The result rows as a list of dicts.
@@ -457,10 +461,14 @@ class Query:
             plan = self.optimized_plan(store, pushdown=pushdown)
         else:
             plan = self.build_plan(pushdown=pushdown)
-        return execute_plan(store, plan, executor=executor)
+        return execute_plan(store, plan, executor=executor, batch_size=batch_size)
 
     def explain(
-        self, store=None, pushdown: bool = True, analyze: bool = False
+        self,
+        store=None,
+        pushdown: bool = True,
+        analyze: bool = False,
+        executor: str = "codegen",
     ) -> str:
         """Render the query plan, optionally with costs and actual row counts.
 
@@ -473,6 +481,9 @@ class Query:
             pushdown: Attach the scan-pushdown spec before explaining.
             analyze: Additionally *execute* every candidate access path and
                 report estimated vs. actual row counts (requires ``store``).
+            executor: Which executor the final EXECUTOR line describes
+                (``"codegen"``, ``"batch"``, or ``"interpreted"`` — the same
+                values :meth:`execute` accepts).
 
         Returns:
             A multi-line, human-readable plan description.
@@ -485,12 +496,17 @@ class Query:
               PUSHDOWN paths=[a]; predicates=[a == 1]
             FILTER Compare(Field(Var('t'), 'a') == Literal(1))
             AGGREGATE count=count(*)
+            EXECUTOR codegen (fused column batches of 1024)
         """
+        from .executor import describe_executor
+
+        executor_line = describe_executor(executor)
         if store is None:
-            return self.build_plan(pushdown=pushdown).describe()
+            plan = self.build_plan(pushdown=pushdown)
+            return plan.describe() + "\n" + executor_line
         plan = self.optimized_plan(store, pushdown=pushdown)
         if analyze and plan.optimizer is not None:
             from .optimizer import analyze_candidates
 
             analyze_candidates(store, plan.optimizer)
-        return plan.describe()
+        return plan.describe() + "\n" + executor_line

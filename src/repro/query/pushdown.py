@@ -280,6 +280,39 @@ def _only_atomic_at(schema: Schema, steps: Tuple[str, ...]) -> bool:
     return all(isinstance(final, AtomicNode) for final in finals)
 
 
+def schema_supports_direct(schema: Schema, paths: Sequence[FieldPath]) -> bool:
+    """Can every pruned path be served as one flat per-record value vector?
+
+    The batch executor's *direct* scan skips document assembly by reading each
+    requested path straight from the component's column streams.  That is only
+    exact when, for this component's schema snapshot,
+
+    * the path itself contains no array steps,
+    * no column stores values *under* the path through an array (the path's
+      value would be a list the flat streams cannot reproduce), and
+    * no column extends the path with further field names (the path's value
+      would be an assembled object).
+
+    Paths matching no column at all are fine — every record reads MISSING,
+    exactly as field access on the assembled document would.  Union branches
+    (several atomic columns sharing the path) are fine too: at most one
+    branch is present per record.
+    """
+    for path in paths:
+        if path.array_depth > 0:
+            return False
+        steps = tuple(path.steps)
+        for column in schema.columns:
+            named = field_name_steps(column.path)
+            if named[: len(steps)] != steps:
+                continue
+            if ARRAY_PATH_STEP in column.path:
+                return False
+            if len(named) > len(steps):
+                return False
+    return True
+
+
 class CompiledPredicate:
     """One predicate specialized against a component's schema snapshot."""
 

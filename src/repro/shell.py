@@ -20,6 +20,7 @@ session:
 ``\\d``          List datasets (layout, record count).
 ``\\explain``    Toggle printing the optimizer-explained plan per query.
 ``\\timing``     Toggle printing wall-clock time per query.
+``\\executor``   Show or set the executor (codegen / batch / interpreted).
 ``\\q``          Quit.
 ==============  ========================================================
 
@@ -161,6 +162,8 @@ class Shell:
                 f"{'on' if self.show_explain else 'off'})\n"
                 "\\timing       toggle query timing (currently "
                 f"{'on' if self.show_timing else 'off'})\n"
+                "\\executor [NAME]  show or set the executor (currently "
+                f"{self.executor}; codegen | batch | interpreted)\n"
                 "\\q            quit\n"
                 "Statements end with ';' and may span lines.\n"
                 "BEGIN; ... COMMIT; groups INSERT/DELETE statements into an\n"
@@ -177,6 +180,20 @@ class Shell:
         elif command == "\\timing":
             self.show_timing = not self.show_timing
             self.print(f"timing is {'on' if self.show_timing else 'off'}")
+        elif command == "\\executor":
+            from .query.executor import EXECUTORS
+
+            rest = line.split(" ", 1)[1].strip() if " " in line else ""
+            if not rest:
+                self.print(f"executor is {self.executor}")
+            elif rest in EXECUTORS:
+                self.executor = rest
+                self.print(f"executor is {self.executor}")
+            else:
+                self.print_error(
+                    f"unknown executor {rest!r}; one of: " + ", ".join(EXECUTORS)
+                )
+                return 1 if self.batch else None
         else:
             self.print_error(f"unknown command {command!r}; try \\help")
             return 1 if self.batch else None
@@ -275,7 +292,7 @@ class Shell:
             return "DELETE 1"
         compiled = compile_statement(statement)
         if self.show_explain and compiled.query is not None:
-            self.print(compiled.explain(self.store))
+            self.print(compiled.explain(self.store, executor=self.executor))
         return compiled.execute(self.store, executor=self.executor)
 
     def run_statement(self, text: str) -> bool:

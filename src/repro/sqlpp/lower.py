@@ -52,6 +52,7 @@ class CompiledQuery:
         executor: str = "codegen",
         pushdown: bool = True,
         optimize: Optional[bool] = None,
+        batch_size: Optional[int] = None,
     ) -> list:
         """Run the query; returns rows (dicts), or bare values for SELECT VALUE."""
         if self.query is None:
@@ -68,18 +69,30 @@ class CompiledQuery:
                     "this query reads a dataset; pass the datastore to execute against"
                 )
             rows = self.query.execute(
-                store, executor=executor, pushdown=pushdown, optimize=optimize
+                store,
+                executor=executor,
+                pushdown=pushdown,
+                optimize=optimize,
+                batch_size=batch_size,
             )
         if self.select_value:
             return [row[self.value_column] for row in rows]
         return rows
 
-    def explain(self, store=None, pushdown: bool = True, analyze: bool = False) -> str:
+    def explain(
+        self,
+        store=None,
+        pushdown: bool = True,
+        analyze: bool = False,
+        executor: str = "codegen",
+    ) -> str:
         """Render the plan (with costs/alternatives when a store is given)."""
         if self.query is None:
             names = ", ".join(name for name, _ in self.constant_columns)
             return f"VALUES [{names}] (no datastore access)"
-        return self.query.explain(store, pushdown=pushdown, analyze=analyze)
+        return self.query.explain(
+            store, pushdown=pushdown, analyze=analyze, executor=executor
+        )
 
     def build_plan(self, pushdown: bool = True) -> QueryPlan:
         """The logical plan (see :meth:`repro.query.plan.Query.build_plan`)."""
@@ -105,6 +118,7 @@ def compile_query(text: str) -> CompiledQuery:
           PUSHDOWN paths=[a]; predicates=[a == 1]
         FILTER Compare(Field(Var('t'), 'a') == Literal(1))
         AGGREGATE count=count(*)
+        EXECUTOR codegen (fused column batches of 1024)
     """
     return compile_statement(parse(text), text)
 

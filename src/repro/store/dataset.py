@@ -438,6 +438,56 @@ class Dataset:
 
         return _completion_order()
 
+    def scan_batches(
+        self,
+        variable: str,
+        fields: Optional[Sequence[str]] = None,
+        pushdown=None,
+        batch_size: int = 1024,
+        direct: bool = False,
+        executor=None,
+    ) -> Iterator:
+        """Scan every partition as column batches for the batch executors.
+
+        Every partition's snapshot is pinned up front, exactly like
+        :meth:`scan`.  With ``direct=True``, partitions whose pinned state
+        qualifies (columnar components only, empty memtables, disjoint key
+        ranges — see :func:`repro.query.batch_executor.partition_batches`)
+        emit assembly-free path-column batches straight from the pruned
+        column streams; the rest fall back to the reconciled row scan,
+        batched row-wise.  With ``executor`` (a thread pool) and multiple
+        partitions, each partition's batches materialize on a pool worker,
+        but results stream back in *partition* order — unlike
+        :meth:`parallel_scan`'s completion order — so a given snapshot
+        always produces the same batch sequence.
+        """
+        from ..query.batch_executor import partition_batches
+
+        snapshots = [partition.pin_snapshot() for partition in self.partitions]
+        partition_iters = [
+            partition_batches(
+                partition,
+                snapshot,
+                variable,
+                fields,
+                pushdown,
+                batch_size,
+                allow_direct=direct,
+            )
+            for partition, snapshot in zip(self.partitions, snapshots)
+        ]
+        if executor is None or len(self.partitions) <= 1:
+            return itertools.chain.from_iterable(partition_iters)
+        futures = [
+            executor.submit(list, batches) for batches in partition_iters
+        ]
+
+        def _partition_order():
+            for future in futures:
+                yield from future.result()
+
+        return _partition_order()
+
     def count(self) -> int:
         return sum(partition.count() for partition in self.partitions)
 

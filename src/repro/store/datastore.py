@@ -357,6 +357,7 @@ class Datastore:
         executor: str = "codegen",
         pushdown: bool = True,
         optimize: Optional[bool] = None,
+        batch_size: Optional[int] = None,
     ) -> list:
         """Run a SQL++ statement against this store and return its rows.
 
@@ -367,10 +368,13 @@ class Datastore:
 
         Args:
             text: One SQL++ SELECT statement (a trailing ``;`` is optional).
-            executor: ``"codegen"`` (default) or ``"interpreted"``.
+            executor: ``"codegen"`` (default, fused column batches),
+                ``"batch"`` (vectorized, unfused), or ``"interpreted"``
+                (row-at-a-time oracle).
             pushdown: Disable to keep the assemble-then-filter baseline.
             optimize: Skip/force cost-based access-path selection
                 (default: follows ``pushdown``).
+            batch_size: Rows per column batch for the batch executors.
 
         Returns:
             Result rows as dicts — or bare values for ``SELECT VALUE``.
@@ -386,10 +390,20 @@ class Datastore:
         from ..sqlpp import compile_query
 
         return compile_query(text).execute(
-            self, executor=executor, pushdown=pushdown, optimize=optimize
+            self,
+            executor=executor,
+            pushdown=pushdown,
+            optimize=optimize,
+            batch_size=batch_size,
         )
 
-    def explain(self, text: str, pushdown: bool = True, analyze: bool = False) -> str:
+    def explain(
+        self,
+        text: str,
+        pushdown: bool = True,
+        analyze: bool = False,
+        executor: str = "codegen",
+    ) -> str:
         """Explain a SQL++ statement: plan, chosen access path, alternatives.
 
         Args:
@@ -397,13 +411,17 @@ class Datastore:
             pushdown: Attach the scan-pushdown spec before explaining.
             analyze: Also execute every candidate access path and report
                 estimated vs. actual row counts.
+            executor: Which executor the final EXECUTOR line describes
+                (``"codegen"``, ``"batch"``, or ``"interpreted"``).
 
         Returns:
             A multi-line plan rendering (see :meth:`repro.query.plan.Query.explain`).
         """
         from ..sqlpp import compile_query
 
-        return compile_query(text).explain(self, pushdown=pushdown, analyze=analyze)
+        return compile_query(text).explain(
+            self, pushdown=pushdown, analyze=analyze, executor=executor
+        )
 
     # -- statistics ----------------------------------------------------------------------
     @property

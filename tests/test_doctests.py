@@ -30,6 +30,9 @@ MODULES_CHECKED = [
     "repro.query.pushdown",
     "repro.query.executor",
     "repro.query.codegen",
+    "repro.query.batch",
+    "repro.query.batch_executor",
+    "repro.query.kernels",
     "repro.index",
     "repro.sqlpp.lexer",
     "repro.sqlpp.parser",
