@@ -66,13 +66,34 @@ def bench_json_path(figure: str) -> Path:
     return Path(os.environ.get("REPRO_BENCH_DIR", ".")) / f"BENCH_{figure}.json"
 
 
-def write_bench_json(figure: str, section: str, payload) -> Path:
+def write_bench_json(
+    figure: str,
+    section: str,
+    payload,
+    clients: "int | None" = None,
+    shards: "int | None" = None,
+) -> Path:
     """Merge one section of machine-readable timings into ``BENCH_<figure>.json``.
 
     Benchmarks run as independent pytest tests, so each test merges its own
     section into the shared per-figure file rather than overwriting it; a
     corrupt or hand-edited file is replaced wholesale.
+
+    ``clients``/``shards`` annotate the section with the concurrency it was
+    measured under, so scaling-curve files like ``BENCH_shard_scaling.json``
+    are self-describing: a dict payload gains ``clients``/``shards`` keys,
+    any other payload is wrapped as ``{"clients": ..., "shards": ...,
+    "rows": payload}``.
     """
+    if clients is not None or shards is not None:
+        if not isinstance(payload, dict):
+            payload = {"rows": payload}
+        else:
+            payload = dict(payload)
+        if clients is not None:
+            payload["clients"] = clients
+        if shards is not None:
+            payload["shards"] = shards
     path = bench_json_path(figure)
     document = {}
     if path.exists():

@@ -1,0 +1,23 @@
+"""Networking layer: length-prefixed JSON wire protocol, server, client.
+
+The wire frontend turns the single-process engine into a served datastore:
+``python -m repro.server`` speaks the frame protocol of
+:mod:`repro.net.protocol` over TCP, multiplexing many concurrent clients
+onto one snapshot-isolated :class:`~repro.store.datastore.Datastore` (or, in
+coordinator mode, onto a :class:`~repro.shard.coordinator.ShardedDatastore`).
+``python -m repro.shell --connect HOST:PORT`` is the interactive client.
+"""
+
+from .client import RemoteError, StatementResult, WireClient
+from .protocol import PROTOCOL_VERSION, WireError
+from .session import StatementOutcome, StatementSession
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "RemoteError",
+    "StatementOutcome",
+    "StatementResult",
+    "StatementSession",
+    "WireClient",
+    "WireError",
+]

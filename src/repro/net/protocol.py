@@ -1,0 +1,105 @@
+"""The wire protocol: length-prefixed JSON frames with a versioned handshake.
+
+Every message on the wire is one *frame*: a 4-byte big-endian payload length
+followed by that many bytes of UTF-8 JSON.  Frames are small and
+self-contained, so both the asyncio server and the blocking client read them
+with two exact-length reads; the length prefix caps at
+:data:`MAX_FRAME_BYTES` to bound allocation on a corrupt or hostile peer.
+
+Connection lifecycle::
+
+    server -> client   {"type": "hello", "version": 1, "role": ..., ...}
+    client -> server   {"type": "hello", "version": 1}
+    client -> server   {"op": "statement", "text": "SELECT ...", ...}
+    server -> client   {"type": "rows", "rows": [...]}     (zero or more)
+    server -> client   {"type": "done", "status": ..., "io": {...}, ...}
+
+Requests are dicts with an ``"op"`` key; responses to one request are a
+stream of ``rows`` frames (result batches of :data:`ROWS_PER_FRAME` rows)
+terminated by exactly one ``done`` or ``error`` frame.  The server may
+interleave unsolicited ``notice`` frames (e.g. the open-transaction rollback
+notice during graceful shutdown) and sends ``goodbye`` before closing.
+
+JSON is used in non-strict mode: ``NaN``/``Infinity`` round-trip as their
+JavaScript literals (both ends are this library), and engine rows contain
+only JSON-representable values — MISSING is normalized to ``null`` at the
+projection/breaker boundaries before rows reach the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Optional
+
+from ..model.errors import ReproError
+
+#: Version of the frame protocol; both hello frames must carry it.
+PROTOCOL_VERSION = 1
+
+#: Frame header: 4-byte big-endian payload length.
+HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's JSON payload (64 MiB).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Result rows per ``rows`` frame — the streaming batch size of the server.
+ROWS_PER_FRAME = 512
+
+
+class WireError(ReproError):
+    """A protocol-level failure: bad handshake, oversized or truncated frame."""
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialize one message to its on-wire bytes (header + JSON)."""
+    body = json.dumps(payload, separators=(",", ":"), default=_jsonify).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    """Parse one frame body; the payload must be a JSON object."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise WireError(f"undecodable frame: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise WireError(f"frame payload must be an object, got {type(payload).__name__}")
+    return payload
+
+
+def frame_length(header: bytes) -> int:
+    """Validate and unpack a frame header."""
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    return length
+
+
+def _jsonify(value):
+    """Last-resort serializer for engine values JSON does not know."""
+    raise TypeError(f"value {value!r} is not wire-serializable")
+
+
+def hello_frame(role: str, **extra) -> dict:
+    """The server's opening handshake frame."""
+    frame = {"type": "hello", "version": PROTOCOL_VERSION, "role": role}
+    frame.update(extra)
+    return frame
+
+
+def check_hello(frame: Optional[dict], peer: str) -> dict:
+    """Validate a peer's hello frame; raises :class:`WireError` on mismatch."""
+    if frame is None:
+        raise WireError(f"{peer} closed the connection during the handshake")
+    if frame.get("type") != "hello":
+        raise WireError(f"expected a hello frame from {peer}, got {frame.get('type')!r}")
+    version = frame.get("version")
+    if version != PROTOCOL_VERSION:
+        raise WireError(
+            f"protocol version mismatch: {peer} speaks {version!r}, "
+            f"this side speaks {PROTOCOL_VERSION}"
+        )
+    return frame

@@ -174,7 +174,15 @@ def run_interpreted_pipeline(rows: Iterable[dict], pipeline: List) -> Iterator[d
 
 
 class _Aggregator:
-    """Running state of one aggregate function."""
+    """Running state of one aggregate function.
+
+    Besides the user-facing functions (``count``/``sum``/``min``/``max``/
+    ``avg``), the internal ``countv`` function counts the *contributing*
+    values — the numeric non-bool values ``sum``/``avg`` fold — and is what
+    the shard coordinator uses to decompose AVG into SUM + COUNTV partials
+    (:mod:`repro.shard.partial`).  It is not exposed through the builder or
+    SQL++ (:data:`~repro.query.plan.AGGREGATE_FUNCTIONS` gates those).
+    """
 
     def __init__(self, function: str) -> None:
         self.function = function
@@ -203,7 +211,7 @@ class _Aggregator:
             self.maximum = value if self.maximum is None else max(self.maximum, value)
 
     def result(self):
-        if self.function == "count":
+        if self.function in ("count", "countv"):
             return self.count
         if self.function == "sum":
             return self.total if self.count else None

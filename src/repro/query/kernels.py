@@ -197,7 +197,15 @@ def aggregate_add_many(aggregator, values: list) -> None:
     if not values:
         return
     shape = _numeric_shape(values)
-    if function in ("sum", "avg"):
+    if function == "countv":
+        # Internal partial-AVG count (see repro.shard.partial): counts the
+        # contributing numeric non-bool values, exactly like the scalar
+        # aggregator.  Must be handled explicitly — falling through to the
+        # min/max branch below would also accept all-string vectors.
+        if shape is not None:
+            aggregator.count += len(values)
+            return
+    elif function in ("sum", "avg"):
         if shape is not None:
             aggregator.count += len(values)
             # sum(values, start) is the exact left fold the scalar path does.

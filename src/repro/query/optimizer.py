@@ -115,6 +115,10 @@ class AccessPathCandidate:
     #: Filled by :func:`analyze_candidates` (``Query.explain(analyze=True)``).
     actual_source_rows: Optional[int] = None
     actual_result_rows: Optional[int] = None
+    #: Pages touched while running this candidate (device reads + buffer-cache
+    #: hits), aggregated across parallel scan-pool workers — the shared
+    #: ``device.stats`` counters include every worker thread's reads.
+    actual_pages_read: Optional[int] = None
 
     def describe(self) -> str:
         marker = "=> " if self.chosen else "   "
@@ -129,6 +133,8 @@ class AccessPathCandidate:
                 f"      actual rows: source={self.actual_source_rows} "
                 f"result={self.actual_result_rows}"
             )
+        if self.actual_pages_read is not None:
+            lines.append(f"      actual pages read: {self.actual_pages_read}")
         if self.reason:
             lines.append(f"      {self.reason}")
         return "\n".join(lines)
@@ -520,15 +526,22 @@ def _needed_column_count(source: DataScanNode, spec, statistics) -> int:
 def analyze_candidates(store, report: OptimizerReport, executor: str = "interpreted") -> None:
     """Execute every candidate plan and record its actual row counts.
 
-    Fills ``actual_source_rows`` (rows the access path produced) and
-    ``actual_result_rows`` (rows surviving the residual pipeline) on each
-    candidate, so ``Query.explain(store, analyze=True)`` can report estimated
-    vs. actual cardinalities for the chosen *and* the rejected paths.
+    Fills ``actual_source_rows`` (rows the access path produced),
+    ``actual_result_rows`` (rows surviving the residual pipeline), and
+    ``actual_pages_read`` (pages touched: device reads plus buffer-cache
+    hits) on each candidate, so ``Query.explain(store, analyze=True)`` can
+    report estimated vs. actual cardinalities and I/O for the chosen *and*
+    the rejected paths.  The page delta is taken from the store's shared
+    device counters after the source is fully materialized, so reads issued
+    by parallel scan-pool workers are included rather than undercounted.
     """
     from .executor import run_interpreted_pipeline, source_rows
 
     for candidate in report.candidates:
+        before = store.io_snapshot()
         rows = list(source_rows(store, candidate.plan))
         survivors = list(run_interpreted_pipeline(rows, candidate.plan.pipeline))
+        delta = store.io_stats.delta_since(before)
         candidate.actual_source_rows = len(rows)
         candidate.actual_result_rows = len(survivors)
+        candidate.actual_pages_read = delta.pages_read + delta.cache_hits

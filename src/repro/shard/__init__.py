@@ -1,0 +1,25 @@
+"""Sharding: hash-partitioned scatter-gather over multiple engine processes.
+
+``repro.shard`` lifts PR 4's intra-process partition parallelism across
+processes: a :class:`~repro.shard.coordinator.ShardedDatastore` routes point
+operations to the owning shard by the same stable CRC-32 key hash the engine
+already uses for intra-store partitioning
+(:func:`repro.lsm.keys.stable_key_hash`), and runs queries as scatter-gather
+with partial-aggregate pushdown (:mod:`repro.shard.partial`) so the wire
+moves aggregates, not rows.  Each shard is an independent ``python -m
+repro.server`` engine process with its own directory, manifests, and WAL —
+per-shard recovery is exactly the single-store
+:meth:`~repro.store.datastore.Datastore.open` path.
+"""
+
+from .coordinator import ShardCluster, ShardedDatastore, shard_for_key
+from .partial import SplitPlan, merge_rows, split_query
+
+__all__ = [
+    "ShardCluster",
+    "ShardedDatastore",
+    "SplitPlan",
+    "merge_rows",
+    "shard_for_key",
+    "split_query",
+]

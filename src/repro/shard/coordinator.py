@@ -1,0 +1,824 @@
+"""Shard coordinator: hash routing, scatter-gather, and cluster management.
+
+:class:`ShardedDatastore` is the client-side coordinator.  It holds a small
+pool of wire connections per shard, routes point operations (insert, delete,
+lookup) to the owning shard by :func:`shard_for_key` — the same stable
+CRC-32 hash the engine uses for intra-store partitioning, just modulo the
+shard count instead of the partition count — and executes queries as
+scatter-gather: every shard runs the same shard-local fragment
+(:func:`repro.shard.partial.split_query`), their partial rows stream back
+concurrently, and the coordinator merges
+(:func:`repro.shard.partial.merge_rows`) and finishes the plan.
+
+:class:`ShardCluster` is the process manager: it spawns one ``python -m
+repro.server`` engine per shard, each with its own storage directory
+(independent manifests and WAL — per-shard recovery is the ordinary
+single-store open path), and supports killing and restarting individual
+shards for fault-injection tests.
+
+:class:`CoordinatorSessionHandler` plugs the coordinator into the wire
+server, so ``python -m repro.server --shards N`` serves the *sharded* store
+over the very same protocol a single engine speaks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..lsm.keys import stable_key_hash
+from ..model.errors import DatasetError
+from ..net.client import DEFAULT_TIMEOUT, RemoteError, StatementResult, WireClient
+from ..net.protocol import WireError
+from ..query.executor import run_breakers
+from ..storage.stats import IOStats
+from .partial import SplitPlan, merge_rows, split_query
+
+#: Error codes after which a pooled connection cannot be reused (the
+#: response stream may be desynchronized or the peer is gone).
+_POISON_CODES = ("ConnectionError", "ServerShutdown", "WireError")
+
+#: Documents per insert request when bulk-loading through the coordinator.
+INSERT_CHUNK = 500
+
+
+def shard_for_key(key, num_shards: int) -> int:
+    """The shard owning ``key``: stable CRC-32 key hash modulo shard count."""
+    return stable_key_hash(key) % num_shards
+
+
+class _ClientPool:
+    """A bounded pool of wire clients to one shard.
+
+    Checkout blocks when ``capacity`` clients are in flight; connections that
+    hit transport-level errors are discarded instead of returned, so a shard
+    restart naturally cycles in fresh connections.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        capacity: int = 4,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.capacity = capacity
+        self.timeout = timeout
+        self._idle: List[WireClient] = []
+        self._created = 0
+        self._closed = False
+        self._lock = threading.Condition()
+
+    @contextmanager
+    def connection(self):
+        client = self._checkout()
+        try:
+            yield client
+        except RemoteError as error:
+            if error.code in _POISON_CODES:
+                self._discard(client)
+            else:
+                # A clean server-side statement error: the stream is intact.
+                self._checkin(client)
+            raise
+        except BaseException:
+            self._discard(client)
+            raise
+        else:
+            self._checkin(client)
+
+    def _checkout(self) -> WireClient:
+        with self._lock:
+            while True:
+                if self._closed:
+                    raise RemoteError(
+                        f"connection pool for {self.host}:{self.port} is closed",
+                        code="ConnectionError",
+                    )
+                if self._idle:
+                    return self._idle.pop()
+                if self._created < self.capacity:
+                    self._created += 1
+                    break
+                self._lock.wait()
+        try:
+            return WireClient(self.host, self.port, timeout=self.timeout)
+        except BaseException as error:
+            with self._lock:
+                self._created -= 1
+                self._lock.notify()
+            if isinstance(error, OSError):
+                raise RemoteError(
+                    f"cannot connect to shard at {self.host}:{self.port}: {error}",
+                    code="ConnectionError",
+                ) from error
+            raise
+
+    def _checkin(self, client: WireClient) -> None:
+        with self._lock:
+            if self._closed:
+                self._created -= 1
+            else:
+                self._idle.append(client)
+            self._lock.notify()
+        if self._closed:
+            client.close()
+
+    def _discard(self, client: WireClient) -> None:
+        client.close()
+        with self._lock:
+            self._created -= 1
+            self._lock.notify()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._lock.notify_all()
+        for client in idle:
+            client.close()
+
+
+@dataclass
+class ShardQueryStats:
+    """What the last scatter-gather query moved, for pushdown verification.
+
+    ``rows_transferred`` counts the rows that actually crossed the wire from
+    shards to coordinator — for a pushed-down COUNT(*) over N shards this is
+    exactly N (one partial row per shard), regardless of dataset size.
+    ``pages_read`` sums the per-shard page touches (device reads plus buffer
+    cache hits, including each shard's parallel scan-pool workers).
+    """
+
+    kind: str
+    shards: int
+    rows_transferred: int
+    rows_returned: int
+    pages_read: int
+
+
+class ShardedDatastore:
+    """Client-side coordinator over N engine-server shards.
+
+    Mirrors the single-process :class:`~repro.store.datastore.Datastore`
+    query/DML surface closely enough that differential tests can run the
+    same workload against both; ``io_stats``/``io_snapshot`` accumulate the
+    per-request I/O the shards report in their done frames.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[Tuple[str, int]],
+        pool_capacity: int = 4,
+        timeout: float = DEFAULT_TIMEOUT,
+        gather_workers: Optional[int] = None,
+    ) -> None:
+        if not addresses:
+            raise ValueError("at least one shard address is required")
+        self.addresses: List[Tuple[str, int]] = [
+            (host, int(port)) for host, port in addresses
+        ]
+        self.num_shards = len(self.addresses)
+        self._pool_capacity = pool_capacity
+        self._timeout = timeout
+        self._pools = [
+            _ClientPool(host, port, pool_capacity, timeout)
+            for host, port in self.addresses
+        ]
+        self._gather = ThreadPoolExecutor(
+            max_workers=gather_workers or max(4, 2 * self.num_shards),
+            thread_name_prefix="gather",
+        )
+        self._io = IOStats()
+        self._pk_fields: Dict[str, str] = {}
+        #: Stats of the most recent :meth:`query` (None before the first).
+        self.last_query_stats: Optional[ShardQueryStats] = None
+
+    # -- plumbing ----------------------------------------------------------------------
+    @property
+    def io_stats(self) -> IOStats:
+        return self._io
+
+    def io_snapshot(self) -> IOStats:
+        return self._io.snapshot()
+
+    def _request(self, shard: int, payload: dict) -> StatementResult:
+        pool = self._pools[shard]
+        try:
+            with pool.connection() as client:
+                result = client.request(payload)
+        except RemoteError as error:
+            if error.code in _POISON_CODES:
+                raise RemoteError(
+                    f"shard {shard} ({pool.host}:{pool.port}): {error}",
+                    code=error.code,
+                ) from error
+            raise
+        io = result.io
+        if io:
+            self._io.add(IOStats.from_dict(io))
+        return result
+
+    def _scatter(self, payload: dict) -> List[StatementResult]:
+        """Send one request to every shard concurrently; results in shard order."""
+        futures = [
+            self._gather.submit(self._request, shard, dict(payload))
+            for shard in range(self.num_shards)
+        ]
+        return [future.result() for future in futures]
+
+    # -- queries -----------------------------------------------------------------------
+    def query(
+        self,
+        text: str,
+        executor: str = "codegen",
+        pushdown: bool = True,
+        batch_size: Optional[int] = None,
+    ) -> list:
+        """Run one SQL++ SELECT as scatter-gather with partial-agg pushdown."""
+        from ..sqlpp import compile_query
+
+        compiled = compile_query(text)
+        if compiled.query is None:
+            # FROM-less: evaluated locally, no shard touches a dataset.
+            rows = compiled.execute(None, executor=executor)
+            self.last_query_stats = ShardQueryStats(
+                kind="local",
+                shards=0,
+                rows_transferred=0,
+                rows_returned=len(rows),
+                pages_read=0,
+            )
+            return rows
+        split = split_query(compiled.query)
+        payload = {
+            "op": "statement",
+            "text": text,
+            "mode": "partial",
+            "executor": executor,
+            "pushdown": pushdown,
+        }
+        if batch_size is not None:
+            payload["batch_size"] = batch_size
+        results = self._scatter(payload)
+        shard_rows = [result.rows for result in results]
+        pages = sum(
+            int(result.io.get("pages_read", 0)) + int(result.io.get("cache_hits", 0))
+            for result in results
+        )
+        merged = merge_rows(split, shard_rows)
+        rows = run_breakers(iter(merged), split.post_breakers)
+        if compiled.select_value:
+            rows = [row[compiled.value_column] for row in rows]
+        self.last_query_stats = ShardQueryStats(
+            kind=split.kind,
+            shards=self.num_shards,
+            rows_transferred=sum(len(rows) for rows in shard_rows),
+            rows_returned=len(rows),
+            pages_read=pages,
+        )
+        return rows
+
+    def explain(
+        self, text: str, executor: str = "codegen", analyze: bool = False
+    ) -> str:
+        """Render the distributed plan: merge fragment + one shard's fragment."""
+        from ..sqlpp import compile_query
+
+        compiled = compile_query(text)
+        if compiled.query is None:
+            return compiled.explain(None)
+        split = split_query(compiled.query)
+        shard_plan = self._request(
+            0,
+            {
+                "op": "explain",
+                "text": text,
+                "mode": "partial",
+                "executor": executor,
+                "analyze": analyze,
+            },
+        ).done["text"]
+        lines = [
+            f"DISTRIBUTED SCATTER-GATHER over {self.num_shards} shards "
+            f"(kind={split.kind})",
+            "MERGE FRAGMENT (coordinator):",
+        ]
+        lines.extend("  " + line for line in split.describe().splitlines())
+        lines.append("SHARD FRAGMENT (every shard; shard 0 shown):")
+        lines.extend("  " + line for line in shard_plan.splitlines())
+        return "\n".join(lines)
+
+    def split_for(self, text: str) -> Optional[SplitPlan]:
+        """The split this coordinator would use for ``text`` (None = FROM-less)."""
+        from ..sqlpp import compile_query
+
+        compiled = compile_query(text)
+        if compiled.query is None:
+            return None
+        return split_query(compiled.query)
+
+    # -- DDL / DML ---------------------------------------------------------------------
+    def create_dataset(
+        self,
+        name: str,
+        layout: str = "amax",
+        primary_key_field: Optional[str] = None,
+    ) -> None:
+        """Create the dataset on every shard (same name, layout, and key)."""
+        self._scatter(
+            {
+                "op": "create_dataset",
+                "name": name,
+                "layout": layout,
+                "primary_key_field": primary_key_field,
+            }
+        )
+        self._pk_fields[name] = primary_key_field or "id"
+
+    def _primary_key(self, dataset: str) -> str:
+        cached = self._pk_fields.get(dataset)
+        if cached is not None:
+            return cached
+        for row in self.list_datasets():  # refreshes the cache as a side effect
+            if row["name"] == dataset:
+                return row.get("primary_key", "id")
+        raise DatasetError(f"unknown dataset {dataset!r}")
+
+    def shard_for(self, dataset: str, key) -> int:
+        """Which shard owns this primary key."""
+        del dataset  # routing depends only on the key today
+        return shard_for_key(key, self.num_shards)
+
+    def insert(self, dataset: str, document: dict) -> Optional[int]:
+        """Insert one document on its owning shard; returns that shard's
+        commit sequence (sequences are per-shard, like per-process)."""
+        pk = self._primary_key(dataset)
+        try:
+            key = document[pk]
+        except (TypeError, KeyError):
+            raise DatasetError(
+                f"document is missing the primary key field {pk!r}"
+            ) from None
+        shard = shard_for_key(key, self.num_shards)
+        result = self._request(
+            shard, {"op": "insert", "dataset": dataset, "documents": [document]}
+        )
+        return result.done.get("sequence")
+
+    def insert_many(self, dataset: str, documents: Sequence[dict]) -> int:
+        """Bulk insert: group by owning shard, load all shards concurrently."""
+        pk = self._primary_key(dataset)
+        by_shard: Dict[int, List[dict]] = {}
+        for document in documents:
+            try:
+                key = document[pk]
+            except (TypeError, KeyError):
+                raise DatasetError(
+                    f"document is missing the primary key field {pk!r}"
+                ) from None
+            by_shard.setdefault(shard_for_key(key, self.num_shards), []).append(
+                document
+            )
+        futures = []
+        for shard, docs in by_shard.items():
+            for start in range(0, len(docs), INSERT_CHUNK):
+                chunk = docs[start : start + INSERT_CHUNK]
+                futures.append(
+                    self._gather.submit(
+                        self._request,
+                        shard,
+                        {"op": "insert", "dataset": dataset, "documents": chunk},
+                    )
+                )
+        return sum(future.result().done["count"] for future in futures)
+
+    def delete(self, dataset: str, key) -> Optional[int]:
+        shard = shard_for_key(key, self.num_shards)
+        result = self._request(shard, {"op": "delete", "dataset": dataset, "key": key})
+        return result.done.get("sequence")
+
+    def point_lookup(self, dataset: str, key, fields: Optional[List[str]] = None):
+        shard = shard_for_key(key, self.num_shards)
+        result = self._request(
+            shard, {"op": "lookup", "dataset": dataset, "key": key, "fields": fields}
+        )
+        return result.done.get("document")
+
+    def count(self, dataset: str) -> int:
+        results = self._scatter({"op": "count", "dataset": dataset})
+        return sum(result.done["count"] for result in results)
+
+    def list_datasets(self) -> List[dict]:
+        """Union of every shard's datasets, record counts summed across shards."""
+        results = self._scatter({"op": "list_datasets"})
+        merged: Dict[str, dict] = {}
+        order: List[str] = []
+        for result in results:
+            for row in result.rows:
+                name = row["name"]
+                if name in merged:
+                    merged[name]["records"] += row.get("records", 0)
+                else:
+                    merged[name] = dict(row)
+                    order.append(name)
+                self._pk_fields.setdefault(name, row.get("primary_key", "id"))
+        return [merged[name] for name in order]
+
+    def checkpoint(self) -> None:
+        self._scatter({"op": "checkpoint"})
+
+    def recovery_info(self, shard: int) -> Optional[dict]:
+        return self._request(shard, {"op": "recovery_info"}).done.get("recovery")
+
+    def ping(self) -> None:
+        self._scatter({"op": "ping"})
+
+    # -- topology ----------------------------------------------------------------------
+    def reconnect_shard(
+        self, shard: int, address: Optional[Tuple[str, int]] = None
+    ) -> None:
+        """Drop the shard's pooled connections (e.g. after a restart).
+
+        Pass ``address`` when the restarted shard came up on a new port.
+        """
+        if address is not None:
+            self.addresses[shard] = (address[0], int(address[1]))
+        old = self._pools[shard]
+        host, port = self.addresses[shard]
+        self._pools[shard] = _ClientPool(
+            host, port, self._pool_capacity, self._timeout
+        )
+        old.close()
+
+    def shutdown_shards(self) -> None:
+        """Ask every shard server to shut down gracefully over the wire."""
+        for shard in range(self.num_shards):
+            try:
+                self._request(shard, {"op": "shutdown"})
+            except RemoteError:
+                pass  # already down, or closed the socket mid-goodbye
+
+    def close(self) -> None:
+        self._gather.shutdown(wait=True)
+        for pool in self._pools:
+            pool.close()
+
+    def __enter__(self) -> "ShardedDatastore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class CoordinatorSessionHandler:
+    """Wire-server request handler backed by a :class:`ShardedDatastore`.
+
+    Speaks the same ops as :class:`~repro.net.server.EngineSessionHandler`,
+    so ``repro.shell --connect`` works identically against a coordinator.
+    Multi-statement transactions are single-shard by design — BEGIN over the
+    coordinator is rejected with a pointer to connect to the owning shard.
+    """
+
+    def __init__(self, sharded: ShardedDatastore) -> None:
+        self.sharded = sharded
+
+    def handle(self, request: dict) -> Tuple[Optional[list], dict]:
+        op = request.get("op", "statement")
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise WireError(f"unknown request op {op!r}")
+        return handler(request)
+
+    def close(self) -> Optional[str]:
+        return None  # no per-session transaction state on the coordinator
+
+    # -- ops ---------------------------------------------------------------------------
+    def _op_statement(self, request: dict) -> Tuple[Optional[list], dict]:
+        from ..model.errors import SqlppError
+        from ..sqlpp import (
+            BeginStatement,
+            CommitStatement,
+            DeleteStatement,
+            InsertStatement,
+            RollbackStatement,
+            constant_value,
+            parse_any,
+        )
+
+        if request.get("mode", "full") == "partial":
+            raise WireError(
+                "partial mode is shard-side only; the coordinator runs the merge"
+            )
+        text = request["text"]
+        executor = request.get("executor", "codegen")
+        statement = parse_any(text)
+        before = self.sharded.io_snapshot()
+        rows = status = sequence = explain_text = scatter = None
+        if isinstance(statement, (BeginStatement, CommitStatement, RollbackStatement)):
+            raise SqlppError(
+                "transactions are not supported through the shard coordinator "
+                "(writes auto-commit per shard; connect to the owning shard "
+                f"for multi-statement transactions) at {statement.where}",
+                statement.line,
+                statement.column,
+            )
+        if isinstance(statement, InsertStatement):
+            value = constant_value(statement.documents)
+            documents = value if isinstance(value, list) else [value]
+            if not documents or not all(
+                isinstance(document, dict) for document in documents
+            ):
+                raise SqlppError(
+                    "INSERT expects an object literal or a non-empty array of "
+                    f"objects at {statement.documents.where}",
+                    statement.documents.line,
+                    statement.documents.column,
+                )
+            if len(documents) == 1:
+                sequence = self.sharded.insert(statement.dataset, documents[0])
+                status = "INSERT 1"
+            else:
+                inserted = self.sharded.insert_many(statement.dataset, documents)
+                status = f"INSERT {inserted}"
+        elif isinstance(statement, DeleteStatement):
+            pk = self.sharded._primary_key(statement.dataset)
+            if statement.key_field != pk:
+                raise SqlppError(
+                    f"DELETE key field `{statement.key_field}` is not the "
+                    f"primary key `{pk}` of dataset "
+                    f"{statement.dataset!r} at {statement.where}",
+                    statement.line,
+                    statement.column,
+                )
+            sequence = self.sharded.delete(
+                statement.dataset, constant_value(statement.key)
+            )
+            status = "DELETE 1"
+        else:
+            rows = self.sharded.query(
+                text,
+                executor=executor,
+                pushdown=request.get("pushdown", True),
+                batch_size=request.get("batch_size"),
+            )
+            if request.get("explain"):
+                explain_text = self.sharded.explain(text, executor=executor)
+            stats = self.sharded.last_query_stats
+            if stats is not None:
+                scatter = {
+                    "kind": stats.kind,
+                    "shards": stats.shards,
+                    "rows_transferred": stats.rows_transferred,
+                }
+        delta = self.sharded.io_stats.delta_since(before)
+        done = {"type": "done", "io": delta.as_dict(), "shards": self.sharded.num_shards}
+        if rows is not None:
+            done["result"] = "rows"
+            done["rows_returned"] = len(rows)
+        else:
+            done["result"] = "status"
+            done["status"] = status
+        if sequence is not None:
+            done["sequence"] = sequence
+        if explain_text is not None:
+            done["explain"] = explain_text
+        if scatter is not None:
+            done["scatter"] = scatter
+        return rows, done
+
+    def _op_explain(self, request: dict) -> Tuple[Optional[list], dict]:
+        text = self.sharded.explain(
+            request["text"],
+            executor=request.get("executor", "codegen"),
+            analyze=request.get("analyze", False),
+        )
+        return None, {"type": "done", "text": text}
+
+    def _op_create_dataset(self, request: dict) -> Tuple[Optional[list], dict]:
+        self.sharded.create_dataset(
+            request["name"],
+            layout=request.get("layout", "amax"),
+            primary_key_field=request.get("primary_key_field"),
+        )
+        return None, {"type": "done"}
+
+    def _op_insert(self, request: dict) -> Tuple[Optional[list], dict]:
+        documents = request["documents"]
+        before = self.sharded.io_snapshot()
+        if len(documents) == 1:
+            sequence = self.sharded.insert(request["dataset"], documents[0])
+            count = 1
+        else:
+            sequence = None
+            count = self.sharded.insert_many(request["dataset"], documents)
+        delta = self.sharded.io_stats.delta_since(before)
+        return None, {
+            "type": "done",
+            "count": count,
+            "sequence": sequence,
+            "io": delta.as_dict(),
+        }
+
+    def _op_delete(self, request: dict) -> Tuple[Optional[list], dict]:
+        sequence = self.sharded.delete(request["dataset"], request["key"])
+        return None, {"type": "done", "sequence": sequence}
+
+    def _op_lookup(self, request: dict) -> Tuple[Optional[list], dict]:
+        before = self.sharded.io_snapshot()
+        document = self.sharded.point_lookup(
+            request["dataset"], request["key"], request.get("fields")
+        )
+        delta = self.sharded.io_stats.delta_since(before)
+        return None, {
+            "type": "done",
+            "found": document is not None,
+            "document": document,
+            "io": delta.as_dict(),
+        }
+
+    def _op_count(self, request: dict) -> Tuple[Optional[list], dict]:
+        return None, {"type": "done", "count": self.sharded.count(request["dataset"])}
+
+    def _op_list_datasets(self, request: dict) -> Tuple[Optional[list], dict]:
+        rows = self.sharded.list_datasets()
+        return rows, {"type": "done", "result": "rows", "rows_returned": len(rows)}
+
+    def _op_checkpoint(self, request: dict) -> Tuple[Optional[list], dict]:
+        self.sharded.checkpoint()
+        return None, {"type": "done"}
+
+    def _op_recovery_info(self, request: dict) -> Tuple[Optional[list], dict]:
+        shard = request.get("shard", 0)
+        return None, {
+            "type": "done",
+            "recovery": self.sharded.recovery_info(shard),
+        }
+
+
+class ShardCluster:
+    """Spawn and manage N engine-server shard processes.
+
+    Each shard gets its own directory under ``data_root`` (``shard-0``,
+    ``shard-1``, ...) holding its manifests and WAL; a killed shard restarts
+    from that directory through the ordinary single-store recovery path.
+    Startup uses a ready-file handshake: the server binds port 0 and writes
+    ``{"host", "port", "pid"}`` once it is accepting connections.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        data_root,
+        host: str = "127.0.0.1",
+        server_args: Sequence[str] = (),
+        startup_timeout: float = 60.0,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("at least one shard is required")
+        self.num_shards = num_shards
+        self.data_root = Path(data_root)
+        self.host = host
+        self.server_args = list(server_args)
+        self.startup_timeout = startup_timeout
+        self.processes: List[Optional[subprocess.Popen]] = [None] * num_shards
+        self.addresses: List[Optional[Tuple[str, int]]] = [None] * num_shards
+        self._env = dict(os.environ)
+        # Shard subprocesses must import this very checkout of the package.
+        import repro as _repro
+
+        source_root = str(Path(_repro.__file__).resolve().parents[1])
+        existing = self._env.get("PYTHONPATH")
+        self._env["PYTHONPATH"] = (
+            source_root if not existing else source_root + os.pathsep + existing
+        )
+        self.data_root.mkdir(parents=True, exist_ok=True)
+        try:
+            for shard in range(num_shards):
+                self._spawn(shard)
+        except BaseException:
+            self.terminate()
+            raise
+
+    def shard_dir(self, shard: int) -> Path:
+        return self.data_root / f"shard-{shard}"
+
+    def _ready_file(self, shard: int) -> Path:
+        return self.data_root / f"shard-{shard}.ready.json"
+
+    def _spawn(self, shard: int) -> None:
+        ready = self._ready_file(shard)
+        if ready.exists():
+            ready.unlink()
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.server",
+            "--host",
+            self.host,
+            "--port",
+            "0",
+            "--store",
+            str(self.shard_dir(shard)),
+            "--ready-file",
+            str(ready),
+            *self.server_args,
+        ]
+        process = subprocess.Popen(argv, env=self._env)
+        deadline = time.monotonic() + self.startup_timeout
+        while True:
+            if process.poll() is not None:
+                raise RuntimeError(
+                    f"shard {shard} exited with status {process.returncode} "
+                    "during startup"
+                )
+            if ready.exists():
+                try:
+                    payload = json.loads(ready.read_text())
+                except (ValueError, OSError):
+                    payload = None  # written but not yet complete
+                if payload:
+                    self.processes[shard] = process
+                    self.addresses[shard] = (payload["host"], payload["port"])
+                    return
+            if time.monotonic() > deadline:
+                process.kill()
+                process.wait()
+                raise RuntimeError(
+                    f"shard {shard} did not become ready within "
+                    f"{self.startup_timeout}s"
+                )
+            time.sleep(0.02)
+
+    def live_addresses(self) -> List[Tuple[str, int]]:
+        return [address for address in self.addresses if address is not None]
+
+    def connect(self, **kwargs) -> ShardedDatastore:
+        """A coordinator over this cluster's current shard addresses."""
+        return ShardedDatastore(self.live_addresses(), **kwargs)
+
+    def kill_shard(self, shard: int) -> None:
+        """SIGKILL a shard (crash injection — no drain, no checkpoint)."""
+        process = self.processes[shard]
+        if process is None:
+            return
+        process.kill()
+        process.wait()
+        self.processes[shard] = None
+        self.addresses[shard] = None
+
+    def terminate_shard(self, shard: int) -> None:
+        """SIGTERM a shard and wait for its graceful drain-and-checkpoint."""
+        process = self.processes[shard]
+        if process is None:
+            return
+        process.terminate()
+        try:
+            process.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+        self.processes[shard] = None
+        self.addresses[shard] = None
+
+    def restart_shard(self, shard: int) -> Tuple[str, int]:
+        """Start a killed shard again from its directory (WAL replay etc.)."""
+        if self.processes[shard] is not None:
+            self.terminate_shard(shard)
+        self._spawn(shard)
+        return self.addresses[shard]
+
+    def terminate(self, timeout: float = 30.0) -> None:
+        """Gracefully stop every shard (SIGTERM, then SIGKILL stragglers)."""
+        for process in self.processes:
+            if process is not None and process.poll() is None:
+                process.terminate()
+        deadline = time.monotonic() + timeout
+        for shard, process in enumerate(self.processes):
+            if process is None:
+                continue
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+            self.processes[shard] = None
+            self.addresses[shard] = None
+
+    def __enter__(self) -> "ShardCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.terminate()

@@ -1,0 +1,283 @@
+"""Plan splitting for scatter-gather: shard-local fragment + merge fragment.
+
+A query is split into what every shard executes (the *local fragment*, still
+a plain :class:`~repro.query.plan.Query`, so each shard runs its own
+cost-based access-path selection, pushdown, and executor over its slice of
+the data) and what the coordinator does with the per-shard results (the
+*merge fragment*).  The split is a pure function of the query — coordinator
+and shards each call :func:`split_query` on the same SQL++ text and arrive
+at the identical split, so no plan serialization crosses the wire.
+
+Split rules, by the first pipeline breaker:
+
+* **AGGREGATE** — each shard computes partial aggregates; the coordinator
+  merges one row per shard.  COUNT partials sum; SUM/MIN/MAX partials fold
+  with the oracle's own operators (so SQL++'s cross-type behavior — e.g.
+  mixed int/str MIN raising ``TypeError`` — is preserved); AVG is decomposed
+  into a SUM partial plus an internal COUNTV partial (the count of
+  *contributing* numeric values) and recombined as ``sum/count`` — the
+  standard algebraic-aggregate decomposition.
+* **GROUP BY** — each shard groups locally with the same partial aggregate
+  list; the coordinator merges groups by key (a group's rows live on many
+  shards, so any ORDER BY/LIMIT after the GROUP BY must run *after* the
+  merge, never per shard).
+* **neither** (streaming SELECT) — shards run the whole breaker chain
+  including any per-shard ORDER BY + LIMIT top-K; the coordinator
+  concatenates and re-applies ORDER BY/LIMIT over the union.
+
+Float caveat: shard-parallel SUM/AVG folds per-shard subtotals, which can
+differ from the single-process left-fold in the last ulp for floats.
+Integer aggregates — and the COUNT/MIN/MAX suites of the paper's Figures
+11/14 — are exact.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..query.executor import _hashable
+from ..query.plan import (
+    AggregateNode,
+    GroupByNode,
+    LimitNode,
+    OrderByNode,
+    ProjectNode,
+    Query,
+)
+
+#: Separator of internal partial-column names (``avg`` decomposition); SQL++
+#: output names are identifiers or ``$N``, so ``#`` can never collide.
+PARTIAL_SEPARATOR = "#"
+
+
+@dataclass
+class MergeAggregate:
+    """How to recombine one output aggregate from per-shard partial columns."""
+
+    name: str
+    function: str
+    #: Column names of the partials in the shard rows: ``(name,)`` for
+    #: count/sum/min/max, ``(name#sum, name#n)`` for avg.
+    columns: Tuple[str, ...]
+
+
+@dataclass
+class SplitPlan:
+    """The outcome of :func:`split_query`: local fragment + merge recipe."""
+
+    #: ``"aggregate"`` / ``"groupby"`` (partial-aggregate pushdown),
+    #: ``"stream"`` (shards run all breakers, coordinator concatenates), or
+    #: ``"raw"`` (no pushdown: shards stream pipeline rows, the coordinator
+    #: runs every breaker — the conservative fallback).
+    kind: str
+    #: What each shard executes (shard-side optimizer/pushdown still apply).
+    local_query: Query
+    #: Group-key output names (``groupby`` kind only).
+    key_names: List[str] = field(default_factory=list)
+    #: Aggregate merge recipes (``aggregate``/``groupby`` kinds).
+    aggregates: List[MergeAggregate] = field(default_factory=list)
+    #: Breakers the coordinator runs after merging (oracle breaker nodes).
+    post_breakers: List[object] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """One line per merge-fragment step (rendered by distributed EXPLAIN)."""
+        lines = []
+        if self.kind == "groupby":
+            aggregates = ", ".join(
+                f"{a.name}={a.function}({'+'.join(a.columns)})" for a in self.aggregates
+            )
+            lines.append(
+                f"MERGE-GROUPBY keys=[{', '.join(self.key_names)}] "
+                f"aggregates=[{aggregates}]"
+            )
+        elif self.kind == "aggregate":
+            aggregates = ", ".join(
+                f"{a.name}={a.function}({'+'.join(a.columns)})" for a in self.aggregates
+            )
+            lines.append(f"MERGE-AGGREGATE {aggregates}")
+        elif self.kind == "stream":
+            lines.append("MERGE-CONCAT (shards ran all breakers)")
+        else:
+            lines.append("MERGE-CONCAT (raw rows; no pushdown)")
+        from ..query.plan import _describe_breaker
+
+        for op in self.post_breakers:
+            lines.append(_describe_breaker(op))
+        return "\n".join(lines)
+
+
+def _partial_aggregates(
+    aggregates: List[Tuple[str, str, Optional[object]]]
+) -> Tuple[List[Tuple[str, str, Optional[object]]], List[MergeAggregate]]:
+    """Decompose output aggregates into shard partials + merge recipes."""
+    partials: List[Tuple[str, str, Optional[object]]] = []
+    merges: List[MergeAggregate] = []
+    for name, function, expression in aggregates:
+        if function == "avg":
+            sum_column = f"{name}{PARTIAL_SEPARATOR}sum"
+            count_column = f"{name}{PARTIAL_SEPARATOR}n"
+            partials.append((sum_column, "sum", expression))
+            partials.append((count_column, "countv", expression))
+            merges.append(MergeAggregate(name, "avg", (sum_column, count_column)))
+        else:
+            partials.append((name, function, expression))
+            merges.append(MergeAggregate(name, function, (name,)))
+    return partials, merges
+
+
+def _clone_with_breakers(query: Query, breakers: List[object]) -> Query:
+    """A shallow copy of the builder with a replacement breaker chain.
+
+    The partial breaker nodes are constructed here, already resolved — they
+    bypass :meth:`Query._resolve_aggregates` (which gates on the public
+    :data:`~repro.query.plan.AGGREGATE_FUNCTIONS`, and ``countv`` is
+    internal-only).
+    """
+    local = copy.copy(query)
+    local._pipeline = list(query._pipeline)
+    local._breakers = breakers
+    return local
+
+
+def split_query(query: Query) -> SplitPlan:
+    """Split a builder query into its shard-local and merge fragments."""
+    breakers = list(query._breakers)
+    first_breaker_index = None
+    for index, op in enumerate(breakers):
+        if isinstance(op, (GroupByNode, AggregateNode)):
+            first_breaker_index = index
+            break
+    if first_breaker_index is None:
+        # Streaming SELECT: shards run everything; the coordinator re-applies
+        # the order-sensitive suffix over the concatenated union (a shard's
+        # ORDER BY+LIMIT is a correct per-shard top-K).
+        post = [op for op in breakers if isinstance(op, (OrderByNode, LimitNode))]
+        return SplitPlan(
+            kind="stream",
+            local_query=_clone_with_breakers(query, list(breakers)),
+            post_breakers=post,
+        )
+    prefix = breakers[:first_breaker_index]
+    if not all(isinstance(op, ProjectNode) for op in prefix):
+        # An ORDER BY/LIMIT *before* the aggregation (builder-constructed
+        # plans only; lowering never emits this) is not distributable without
+        # global ordering — fall back to streaming raw rows and running every
+        # breaker at the coordinator.  Correct, just no pushdown.
+        return SplitPlan(
+            kind="raw",
+            local_query=_clone_with_breakers(query, []),
+            post_breakers=list(breakers),
+        )
+    node = breakers[first_breaker_index]
+    suffix = breakers[first_breaker_index + 1 :]
+    if isinstance(node, AggregateNode):
+        partials, merges = _partial_aggregates(node.aggregates)
+        local = _clone_with_breakers(query, prefix + [AggregateNode(partials)])
+        return SplitPlan(
+            kind="aggregate",
+            local_query=local,
+            aggregates=merges,
+            post_breakers=suffix,
+        )
+    partials, merges = _partial_aggregates(node.aggregates)
+    local = _clone_with_breakers(
+        query, prefix + [GroupByNode(list(node.keys), partials)]
+    )
+    return SplitPlan(
+        kind="groupby",
+        local_query=local,
+        key_names=[name for name, _ in node.keys],
+        aggregates=merges,
+        post_breakers=suffix,
+    )
+
+
+# ======================================================================================
+# Merging
+# ======================================================================================
+
+
+def _merge_partials(function: str, partials: List[object]):
+    """Recombine one aggregate's per-shard partials, oracle-faithfully.
+
+    ``None`` partials come from shards whose slice had no contributing
+    values (the oracle's SUM/MIN/MAX of nothing is NULL) and are skipped;
+    the survivors fold with the same operators the row-at-a-time aggregator
+    uses, so e.g. MIN over int partials from one shard and str partials from
+    another raises ``TypeError`` exactly like the single-process engine.
+    """
+    if function == "count":
+        return sum(partials)
+    present = [value for value in partials if value is not None]
+    if not present:
+        return None
+    if function == "sum":
+        total = present[0]
+        for value in present[1:]:
+            total = total + value
+        return total
+    if function == "min":
+        return min(present)
+    if function == "max":
+        return max(present)
+    raise ValueError(f"unmergeable aggregate function {function!r}")
+
+
+def _finalize(merge: MergeAggregate, columns: Dict[str, List[object]]):
+    if merge.function == "avg":
+        sum_column, count_column = merge.columns
+        count = sum(columns[count_column])
+        if not count:
+            return None
+        total = _merge_partials("sum", columns[sum_column])
+        return total / count
+    return _merge_partials(merge.function, columns[merge.columns[0]])
+
+
+def merge_rows(split: SplitPlan, shard_rows: List[List[dict]]) -> List[dict]:
+    """Combine per-shard result rows according to the split's merge recipe.
+
+    The caller runs ``split.post_breakers`` (via
+    :func:`repro.query.executor.run_breakers`) over the returned rows —
+    including, for the streaming kinds, the re-applied ORDER BY/LIMIT.
+    """
+    if split.kind in ("stream", "raw"):
+        merged: List[dict] = []
+        for rows in shard_rows:
+            merged.extend(rows)
+        return merged
+    if split.kind == "aggregate":
+        columns: Dict[str, List[object]] = {}
+        for rows in shard_rows:
+            for row in rows:  # exactly one row per shard
+                for column, value in row.items():
+                    columns.setdefault(column, []).append(value)
+        return [
+            {merge.name: _finalize(merge, columns) for merge in split.aggregates}
+        ]
+    # groupby: merge partial groups by key tuple, first-seen shard order.
+    groups: Dict[tuple, Tuple[dict, Dict[str, List[object]]]] = {}
+    order: List[tuple] = []
+    for rows in shard_rows:
+        for row in rows:
+            key = tuple(_hashable(row[name]) for name in split.key_names)
+            entry = groups.get(key)
+            if entry is None:
+                key_values = {name: row[name] for name in split.key_names}
+                entry = (key_values, {})
+                groups[key] = entry
+                order.append(key)
+            _, columns = entry
+            for merge in split.aggregates:
+                for column in merge.columns:
+                    columns.setdefault(column, []).append(row[column])
+    results: List[dict] = []
+    for key in order:
+        key_values, columns = groups[key]
+        merged_row = dict(key_values)
+        for merge in split.aggregates:
+            merged_row[merge.name] = _finalize(merge, columns)
+        results.append(merged_row)
+    return results

@@ -127,20 +127,35 @@ class Shell:
 
     def __init__(
         self,
-        store: Datastore,
+        store: Optional[Datastore] = None,
         batch: bool = False,
         out=None,
         err=None,
+        client=None,
     ) -> None:
+        if (store is None) == (client is None):
+            raise ValueError("pass exactly one of store (local) or client (remote)")
         self.store = store
+        #: Remote mode: a connected :class:`~repro.net.client.WireClient`;
+        #: the server owns the statement session (and its transaction state).
+        self.client = client
         self.batch = batch
         self.out = out or sys.stdout
         self.err = err or sys.stderr
         self.show_explain = False
         self.show_timing = False
         self.executor = "codegen"
-        #: The session's open transaction (None between BEGIN/COMMIT pairs).
-        self.txn = None
+        self.session = None
+        if store is not None:
+            from .net.session import StatementSession
+
+            self.session = StatementSession(store)
+
+    @property
+    def txn(self):
+        """The local session's open transaction (None remotely — the server
+        tracks it per connection)."""
+        return self.session.txn if self.session is not None else None
 
     # -- output ------------------------------------------------------------------------
     def print(self, text: str = "") -> None:
@@ -158,6 +173,8 @@ class Shell:
         if command in ("\\help", "\\?"):
             self.print(
                 "\\d            list datasets\n"
+                "\\create NAME [LAYOUT]  create a dataset (open | vector | "
+                "apax | amax)\n"
                 "\\explain      toggle plan output (currently "
                 f"{'on' if self.show_explain else 'off'})\n"
                 "\\timing       toggle query timing (currently "
@@ -170,10 +187,38 @@ class Shell:
                 "atomic transaction (ROLLBACK discards; quitting rolls back)."
             )
         elif command == "\\d":
-            if not self.store.datasets:
-                self.print("(no datasets)")
-            for name, dataset in sorted(self.store.datasets.items()):
-                self.print(f"{name}  layout={dataset.layout}  records={dataset.count()}")
+            if self.client is not None:
+                listed = self.client.list_datasets()
+                if not listed:
+                    self.print("(no datasets)")
+                for row in listed:
+                    self.print(
+                        f"{row['name']}  layout={row['layout']}  "
+                        f"records={row['records']}"
+                    )
+            else:
+                if not self.store.datasets:
+                    self.print("(no datasets)")
+                for name, dataset in sorted(self.store.datasets.items()):
+                    self.print(
+                        f"{name}  layout={dataset.layout}  records={dataset.count()}"
+                    )
+        elif command == "\\create":
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                self.print_error("usage: \\create NAME [LAYOUT]")
+                return 1 if self.batch else None
+            name = parts[1]
+            layout = parts[2] if len(parts) == 3 else "amax"
+            try:
+                if self.client is not None:
+                    self.client.create_dataset(name, layout=layout)
+                else:
+                    self.store.create_dataset(name, layout=layout)
+            except ReproError as error:
+                self.print_error(str(error))
+                return 1 if self.batch else None
+            self.print(f"created dataset {name} (layout={layout})")
         elif command == "\\explain":
             self.show_explain = not self.show_explain
             self.print(f"explain is {'on' if self.show_explain else 'off'}")
@@ -201,99 +246,38 @@ class Shell:
 
     # -- statements --------------------------------------------------------------------
     def execute_statement(self, text: str):
-        """Parse and execute one statement of any kind.
+        """Execute one statement of any kind, locally or over the wire.
 
         Returns the SELECT result rows (a list), or a status string for
         transaction-control and DML statements.  Raises
         :class:`~repro.model.errors.ReproError` subclasses on failure —
         transaction misuse (nested BEGIN, COMMIT/ROLLBACK outside a
         transaction) raises :class:`SqlppError` with the statement's exact
-        line/column, in the same style as parse and bind errors.
+        line/column, in the same style as parse and bind errors; remote
+        failures raise :class:`~repro.net.client.RemoteError` carrying the
+        server-side message.
         """
-        from .model.errors import SqlppError
-        from .sqlpp import (
-            BeginStatement,
-            CommitStatement,
-            DeleteStatement,
-            InsertStatement,
-            RollbackStatement,
-            compile_statement,
-            constant_value,
-            parse_any,
+        if self.client is not None:
+            result = self.client.statement(
+                text,
+                executor=self.executor,
+                explain=self.show_explain,
+                on_notice=lambda message: self.print(message),
+            )
+            explained = result.done.get("explain")
+            if explained:
+                self.print(explained)
+            if result.done.get("result") == "rows":
+                return result.rows
+            return result.status
+        outcome = self.session.execute(
+            text, executor=self.executor, explain=self.show_explain
         )
-
-        statement = parse_any(text)
-        if isinstance(statement, BeginStatement):
-            if self.txn is not None:
-                raise SqlppError(
-                    "nested BEGIN: a transaction is already open (COMMIT or "
-                    f"ROLLBACK it first) at {statement.where}",
-                    statement.line,
-                    statement.column,
-                )
-            self.txn = self.store.begin()
-            return f"BEGIN (transaction #{self.txn.id})"
-        if isinstance(statement, CommitStatement):
-            if self.txn is None:
-                raise SqlppError(
-                    f"COMMIT outside a transaction at {statement.where}",
-                    statement.line,
-                    statement.column,
-                )
-            txn, self.txn = self.txn, None
-            sequence = txn.commit()  # TransactionConflictError propagates
-            if sequence is None:
-                return "COMMIT (read-only)"
-            return f"COMMIT (sequence {sequence})"
-        if isinstance(statement, RollbackStatement):
-            if self.txn is None:
-                raise SqlppError(
-                    f"ROLLBACK outside a transaction at {statement.where}",
-                    statement.line,
-                    statement.column,
-                )
-            txn, self.txn = self.txn, None
-            txn.abort()
-            return "ROLLBACK"
-        if isinstance(statement, InsertStatement):
-            value = constant_value(statement.documents)
-            documents = value if isinstance(value, list) else [value]
-            if not documents or not all(
-                isinstance(document, dict) for document in documents
-            ):
-                raise SqlppError(
-                    "INSERT expects an object literal or a non-empty array of "
-                    f"objects at {statement.documents.where}",
-                    statement.documents.line,
-                    statement.documents.column,
-                )
-            if self.txn is not None:
-                for document in documents:
-                    self.txn.insert(statement.dataset, document)
-                return f"INSERT {len(documents)} (buffered in transaction)"
-            dataset = self.store.dataset(statement.dataset)
-            dataset.insert_many(documents)
-            return f"INSERT {len(documents)}"
-        if isinstance(statement, DeleteStatement):
-            dataset = self.store.dataset(statement.dataset)
-            if statement.key_field != dataset.primary_key_field:
-                raise SqlppError(
-                    f"DELETE key field `{statement.key_field}` is not the "
-                    f"primary key `{dataset.primary_key_field}` of dataset "
-                    f"{statement.dataset!r} at {statement.where}",
-                    statement.line,
-                    statement.column,
-                )
-            key = constant_value(statement.key)
-            if self.txn is not None:
-                self.txn.delete(statement.dataset, key)
-                return "DELETE 1 (buffered in transaction)"
-            dataset.delete(key)
-            return "DELETE 1"
-        compiled = compile_statement(statement)
-        if self.show_explain and compiled.query is not None:
-            self.print(compiled.explain(self.store, executor=self.executor))
-        return compiled.execute(self.store, executor=self.executor)
+        if outcome.explain_text is not None:
+            self.print(outcome.explain_text)
+        if outcome.rows is not None:
+            return outcome.rows
+        return outcome.status
 
     def run_statement(self, text: str) -> bool:
         """Execute and render one statement; returns False on error in batch mode."""
@@ -323,13 +307,13 @@ class Shell:
         try:
             return self._run_loop(stream)
         finally:
-            if self.txn is not None:
-                txn, self.txn = self.txn, None
-                txn.abort()
-                self.print(
-                    f"rolled back open transaction #{txn.id} (session ended "
-                    "without COMMIT)"
-                )
+            if self.session is not None:
+                notice = self.session.close()
+                if notice:
+                    self.print(notice)
+            # Remotely the server rolls back and sends the same notice when
+            # the connection closes; printing it raced the disconnect, so the
+            # local close is silent.
 
     def _run_loop(self, stream) -> int:
         interactive = not self.batch
@@ -388,15 +372,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="read statements from stdin without prompts; exit 1 on first error",
     )
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="connect to a running repro server (engine or shard coordinator) "
+        "instead of opening a local store",
+    )
     args = parser.parse_args(argv)
-    if args.store:
+    store = client = None
+    if args.connect:
+        if args.store or args.empty:
+            parser.error("--connect is incompatible with --store/--empty")
+        from .net.client import WireClient
+
+        host, _, port = args.connect.rpartition(":")
+        if not host or not port.isdigit():
+            parser.error(f"--connect expects HOST:PORT, got {args.connect!r}")
+        client = WireClient(host, int(port))
+    elif args.store:
         store = Datastore.open(args.store)
     elif args.empty:
         store = Datastore(StoreConfig(partitions_per_node=1))
     else:
         store = make_demo_store()
-    shell = Shell(store, batch=args.batch)
-    if not args.batch and not args.store and not args.empty:
+    shell = Shell(store, batch=args.batch, client=client)
+    if args.connect and not args.batch:
+        role = client.server_hello.get("role", "engine")
+        shell.print(f"connected to {args.connect} ({role})")
+    if not args.batch and store is not None and not args.store and not args.empty:
         shell.print('demo dataset "gamers" loaded — try: SELECT COUNT(*) FROM gamers AS g;')
     try:
         return shell.run(sys.stdin)
@@ -404,7 +407,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         shell.print()
         return 130
     finally:
-        store.close()
+        if store is not None:
+            store.close()
+        if client is not None:
+            client.close()
 
 
 if __name__ == "__main__":

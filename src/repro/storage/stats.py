@@ -101,6 +101,39 @@ class IOStats:
             simulated_io_seconds=self.simulated_io_seconds - earlier.simulated_io_seconds,
         )
 
+    def add(self, other: "IOStats") -> None:
+        """Fold another instance's counters into this one (thread-safe).
+
+        This is how the shard coordinator aggregates the per-statement I/O
+        deltas reported by remote engine processes into one cluster-wide
+        view (:class:`repro.shard.coordinator.ShardedDatastore.io_stats`).
+        """
+        with self._lock:
+            self.pages_read += other.pages_read
+            self.pages_written += other.pages_written
+            self.bytes_read += other.bytes_read
+            self.bytes_written += other.bytes_written
+            self.cache_hits += other.cache_hits
+            self.cache_misses += other.cache_misses
+            self.wal_appends += other.wal_appends
+            self.wal_bytes_written += other.wal_bytes_written
+            self.simulated_io_seconds += other.simulated_io_seconds
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "IOStats":
+        """Rebuild counters from :meth:`as_dict` output (wire deserialization)."""
+        return cls(
+            pages_read=int(payload.get("pages_read", 0)),
+            pages_written=int(payload.get("pages_written", 0)),
+            bytes_read=int(payload.get("bytes_read", 0)),
+            bytes_written=int(payload.get("bytes_written", 0)),
+            cache_hits=int(payload.get("cache_hits", 0)),
+            cache_misses=int(payload.get("cache_misses", 0)),
+            wal_appends=int(payload.get("wal_appends", 0)),
+            wal_bytes_written=int(payload.get("wal_bytes_written", 0)),
+            simulated_io_seconds=float(payload.get("simulated_io_seconds", 0.0)),
+        )
+
     def as_dict(self) -> Dict[str, float]:
         return {
             "pages_read": self.pages_read,

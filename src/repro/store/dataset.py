@@ -262,7 +262,7 @@ class Dataset:
                 f"document is missing the primary key field {self.primary_key_field!r}"
             ) from exc
 
-    def insert(self, document: dict, auto_flush: bool = True) -> None:
+    def insert(self, document: dict, auto_flush: bool = True) -> Optional[int]:
         """Insert or upsert one document (newest version wins at query time).
 
         Thread-safe: each partition serializes its own writers; when the
@@ -271,9 +271,15 @@ class Dataset:
         concurrent updates of the same key cannot strand stale index entries.
         With a background scheduler attached, a full memtable is rotated and
         flushed on a worker instead of stalling this call.
+
+        Returns:
+            The commit-table sequence stamped for this auto-committed write
+            (None when the dataset is not attached to a commit table) — the
+            wire server reports it so clients can record write histories.
         """
         key = self._key_of(document)
         partition = self._partition_for(key)
+        sequence: Optional[int] = None
         with self._autocommit_guard():
             if self._has_indexes():
                 with self._lock_for_key(key):
@@ -286,11 +292,12 @@ class Dataset:
                 # critical section: a transaction whose snapshot missed this
                 # write is guaranteed to see a version above its start sequence
                 # and abort, never to overwrite it silently.
-                self.commit_table.record_write(self.name, key)
+                sequence = self.commit_table.record_write(self.name, key)
         with self._counter_lock:
             self.records_ingested += 1
         if auto_flush and partition.needs_flush:
             partition.request_flush()
+        return sequence
 
     def insert_many(self, documents: Iterable[dict], auto_flush: bool = True) -> int:
         count = 0
@@ -299,9 +306,10 @@ class Dataset:
             count += 1
         return count
 
-    def delete(self, key) -> None:
-        """Delete by primary key (adds anti-matter)."""
+    def delete(self, key) -> Optional[int]:
+        """Delete by primary key (adds anti-matter); returns the commit sequence."""
         partition = self._partition_for(key)
+        sequence: Optional[int] = None
         with self._autocommit_guard():
             if self.secondary_indexes:
                 with self._lock_for_key(key):
@@ -312,7 +320,8 @@ class Dataset:
             else:
                 partition.delete(key)
             if self.commit_table is not None:
-                self.commit_table.record_write(self.name, key)
+                sequence = self.commit_table.record_write(self.name, key)
+        return sequence
 
     def apply_committed_write(
         self, key, document: Optional[dict], antimatter: bool, lsn: int

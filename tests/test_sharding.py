@@ -1,0 +1,386 @@
+"""Sharded scatter-gather tests: routing, partial-aggregate merges, and the
+multi-process differential suite.
+
+The expensive fixtures spawn real ``python -m repro.server`` shard processes
+(1, 2, and 4 shards, module-scoped) and load the paper's ``cell`` corpus
+under all four layouts plus ``sensors`` under amax; every benchmark-suite
+query then runs both through the coordinator and through a single-process
+oracle store holding identical documents.  Merge edge cases (AVG with
+zero-row shards, MIN/MAX over MISSING and mixed types, COUNT with
+antimatter) get direct unit tests against :mod:`repro.shard.partial` so the
+failure, if any, points at the merge rather than at five processes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import LAYOUTS
+from repro.bench.queries import SQLPP_QUERY_SUITES
+from repro.datasets.generators import make_generator
+from repro.lsm.keys import stable_key_hash
+from repro.shard import ShardCluster, shard_for_key, split_query
+from repro.shard.partial import merge_rows
+from repro.sqlpp import compile_query
+from repro.store import Datastore, StoreConfig
+
+CELL_DOCS = list(make_generator("cell", 300, seed=11))
+SENSORS_DOCS = list(make_generator("sensors", 80, seed=11))
+
+CELL_QUERIES = dict(SQLPP_QUERY_SUITES["cell"])
+CELL_QUERIES["cell_avg"] = (
+    "SELECT AVG(c.duration) AS a, SUM(c.duration) AS s, MIN(c.signal) AS lo, "
+    "MAX(c.signal) AS hi FROM {dataset} AS c;"
+)
+CELL_QUERIES["cell_stream"] = (
+    "SELECT c.id AS id, c.duration AS d FROM {dataset} AS c "
+    "WHERE c.duration >= 3000 ORDER BY d DESC, id LIMIT 7;"
+)
+CELL_QUERIES["cell_value"] = (
+    "SELECT VALUE c.duration FROM {dataset} AS c WHERE c.id < 5;"
+)
+CELL_QUERIES["cell_group_avg"] = (
+    "SELECT tower AS tower, COUNT(*) AS n, AVG(c.duration) AS a "
+    "FROM {dataset} AS c GROUP BY c.tower AS tower ORDER BY n DESC, tower "
+    "LIMIT 12;"
+)
+SENSORS_QUERIES = dict(SQLPP_QUERY_SUITES["sensors"])
+
+# The bench suites order by an aggregate and cut with LIMIT; ties at the cut
+# make the surviving rows depend on merge order (true in any distributed
+# engine).  The differential tests append a unique tie-breaker key so both
+# sides produce one well-defined answer; the aggregate VALUES are still
+# compared bit-for-bit.
+CELL_QUERIES["cell_q2"] = CELL_QUERIES["cell_q2"].replace(
+    "ORDER BY m DESC", "ORDER BY m DESC, caller"
+)
+for _name in ("sensors_q3", "sensors_q4"):
+    SENSORS_QUERIES[_name] = SENSORS_QUERIES[_name].replace(
+        "ORDER BY max_temp DESC", "ORDER BY max_temp DESC, sid"
+    )
+
+
+def _split(text: str):
+    compiled = compile_query(text.replace("{dataset}", "t"))
+    return split_query(compiled.query)
+
+
+# ======================================================================================
+# Routing
+# ======================================================================================
+
+
+def test_shard_for_key_is_stable_and_spreads():
+    assert shard_for_key(42, 4) == stable_key_hash(42) % 4
+    for num_shards in (1, 2, 4):
+        owners = {shard_for_key(key, num_shards) for key in range(500)}
+        assert owners == set(range(num_shards))
+    # String and int keys both route deterministically.
+    assert shard_for_key("user-7", 3) == shard_for_key("user-7", 3)
+
+
+# ======================================================================================
+# Plan splitting
+# ======================================================================================
+
+
+def test_split_kinds():
+    assert _split("SELECT COUNT(*) FROM t AS c;").kind == "aggregate"
+    assert (
+        _split(
+            "SELECT tower AS tower, COUNT(*) AS n FROM t AS c "
+            "GROUP BY c.tower AS tower;"
+        ).kind
+        == "groupby"
+    )
+    assert (
+        _split("SELECT c.id AS id FROM t AS c ORDER BY id LIMIT 3;").kind == "stream"
+    )
+
+
+def test_split_decomposes_avg_into_sum_and_count():
+    split = _split("SELECT AVG(c.duration) AS a FROM t AS c;")
+    assert split.kind == "aggregate"
+    (merge,) = split.aggregates
+    assert merge.function == "avg"
+    assert merge.columns == ("a#sum", "a#n")
+    local_aggs = split.local_query._breakers[-1].aggregates
+    assert [(name, fn) for name, fn, _ in local_aggs] == [
+        ("a#sum", "sum"),
+        ("a#n", "countv"),
+    ]
+
+
+def test_split_keeps_order_and_limit_after_groupby_at_coordinator():
+    split = _split(
+        "SELECT tower AS tower, COUNT(*) AS n FROM t AS c "
+        "GROUP BY c.tower AS tower ORDER BY n DESC LIMIT 5;"
+    )
+    assert split.kind == "groupby"
+    # A per-shard LIMIT under a GROUP BY would drop groups that span shards.
+    names = [type(op).__name__ for op in split.post_breakers]
+    assert names == ["OrderByNode", "LimitNode"]
+    local_names = [type(op).__name__ for op in split.local_query._breakers]
+    assert "LimitNode" not in local_names and "OrderByNode" not in local_names
+
+
+# ======================================================================================
+# Merge edge cases (unit level — no processes involved)
+# ======================================================================================
+
+
+def test_merge_avg_with_zero_row_shards():
+    split = _split("SELECT AVG(c.v) AS a FROM t AS c;")
+    # One shard saw values, one saw rows with no numeric v, one saw nothing.
+    merged = merge_rows(
+        split,
+        [
+            [{"a#sum": 10, "a#n": 4}],
+            [{"a#sum": None, "a#n": 0}],
+            [{"a#sum": None, "a#n": 0}],
+        ],
+    )
+    assert merged == [{"a": 2.5}]
+    # All shards empty: AVG of nothing is NULL, not a ZeroDivisionError.
+    merged = merge_rows(split, [[{"a#sum": None, "a#n": 0}]] * 3)
+    assert merged == [{"a": None}]
+
+
+def test_merge_sum_min_max_skip_empty_shard_partials():
+    split = _split(
+        "SELECT SUM(c.v) AS s, MIN(c.v) AS lo, MAX(c.v) AS hi FROM t AS c;"
+    )
+    merged = merge_rows(
+        split,
+        [
+            [{"s": None, "lo": None, "hi": None}],
+            [{"s": 7, "lo": 2, "hi": 9}],
+            [{"s": 3, "lo": -1, "hi": 4}],
+        ],
+    )
+    assert merged == [{"s": 10, "lo": -1, "hi": 9}]
+    merged = merge_rows(split, [[{"s": None, "lo": None, "hi": None}]] * 2)
+    assert merged == [{"s": None, "lo": None, "hi": None}]
+
+
+def test_merge_min_mixed_types_raises_like_the_oracle():
+    split = _split("SELECT MIN(c.v) AS lo FROM t AS c;")
+    # One shard's slice was all strings, another's all ints — the
+    # single-process aggregator raises TypeError on the same data.
+    with pytest.raises(TypeError):
+        merge_rows(split, [[{"lo": "abc"}], [{"lo": 3}]])
+    assert merge_rows(split, [[{"lo": "abc"}], [{"lo": "abd"}]]) == [{"lo": "abc"}]
+
+
+def test_merge_count_sums_partials():
+    split = _split("SELECT COUNT(*) AS n FROM t AS c;")
+    assert merge_rows(split, [[{"n": 5}], [{"n": 0}], [{"n": 7}]]) == [{"n": 12}]
+
+
+def test_merge_groupby_combines_groups_across_shards():
+    split = _split(
+        "SELECT g AS g, COUNT(*) AS n, AVG(c.v) AS a FROM t AS c "
+        "GROUP BY c.g AS g;"
+    )
+    merged = merge_rows(
+        split,
+        [
+            [
+                {"g": "x", "n": 2, "a#sum": 10, "a#n": 2},
+                {"g": "y", "n": 1, "a#sum": None, "a#n": 0},
+            ],
+            [
+                {"g": "y", "n": 3, "a#sum": 6, "a#n": 3},
+                {"g": "z", "n": 1, "a#sum": 4, "a#n": 1},
+            ],
+        ],
+    )
+    by_key = {row["g"]: row for row in merged}
+    assert by_key["x"] == {"g": "x", "n": 2, "a": 5.0}
+    assert by_key["y"] == {"g": "y", "n": 4, "a": 2.0}
+    assert by_key["z"] == {"g": "z", "n": 1, "a": 4.0}
+
+
+# ======================================================================================
+# Multi-process differential suite
+# ======================================================================================
+
+
+def _load(target, dataset_name: str, layout: str, documents) -> None:
+    target.create_dataset(dataset_name, layout=layout)
+    target.insert_many(dataset_name, documents)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    """Single-process stores with the same corpora the clusters hold."""
+    store = Datastore(StoreConfig(partitions_per_node=2))
+    for layout in LAYOUTS:
+        dataset = store.create_dataset(f"cell_{layout}", layout=layout)
+        dataset.insert_many(CELL_DOCS)
+    sensors = store.create_dataset("sensors_amax", layout="amax")
+    sensors.insert_many(SENSORS_DOCS)
+    yield store
+    store.close()
+
+
+@pytest.fixture(scope="module", params=[1, 2, 4], ids=["1shard", "2shards", "4shards"])
+def sharded_env(request, tmp_path_factory):
+    num_shards = request.param
+    root = tmp_path_factory.mktemp(f"cluster{num_shards}")
+    with ShardCluster(num_shards, root) as cluster:
+        with cluster.connect() as sharded:
+            for layout in LAYOUTS:
+                sharded.create_dataset(f"cell_{layout}", layout=layout)
+                sharded.insert_many(f"cell_{layout}", CELL_DOCS)
+            sharded.create_dataset("sensors_amax", layout="amax")
+            sharded.insert_many("sensors_amax", SENSORS_DOCS)
+            sharded.checkpoint()
+            yield num_shards, sharded, cluster
+
+
+def _assert_same_rows(got, want, text: str) -> None:
+    if "ORDER BY" in text:
+        assert got == want, text
+    else:
+        assert sorted(map(repr, got)) == sorted(map(repr, want)), text
+
+
+@pytest.mark.parametrize("query_name", sorted(CELL_QUERIES))
+@pytest.mark.parametrize("layout", LAYOUTS)
+def test_cell_queries_match_single_process_across_layouts(
+    sharded_env, oracle, layout, query_name
+):
+    num_shards, sharded, _ = sharded_env
+    dataset = f"cell_{layout}"
+    text = CELL_QUERIES[query_name].replace("{dataset}", dataset)
+    got = sharded.query(text)
+    want = oracle.query(text)
+    _assert_same_rows(got, want, text)
+    stats = sharded.last_query_stats
+    assert stats.shards == num_shards
+
+
+@pytest.mark.parametrize("query_name", sorted(SENSORS_QUERIES))
+def test_sensors_queries_match_single_process(sharded_env, oracle, query_name):
+    _, sharded, _ = sharded_env
+    text = SENSORS_QUERIES[query_name].replace("{dataset}", "sensors_amax")
+    got = sharded.query(text)
+    want = oracle.query(text)
+    _assert_same_rows(got, want, text)
+
+
+@pytest.mark.parametrize("executor", ["interpreted", "batch", "codegen"])
+def test_shards_agree_across_executors(sharded_env, oracle, executor):
+    _, sharded, _ = sharded_env
+    text = (
+        "SELECT tower AS tower, COUNT(*) AS n FROM cell_amax AS c "
+        "GROUP BY c.tower AS tower ORDER BY n DESC, tower LIMIT 5;"
+    )
+    assert sharded.query(text, executor=executor) == oracle.query(text)
+
+
+def test_pushdown_moves_aggregates_not_rows(sharded_env):
+    num_shards, sharded, _ = sharded_env
+    # COUNT(*): one partial row per shard crosses the wire — never the data.
+    rows = sharded.query("SELECT COUNT(*) AS n FROM cell_amax AS c;")
+    assert rows == [{"n": len(CELL_DOCS)}]
+    stats = sharded.last_query_stats
+    assert stats.kind == "aggregate"
+    assert stats.rows_transferred == num_shards
+    # ... and per shard the COUNT(*) shortcut reads zero data pages.
+    assert stats.pages_read == 0
+    # GROUP BY: per-shard groups cross, bounded by shards × group count —
+    # for a low-cardinality key, far fewer rows than the dataset holds.
+    groups = len({doc["dropped"] for doc in CELL_DOCS})
+    sharded.query(
+        "SELECT d AS d, COUNT(*) AS n FROM cell_amax AS c "
+        "GROUP BY c.dropped AS d;"
+    )
+    stats = sharded.last_query_stats
+    assert stats.kind == "groupby"
+    assert stats.rows_transferred <= num_shards * groups < len(CELL_DOCS)
+
+
+def test_point_operations_route_to_owning_shard(sharded_env, oracle):
+    num_shards, sharded, _ = sharded_env
+    for key in (0, 7, 123, 299):
+        assert sharded.point_lookup(f"cell_{LAYOUTS[0]}", key) == oracle.dataset(
+            f"cell_{LAYOUTS[0]}"
+        ).point_lookup(key)
+    assert sharded.count("cell_amax") == len(CELL_DOCS)
+
+
+def test_count_with_per_shard_antimatter(sharded_env):
+    num_shards, sharded, _ = sharded_env
+    name = f"anti_{num_shards}"
+    docs = [{"id": i, "v": i % 10} for i in range(100)]
+    sharded.create_dataset(name, layout="amax")
+    sharded.insert_many(name, docs)
+    sharded.checkpoint()  # flush, so deletes become antimatter records
+    deleted = list(range(0, 100, 3))
+    for key in deleted:
+        sharded.delete(name, key)
+    oracle = Datastore(StoreConfig(partitions_per_node=2))
+    try:
+        dataset = oracle.create_dataset(name, layout="amax")
+        dataset.insert_many(docs)
+        dataset.flush_all()
+        for key in deleted:
+            dataset.delete(key)
+        for text in (
+            f"SELECT COUNT(*) AS n FROM {name} AS t;",
+            f"SELECT AVG(t.v) AS a, SUM(t.v) AS s FROM {name} AS t;",
+        ):
+            assert sharded.query(text) == oracle.query(text), text
+        assert sharded.count(name) == 100 - len(deleted)
+    finally:
+        oracle.close()
+
+
+def test_distributed_explain_renders_both_fragments(sharded_env):
+    num_shards, sharded, _ = sharded_env
+    text = sharded.explain(
+        "SELECT tower AS tower, COUNT(*) AS n FROM cell_amax AS c "
+        "GROUP BY c.tower AS tower;"
+    )
+    assert f"DISTRIBUTED SCATTER-GATHER over {num_shards} shards" in text
+    assert "MERGE-GROUPBY" in text
+    assert "SHARD FRAGMENT" in text and "SCAN" in text
+
+
+# ======================================================================================
+# Fault injection: kill a shard mid-ingest, restart, no data loss
+# ======================================================================================
+
+
+@pytest.mark.parametrize("graceful", [False, True], ids=["sigkill", "sigterm"])
+def test_shard_restart_recovers_from_its_own_wal(tmp_path, graceful):
+    with ShardCluster(2, tmp_path) as cluster:
+        sharded = cluster.connect()
+        sharded.create_dataset("t", layout="amax")
+        sharded.insert_many("t", [{"id": i, "v": i} for i in range(120)])
+        sharded.checkpoint()
+        # A second wave that is durable only in the WALs (no checkpoint).
+        sharded.insert_many("t", [{"id": i, "v": i} for i in range(120, 160)])
+        if graceful:
+            cluster.terminate_shard(1)  # SIGTERM: drain + checkpoint
+        else:
+            cluster.kill_shard(1)  # SIGKILL mid-flight: recovery replays WAL
+        address = cluster.restart_shard(1)
+        sharded.reconnect_shard(1, address)
+        recovery = sharded.recovery_info(1)
+        assert recovery is not None
+        assert recovery["datasets_recovered"] == 1
+        if graceful:
+            # Graceful shutdown checkpointed: the WAL tail was empty.
+            assert recovery["wal_records_replayed"] == 0
+        else:
+            # The crash lost nothing: the uncheckpointed wave replays.
+            assert recovery["wal_records_replayed"] > 0
+        assert sharded.count("t") == 160
+        rows = sharded.query("SELECT COUNT(*) AS n FROM t AS t;")
+        assert rows == [{"n": 160}]
+        for key in (0, 125, 159):
+            assert sharded.point_lookup("t", key) == {"id": key, "v": key}
+        sharded.close()
