@@ -122,6 +122,7 @@ class EngineSessionHandler:
         plan serialization crosses the wire — only SQL++ text and partial
         rows.
         """
+        from ..model.errors import QueryError
         from ..shard.partial import split_query
         from ..sqlpp import compile_query
 
@@ -130,10 +131,22 @@ class EngineSessionHandler:
             # FROM-less statements are evaluated at the coordinator; answering
             # them here too keeps the op total rather than erroring.
             return compiled.execute(None, executor=executor)
-        split = split_query(compiled.query)
+        split = split_query(compiled.query, pk_fields=self._pk_fields())
+        if split.kind == "fetch":
+            raise QueryError(
+                "joins and subqueries run at the coordinator over fetched "
+                "datasets; this shard cannot execute a partial fragment"
+            )
         return split.local_query.execute(
             self.store, executor=executor, pushdown=pushdown, batch_size=batch_size
         )
+
+    def _pk_fields(self) -> dict:
+        """Dataset → primary-key field, for split derivation (co-hashed joins)."""
+        return {
+            name: dataset.primary_key_field
+            for name, dataset in self.store.datasets.items()
+        }
 
     def _op_explain(self, request: dict) -> Tuple[Optional[list], dict]:
         if request.get("mode") == "partial":
@@ -145,8 +158,11 @@ class EngineSessionHandler:
             compiled = compile_query(request["text"])
             if compiled.query is None:
                 text = compiled.explain(None)
+            elif (
+                split := split_query(compiled.query, pk_fields=self._pk_fields())
+            ).kind == "fetch":
+                text = "FETCH (executed at the coordinator; no shard fragment)"
             else:
-                split = split_query(compiled.query)
                 text = split.local_query.explain(
                     self.store,
                     executor=request.get("executor", "codegen"),

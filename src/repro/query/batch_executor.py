@@ -41,6 +41,7 @@ from .executor import (
     _Aggregator,
     _hashable,
     _none_if_missing,
+    rep_ranks,
     run_breakers,
     source_rows,
 )
@@ -53,6 +54,7 @@ from .expressions import (
     Literal,
     Or,
     Var,
+    join_key,
 )
 from .plan import (
     AggregateNode,
@@ -60,6 +62,7 @@ from .plan import (
     DataScanNode,
     FilterNode,
     GroupByNode,
+    JoinNode,
     ProjectNode,
     QueryPlan,
     UnnestNode,
@@ -108,6 +111,8 @@ def plan_supports_direct(plan: QueryPlan) -> bool:
     if spec is None or spec.paths is None:
         return False
     for op in plan.pipeline:
+        if not isinstance(op, (AssignNode, UnnestNode, FilterNode)):
+            return False  # joins (and future operators) bind row documents
         if isinstance(op, (AssignNode, UnnestNode)) and op.variable == source.variable:
             return False
     if not plan.breakers:
@@ -380,6 +385,19 @@ def run_batch_pipeline(
                             indices.append(index)
                             items.append(item)
                 batch = batch.take(indices, extra_vars={op.variable: items})
+            elif isinstance(op, JoinNode):
+                vector = op.probe_key.evaluate_batch(batch)
+                indices = []
+                items = []
+                for index, value in enumerate(vector):
+                    key = join_key(value)
+                    matches = op.table.get(key) if key is not None else None
+                    if not matches:
+                        continue
+                    for document in matches:
+                        indices.append(index)
+                        items.append(document)
+                batch = batch.take(indices, extra_vars={op.variable: items})
         if batch.length:
             yield batch
 
@@ -401,14 +419,17 @@ def _batch_group_by(batches: Iterable[ColumnBatch], node: GroupByNode) -> List[d
             for _, _, expression in node.aggregates
         ]
         for index in range(batch.length):
-            key = tuple(_hashable(vector[index]) for vector in key_vectors)
+            raw = tuple(vector[index] for vector in key_vectors)
+            key = tuple(_hashable(value) for value in raw)
             aggregators = groups.get(key)
             if aggregators is None:
                 aggregators = [
                     _Aggregator(function) for _, function, _ in node.aggregates
                 ]
                 groups[key] = aggregators
-                key_values[key] = tuple(vector[index] for vector in key_vectors)
+                key_values[key] = raw
+            elif rep_ranks(raw) < rep_ranks(key_values[key]):
+                key_values[key] = raw
             for aggregator, vector in zip(aggregators, agg_vectors):
                 aggregator.add(None if vector is None else vector[index])
     results = []

@@ -41,7 +41,7 @@ from .expressions import (
     Or,
     Var,
 )
-from .plan import AssignNode, FilterNode, QueryPlan, UnnestNode
+from .plan import AssignNode, FilterNode, JoinNode, QueryPlan, UnnestNode
 
 _counter = itertools.count()
 
@@ -76,9 +76,10 @@ def generate_pipeline(plan: QueryPlan) -> GeneratedPipeline:
         )
     lines.append(f"{indent}for _row in _rows:")
     indent += "    "
+    extra_globals: Dict[str, object] = {}
     # The source yields a fresh binding dict per record, so generated ASSIGN
     # operators can update it in place — no per-operator materialization.
-    for op in plan.pipeline:
+    for index, op in enumerate(plan.pipeline):
         if isinstance(op, AssignNode):
             lines.append(f"{indent}_row[{op.variable!r}] = {op.expression.to_source()}")
         elif isinstance(op, UnnestNode):
@@ -92,6 +93,21 @@ def generate_pipeline(plan: QueryPlan) -> GeneratedPipeline:
             lines.append(f"{indent}_row[{op.variable!r}] = _unnest_item")
         elif isinstance(op, FilterNode):
             lines.append(f"{indent}if {op.predicate.to_source()} is not True: continue")
+        elif isinstance(op, JoinNode):
+            if op.table is None:
+                raise CodegenError("hash join compiled before prepare_plan()")
+            # The prepared hash table is injected as a namespace constant; the
+            # probe becomes one dict lookup plus a fan-out loop, like UNNEST.
+            table_name = f"_join_tbl{index}"
+            extra_globals[table_name] = op.table
+            lines.append(
+                f"{indent}_join_matches = {table_name}.get("
+                f"_join_key({op.probe_key.to_source()}), ())"
+            )
+            lines.append(f"{indent}for _join_item in _join_matches:")
+            indent += "    "
+            lines.append(f"{indent}_row = dict(_row)")
+            lines.append(f"{indent}_row[{op.variable!r}] = _join_item")
         else:
             raise CodegenError(
                 f"cannot generate code for pipeline operator {type(op).__name__}"
@@ -99,6 +115,7 @@ def generate_pipeline(plan: QueryPlan) -> GeneratedPipeline:
     lines.append(f"{indent}yield _row")
     source = "\n".join(lines)
     namespace = dict(CODEGEN_GLOBALS)
+    namespace.update(extra_globals)
     try:
         code = compile(source, filename=f"<generated:{name}>", mode="exec")
         exec(code, namespace)  # noqa: S102 - this is the point of code generation

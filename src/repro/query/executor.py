@@ -19,7 +19,7 @@ from typing import Dict, Iterable, Iterator, List, Optional
 
 from ..model.errors import QueryError
 from ..model.values import MISSING
-from .expressions import truthy
+from .expressions import Expression, Subquery, join_key, truthy
 from .plan import (
     AggregateNode,
     AssignNode,
@@ -27,11 +27,14 @@ from .plan import (
     FilterNode,
     GroupByNode,
     IndexScanNode,
+    JoinNode,
     LimitNode,
     OrderByNode,
     ProjectNode,
     QueryPlan,
     UnnestNode,
+    WindowNode,
+    collect_expressions,
 )
 
 #: Batch size of the interpreted (Hyracks-like) executor.
@@ -126,6 +129,62 @@ def source_rows(store, plan: QueryPlan) -> Iterator[dict]:
     raise QueryError(f"unknown source node {type(source).__name__}")
 
 
+# -- runtime preparation -----------------------------------------------------------------
+
+
+def prepare_plan(store, plan: QueryPlan) -> None:
+    """Resolve the plan's runtime state before execution (any executor).
+
+    Two responsibilities, shared by all three executors so they can never
+    disagree: point every :class:`~repro.query.expressions.Subquery` at the
+    datastore (resetting uncorrelated caches), and build the hash table of
+    every :class:`~repro.query.plan.JoinNode` by scanning its build side.
+    """
+    for expression in collect_expressions(plan.pipeline, plan.breakers):
+        _bind_subqueries(expression, store)
+    for op in plan.pipeline:
+        if isinstance(op, JoinNode):
+            _build_join_table(store, plan, op)
+
+
+def _bind_subqueries(expression: Expression, store) -> None:
+    if isinstance(expression, Subquery):
+        expression.bind_store(store)
+        return
+    for child in expression.children():
+        _bind_subqueries(child, store)
+
+
+def _join_build_fields(plan: QueryPlan, node: JoinNode) -> Optional[List[str]]:
+    """Top-level fields of the build variable referenced anywhere in the plan.
+
+    Mirrors ``Query._pushdown_fields`` for the join's build side: None when
+    the whole build document is consumed (e.g. projected bare), else the
+    referenced top-level fields so the build scan can project.
+    """
+    fields: List[str] = []
+    for expression in collect_expressions(plan.pipeline, plan.breakers):
+        if node.variable in expression.referenced_bare_variables():
+            return None
+        for variable, path in expression.referenced_paths():
+            if variable == node.variable and len(path) > 0:
+                top = path.top_field
+                if top and top not in fields:
+                    fields.append(top)
+    return fields
+
+
+def _build_join_table(store, plan: QueryPlan, node: JoinNode) -> None:
+    dataset = store.dataset(node.dataset)
+    table: Dict[object, list] = {}
+    for _, document in dataset.scan(_join_build_fields(plan, node)):
+        key = join_key(node.build_key.evaluate({node.variable: document}))
+        if key is None:
+            continue
+        table.setdefault(key, []).append(document)
+    node.table = table
+
+
 # -- interpreted pipeline ----------------------------------------------------------------
 
 
@@ -164,6 +223,18 @@ def run_interpreted_pipeline(rows: Iterable[dict], pipeline: List) -> Iterator[d
                 for row in current:
                     if truthy(op.predicate.evaluate(row)):
                         materialized.append(dict(row))
+            elif isinstance(op, JoinNode):
+                if op.table is None:
+                    raise QueryError("hash join executed before prepare_plan()")
+                for row in current:
+                    key = join_key(op.probe_key.evaluate(row))
+                    matches = op.table.get(key) if key is not None else None
+                    if not matches:
+                        continue
+                    for document in matches:
+                        new_row = dict(row)
+                        new_row[op.variable] = document
+                        materialized.append(new_row)
             else:
                 raise QueryError(f"unsupported pipeline operator {type(op).__name__}")
             current = materialized
@@ -226,12 +297,15 @@ def _run_group_by(rows: Iterable[dict], node: GroupByNode) -> List[dict]:
     groups: Dict[tuple, List[_Aggregator]] = {}
     key_values: Dict[tuple, tuple] = {}
     for row in rows:
-        key = tuple(_hashable(expression.evaluate(row)) for _, expression in node.keys)
+        raw = tuple(expression.evaluate(row) for _, expression in node.keys)
+        key = tuple(_hashable(value) for value in raw)
         aggregators = groups.get(key)
         if aggregators is None:
             aggregators = [_Aggregator(function) for _, function, _ in node.aggregates]
             groups[key] = aggregators
-            key_values[key] = tuple(expression.evaluate(row) for _, expression in node.keys)
+            key_values[key] = raw
+        elif rep_ranks(raw) < rep_ranks(key_values[key]):
+            key_values[key] = raw
         for aggregator, (_, _, expression) in zip(aggregators, node.aggregates):
             aggregator.add(None if expression is None else expression.evaluate(row))
     results = []
@@ -255,6 +329,41 @@ def _hashable(value):
     return value
 
 
+def _rep_rank(value):
+    """A deterministic total order over values ``_hashable`` conflates.
+
+    ``_hashable`` buckets ``1``/``1.0``/``True`` (and MISSING with None)
+    under one group key, so *some* representative must be chosen for the
+    group's output.  First-seen order depends on scan order — and differs
+    between a single process and a shard merge.  Ranking by type instead
+    (MISSING < None < bool < int < float < str < array < object, recursing
+    into containers) makes the choice order-free: every executor and the
+    shard coordinator pick the same representative, the minimum-ranked one.
+    """
+    if value is MISSING:
+        return (0, 0)
+    if value is None:
+        return (1, 0)
+    if isinstance(value, bool):
+        return (2, 0)
+    if isinstance(value, int):
+        return (3, 0)
+    if isinstance(value, float):
+        return (4, 0)
+    if isinstance(value, str):
+        return (5, 0)
+    if isinstance(value, (list, tuple)):
+        return (6, tuple(_rep_rank(item) for item in value))
+    if isinstance(value, dict):
+        return (7, tuple(sorted((key, _rep_rank(item)) for key, item in value.items())))
+    return (8, 0)
+
+
+def rep_ranks(values) -> tuple:
+    """Rank a tuple of group-key values (see :func:`_rep_rank`)."""
+    return tuple(_rep_rank(value) for value in values)
+
+
 def _run_aggregate(rows: Iterable[dict], node: AggregateNode) -> List[dict]:
     aggregators = [_Aggregator(function) for _, function, _ in node.aggregates]
     for row in rows:
@@ -268,6 +377,55 @@ def _run_aggregate(rows: Iterable[dict], node: AggregateNode) -> List[dict]:
     ]
 
 
+def _run_window(rows: Iterable[dict], node: WindowNode) -> List[dict]:
+    """Evaluate window columns over each partition; preserves input order."""
+    materialized = [dict(row) for row in rows]
+    partitions: Dict[tuple, List[int]] = {}
+    for index, row in enumerate(materialized):
+        key = tuple(_hashable(e.evaluate(row)) for e in node.partition_by)
+        partitions.setdefault(key, []).append(index)
+    for indices in partitions.values():
+        ordered = list(indices)
+        for expression, descending in reversed(node.order_by):
+            ordered.sort(
+                key=lambda i, e=expression: _sort_key(e.evaluate(materialized[i])),
+                reverse=descending,
+            )
+        aggregators = [_Aggregator(function) for _, function, _ in node.columns]
+        if node.order_by:
+            # Running frame: partition start through the current row.
+            for position, index in enumerate(ordered):
+                row = materialized[index]
+                for (name, function, argument), aggregator in zip(
+                    node.columns, aggregators
+                ):
+                    if function == "row_number":
+                        row[name] = position + 1
+                    else:
+                        aggregator.add(
+                            None if argument is None else argument.evaluate(row)
+                        )
+                        row[name] = aggregator.result()
+        else:
+            # Whole-partition frame; ROW_NUMBER numbers rows in input order.
+            for index in indices:
+                row = materialized[index]
+                for (_, function, argument), aggregator in zip(
+                    node.columns, aggregators
+                ):
+                    if function != "row_number":
+                        aggregator.add(
+                            None if argument is None else argument.evaluate(row)
+                        )
+            for position, index in enumerate(indices):
+                row = materialized[index]
+                for (name, function, _), aggregator in zip(node.columns, aggregators):
+                    row[name] = (
+                        position + 1 if function == "row_number" else aggregator.result()
+                    )
+    return materialized
+
+
 def run_breakers(rows: Iterable[dict], breakers: List) -> List[dict]:
     """Run the pipeline-breaker suffix of a plan over the pipelined rows."""
     current: Iterable[dict] = rows
@@ -277,10 +435,12 @@ def run_breakers(rows: Iterable[dict], breakers: List) -> List[dict]:
             materialized = _run_group_by(current, op)
         elif isinstance(op, AggregateNode):
             materialized = _run_aggregate(current, op)
+        elif isinstance(op, WindowNode):
+            materialized = _run_window(current, op)
         elif isinstance(op, OrderByNode):
             materialized = sorted(
                 list(current),
-                key=lambda row: _sort_key(row.get(op.key)),
+                key=lambda row: _sort_key(row.get(op.key, MISSING)),
                 reverse=op.descending,
             )
         elif isinstance(op, LimitNode):
@@ -302,8 +462,13 @@ def run_breakers(rows: Iterable[dict], breakers: List) -> List[dict]:
 
 
 def _sort_key(value):
-    if value is None or value is MISSING:
+    # MISSING sorts strictly before NULL (AsterixDB order); keeping the two
+    # distinguishable also makes the coordinator's re-sort of shard partials
+    # agree with the single-process oracle on MISSING-vs-None ties.
+    if value is MISSING:
         return (0, 0)
+    if value is None:
+        return (0, 1)
     if isinstance(value, bool):
         return (1, int(value))
     if isinstance(value, (int, float)):
@@ -342,6 +507,7 @@ def execute_plan(
     Returns:
         The materialized result rows.
     """
+    prepare_plan(store, plan)
     if executor == "interpreted":
         rows = source_rows(store, plan)
         piped = run_interpreted_pipeline(rows, plan.pipeline)

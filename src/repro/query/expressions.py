@@ -13,6 +13,7 @@ Every expression can also *compile itself to Python source*
 
 from __future__ import annotations
 
+import weakref
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..model.errors import QueryError, UnknownFunctionError
@@ -45,6 +46,10 @@ class Expression:
 
     def referenced_paths(self) -> List[Tuple[str, FieldPath]]:
         """``(variable, path)`` pairs accessed by this expression (for pushdown)."""
+        return []
+
+    def children(self) -> List["Expression"]:
+        """Direct sub-expressions (for recursive plan walks, e.g. subquery binding)."""
         return []
 
     def referenced_bare_variables(self) -> set:
@@ -170,6 +175,9 @@ class Field(Expression):
             return set()
         return self.base.referenced_bare_variables()
 
+    def children(self) -> List[Expression]:
+        return [self.base]
+
     def __repr__(self) -> str:
         return f"Field({self.base!r}, {str(self.path)!r})"
 
@@ -227,6 +235,40 @@ def compare_values(op: str, left, right):
     return _COMPARE_OPS[op](left, right)
 
 
+def join_key(value):
+    """Canonical hash-join key for a document value.
+
+    Two values get the same key exactly when ``compare_values("==", a, b)``
+    is True: numbers share a bucket (``1`` joins ``1.0``) but booleans and
+    strings do not join numbers.  NULL, MISSING, and non-scalar values map to
+    None, which join probes/builds treat as "never matches" — mirroring the
+    NULL semantics of the equality predicate a hash join replaces.
+    """
+    if value is MISSING or value is None:
+        return None
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, _NUMERIC):
+        return ("num", value)
+    if isinstance(value, str):
+        return ("str", value)
+    return None
+
+
+def in_list(needle, collection):
+    """``needle IN collection`` with SQL++ semantics.
+
+    NULL/MISSING needles yield NULL; a non-array collection yields NULL;
+    otherwise True iff some element compares equal (so ``1 IN [1.0]`` holds
+    but ``1 IN [true]`` does not).
+    """
+    if needle is MISSING or needle is None:
+        return None
+    if not isinstance(collection, (list, tuple)):
+        return None
+    return any(compare_values("==", needle, item) is True for item in collection)
+
+
 class Compare(Expression):
     """A binary comparison with dynamic-typing semantics."""
 
@@ -272,6 +314,9 @@ class Compare(Expression):
             | self.right.referenced_bare_variables()
         )
 
+    def children(self) -> List[Expression]:
+        return [self.left, self.right]
+
     def __repr__(self) -> str:
         return f"Compare({self.left!r} {self.op} {self.right!r})"
 
@@ -314,6 +359,9 @@ class And(Expression):
             out |= operand.referenced_bare_variables()
         return out
 
+    def children(self) -> List[Expression]:
+        return list(self.operands)
+
     def __repr__(self) -> str:
         return "And(" + ", ".join(repr(operand) for operand in self.operands) + ")"
 
@@ -353,8 +401,51 @@ class Or(Expression):
             out |= operand.referenced_bare_variables()
         return out
 
+    def children(self) -> List[Expression]:
+        return list(self.operands)
+
     def __repr__(self) -> str:
         return "Or(" + ", ".join(repr(operand) for operand in self.operands) + ")"
+
+
+class InList(Expression):
+    """``needle IN collection`` — see :func:`in_list` for the semantics."""
+
+    def __init__(self, needle: Expression, collection: Expression) -> None:
+        self.needle = lift(needle)
+        self.collection = lift(collection)
+
+    def evaluate(self, row: Tuple_):
+        return in_list(self.needle.evaluate(row), self.collection.evaluate(row))
+
+    def evaluate_batch(self, batch) -> list:
+        needles = self.needle.evaluate_batch(batch)
+        collections = self.collection.evaluate_batch(batch)
+        return [in_list(n, c) for n, c in zip(needles, collections)]
+
+    def to_source(self) -> str:
+        return f"_in_list({self.needle.to_source()}, {self.collection.to_source()})"
+
+    def referenced_variables(self) -> set:
+        return (
+            self.needle.referenced_variables()
+            | self.collection.referenced_variables()
+        )
+
+    def referenced_paths(self):
+        return self.needle.referenced_paths() + self.collection.referenced_paths()
+
+    def referenced_bare_variables(self) -> set:
+        return (
+            self.needle.referenced_bare_variables()
+            | self.collection.referenced_bare_variables()
+        )
+
+    def children(self) -> List[Expression]:
+        return [self.needle, self.collection]
+
+    def __repr__(self) -> str:
+        return f"InList({self.needle!r}, {self.collection!r})"
 
 
 # -- built-in functions -----------------------------------------------------------------
@@ -507,6 +598,9 @@ class Call(Expression):
             out |= argument.referenced_bare_variables()
         return out
 
+    def children(self) -> List[Expression]:
+        return list(self.arguments)
+
     def __repr__(self) -> str:
         arguments = "".join(f", {argument!r}" for argument in self.arguments)
         return f"Call({self.function!r}{arguments})"
@@ -556,10 +650,130 @@ class SomeSatisfies(Expression):
             self.predicate.referenced_bare_variables() - {self.item_var}
         )
 
+    def children(self) -> List[Expression]:
+        return [self.array, self.predicate]
+
     def __repr__(self) -> str:
         return (
             f"SomeSatisfies({self.array!r}, {self.item_var!r}, {self.predicate!r})"
         )
+
+
+#: Live subquery expressions, addressable from generated code by token.
+_SUBQUERY_REGISTRY: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+
+class Subquery(Expression):
+    """A nested SELECT used as a value (scalar or collection).
+
+    Built by the SQL++ binder around a compiled inner statement.  Before the
+    outer plan runs, :func:`repro.query.executor.prepare_plan` calls
+    :meth:`bind_store` so the inner query knows which datastore to read.
+
+    *Uncorrelated* subqueries (no references to outer variables) execute once
+    per outer query and cache their result.  *Correlated* ones re-execute per
+    outer row with the correlated variables bound — the nested-loop fallback.
+
+    The value is shaped by two flags: ``scalar`` unwraps the single row of an
+    aggregate-only subquery to its bare value (None when empty), and
+    ``column`` (when set) projects each result row to that output column —
+    the binder sets it for single-column subqueries in IN/scalar position so
+    element comparisons see values, not row records.
+    """
+
+    def __init__(
+        self,
+        compiled,
+        correlated: Sequence[str] = (),
+        scalar: bool = False,
+        column: Optional[str] = None,
+    ) -> None:
+        self.compiled = compiled
+        self.correlated = tuple(correlated)
+        self.scalar = scalar
+        self.column = column
+        self._store = None
+        self._plan = None
+        self._cache = None
+        self._cache_valid = False
+        self._token = f"sq{id(self)}"
+        _SUBQUERY_REGISTRY[self._token] = self
+
+    def bind_store(self, store) -> None:
+        """Point the inner query at ``store`` and reset the uncorrelated cache."""
+        self._store = store
+        self._cache = None
+        self._cache_valid = False
+        if self.correlated and self.compiled.query is not None:
+            if self._plan is None:
+                # Correlated plans skip pushdown: pushed predicates would be
+                # evaluated at the scan, where outer bindings are not visible.
+                self._plan = self.compiled.query.build_plan(pushdown=False)
+            from .executor import prepare_plan
+
+            prepare_plan(store, self._plan)
+
+    def evaluate(self, row: Tuple_):
+        if not self.correlated:
+            if not self._cache_valid:
+                self._cache = self._shape(
+                    self.compiled.execute(self._store, executor="interpreted")
+                )
+                self._cache_valid = True
+            return self._cache
+        bindings = {name: row.get(name, MISSING) for name in self.correlated}
+        return self._run_correlated(bindings)
+
+    def _run_correlated(self, bindings):
+        from .executor import run_breakers, run_interpreted_pipeline, source_rows
+
+        if self._plan is None:
+            raise QueryError("correlated subquery evaluated before bind_store()")
+        plan = self._plan
+        rows = ({**bindings, **row} for row in source_rows(self._store, plan))
+        rows = run_interpreted_pipeline(rows, plan.pipeline)
+        rows = list(run_breakers(rows, plan.breakers))
+        if self.compiled.select_value:
+            rows = [row[self.compiled.value_column] for row in rows]
+        return self._shape(rows)
+
+    def _shape(self, rows):
+        if self.column is not None:
+            rows = [
+                missing_to_none(row.get(self.column, MISSING))
+                if isinstance(row, dict)
+                else row
+                for row in rows
+            ]
+        if self.scalar:
+            return rows[0] if rows else None
+        return rows
+
+    def to_source(self) -> str:
+        return f"_subquery({self._token!r}, _row)"
+
+    def referenced_variables(self) -> set:
+        return set(self.correlated)
+
+    def referenced_paths(self):
+        return []
+
+    def referenced_bare_variables(self) -> set:
+        # Conservative: a correlated variable may be consumed whole by the
+        # inner query, so outer projection pruning must keep the full record.
+        return set(self.correlated)
+
+    def __repr__(self) -> str:
+        kind = "scalar " if self.scalar else ""
+        tail = f", correlated={list(self.correlated)}" if self.correlated else ""
+        return f"Subquery({kind}{self.compiled.text.strip()!r}{tail})"
+
+
+def _codegen_subquery(token: str, row: Tuple_):
+    subquery = _SUBQUERY_REGISTRY.get(token)
+    if subquery is None:  # pragma: no cover - plans keep their expressions alive
+        raise QueryError("subquery expression is no longer alive")
+    return subquery.evaluate(row)
 
 
 # -- evaluation helpers exposed to generated code ----------------------------------------
@@ -587,5 +801,8 @@ CODEGEN_GLOBALS = {
     "_missing_to_none": missing_to_none,
     "_some_satisfies": _fn_some_satisfies,
     "_eval_with": eval_with,
+    "_join_key": join_key,
+    "_in_list": in_list,
+    "_subquery": _codegen_subquery,
     "MISSING": MISSING,
 }

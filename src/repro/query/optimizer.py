@@ -535,9 +535,10 @@ def analyze_candidates(store, report: OptimizerReport, executor: str = "interpre
     device counters after the source is fully materialized, so reads issued
     by parallel scan-pool workers are included rather than undercounted.
     """
-    from .executor import run_interpreted_pipeline, source_rows
+    from .executor import prepare_plan, run_interpreted_pipeline, source_rows
 
     for candidate in report.candidates:
+        prepare_plan(store, candidate.plan)
         before = store.io_snapshot()
         rows = list(source_rows(store, candidate.plan))
         survivors = list(run_interpreted_pipeline(rows, candidate.plan.pipeline))

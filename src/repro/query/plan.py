@@ -18,6 +18,10 @@ from .expressions import Expression, Field, Var, lift
 
 AGGREGATE_FUNCTIONS = ("count", "sum", "min", "max", "avg")
 
+#: Functions usable in a window (``OVER``) column: the aggregates plus the
+#: ranking function, which only exists in window position.
+WINDOW_FUNCTIONS = AGGREGATE_FUNCTIONS + ("row_number",)
+
 
 @dataclass
 class DataScanNode:
@@ -69,6 +73,34 @@ class FilterNode:
 
 
 @dataclass
+class JoinNode:
+    """Inner hash join against another dataset (a pipelining operator).
+
+    The *build* side is ``dataset``: it is scanned once and materialized into
+    a hash table keyed by the canonical join key
+    (:func:`repro.query.expressions.join_key`), by
+    :func:`repro.query.executor.prepare_plan` right before execution.  The
+    incoming pipeline rows are the *probe* side; each row fans out to one
+    output row per matching build document, bound to ``variable`` (no match
+    drops the row — inner-join semantics).  NULL/MISSING and non-scalar keys
+    never match, mirroring ``compare_values`` equality.
+    """
+
+    dataset: str
+    variable: str
+    #: Evaluated against each probe (pipeline) row.
+    probe_key: Expression
+    #: Evaluated against ``{variable: document}`` per build document.
+    build_key: Expression
+    #: Statistics recorded by the optimizer's build-side choice (explain).
+    build_count: Optional[int] = None
+    probe_count: Optional[int] = None
+    swapped: bool = False
+    #: The prepared hash table (runtime state, set by ``prepare_plan``).
+    table: Optional[Dict[object, list]] = None
+
+
+@dataclass
 class GroupByNode:
     keys: List[Tuple[str, Expression]]
     aggregates: List[Tuple[str, str, Optional[Expression]]]
@@ -95,6 +127,28 @@ class ProjectNode:
     columns: List[Tuple[str, Expression]]
 
 
+@dataclass
+class WindowNode:
+    """Window-function evaluation (a pipeline breaker).
+
+    Appends one column per entry of ``columns`` to every input row, computed
+    over the row's partition (rows sharing the ``partition_by`` key tuple).
+    With ``order_by`` the aggregates are *running* (ROWS from the partition
+    start to the current row, each row its own frame — a deliberate
+    simplification of SQL's RANGE-peers default) and ROW_NUMBER is the
+    1-based position in that order; without it the aggregates cover the whole
+    partition and ROW_NUMBER numbers rows in input order.  The output
+    preserves the input row order.
+    """
+
+    #: ``(output name, function, argument)`` — function is one of
+    #: :data:`WINDOW_FUNCTIONS`; the argument is None for COUNT(*)/ROW_NUMBER.
+    columns: List[Tuple[str, str, Optional[Expression]]]
+    partition_by: List[Expression] = field(default_factory=list)
+    #: ``(expression, descending)`` pairs, leftmost key primary.
+    order_by: List[Tuple[Expression, bool]] = field(default_factory=list)
+
+
 PipelineOp = object
 BreakerOp = object
 
@@ -119,7 +173,31 @@ def _describe_breaker(op: BreakerOp) -> str:
     if isinstance(op, ProjectNode):
         columns = ", ".join(f"{name}={expression!r}" for name, expression in op.columns)
         return f"PROJECT {columns}"
+    if isinstance(op, WindowNode):
+        columns = ", ".join(
+            f"{name}={function}({'*' if expression is None else repr(expression)})"
+            for name, function, expression in op.columns
+        )
+        partition = ", ".join(repr(e) for e in op.partition_by)
+        order = ", ".join(
+            f"{e!r} {'DESC' if descending else 'ASC'}" for e, descending in op.order_by
+        )
+        return f"WINDOW [{columns}] partition=[{partition}] order=[{order}]"
     return type(op).__name__.replace("Node", "").upper()
+
+
+def describe_join(op: JoinNode) -> str:
+    """The HASH-JOIN plan line, including the optimizer's build-side verdict."""
+    line = (
+        f"HASH-JOIN {op.dataset} AS ${op.variable} "
+        f"ON {op.probe_key!r} == {op.build_key!r}"
+    )
+    if op.build_count is not None and op.probe_count is not None:
+        line += f" (build rows~{op.build_count}, probe rows~{op.probe_count}"
+        line += ", swapped by optimizer)" if op.swapped else ")"
+    elif op.swapped:
+        line += " (swapped by optimizer)"
+    return line
 
 
 def collect_expressions(
@@ -137,6 +215,9 @@ def collect_expressions(
             expressions.append(op.expression)
         elif isinstance(op, FilterNode):
             expressions.append(op.predicate)
+        elif isinstance(op, JoinNode):
+            expressions.append(op.probe_key)
+            expressions.append(op.build_key)
     for op in breakers:
         if isinstance(op, GroupByNode):
             expressions.extend(expression for _, expression in op.keys)
@@ -149,6 +230,12 @@ def collect_expressions(
             )
         elif isinstance(op, ProjectNode):
             expressions.extend(expression for _, expression in op.columns)
+        elif isinstance(op, WindowNode):
+            expressions.extend(op.partition_by)
+            expressions.extend(expression for expression, _ in op.order_by)
+            expressions.extend(
+                expression for _, _, expression in op.columns if expression
+            )
     return expressions
 
 
@@ -187,6 +274,8 @@ class QueryPlan:
                 lines.append(f"UNNEST ${op.variable} <- {op.expression!r}")
             elif isinstance(op, FilterNode):
                 lines.append(f"FILTER {op.predicate!r}")
+            elif isinstance(op, JoinNode):
+                lines.append(describe_join(op))
         for op in self.breakers:
             lines.append(_describe_breaker(op))
         if self.optimizer is not None:
@@ -214,6 +303,7 @@ class Query:
         self._index: Optional[Tuple[str, object, object]] = None
         self._count_only = False
         self._explicit_fields: Optional[List[str]] = None
+        self._project_all = False
         self._force_scan = False
         self._parallel: Optional[bool] = None
 
@@ -257,6 +347,17 @@ class Query:
         self._explicit_fields = list(fields)
         return self
 
+    def project_all(self) -> "Query":
+        """Assemble whole documents, regardless of what the plan references.
+
+        Needed when the plan's consumer reads fields the plan itself never
+        mentions — e.g. a shard fragment whose breakers run at the
+        coordinator: inference over the stripped fragment would prune fields
+        only the coordinator's operators touch.
+        """
+        self._project_all = True
+        return self
+
     def parallel_scan(self, enabled: bool = True) -> "Query":
         """Pin whether the scan fans out across partitions on the scan pool.
 
@@ -284,6 +385,30 @@ class Query:
 
     def where(self, predicate: Expression) -> "Query":
         self._pipeline.append(FilterNode(lift(predicate)))
+        return self
+
+    def join(
+        self,
+        dataset: str,
+        variable: str,
+        probe_key: Expression,
+        build_key: Expression,
+    ) -> "Query":
+        """Inner hash join against ``dataset``, binding matches to ``variable``.
+
+        ``probe_key`` is evaluated against the pipeline rows flowing in,
+        ``build_key`` against each document of ``dataset`` (bound to
+        ``variable``); a row is emitted per equal-key pair, with equality
+        following ``compare_values`` (NULL/MISSING and non-scalars never
+        match).  The optimizer may swap the two sides based on dataset
+        statistics — see :meth:`optimized_plan`.
+
+        Returns:
+            This query, for chaining.
+        """
+        self._pipeline.append(
+            JoinNode(dataset, variable, lift(probe_key), lift(build_key))
+        )
         return self
 
     # -- breakers ---------------------------------------------------------------------------
@@ -323,6 +448,41 @@ class Query:
         self._breakers.append(ProjectNode(resolved))
         return self
 
+    def window(
+        self,
+        columns: Sequence[Tuple[str, str, Optional["Expression | str"]]],
+        partition_by: Sequence["Expression | str"] = (),
+        order_by: Sequence[Tuple["Expression | str", bool]] = (),
+    ) -> "Query":
+        """Append window-function columns (see :class:`WindowNode`).
+
+        Args:
+            columns: ``(output name, function, argument)`` triples; the
+                function must be one of :data:`WINDOW_FUNCTIONS` and the
+                argument is None for ``count``/``row_number``.
+            partition_by: Expressions forming the partition key.
+            order_by: ``(expression, descending)`` pairs ordering rows inside
+                each partition (running-aggregate / ROW_NUMBER order).
+
+        Returns:
+            This query, for chaining.
+        """
+        resolved_columns = []
+        for name, function, expression in columns:
+            if function not in WINDOW_FUNCTIONS:
+                raise QueryError(f"unknown window function {function!r}")
+            resolved_columns.append(
+                (name, function, None if expression is None else self._resolve(expression))
+            )
+        self._breakers.append(
+            WindowNode(
+                resolved_columns,
+                [self._resolve(e) for e in partition_by],
+                [(self._resolve(e), bool(descending)) for e, descending in order_by],
+            )
+        )
+        return self
+
     # -- resolution ----------------------------------------------------------------------------
     def _resolve(self, expression: "Expression | str") -> Expression:
         """Strings are shorthand for field access on the scan variable."""
@@ -344,7 +504,9 @@ class Query:
     def build_plan(self, pushdown: bool = True) -> QueryPlan:
         """Resolve the plan; ``pushdown=False`` keeps the assemble-then-filter path."""
         fields = self._explicit_fields
-        if fields is None:
+        if self._project_all:
+            fields = None
+        elif fields is None:
             fields = self._pushdown_fields()
         if self._index is not None:
             index_name, low, high = self._index
@@ -371,7 +533,10 @@ class Query:
             # node types defined above).
             from .pushdown import attach_pushdown
 
-            attach_pushdown(plan, prune_paths=self._explicit_fields is None)
+            attach_pushdown(
+                plan,
+                prune_paths=self._explicit_fields is None and not self._project_all,
+            )
         return plan
 
     def _pushdown_fields(self) -> Optional[List[str]]:
@@ -418,12 +583,71 @@ class Query:
             :class:`~repro.query.optimizer.OptimizerReport` when the source
             was a data scan.
         """
-        plan = self.build_plan(pushdown=pushdown)
+        query = self._choose_join_order(store)
+        plan = query.build_plan(pushdown=pushdown)
         if self._index is None:
             from .optimizer import optimize_plan
 
             optimize_plan(store, plan, force_scan=self._force_scan)
         return plan
+
+    def _choose_join_order(self, store) -> "Query":
+        """Statistics-driven build-side choice for a single leading hash join.
+
+        The smaller dataset should be the *build* side (the hashed one).  When
+        the query is ``FROM a JOIN b`` with the join first in the pipeline and
+        both join keys referencing only their own side, the roles are
+        symmetric: scanning ``b`` and hashing ``a`` computes the same rows.
+        If per-dataset statistics say the current build side is the larger
+        one, return a rewritten query with the sides swapped; otherwise (or
+        when statistics are unavailable) return ``self`` with the counts
+        recorded on the node for ``explain()``.
+        """
+        join = None
+        for op in self._pipeline:
+            if isinstance(op, JoinNode):
+                if join is not None:
+                    return self  # multi-join ordering is out of scope
+                join = op
+        if join is None or self._pipeline[0] is not join:
+            return self
+        if self._index is not None or self._explicit_fields is not None:
+            return self
+        if join.probe_key.referenced_variables() != {self.variable}:
+            return self
+        if join.build_key.referenced_variables() != {join.variable}:
+            return self
+        try:
+            build_stats = store.dataset(join.dataset).statistics()
+            probe_stats = store.dataset(self.dataset_name).statistics()
+        except Exception:
+            return self
+        if build_stats.has_statistics():
+            join.build_count = build_stats.record_count
+        if probe_stats.has_statistics():
+            join.probe_count = probe_stats.record_count
+        if not (build_stats.has_statistics() and probe_stats.has_statistics()):
+            return self
+        if build_stats.record_count <= probe_stats.record_count:
+            return self
+        swapped = Query(join.dataset, join.variable)
+        swapped._pipeline = [
+            JoinNode(
+                self.dataset_name,
+                self.variable,
+                probe_key=join.build_key,
+                build_key=join.probe_key,
+                build_count=probe_stats.record_count,
+                probe_count=build_stats.record_count,
+                swapped=True,
+            )
+        ] + list(self._pipeline[1:])
+        swapped._breakers = list(self._breakers)
+        swapped._count_only = self._count_only
+        swapped._project_all = self._project_all
+        swapped._force_scan = self._force_scan
+        swapped._parallel = self._parallel
+        return swapped
 
     def execute(
         self,

@@ -41,7 +41,10 @@ from ..net.client import DEFAULT_TIMEOUT, RemoteError, StatementResult, WireClie
 from ..net.protocol import WireError
 from ..query.executor import run_breakers
 from ..storage.stats import IOStats
-from .partial import SplitPlan, merge_rows, split_query
+from .partial import SplitPlan, merge_rows, referenced_datasets, split_query
+
+#: Alias used when fetching whole datasets for coordinator-side execution.
+_FETCH_ALIAS = "doc"
 
 #: Error codes after which a pooled connection cannot be reused (the
 #: response stream may be desynchronized or the peer is gone).
@@ -261,7 +264,11 @@ class ShardedDatastore:
                 pages_read=0,
             )
             return rows
-        split = split_query(compiled.query)
+        split = split_query(compiled.query, pk_fields=self._split_pk_fields(compiled))
+        if split.kind == "fetch":
+            return self._fetch_and_execute(
+                compiled, split, executor, pushdown, batch_size
+            )
         payload = {
             "op": "statement",
             "text": text,
@@ -290,6 +297,76 @@ class ShardedDatastore:
         )
         return rows
 
+    def _split_pk_fields(self, compiled) -> Dict[str, str]:
+        """Primary keys of every dataset the query references.
+
+        Shards derive the split with their complete dataset registry; the
+        coordinator resolves the same map here (refreshing its cache over the
+        wire when needed) so both sides place co-hashed joins identically.
+        """
+        pk_fields: Dict[str, str] = {}
+        for dataset in referenced_datasets(compiled.query):
+            try:
+                pk_fields[dataset] = self._primary_key(dataset)
+            except DatasetError:
+                pass  # the query itself will fail with the real error
+        return pk_fields
+
+    def _fetch_and_execute(
+        self, compiled, split: SplitPlan, executor, pushdown, batch_size
+    ) -> list:
+        """Run a join/subquery query at the coordinator over fetched data.
+
+        Every referenced dataset is pulled whole from all shards into a
+        temporary local datastore, then the unmodified compiled query runs
+        there — correctness first; ``rows_transferred`` exposes the cost.
+        """
+        from ..store.datastore import Datastore
+
+        transferred = 0
+        pages = 0
+        temp = Datastore()
+        try:
+            for dataset in split.fetch_datasets:
+                temp.create_dataset(
+                    dataset, primary_key_field=self._primary_key(dataset)
+                )
+                results = self._scatter(
+                    {
+                        "op": "statement",
+                        "text": (
+                            f"SELECT VALUE {_FETCH_ALIAS} "
+                            f"FROM {dataset} AS {_FETCH_ALIAS};"
+                        ),
+                        "executor": executor,
+                    }
+                )
+                documents = [row for result in results for row in result.rows]
+                pages += sum(
+                    int(result.io.get("pages_read", 0))
+                    + int(result.io.get("cache_hits", 0))
+                    for result in results
+                )
+                transferred += len(documents)
+                if documents:
+                    temp.dataset(dataset).insert_many(documents)
+            rows = compiled.execute(
+                temp,
+                executor=executor,
+                pushdown=pushdown,
+                batch_size=batch_size,
+            )
+        finally:
+            temp.close()
+        self.last_query_stats = ShardQueryStats(
+            kind="fetch",
+            shards=self.num_shards,
+            rows_transferred=transferred,
+            rows_returned=len(rows),
+            pages_read=pages,
+        )
+        return rows
+
     def explain(
         self, text: str, executor: str = "codegen", analyze: bool = False
     ) -> str:
@@ -299,7 +376,17 @@ class ShardedDatastore:
         compiled = compile_query(text)
         if compiled.query is None:
             return compiled.explain(None)
-        split = split_query(compiled.query)
+        split = split_query(compiled.query, pk_fields=self._split_pk_fields(compiled))
+        if split.kind == "fetch":
+            lines = [
+                f"DISTRIBUTED SCATTER-GATHER over {self.num_shards} shards "
+                f"(kind=fetch)",
+                "MERGE FRAGMENT (coordinator):",
+            ]
+            lines.extend("  " + line for line in split.describe().splitlines())
+            lines.append("COORDINATOR PLAN (over the fetched datasets):")
+            lines.extend("  " + line for line in compiled.explain(None).splitlines())
+            return "\n".join(lines)
         shard_plan = self._request(
             0,
             {
@@ -327,7 +414,7 @@ class ShardedDatastore:
         compiled = compile_query(text)
         if compiled.query is None:
             return None
-        return split_query(compiled.query)
+        return split_query(compiled.query, pk_fields=self._split_pk_fields(compiled))
 
     # -- DDL / DML ---------------------------------------------------------------------
     def create_dataset(

@@ -24,6 +24,20 @@ Split rules, by the first pipeline breaker:
 * **neither** (streaming SELECT) — shards run the whole breaker chain
   including any per-shard ORDER BY + LIMIT top-K; the coordinator
   concatenates and re-applies ORDER BY/LIMIT over the union.
+* **unknown breakers** (e.g. WINDOW) — any breaker type outside
+  :data:`SHARD_SAFE_BREAKERS` routes the query to the ``raw`` fallback
+  *explicitly*: shards stream bare pipeline rows and the coordinator runs
+  the entire breaker chain, so a breaker this module has never heard of can
+  slow a query down but never silently drop it from the plan.
+* **joins and subqueries** — a hash join's build table and a subquery's
+  inner rows must see the *whole* dataset, not one shard's slice, so these
+  queries become ``kind="fetch"``: the coordinator pulls the referenced
+  datasets from every shard into a local temporary store and runs the
+  unmodified query there.  The one provably shard-local exception: a single
+  join whose probe and build keys are both the *primary key* of their
+  dataset — primary keys route placement (``shard_for_key``), keys are
+  int/str only, and equal keys hash identically, so every matching pair is
+  co-resident and the join distributes untouched.
 
 Float caveat: shard-parallel SUM/AVG folds per-shard subtotals, which can
 differ from the single-process left-fold in the last ulp for floats.
@@ -37,14 +51,26 @@ import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..query.executor import _hashable
+from ..query.executor import _hashable, rep_ranks
+from ..query.expressions import Field, Subquery, Var
 from ..query.plan import (
     AggregateNode,
     GroupByNode,
+    JoinNode,
     LimitNode,
     OrderByNode,
     ProjectNode,
     Query,
+)
+
+#: Breaker types this module knows how to place; anything else (a WINDOW, or
+#: a breaker added after this comment was written) falls back to ``raw``.
+SHARD_SAFE_BREAKERS = (
+    GroupByNode,
+    AggregateNode,
+    OrderByNode,
+    LimitNode,
+    ProjectNode,
 )
 
 #: Separator of internal partial-column names (``avg`` decomposition); SQL++
@@ -68,18 +94,23 @@ class SplitPlan:
     """The outcome of :func:`split_query`: local fragment + merge recipe."""
 
     #: ``"aggregate"`` / ``"groupby"`` (partial-aggregate pushdown),
-    #: ``"stream"`` (shards run all breakers, coordinator concatenates), or
+    #: ``"stream"`` (shards run all breakers, coordinator concatenates),
     #: ``"raw"`` (no pushdown: shards stream pipeline rows, the coordinator
-    #: runs every breaker — the conservative fallback).
+    #: runs every breaker — the conservative fallback), or ``"fetch"``
+    #: (joins/subqueries: the coordinator pulls whole datasets and runs the
+    #: unmodified query locally — no shard-local fragment at all).
     kind: str
-    #: What each shard executes (shard-side optimizer/pushdown still apply).
-    local_query: Query
+    #: What each shard executes (shard-side optimizer/pushdown still apply);
+    #: None for ``fetch``, which has no shard-local fragment.
+    local_query: Optional[Query] = None
     #: Group-key output names (``groupby`` kind only).
     key_names: List[str] = field(default_factory=list)
     #: Aggregate merge recipes (``aggregate``/``groupby`` kinds).
     aggregates: List[MergeAggregate] = field(default_factory=list)
     #: Breakers the coordinator runs after merging (oracle breaker nodes).
     post_breakers: List[object] = field(default_factory=list)
+    #: Datasets the coordinator must pull before executing (``fetch`` only).
+    fetch_datasets: List[str] = field(default_factory=list)
 
     def describe(self) -> str:
         """One line per merge-fragment step (rendered by distributed EXPLAIN)."""
@@ -99,6 +130,11 @@ class SplitPlan:
             lines.append(f"MERGE-AGGREGATE {aggregates}")
         elif self.kind == "stream":
             lines.append("MERGE-CONCAT (shards ran all breakers)")
+        elif self.kind == "fetch":
+            lines.append(
+                "FETCH-AND-EXECUTE at coordinator "
+                f"(datasets: {', '.join(self.fetch_datasets)})"
+            )
         else:
             lines.append("MERGE-CONCAT (raw rows; no pushdown)")
         from ..query.plan import _describe_breaker
@@ -141,9 +177,116 @@ def _clone_with_breakers(query: Query, breakers: List[object]) -> Query:
     return local
 
 
-def split_query(query: Query) -> SplitPlan:
-    """Split a builder query into its shard-local and merge fragments."""
+def _raw_local(query: Query) -> Query:
+    """The shard fragment for the ``raw`` fallback: pipeline only.
+
+    The breakers run at the coordinator, but scan pushdown on the stripped
+    fragment would no longer see the fields they reference and prune them
+    from the streamed rows.  Pin the ORIGINAL query's projection (computed
+    with the full breaker chain in place) on the fragment instead.
+    """
+    local = _clone_with_breakers(query, [])
+    fields = query._pushdown_fields()
+    if fields is None:
+        local.project_all()
+    else:
+        local.project_fields(list(fields))
+    return local
+
+
+def referenced_datasets(query: Query) -> List[str]:
+    """Every dataset a query touches: scan, joins, and (nested) subqueries."""
+    names: List[str] = []
+
+    def walk_query(q: Query) -> None:
+        if q.dataset_name not in names:
+            names.append(q.dataset_name)
+        for op in q._pipeline:
+            if isinstance(op, JoinNode) and op.dataset not in names:
+                names.append(op.dataset)
+        for subquery in _collect_subqueries(q):
+            inner = subquery.compiled.query
+            if inner is not None:
+                walk_query(inner)
+
+    walk_query(query)
+    return names
+
+
+def _collect_subqueries(query: Query) -> List[Subquery]:
+    """Top-level Subquery expressions of one builder query (not nested ones)."""
+    from ..query.plan import collect_expressions
+
+    found: List[Subquery] = []
+
+    def walk(expression) -> None:
+        if isinstance(expression, Subquery):
+            found.append(expression)
+            return  # its inner query is walked separately by the caller
+        for child in expression.children():
+            walk(child)
+
+    for expression in collect_expressions(query._pipeline, query._breakers):
+        walk(expression)
+    return found
+
+
+def _pk_field_of(expression, variable: str, pk: Optional[str]) -> bool:
+    """Is ``expression`` exactly ``Field(Var(variable), pk)`` (one step)?"""
+    return (
+        pk is not None
+        and isinstance(expression, Field)
+        and isinstance(expression.base, Var)
+        and expression.base.name == variable
+        and tuple(expression.path.steps) == (pk,)
+    )
+
+
+def _co_hashed_join(
+    query: Query, pk_fields: Optional[Dict[str, str]]
+) -> bool:
+    """A single pk==pk join is shard-local: placement hashes the primary key,
+    keys are int/str only, and equal keys land on the same shard."""
+    if pk_fields is None:
+        return False
+    joins = [op for op in query._pipeline if isinstance(op, JoinNode)]
+    if len(joins) != 1 or not isinstance(query._pipeline[0], JoinNode):
+        return False
+    join = query._pipeline[0]
+    return _pk_field_of(
+        join.probe_key, query.variable, pk_fields.get(query.dataset_name)
+    ) and _pk_field_of(join.build_key, join.variable, pk_fields.get(join.dataset))
+
+
+def split_query(
+    query: Query, pk_fields: Optional[Dict[str, str]] = None
+) -> SplitPlan:
+    """Split a builder query into its shard-local and merge fragments.
+
+    ``pk_fields`` maps dataset name → primary-key field; it enables the
+    co-hashed pk==pk join exception.  Coordinator and shards must pass
+    equivalent maps so both sides derive the identical split.
+    """
+    has_subquery = bool(_collect_subqueries(query))
+    joins = [op for op in query._pipeline if isinstance(op, JoinNode)]
+    if has_subquery or (joins and not _co_hashed_join(query, pk_fields)):
+        # A shard sees only its slice of the build/inner datasets, so the
+        # whole query must run where the complete data can be assembled.
+        return SplitPlan(
+            kind="fetch",
+            fetch_datasets=referenced_datasets(query),
+        )
     breakers = list(query._breakers)
+    if not all(isinstance(op, SHARD_SAFE_BREAKERS) for op in breakers):
+        # An unknown breaker type (WINDOW, or anything newer than this
+        # module): route to the raw fallback *explicitly* — shards stream
+        # pipeline rows, the coordinator runs the full oracle breaker chain.
+        # Never run an unknown breaker per shard or drop it from the merge.
+        return SplitPlan(
+            kind="raw",
+            local_query=_raw_local(query),
+            post_breakers=breakers,
+        )
     first_breaker_index = None
     for index, op in enumerate(breakers):
         if isinstance(op, (GroupByNode, AggregateNode)):
@@ -167,7 +310,7 @@ def split_query(query: Query) -> SplitPlan:
         # breaker at the coordinator.  Correct, just no pushdown.
         return SplitPlan(
             kind="raw",
-            local_query=_clone_with_breakers(query, []),
+            local_query=_raw_local(query),
             post_breakers=list(breakers),
         )
     node = breakers[first_breaker_index]
@@ -243,6 +386,11 @@ def merge_rows(split: SplitPlan, shard_rows: List[List[dict]]) -> List[dict]:
     :func:`repro.query.executor.run_breakers`) over the returned rows —
     including, for the streaming kinds, the re-applied ORDER BY/LIMIT.
     """
+    if split.kind == "fetch":
+        raise ValueError(
+            "fetch-kind queries run entirely at the coordinator; "
+            "there are no shard partials to merge"
+        )
     if split.kind in ("stream", "raw"):
         merged: List[dict] = []
         for rows in shard_rows:
@@ -257,25 +405,33 @@ def merge_rows(split: SplitPlan, shard_rows: List[List[dict]]) -> List[dict]:
         return [
             {merge.name: _finalize(merge, columns) for merge in split.aggregates}
         ]
-    # groupby: merge partial groups by key tuple, first-seen shard order.
-    groups: Dict[tuple, Tuple[dict, Dict[str, List[object]]]] = {}
+    # groupby: merge partial groups by key tuple.  ``_hashable`` conflates
+    # 1 / 1.0 / True (and MISSING/None), so groups split across shards can
+    # carry *different* raw representatives; picking the minimum under
+    # ``rep_ranks`` — the same total order each shard's GROUP BY used — makes
+    # the merged representative independent of shard arrival order and equal
+    # to the single-process oracle's choice (min is associative).
+    groups: Dict[tuple, list] = {}  # key -> [key_values, columns, raw key tuple]
     order: List[tuple] = []
     for rows in shard_rows:
         for row in rows:
-            key = tuple(_hashable(row[name]) for name in split.key_names)
+            raw = tuple(row[name] for name in split.key_names)
+            key = tuple(_hashable(value) for value in raw)
             entry = groups.get(key)
             if entry is None:
-                key_values = {name: row[name] for name in split.key_names}
-                entry = (key_values, {})
+                entry = [dict(zip(split.key_names, raw)), {}, raw]
                 groups[key] = entry
                 order.append(key)
-            _, columns = entry
+            elif rep_ranks(raw) < rep_ranks(entry[2]):
+                entry[0] = dict(zip(split.key_names, raw))
+                entry[2] = raw
+            columns = entry[1]
             for merge in split.aggregates:
                 for column in merge.columns:
                     columns.setdefault(column, []).append(row[column])
     results: List[dict] = []
     for key in order:
-        key_values, columns = groups[key]
+        key_values, columns, _ = groups[key]
         merged_row = dict(key_values)
         for merge in split.aggregates:
             merged_row[merge.name] = _finalize(merge, columns)

@@ -108,6 +108,21 @@ class ExistsExpr(Node):
     collection: "ExprNode"
 
 
+@dataclass(frozen=True)
+class InExpr(Node):
+    """``needle IN collection`` — membership with SQL++ equality semantics."""
+
+    needle: "ExprNode"
+    collection: "ExprNode"
+
+
+@dataclass(frozen=True)
+class SubqueryExpr(Node):
+    """A parenthesized SELECT used as a value: ``(SELECT ...)``."""
+
+    statement: "SelectStatement"
+
+
 ExprNode = Union[
     LiteralExpr,
     IdentRef,
@@ -120,6 +135,8 @@ ExprNode = Union[
     OrExpr,
     SomeExpr,
     ExistsExpr,
+    InExpr,
+    SubqueryExpr,
 ]
 
 
@@ -127,11 +144,32 @@ ExprNode = Union[
 
 
 @dataclass(frozen=True)
+class WindowOrderItem(Node):
+    """One window ORDER BY key: a full expression plus direction."""
+
+    expression: ExprNode
+    descending: bool
+
+
+@dataclass(frozen=True)
+class WindowSpec(Node):
+    """The ``OVER (PARTITION BY ... ORDER BY ...)`` clause of a SELECT item."""
+
+    partition_by: Tuple[ExprNode, ...] = ()
+    order_by: Tuple[WindowOrderItem, ...] = ()
+
+
+@dataclass(frozen=True)
 class SelectItem(Node):
-    """One projection: expression plus optional ``AS`` alias."""
+    """One projection: expression plus optional ``AS`` alias.
+
+    ``window`` is set when the item carries an ``OVER (...)`` clause — the
+    expression is then a window-function call evaluated per partition.
+    """
 
     expression: ExprNode
     alias: Optional[str]
+    window: Optional[WindowSpec] = None
 
 
 @dataclass(frozen=True)
@@ -175,10 +213,24 @@ class OrderItem(Node):
 
 
 @dataclass(frozen=True)
+class JoinClause(Node):
+    """One additional FROM source: comma join or explicit ``JOIN ... ON``.
+
+    ``condition`` is the ON predicate; None for comma joins, whose equality
+    conjunct the lowering extracts from the WHERE clause.
+    """
+
+    dataset: str
+    alias: str
+    condition: Optional[ExprNode] = None
+
+
+@dataclass(frozen=True)
 class SelectStatement(Node):
     """A full SELECT statement of the supported subset.
 
     ``dataset``/``alias`` are None for FROM-less queries (``SELECT 1;``).
+    ``joins`` holds the additional FROM sources in written order.
     ``pipeline`` preserves the written order of UNNEST/LET/WHERE clauses.
     """
 
@@ -186,6 +238,7 @@ class SelectStatement(Node):
     select_items: Tuple[SelectItem, ...]
     dataset: Optional[str] = None
     alias: Optional[str] = None
+    joins: Tuple[JoinClause, ...] = ()
     pipeline: Tuple[PipelineClause, ...] = ()
     group_by: Tuple[GroupKey, ...] = ()
     order_by: Tuple[OrderItem, ...] = ()

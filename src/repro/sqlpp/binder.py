@@ -26,6 +26,7 @@ from ..query.expressions import (
     Expression,
     Field,
     FUNCTIONS,
+    InList,
     Literal,
     Or,
     SomeSatisfies,
@@ -61,6 +62,10 @@ class Scope:
     def child(self, extra: str) -> "Scope":
         """A nested scope with one more variable (quantifier items may shadow)."""
         return Scope(self._names + [extra])
+
+    def names(self) -> List[str]:
+        """The bound names, in binding order (outer scope of subqueries)."""
+        return list(self._names)
 
     def describe(self) -> str:
         return ", ".join(self._names) if self._names else "(empty)"
@@ -116,6 +121,16 @@ def bind_expression(node: ast.ExprNode, scope: Scope) -> Expression:
         # EXISTS c ≡ "c is a non-empty collection": array_count yields NULL
         # for non-arrays and the filter semantics treat NULL as false.
         return Compare(">", Call("array_count", bind_expression(node.collection, scope)), Literal(0))
+    if isinstance(node, ast.InExpr):
+        return InList(
+            bind_expression(node.needle, scope),
+            bind_expression(node.collection, scope),
+        )
+    if isinstance(node, ast.SubqueryExpr):
+        # Lazy import: lowering calls back into the binder for inner clauses.
+        from .lower import compile_subquery
+
+        return compile_subquery(node, scope)
     raise SqlppError(  # pragma: no cover - the parser emits no other nodes
         f"unsupported expression at {node.where}", node.line, node.column
     )

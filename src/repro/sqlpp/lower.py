@@ -14,10 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dataclass_field
 from typing import List, Optional, Tuple
 
+from typing import Set
+
 from ..model.errors import QueryError, SqlppError
 from ..model.values import MISSING
-from ..query.expressions import Expression
-from ..query.plan import AGGREGATE_FUNCTIONS, Query, QueryPlan
+from ..query.expressions import Expression, Subquery, Var
+from ..query.plan import AGGREGATE_FUNCTIONS, Query, QueryPlan, WINDOW_FUNCTIONS
 from . import ast
 from .binder import Scope, bind_expression
 from .parser import parse
@@ -44,6 +46,8 @@ class CompiledQuery:
     constant_columns: List[Tuple[str, Expression]] = dataclass_field(
         default_factory=list
     )
+    #: Output column names in SELECT order (drives subquery value shaping).
+    output_columns: List[str] = dataclass_field(default_factory=list)
 
     # -- execution ---------------------------------------------------------------------
     def execute(
@@ -123,11 +127,111 @@ def compile_query(text: str) -> CompiledQuery:
     return compile_statement(parse(text), text)
 
 
-def compile_statement(statement: ast.SelectStatement, text: str = "") -> CompiledQuery:
-    """Lower a parsed statement (see :func:`compile_query`)."""
+def compile_statement(
+    statement: ast.SelectStatement,
+    text: str = "",
+    outer_names: Tuple[str, ...] = (),
+) -> CompiledQuery:
+    """Lower a parsed statement (see :func:`compile_query`).
+
+    ``outer_names`` seeds the scope with the enclosing query's aliases when
+    the statement is a subquery — references to them mark it as correlated.
+    """
     if statement.dataset is None:
         return _compile_constant(statement, text)
-    return _compile_dataset_query(statement, text)
+    return _compile_dataset_query(statement, text, outer_names)
+
+
+def compile_subquery(node: ast.SubqueryExpr, scope: Scope) -> Subquery:
+    """Lower a parenthesized SELECT used as a value into a Subquery expression.
+
+    The inner statement compiles through the normal pipeline with the outer
+    aliases in scope; the names it actually references decide correlation.
+    ``scalar`` marks single-aggregate subqueries whose value is the bare
+    aggregate (``(SELECT MAX(u.a) FROM m AS u)``); ``column`` unwraps
+    single-column non-VALUE row shapes for IN/scalar positions.
+    """
+    statement = node.statement
+    outer = tuple(scope.names())
+    compiled = compile_statement(statement, outer_names=outer)
+    correlated = tuple(
+        sorted(set(outer) & _statement_referenced_names(statement))
+    )
+    only = statement.select_items[0] if len(statement.select_items) == 1 else None
+    scalar = (
+        only is not None
+        and not statement.group_by
+        and only.window is None
+        and _aggregate_name(only.expression) is not None
+    )
+    column = None
+    if not statement.select_value and len(compiled.output_columns) == 1:
+        column = compiled.output_columns[0]
+    return Subquery(compiled, correlated=correlated, scalar=scalar, column=column)
+
+
+def _expr_names(node: ast.ExprNode) -> Set[str]:
+    """Every alias name an expression references (quantifier items excluded)."""
+    if isinstance(node, ast.IdentRef):
+        return {node.name}
+    if isinstance(node, ast.PathExpr):
+        return _expr_names(node.base)
+    if isinstance(node, ast.CallExpr):
+        return set().union(*[_expr_names(a) for a in node.args]) if node.args else set()
+    if isinstance(node, ast.CompareExpr):
+        return _expr_names(node.lhs) | _expr_names(node.rhs)
+    if isinstance(node, (ast.AndExpr, ast.OrExpr)):
+        return set().union(*[_expr_names(o) for o in node.operands])
+    if isinstance(node, ast.SomeExpr):
+        return _expr_names(node.collection) | (
+            _expr_names(node.predicate) - {node.item}
+        )
+    if isinstance(node, ast.ExistsExpr):
+        return _expr_names(node.collection)
+    if isinstance(node, ast.InExpr):
+        return _expr_names(node.needle) | _expr_names(node.collection)
+    if isinstance(node, ast.SubqueryExpr):
+        return _statement_referenced_names(node.statement)
+    if isinstance(node, ast.ArrayExpr):
+        return set().union(*[_expr_names(i) for i in node.items]) if node.items else set()
+    if isinstance(node, ast.ObjectExpr):
+        return (
+            set().union(*[_expr_names(v) for _, v in node.pairs])
+            if node.pairs
+            else set()
+        )
+    return set()
+
+
+def _statement_referenced_names(statement: ast.SelectStatement) -> Set[str]:
+    """The free alias names of a statement: referenced minus locally bound."""
+    names: Set[str] = set()
+    bound: Set[str] = set()
+    if statement.alias is not None:
+        bound.add(statement.alias)
+    for join in statement.joins:
+        bound.add(join.alias)
+        if join.condition is not None:
+            names |= _expr_names(join.condition)
+    for clause in statement.pipeline:
+        if isinstance(clause, ast.UnnestClause):
+            names |= _expr_names(clause.expression)
+            bound.add(clause.alias)
+        elif isinstance(clause, ast.LetClause):
+            names |= _expr_names(clause.expression)
+            bound.add(clause.name)
+        else:
+            names |= _expr_names(clause.predicate)
+    for item in statement.select_items:
+        names |= _expr_names(item.expression)
+        if item.window is not None:
+            for expression in item.window.partition_by:
+                names |= _expr_names(expression)
+            for order_item in item.window.order_by:
+                names |= _expr_names(order_item.expression)
+    for key in statement.group_by:
+        names |= _expr_names(key.expression)
+    return names - bound
 
 
 # ======================================================================================
@@ -154,7 +258,12 @@ def _compile_constant(statement: ast.SelectStatement, text: str) -> CompiledQuer
             statement.line,
             statement.column,
         )
-    compiled = CompiledQuery(text, statement, constant_columns=columns)
+    compiled = CompiledQuery(
+        text,
+        statement,
+        constant_columns=columns,
+        output_columns=[name for name, _ in columns],
+    )
     if statement.select_value:
         compiled.select_value = True
         compiled.value_column = columns[0][0]
@@ -166,10 +275,15 @@ def _compile_constant(statement: ast.SelectStatement, text: str) -> CompiledQuer
 # ======================================================================================
 
 
-def _compile_dataset_query(statement: ast.SelectStatement, text: str) -> CompiledQuery:
-    scope = Scope()
+def _compile_dataset_query(
+    statement: ast.SelectStatement,
+    text: str,
+    outer_names: Tuple[str, ...] = (),
+) -> CompiledQuery:
+    scope = Scope(list(outer_names))
     scope.add(statement.alias, statement)
     query = Query(statement.dataset, statement.alias)
+    consumed = _lower_joins(statement, scope, query)
     for clause in statement.pipeline:
         if isinstance(clause, ast.UnnestClause):
             expression = bind_expression(clause.expression, scope)
@@ -181,19 +295,106 @@ def _compile_dataset_query(statement: ast.SelectStatement, text: str) -> Compile
             query.assign(clause.name, expression)
         elif isinstance(clause, ast.WhereClause):
             # Top-level conjuncts become separate FILTER operators, exactly
-            # like chained ``.where()`` calls on the builder.
+            # like chained ``.where()`` calls on the builder.  Conjuncts the
+            # join lowering consumed as equi-join conditions are dropped: the
+            # hash join's key match is exactly that equality.
             for conjunct in _top_level_conjuncts(clause.predicate):
+                if id(conjunct) in consumed:
+                    continue
                 query.where(bind_expression(conjunct, scope))
+    if statement.group_by and any(
+        item.window is not None for item in statement.select_items
+    ):
+        raise SqlppError(
+            f"window functions cannot be combined with GROUP BY "
+            f"(at {statement.where})",
+            statement.line,
+            statement.column,
+        )
     if statement.group_by:
         output_names = _lower_group_by(statement, scope, query)
     else:
         output_names = _lower_select(statement, scope, query)
     _lower_order_limit(statement, query, output_names)
-    compiled = CompiledQuery(text, statement, query=query)
+    compiled = CompiledQuery(
+        text, statement, query=query, output_columns=list(output_names)
+    )
     if statement.select_value:
         compiled.select_value = True
         compiled.value_column = output_names[0]
     return compiled
+
+
+def _lower_joins(statement: ast.SelectStatement, scope: Scope, query: Query):
+    """Lower the FROM clause's extra sources into hash-join operators.
+
+    Explicit ``JOIN ... ON`` conditions must be a single equality; comma
+    joins take the first WHERE conjunct equating the new alias with already
+    bound sources (pure cross products are unsupported).  Returns the ids of
+    WHERE conjuncts consumed as join conditions.
+    """
+    consumed = set()
+    if not statement.joins:
+        return consumed
+    where_conjuncts: List[ast.ExprNode] = []
+    for clause in statement.pipeline:
+        if isinstance(clause, ast.WhereClause):
+            where_conjuncts.extend(_top_level_conjuncts(clause.predicate))
+    for join in statement.joins:
+        bound = set(scope.names())
+        conjunct = None
+        if join.condition is not None:
+            conjunct = join.condition
+            if not _is_equi_condition(conjunct, join.alias, bound):
+                raise SqlppError(
+                    f"JOIN ... ON at {join.where} must be a single equality "
+                    f"comparing `{join.alias}` with already bound sources",
+                    join.line,
+                    join.column,
+                )
+        else:
+            for candidate in where_conjuncts:
+                if id(candidate) in consumed:
+                    continue
+                if _is_equi_condition(candidate, join.alias, bound):
+                    conjunct = candidate
+                    consumed.add(id(candidate))
+                    break
+            if conjunct is None:
+                raise SqlppError(
+                    f"comma join of `{join.dataset}` AS `{join.alias}` at "
+                    f"{join.where} needs a WHERE equality linking it to the "
+                    f"other sources (cross products are unsupported)",
+                    join.line,
+                    join.column,
+                )
+        build_ast, probe_ast = _split_equi_condition(conjunct, join.alias)
+        probe_key = bind_expression(probe_ast, scope)
+        build_key = bind_expression(build_ast, Scope([join.alias]))
+        scope.add(join.alias, join)
+        query.join(join.dataset, join.alias, probe_key, build_key)
+    return consumed
+
+
+def _is_equi_condition(
+    node: ast.ExprNode, alias: str, bound: Set[str]
+) -> bool:
+    """Is ``node`` an equality with one side on ``alias`` and one on ``bound``?"""
+    if not (isinstance(node, ast.CompareExpr) and node.op in ("=", "==")):
+        return False
+    lhs, rhs = _expr_names(node.lhs), _expr_names(node.rhs)
+    if lhs == {alias}:
+        return rhs <= bound
+    if rhs == {alias}:
+        return lhs <= bound
+    return False
+
+
+def _split_equi_condition(node: ast.CompareExpr, alias: str):
+    """Split a checked equi-join condition into (build side, probe side)."""
+    if _expr_names(node.lhs) == {alias}:
+        return node.lhs, node.rhs
+    return node.rhs, node.lhs
 
 
 def _top_level_conjuncts(node: ast.ExprNode):
@@ -225,6 +426,11 @@ def _fingerprint(node: ast.ExprNode):
                 _fingerprint(node.predicate))
     if isinstance(node, ast.ExistsExpr):
         return ("exists", _fingerprint(node.collection))
+    if isinstance(node, ast.InExpr):
+        return ("in", _fingerprint(node.needle), _fingerprint(node.collection))
+    if isinstance(node, ast.SubqueryExpr):
+        # Subqueries never structurally match a group key; identity is enough.
+        return ("subquery", id(node))
     if isinstance(node, ast.ArrayExpr):
         return ("array", tuple(_fingerprint(i) for i in node.items))
     if isinstance(node, ast.ObjectExpr):
@@ -300,6 +506,8 @@ def _lower_select(
     statement: ast.SelectStatement, scope: Scope, query: Query
 ) -> List[str]:
     """SELECT without GROUP BY: a projection or an aggregate-only query."""
+    if any(item.window is not None for item in statement.select_items):
+        return _lower_windows(statement, scope, query)
     aggregate_flags = [
         _aggregate_name(item.expression) is not None
         for item in statement.select_items
@@ -328,6 +536,105 @@ def _lower_select(
     _reject_duplicate_names(columns, statement)
     query.select(columns)
     return [name for name, _ in columns]
+
+
+def _lower_windows(
+    statement: ast.SelectStatement, scope: Scope, query: Query
+) -> List[str]:
+    """SELECT with OVER items: shared WINDOW operators plus a projection.
+
+    Items with identical ``OVER`` specs share one :class:`WindowNode` (the
+    partition/order work runs once); the final PROJECT reads the window
+    columns by name and evaluates the plain items, which still see the
+    source variables because WINDOW augments rows rather than reshaping them.
+    """
+    groups: dict = {}  # spec key -> [columns, partition exprs, order pairs]
+    group_order: List[tuple] = []
+    output: List[Tuple[str, Expression]] = []
+    names: List[str] = []
+    for index, item in enumerate(statement.select_items):
+        name = _output_name(item, index)
+        if item.window is not None:
+            function, argument = _bind_window_call(item.expression, scope)
+            key = _window_spec_key(item.window)
+            if key not in groups:
+                groups[key] = [
+                    [],
+                    [bind_expression(e, scope) for e in item.window.partition_by],
+                    [
+                        (bind_expression(oi.expression, scope), oi.descending)
+                        for oi in item.window.order_by
+                    ],
+                ]
+                group_order.append(key)
+            groups[key][0].append((name, function, argument))
+            output.append((name, Var(name)))
+        else:
+            if _aggregate_name(item.expression) is not None:
+                raise SqlppError(
+                    f"aggregate at {item.where} needs an OVER clause (or GROUP "
+                    f"BY) when the SELECT list contains window functions",
+                    item.line,
+                    item.column,
+                )
+            output.append((name, bind_expression(item.expression, scope)))
+        names.append(name)
+    _reject_duplicate_names([(n, None) for n in names], statement)
+    for key in group_order:
+        columns, partition_by, order_by = groups[key]
+        query.window(columns, partition_by=partition_by, order_by=order_by)
+    query.select(output)
+    return names
+
+
+def _bind_window_call(
+    node: ast.ExprNode, scope: Scope
+) -> Tuple[str, Optional[Expression]]:
+    """One ``fn(...) OVER (...)`` SELECT item → (function, bound argument)."""
+    if not (
+        isinstance(node, ast.CallExpr) and node.name.lower() in WINDOW_FUNCTIONS
+    ):
+        raise SqlppError(
+            f"OVER at {node.where} requires a window-function call "
+            f"({', '.join(sorted(WINDOW_FUNCTIONS))})",
+            node.line,
+            node.column,
+        )
+    function = node.name.lower()
+    if function == "row_number":
+        if node.args:
+            raise SqlppError(
+                f"ROW_NUMBER at {node.where} takes no arguments",
+                node.line,
+                node.column,
+            )
+        return function, None
+    if function == "count":
+        if not node.star:
+            raise SqlppError(
+                f"only COUNT(*) is supported at {node.where} "
+                f"(COUNT(expr) is not implemented)",
+                node.line,
+                node.column,
+            )
+        return function, None
+    if node.star or len(node.args) != 1:
+        raise SqlppError(
+            f"{node.name.upper()} at {node.where} takes exactly one argument",
+            node.line,
+            node.column,
+        )
+    return function, bind_expression(node.args[0], scope)
+
+
+def _window_spec_key(spec: ast.WindowSpec):
+    """A position-free key so identical OVER specs share one WindowNode."""
+    return (
+        tuple(_fingerprint(e) for e in spec.partition_by),
+        tuple(
+            (_fingerprint(oi.expression), oi.descending) for oi in spec.order_by
+        ),
+    )
 
 
 def _lower_group_by(

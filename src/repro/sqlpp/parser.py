@@ -2,12 +2,17 @@
 
 Grammar (see ``docs/QUERY_LANGUAGE.md`` for the prose version)::
 
-    statement   := SELECT ( VALUE expr | item ("," item)* )
-                   [ FROM ident AS ident clause* ]
+    statement   := select_body [ ";" ]
+    select_body := SELECT ( VALUE expr | item ("," item)* )
+                   [ FROM ident AS ident join* clause* ]
                    [ GROUP BY group_key ("," group_key)* ]
                    [ ORDER BY order_item ("," order_item)* ]
-                   [ LIMIT INT ] [ ";" ]
-    item        := expr [ AS ident ]
+                   [ LIMIT INT ]
+    item        := expr [ OVER window ] [ AS ident ]
+    window      := "(" [ PARTITION BY expr ("," expr)* ]
+                       [ ORDER BY expr [ASC|DESC] ("," expr [ASC|DESC])* ] ")"
+    join        := "," ident AS ident
+                 | JOIN ident AS ident ON expr
     clause      := UNNEST expr AS ident
                  | LET ident "=" expr ("," ident "=" expr)*
                  | WHERE expr
@@ -18,9 +23,11 @@ Grammar (see ``docs/QUERY_LANGUAGE.md`` for the prose version)::
     and_expr    := cmp_expr ( AND cmp_expr )*
     cmp_expr    := SOME ident IN path_expr SATISFIES expr
                  | EXISTS path_expr
+                 | path_expr IN path_expr
                  | path_expr [ cmp_op path_expr ]
     path_expr   := primary ( "." name | "[" "*" "]" | "[" STRING "]" )*
-    primary     := literal | array | object | ident | call | "(" expr ")"
+    primary     := literal | array | object | ident | call
+                 | "(" select_body ")" | "(" expr ")"
 
 Clauses may repeat and interleave (``WHERE`` before a later ``UNNEST`` is
 legal here, unlike AsterixDB) — the written order becomes the pipeline order,
@@ -161,6 +168,14 @@ class _Parser:
 
     # -- statement ---------------------------------------------------------------------
     def parse_statement(self) -> ast.SelectStatement:
+        statement = self.parse_select_body()
+        self.accept_punct(";")
+        if self.current.kind != "EOF":
+            raise self.error(f"unexpected {self.current.describe()} after statement end")
+        return statement
+
+    def parse_select_body(self) -> ast.SelectStatement:
+        """One SELECT without the trailing ``;``/EOF check (subqueries reuse it)."""
         start = self.expect_keyword("SELECT")
         select_value = self.accept_keyword("VALUE") is not None
         items = [self.parse_select_item()]
@@ -169,18 +184,44 @@ class _Parser:
         while self.accept_punct(","):
             items.append(self.parse_select_item())
         dataset = alias = None
+        joins: List[ast.JoinClause] = []
         pipeline: List[ast.PipelineClause] = []
         if self.accept_keyword("FROM"):
             dataset = self.expect_ident("a dataset name").value
             self.expect_keyword("AS")
             alias = self.expect_ident("an alias after AS").value
+            while True:
+                if self.accept_punct(","):
+                    token = self.expect_ident("a dataset name after ','")
+                    self.expect_keyword("AS")
+                    join_alias = self.expect_ident("an alias after AS").value
+                    joins.append(
+                        ast.JoinClause(
+                            token.line, token.column, token.value, join_alias, None
+                        )
+                    )
+                elif self.at_word("JOIN"):
+                    token = self.advance()
+                    join_dataset = self.expect_ident("a dataset name after JOIN").value
+                    self.expect_keyword("AS")
+                    join_alias = self.expect_ident("an alias after AS").value
+                    self.expect_word("ON")
+                    condition = self.parse_expression()
+                    joins.append(
+                        ast.JoinClause(
+                            token.line,
+                            token.column,
+                            join_dataset,
+                            join_alias,
+                            condition,
+                        )
+                    )
+                else:
+                    break
             pipeline = self.parse_pipeline_clauses()
         group_by = self.parse_group_by()
         order_by = self.parse_order_by()
         limit = self.parse_limit()
-        self.accept_punct(";")
-        if self.current.kind != "EOF":
-            raise self.error(f"unexpected {self.current.describe()} after statement end")
         return ast.SelectStatement(
             start.line,
             start.column,
@@ -188,6 +229,7 @@ class _Parser:
             select_items=tuple(items),
             dataset=dataset,
             alias=alias,
+            joins=tuple(joins),
             pipeline=tuple(pipeline),
             group_by=group_by,
             order_by=order_by,
@@ -244,10 +286,45 @@ class _Parser:
     def parse_select_item(self) -> ast.SelectItem:
         token = self.current
         expression = self.parse_expression()
+        window = None
+        if self.accept_word("OVER"):
+            window = self.parse_window_spec()
         alias = None
         if self.accept_keyword("AS"):
             alias, _ = self.expect_name("an alias after AS")
-        return ast.SelectItem(token.line, token.column, expression, alias)
+        return ast.SelectItem(token.line, token.column, expression, alias, window)
+
+    def parse_window_spec(self) -> ast.WindowSpec:
+        """The parenthesized body after OVER: PARTITION BY / ORDER BY lists."""
+        start = self.expect_punct("(")
+        partition: List[ast.ExprNode] = []
+        order: List[ast.WindowOrderItem] = []
+        if self.at_word("PARTITION"):
+            self.advance()
+            self.expect_keyword("BY")
+            partition.append(self.parse_expression())
+            while self.accept_punct(","):
+                partition.append(self.parse_expression())
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            while True:
+                expression = self.parse_expression()
+                descending = False
+                if self.accept_keyword("DESC"):
+                    descending = True
+                else:
+                    self.accept_keyword("ASC")
+                order.append(
+                    ast.WindowOrderItem(
+                        expression.line, expression.column, expression, descending
+                    )
+                )
+                if not self.accept_punct(","):
+                    break
+        self.expect_punct(")")
+        return ast.WindowSpec(
+            start.line, start.column, tuple(partition), tuple(order)
+        )
 
     def parse_pipeline_clauses(self) -> List[ast.PipelineClause]:
         clauses: List[ast.PipelineClause] = []
@@ -365,6 +442,9 @@ class _Parser:
         if self.at_keyword("NOT"):
             raise self.error("NOT is not supported; rewrite with the inverse comparison")
         left = self.parse_path_expression()
+        if self.accept_keyword("IN"):
+            collection = self.parse_path_expression()
+            return ast.InExpr(left.line, left.column, left, collection)
         if self.current.kind == "OP" and self.current.value in _COMPARE_OPS:
             op = self.advance().value
             right = self.parse_path_expression()
@@ -437,6 +517,10 @@ class _Parser:
         if self.accept_keyword("NULL") or self.accept_keyword("MISSING"):
             return ast.LiteralExpr(token.line, token.column, None)
         if self.accept_punct("("):
+            if self.at_keyword("SELECT"):
+                statement = self.parse_select_body()
+                self.expect_punct(")")
+                return ast.SubqueryExpr(token.line, token.column, statement)
             expression = self.parse_expression()
             self.expect_punct(")")
             return expression

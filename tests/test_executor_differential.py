@@ -133,20 +133,94 @@ def _aggregate_list(rng: random.Random) -> str:
     return ", ".join(parts)
 
 
+#: Paths used as equi-join keys: low-cardinality, with null/MISSING mixed in
+#: (which must never match) and numbers next to the occasional wide int.
+JOIN_PATHS = ("a", "b", "nested.v")
+
+
+def _join_query(rng: random.Random, dataset: str, where: str) -> str:
+    other = "m" if dataset == "d" else "d"
+    path = rng.choice(JOIN_PATHS)
+    limit = f" LIMIT {rng.randint(1, 60)}" if rng.random() < 0.3 else ""
+    if rng.random() < 0.5:
+        return (
+            f"SELECT t.id AS i, y.id AS j FROM {dataset} AS t JOIN {other} AS y "
+            f"ON t.{path} = y.{path}{where} ORDER BY i, j{limit};"
+        )
+    extra = f" AND {_predicate(rng)}" if rng.random() < 0.5 else ""
+    return (
+        f"SELECT t.id AS i, y.id AS j FROM {dataset} AS t, {other} AS y "
+        f"WHERE t.{path} = y.{path}{extra} ORDER BY i, j{limit};"
+    )
+
+
+def _subquery_query(rng: random.Random, dataset: str, where: str) -> str:
+    other = rng.choice(("d", "m"))
+    roll = rng.random()
+    if roll < 0.35:
+        inner_where = f" WHERE {_predicate(rng, 'u')}" if rng.random() < 0.7 else ""
+        path = rng.choice(("a", "b"))
+        return (
+            f"SELECT t.id AS i FROM {dataset} AS t WHERE t.{path} IN "
+            f"(SELECT VALUE u.{path} FROM {other} AS u{inner_where}) ORDER BY i;"
+        )
+    if roll < 0.55:
+        values = ", ".join(_literal(rng, "a") for _ in range(rng.randint(1, 4)))
+        return (
+            f"SELECT t.id AS i FROM {dataset} AS t "
+            f"WHERE t.a IN [{values}] ORDER BY i;"
+        )
+    if roll < 0.8:
+        inner_where = f" WHERE {_predicate(rng, 'u')}" if rng.random() < 0.7 else ""
+        function = rng.choice(("MIN", "MAX", "AVG"))
+        op = rng.choice(("<=", ">", "="))
+        return (
+            f"SELECT t.id AS i FROM {dataset} AS t WHERE t.a {op} "
+            f"(SELECT {function}(u.a) FROM {other} AS u{inner_where}) ORDER BY i;"
+        )
+    # Correlated (nested-loop fallback): keep the outer side narrow.
+    path = rng.choice(("a", "b"))
+    return (
+        f"SELECT t.id AS i, (SELECT COUNT(*) FROM {other} AS u "
+        f"WHERE u.{path} = t.{path}) AS c FROM {dataset} AS t "
+        f"WHERE t.id < {rng.randint(5, 40)} ORDER BY i;"
+    )
+
+
+def _window_query(rng: random.Random, dataset: str, where: str) -> str:
+    # Window ORDER BY is always the unique primary key: running aggregates
+    # and ROW_NUMBER are then deterministic even across shard re-orderings.
+    function = rng.choice(("ROW_NUMBER", "COUNT", "SUM", "MIN", "MAX", "AVG"))
+    if function == "ROW_NUMBER":
+        call = "ROW_NUMBER()"
+    elif function == "COUNT":
+        call = "COUNT(*)"
+    else:
+        call = f"{function}(t.{rng.choice(NUMERIC_PATHS)})"
+    partition = (
+        f"PARTITION BY t.{rng.choice(GROUP_PATHS)} " if rng.random() < 0.8 else ""
+    )
+    direction = " DESC" if rng.random() < 0.3 else ""
+    return (
+        f"SELECT t.id AS i, {call} OVER ({partition}ORDER BY t.id{direction}) AS w "
+        f"FROM {dataset} AS t{where} ORDER BY i;"
+    )
+
+
 def generate_query(rng: random.Random) -> str:
     """One random SQL++ SELECT over the synthetic corpus."""
     dataset = rng.choice(("d", "m"))
     where = f" WHERE {_predicate(rng)}" if rng.random() < 0.75 else ""
     shape = rng.random()
-    if shape < 0.3:
+    if shape < 0.22:
         return f"SELECT {_aggregate_list(rng)} FROM {dataset} AS t{where};"
-    if shape < 0.55:
+    if shape < 0.4:
         path = rng.choice(GROUP_PATHS)
         return (
             f"SELECT t.{path} AS k, COUNT(*) AS c, SUM(t.a) AS s "
             f"FROM {dataset} AS t{where} GROUP BY t.{path};"
         )
-    if shape < 0.75:
+    if shape < 0.54:
         # ORDER BY the (unique) primary key so ties cannot reorder rows.
         limit = f" LIMIT {rng.randint(1, 40)}" if rng.random() < 0.7 else ""
         direction = " DESC" if rng.random() < 0.5 else ""
@@ -154,7 +228,7 @@ def generate_query(rng: random.Random) -> str:
             f"SELECT t.id AS i, t.{rng.choice(NUMERIC_PATHS + STRING_PATHS)} AS x "
             f"FROM {dataset} AS t{where} ORDER BY i{direction}{limit};"
         )
-    if shape < 0.9:
+    if shape < 0.66:
         unnest_where = f" WHERE {_predicate(rng)}" if rng.random() < 0.4 else ""
         if rng.random() < 0.5:
             return (
@@ -165,6 +239,12 @@ def generate_query(rng: random.Random) -> str:
             f"SELECT u AS k, COUNT(*) AS c FROM {dataset} AS t "
             f"UNNEST t.tags AS u{unnest_where} GROUP BY u;"
         )
+    if shape < 0.78:
+        return _join_query(rng, dataset, where)
+    if shape < 0.88:
+        return _subquery_query(rng, dataset, where)
+    if shape < 0.96:
+        return _window_query(rng, dataset, where)
     return f"SELECT COUNT(*) AS c FROM {dataset} AS t{where};"
 
 

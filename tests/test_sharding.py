@@ -19,10 +19,16 @@ from repro.bench.harness import LAYOUTS
 from repro.bench.queries import SQLPP_QUERY_SUITES
 from repro.datasets.generators import make_generator
 from repro.lsm.keys import stable_key_hash
+from repro.model.errors import QueryError
+from repro.query.executor import run_breakers
+from repro.query.plan import WindowNode
 from repro.shard import ShardCluster, shard_for_key, split_query
 from repro.shard.partial import merge_rows
 from repro.sqlpp import compile_query
 from repro.store import Datastore, StoreConfig
+
+from conftest import seeded_rng
+from test_executor_differential import _document, generate_query
 
 CELL_DOCS = list(make_generator("cell", 300, seed=11))
 SENSORS_DOCS = list(make_generator("sensors", 80, seed=11))
@@ -124,6 +130,75 @@ def test_split_keeps_order_and_limit_after_groupby_at_coordinator():
     assert "LimitNode" not in local_names and "OrderByNode" not in local_names
 
 
+def test_split_window_query_routes_to_raw():
+    # A window breaker is NOT shard-safe: running it per shard slice would
+    # number/accumulate within each slice instead of over the whole dataset.
+    split = _split(
+        "SELECT t.id AS id, SUM(t.v) OVER (PARTITION BY t.g ORDER BY t.id) AS s "
+        "FROM {dataset} AS t;"
+    )
+    assert split.kind == "raw"
+    assert any(isinstance(op, WindowNode) for op in split.post_breakers)
+    # Shards stream bare pipeline rows; every breaker runs at the coordinator.
+    assert split.local_query._breakers == []
+
+
+def test_split_unknown_breaker_routes_to_raw_not_stream():
+    # Regression: an unrecognised breaker type must fall back to raw (shards
+    # ship pipeline rows, coordinator runs the full breaker chain).  The old
+    # code classified by the breakers it knew and silently dropped novel ones
+    # from the post-merge chain — returning wrong rows instead of either
+    # correct rows or an error.
+    class NovelBreaker:
+        pass
+
+    compiled = compile_query("SELECT c.id AS id FROM t AS c;")
+    compiled.query._breakers.append(NovelBreaker())
+    split = split_query(compiled.query)
+    assert split.kind == "raw"
+    assert any(isinstance(op, NovelBreaker) for op in split.post_breakers)
+    assert split.local_query._breakers == []
+
+
+def test_run_breakers_rejects_unknown_breaker_type():
+    # The coordinator replays post_breakers through run_breakers; a breaker
+    # the executor does not understand must raise, never pass rows through.
+    with pytest.raises(QueryError, match="unsupported breaker"):
+        run_breakers([], [object()])
+
+
+def test_split_joins_and_subqueries_route_to_fetch():
+    compiled = compile_query(
+        "SELECT x.id AS id FROM t AS x, u AS y WHERE x.g = y.g;"
+    )
+    split = split_query(compiled.query, pk_fields={"t": "id", "u": "id"})
+    assert split.kind == "fetch"
+    assert sorted(split.fetch_datasets) == ["t", "u"]
+    compiled = compile_query(
+        "SELECT t.id AS i FROM t AS t "
+        "WHERE t.a IN (SELECT VALUE u.a FROM u AS u);"
+    )
+    split = split_query(compiled.query)
+    assert split.kind == "fetch"
+    assert sorted(split.fetch_datasets) == ["t", "u"]
+
+
+def test_split_co_hashed_pk_join_stays_shard_local():
+    text = "SELECT x.id AS id, y.v AS v FROM t AS x JOIN u AS y ON x.id = y.id ORDER BY id;"
+    # Both sides join on their primary key: rows with equal keys live on the
+    # same shard (placement hashes the pk), so the join can run per shard.
+    compiled = compile_query(text)
+    split = split_query(compiled.query, pk_fields={"t": "id", "u": "id"})
+    assert split.kind == "stream"
+    # Without primary-key knowledge co-hashing cannot be proven: fetch.
+    assert split_query(compile_query(text).query).kind == "fetch"
+    # Joining a pk to a non-pk field is never co-hashed.
+    other = compile_query(
+        "SELECT x.id AS id FROM t AS x JOIN u AS y ON x.id = y.ref ORDER BY id;"
+    )
+    assert split_query(other.query, pk_fields={"t": "id", "u": "id"}).kind == "fetch"
+
+
 # ======================================================================================
 # Merge edge cases (unit level — no processes involved)
 # ======================================================================================
@@ -199,6 +274,40 @@ def test_merge_groupby_combines_groups_across_shards():
     assert by_key["x"] == {"g": "x", "n": 2, "a": 5.0}
     assert by_key["y"] == {"g": "y", "n": 4, "a": 2.0}
     assert by_key["z"] == {"g": "z", "n": 1, "a": 4.0}
+
+
+def test_merge_groupby_mixed_type_keys_pick_the_oracle_representative():
+    # 1, 1.0 and True conflate into one group (SQL++ equality).  The
+    # single-process executor represents the group by the rank-minimal member
+    # (bool < int < float under rep_ranks); the merge must pick the same one
+    # regardless of which shard's partial arrives first.  The old code kept
+    # whichever representative it saw first — shard-order-dependent output.
+    split = _split(
+        "SELECT g AS g, COUNT(*) AS n FROM {dataset} AS c GROUP BY c.g AS g;"
+    )
+    shards = [[{"g": 1.0, "n": 2}], [{"g": True, "n": 3}], [{"g": 1, "n": 5}]]
+    merged = merge_rows(split, shards)
+    assert merged == [{"g": True, "n": 10}]
+    assert merge_rows(split, list(reversed(shards))) == merged
+    # int beats float when no bool is present.
+    merged = merge_rows(split, [[{"g": 2.0, "n": 1}], [{"g": 2, "n": 4}]])
+    assert merged == [{"g": 2, "n": 5}]
+    assert merge_rows(split, [[{"g": 2, "n": 4}], [{"g": 2.0, "n": 1}]]) == merged
+    # Distinct-but-equal-looking keys of different kinds stay separate groups.
+    merged = merge_rows(split, [[{"g": "1", "n": 1}], [{"g": 1, "n": 2}]])
+    assert sorted(map(repr, merged)) == sorted(
+        map(repr, [{"g": "1", "n": 1}, {"g": 1, "n": 2}])
+    )
+
+
+def test_merge_rows_refuses_fetch_splits():
+    compiled = compile_query(
+        "SELECT x.id AS id FROM t AS x, u AS y WHERE x.g = y.g;"
+    )
+    split = split_query(compiled.query)
+    assert split.kind == "fetch"
+    with pytest.raises(ValueError):
+        merge_rows(split, [])
 
 
 # ======================================================================================
@@ -384,3 +493,274 @@ def test_shard_restart_recovers_from_its_own_wal(tmp_path, graceful):
         for key in (0, 125, 159):
             assert sharded.point_lookup("t", key) == {"id": key, "v": key}
         sharded.close()
+
+
+# ======================================================================================
+# Joins, subqueries, and windows across shards
+# ======================================================================================
+
+#: Every query orders by a unique key so exact row-order comparison is valid.
+JOIN_DIFF_QUERIES = (
+    # Comma join with the equi-condition in WHERE.
+    "SELECT o.id AS id, u.name AS name FROM {o} AS o, {u} AS u "
+    "WHERE o.user = u.id ORDER BY id;",
+    # Explicit JOIN ... ON, plus a residual filter.
+    "SELECT o.id AS id, u.name AS name, o.total AS total FROM {o} AS o "
+    "JOIN {u} AS u ON o.user = u.id WHERE o.total > 30 ORDER BY id;",
+    # Uncorrelated IN subquery.
+    "SELECT u.name AS name FROM {u} AS u WHERE u.id IN "
+    "(SELECT VALUE o.user FROM {o} AS o WHERE o.total > 50) ORDER BY name;",
+    # Uncorrelated scalar subquery.
+    "SELECT o.id AS id FROM {o} AS o WHERE o.total > "
+    "(SELECT AVG(x.total) FROM {o} AS x) ORDER BY id;",
+    # Correlated subquery (nested-loop fallback at the coordinator).
+    "SELECT u.name AS name, (SELECT COUNT(*) FROM {o} AS o "
+    "WHERE o.user = u.id) AS n FROM {u} AS u ORDER BY name;",
+    # Window functions: running sum per user, global row numbers.
+    "SELECT o.id AS id, SUM(o.total) OVER (PARTITION BY o.user "
+    "ORDER BY o.id) AS run FROM {o} AS o ORDER BY id;",
+    "SELECT o.id AS id, ROW_NUMBER() OVER (ORDER BY o.id DESC) AS rank "
+    "FROM {o} AS o ORDER BY id;",
+)
+
+
+def _users_orders(num_shards: int):
+    users_name, orders_name = f"users{num_shards}", f"orders{num_shards}"
+    users = [{"id": i, "name": f"u{i:02d}", "tier": i % 3} for i in range(12)]
+    # (i * 7) % 15 dangles past the last user id: joins must drop those rows.
+    orders = [
+        {"id": i, "user": (i * 7) % 15, "total": (i * 13) % 97} for i in range(40)
+    ]
+    return users_name, users, orders_name, orders
+
+
+def _oracle_with(datasets):
+    store = Datastore(StoreConfig(partitions_per_node=2))
+    for name, layout, docs in datasets:
+        store.create_dataset(name, layout=layout).insert_many(docs)
+    return store
+
+
+@pytest.fixture(scope="module")
+def join_env(sharded_env):
+    num_shards, sharded, _ = sharded_env
+    users_name, users, orders_name, orders = _users_orders(num_shards)
+    sharded.create_dataset(users_name, layout="amax")
+    sharded.insert_many(users_name, users)
+    sharded.create_dataset(orders_name, layout="vector")
+    sharded.insert_many(orders_name, orders)
+    sharded.checkpoint()
+    oracle = _oracle_with(
+        [(users_name, "amax", users), (orders_name, "vector", orders)]
+    )
+    yield num_shards, sharded, oracle, users_name, orders_name
+    oracle.close()
+
+
+@pytest.mark.parametrize("executor", ["interpreted", "batch", "codegen"])
+def test_joins_subqueries_windows_match_single_process(join_env, executor):
+    _, sharded, oracle, users_name, orders_name = join_env
+    for template in JOIN_DIFF_QUERIES:
+        text = template.replace("{u}", users_name).replace("{o}", orders_name)
+        got = sharded.query(text, executor=executor)
+        want = oracle.query(text, executor=executor)
+        assert got == want, text
+
+
+def test_join_and_window_stats_report_execution_path(join_env):
+    num_shards, sharded, _, users_name, orders_name = join_env
+    sharded.query(
+        f"SELECT o.id AS id, u.name AS name FROM {orders_name} AS o, "
+        f"{users_name} AS u WHERE o.user = u.id ORDER BY id;"
+    )
+    stats = sharded.last_query_stats
+    assert stats.kind == "fetch"
+    # The fetch pulled both whole datasets to the coordinator.
+    assert stats.rows_transferred == 40 + 12
+    sharded.query(
+        f"SELECT o.id AS id, ROW_NUMBER() OVER (ORDER BY o.id) AS r "
+        f"FROM {orders_name} AS o ORDER BY id;"
+    )
+    assert sharded.last_query_stats.kind == "raw"
+
+
+def test_co_hashed_pk_join_runs_shard_local(join_env):
+    num_shards, sharded, oracle, users_name, orders_name = join_env
+    # users ⋈ users on the primary key: co-hashed, so no dataset crosses the
+    # wire — each shard joins its own slice and streams the joined rows.
+    mirror = f"mirror{num_shards}"
+    users = [{"id": i, "name": f"u{i:02d}", "tier": i % 3} for i in range(12)]
+    sharded.create_dataset(mirror, layout="amax")
+    sharded.insert_many(mirror, users)
+    oracle.create_dataset(mirror, layout="amax").insert_many(users)
+    text = (
+        f"SELECT a.id AS id, b.tier AS tier FROM {users_name} AS a "
+        f"JOIN {mirror} AS b ON a.id = b.id ORDER BY id;"
+    )
+    got = sharded.query(text)
+    assert got == oracle.query(text)
+    stats = sharded.last_query_stats
+    assert stats.kind == "stream"
+    assert stats.rows_transferred == len(users)
+
+
+def test_distributed_explain_shows_fetch_plan(join_env):
+    _, sharded, _, users_name, orders_name = join_env
+    text = sharded.explain(
+        f"SELECT o.id AS id, u.name AS name FROM {orders_name} AS o "
+        f"JOIN {users_name} AS u ON o.user = u.id ORDER BY id;"
+    )
+    assert "kind=fetch" in text
+    assert "FETCH-AND-EXECUTE" in text
+    assert users_name in text and orders_name in text
+    assert "HASH-JOIN" in text  # the coordinator-side plan is rendered too
+
+
+def test_order_by_null_and_missing_match_single_process(sharded_env):
+    # MISSING field values surface as NULL once projected (the engine
+    # conflates them at assign time), so the coordinator re-sort only ever
+    # sees None sort keys; the unique id tie-breaker pins the full order.
+    num_shards, sharded, _ = sharded_env
+    name = f"nulls{num_shards}"
+    docs = []
+    for i in range(30):
+        doc = {"id": i}
+        if i % 3 == 0:
+            doc["v"] = i
+        elif i % 3 == 1:
+            doc["v"] = None
+        docs.append(doc)  # i % 3 == 2: v is MISSING entirely
+    sharded.create_dataset(name, layout="amax")
+    sharded.insert_many(name, docs)
+    oracle = _oracle_with([(name, "amax", docs)])
+    try:
+        text = f"SELECT t.id AS id, t.v AS v FROM {name} AS t ORDER BY v, id;"
+        got = sharded.query(text)
+        assert got == oracle.query(text)
+        # NULL (and conflated MISSING) rows precede every valued row.
+        kinds = ["null" if row["v"] is None else "value" for row in got]
+        assert kinds == ["null"] * kinds.count("null") + ["value"] * kinds.count(
+            "value"
+        )
+        assert kinds.count("null") == 20
+    finally:
+        oracle.close()
+
+
+def test_groupby_mixed_type_keys_match_single_process(sharded_env):
+    # End-to-end lock on the merge-representative fix: group keys mixing
+    # True/1/1.0 (one group) and False/0/0.0 (another) must come back with
+    # the exact representative the single-process oracle picks, on every
+    # shard count.  Compared by repr so 1 vs 1.0 vs True differences count.
+    num_shards, sharded, _ = sharded_env
+    name = f"mixed{num_shards}"
+    keys = [1, 1.0, True, 0, 0.0, False, "1", 2, 2.0, None]
+    docs = []
+    for i in range(80):
+        doc = {"id": i, "v": i % 7}
+        if i % 11 != 0:  # every 11th doc leaves g MISSING
+            doc["g"] = keys[i % len(keys)]
+        docs.append(doc)
+    sharded.create_dataset(name, layout="apax")
+    sharded.insert_many(name, docs)
+    sharded.checkpoint()
+    oracle = _oracle_with([(name, "apax", docs)])
+    try:
+        text = (
+            f"SELECT g AS g, COUNT(*) AS n, SUM(t.v) AS s FROM {name} AS t "
+            "GROUP BY t.g AS g;"
+        )
+        got = sharded.query(text)
+        want = oracle.query(text)
+        assert sorted(map(repr, got)) == sorted(map(repr, want))
+        assert sharded.last_query_stats.kind == "groupby"
+    finally:
+        oracle.close()
+
+
+# ======================================================================================
+# Sharded fuzz differential: the widened executor-fuzz corpus vs one process
+# ======================================================================================
+
+SHARD_FUZZ_QUERIES = 60
+SHARD_FUZZ_ATTEMPTS = 200
+
+
+def _shard_fuzz_hazard(text: str) -> bool:
+    """Queries whose sharded answer legitimately differs in the last ulp.
+
+    Partial aggregation folds per-shard float subtotals at the coordinator,
+    so ``SUM``/``AVG`` over the float column ``c`` may differ from the
+    single-process left-to-right fold by rounding.  Window aggregates are
+    fine: the raw path recomputes them at the coordinator in ``ORDER BY``
+    order, identical to the oracle.
+    """
+    if "OVER (" in text:
+        return False
+    return "SUM(t.c)" in text or "AVG(t.c)" in text
+
+
+@pytest.fixture(scope="module")
+def fuzz_env(sharded_env):
+    """Datasets named exactly ``d`` and ``m`` (generate_query hardcodes them)
+    with identical documents on the cluster and a single-process oracle."""
+    num_shards, sharded, _ = sharded_env
+    rng = seeded_rng(6011, salt=101)
+    d_first = [_document(rng, key) for key in range(0, 150)]
+    d_second = [_document(rng, key) for key in range(150, 300)]
+    m_base = [_document(rng, key) for key in range(0, 200)]
+    m_updates = [_document(rng, key) for key in range(50, 90, 4)]
+    m_fresh = [_document(rng, key) for key in range(200, 240)]
+    deletes = list(range(0, 40, 3))
+
+    sharded.create_dataset("d", layout="amax")
+    sharded.insert_many("d", d_first)
+    sharded.checkpoint()
+    sharded.insert_many("d", d_second)
+    sharded.checkpoint()
+    sharded.create_dataset("m", layout="vector")
+    sharded.insert_many("m", m_base)
+    sharded.checkpoint()  # flushed, so the deletes below become antimatter
+    for key in deletes:
+        sharded.delete("m", key)
+    sharded.insert_many("m", m_updates)
+    sharded.insert_many("m", m_fresh)
+
+    oracle = Datastore(StoreConfig(partitions_per_node=2))
+    d = oracle.create_dataset("d", layout="amax")
+    d.insert_many(d_first)
+    d.flush_all()
+    d.insert_many(d_second)
+    d.flush_all()
+    m = oracle.create_dataset("m", layout="vector")
+    m.insert_many(m_base)
+    m.flush_all()
+    for key in deletes:
+        m.delete(key)
+    m.insert_many(m_updates)
+    m.insert_many(m_fresh)
+    yield num_shards, sharded, oracle
+    oracle.close()
+
+
+def test_fuzz_corpus_matches_single_process(fuzz_env):
+    num_shards, sharded, oracle = fuzz_env
+    rng = seeded_rng(6011, salt=202)
+    executors = ("interpreted", "batch", "codegen")
+    ran = 0
+    for attempt in range(SHARD_FUZZ_ATTEMPTS):
+        if ran >= SHARD_FUZZ_QUERIES:
+            break
+        text = generate_query(rng)
+        if _shard_fuzz_hazard(text):
+            continue
+        got = sharded.query(text, executor=executors[ran % len(executors)])
+        want = oracle.query(text)
+        if " ORDER BY i" in text:
+            assert got == want, f"shards={num_shards} seed-index={attempt}: {text}"
+        else:
+            assert sorted(map(repr, got)) == sorted(
+                map(repr, want)
+            ), f"shards={num_shards} seed-index={attempt}: {text}"
+        ran += 1
+    assert ran == SHARD_FUZZ_QUERIES
