@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import heapq
 import threading
+import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.columns import ShreddedColumn
@@ -31,6 +32,7 @@ from ..columnar.amax import AmaxComponentBuilder
 from ..columnar.apax import ApaxComponentBuilder
 from ..columnar.base import ColumnarComponent
 from ..model.errors import StorageError
+from ..obs.metrics import maintenance_io
 from ..rowformats.vector_format import FieldNameDictionary
 from ..storage.buffer_cache import BufferCache
 from ..storage.device import StorageDevice
@@ -249,6 +251,21 @@ class LSMTree:
         #: inference state).
         self._durable_schema = schema.to_dict()
         self._durable_field_names = self.field_dictionary.to_dict()
+        # Metric children, resolved once per tree.  A device without an
+        # enabled registry hands out no-op instruments, so these stay cheap.
+        metrics = device.metrics
+        self._m_rotations = metrics.counter(
+            "repro_memtable_rotations_total"
+        ).labels(dataset=self.dataset_name)
+        self._m_stalls = metrics.counter(
+            "repro_backpressure_stalls_total"
+        ).labels(dataset=self.dataset_name)
+        self._m_flush_s = metrics.histogram("repro_flush_seconds").labels(
+            dataset=self.dataset_name, layout=self.layout
+        )
+        self._m_merge_s = metrics.histogram("repro_merge_seconds").labels(
+            dataset=self.dataset_name, layout=self.layout
+        )
 
     # -- ingestion --------------------------------------------------------------------
     def insert(self, key, document: dict) -> None:
@@ -353,8 +370,10 @@ class LSMTree:
             # Writer backpressure: wait for a background flush to drain a
             # slot, but never indefinitely (a paused/wedged pool must not
             # deadlock ingestion — memory overshoot beats a hang).
+            self._m_stalls.inc()
             if not self._stack_changed.wait(timeout=ROTATION_STALL_TIMEOUT_S):
                 break
+        self._m_rotations.inc()
         frozen = FrozenMemtable(self.memtable, self.last_logged_lsn)
         self._frozen = self._frozen + [frozen]
         self.memtable = MemTable(self.memtable.budget_bytes)
@@ -376,7 +395,12 @@ class LSMTree:
                     if not self._frozen:
                         break
                     frozen = self._frozen[0]
-                component = self._build_component(frozen.entries)
+                # Flush I/O is maintenance work: its reads/writes must never
+                # be attributed to a query racing this drain.
+                flush_started = time.perf_counter()
+                with maintenance_io():
+                    component = self._build_component(frozen.entries)
+                self._m_flush_s.observe(time.perf_counter() - flush_started)
                 with self._lock:
                     self._frozen = self._frozen[1:]
                     self.components = [component] + self.components
@@ -547,10 +571,13 @@ class LSMTree:
         """
         merging = [self.components[index] for index in window]
         keep_antimatter = len(window) < len(self.components)
-        if self.layout in COLUMNAR_LAYOUTS:
-            merged = self._merge_columnar(merging, keep_antimatter)
-        else:
-            merged = self._merge_rows(merging, keep_antimatter)
+        merge_started = time.perf_counter()
+        with maintenance_io():
+            if self.layout in COLUMNAR_LAYOUTS:
+                merged = self._merge_columnar(merging, keep_antimatter)
+            else:
+                merged = self._merge_rows(merging, keep_antimatter)
+        self._m_merge_s.observe(time.perf_counter() - merge_started)
         with self._lock:
             survivors = [
                 component

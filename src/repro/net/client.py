@@ -21,11 +21,19 @@ DEFAULT_TIMEOUT = 120.0
 
 
 class RemoteError(ReproError):
-    """A statement failed on the server; carries the remote error class name."""
+    """A statement failed on the server; carries the remote error class name
+    and, when the server tagged the request, the ``query_id`` to correlate
+    the failure with server-side traces and slow-query-log entries."""
 
-    def __init__(self, message: str, code: str = "ReproError") -> None:
+    def __init__(
+        self,
+        message: str,
+        code: str = "ReproError",
+        query_id: Optional[str] = None,
+    ) -> None:
         super().__init__(message)
         self.code = code
+        self.query_id = query_id
 
 
 @dataclass
@@ -47,6 +55,15 @@ class StatementResult:
     @property
     def io(self) -> dict:
         return self.done.get("io") or {}
+
+    @property
+    def query_id(self) -> Optional[str]:
+        return self.done.get("query_id")
+
+    @property
+    def trace(self) -> Optional[dict]:
+        """Serialized span tree from the done frame (when traced)."""
+        return self.done.get("trace")
 
 
 class WireClient:
@@ -140,6 +157,7 @@ class WireClient:
                 raise RemoteError(
                     frame.get("error", "unknown server error"),
                     code=frame.get("code", "ReproError"),
+                    query_id=frame.get("query_id"),
                 )
             elif kind == "goodbye":
                 raise RemoteError(
@@ -159,6 +177,8 @@ class WireClient:
         pushdown: bool = True,
         batch_size: Optional[int] = None,
         explain: bool = False,
+        trace: bool = False,
+        query_id: Optional[str] = None,
         on_notice: Optional[Callable[[str], None]] = None,
     ) -> StatementResult:
         payload = {
@@ -170,6 +190,10 @@ class WireClient:
         }
         if explain:
             payload["explain"] = True
+        if trace:
+            payload["trace"] = True
+        if query_id is not None:
+            payload["query_id"] = query_id
         if batch_size is not None:
             payload["batch_size"] = batch_size
         return self.request(payload, on_notice=on_notice)
@@ -219,6 +243,10 @@ class WireClient:
 
     def recovery_info(self) -> Optional[dict]:
         return self.request({"op": "recovery_info"}).done.get("recovery")
+
+    def metrics(self) -> str:
+        """The server's metrics in Prometheus text exposition format."""
+        return self.request({"op": "metrics"}).done.get("text", "")
 
     def ping(self) -> None:
         self.request({"op": "ping"})

@@ -30,6 +30,7 @@ from dataclasses import asdict
 from typing import Callable, List, Optional, Tuple
 
 from ..model.errors import ReproError
+from ..obs import MetricsRegistry, new_query_id
 from .protocol import (
     HEADER,
     ROWS_PER_FRAME,
@@ -63,14 +64,20 @@ class EngineSessionHandler:
     def __init__(self, store) -> None:
         self.store = store
         self.session = StatementSession(store)
+        #: The in-flight request's query identifier — the dispatch loop reads
+        #: it when building error frames, so failures correlate with traces.
+        self.current_query_id: Optional[str] = None
 
     # -- dispatch ----------------------------------------------------------------------
     def handle(self, request: dict) -> Tuple[Optional[list], dict]:
         op = request.get("op", "statement")
+        self.current_query_id = request.get("query_id") or new_query_id()
         handler = getattr(self, f"_op_{op}", None)
         if handler is None:
             raise WireError(f"unknown request op {op!r}")
-        return handler(request)
+        rows, done = handler(request)
+        done.setdefault("query_id", self.current_query_id)
+        return rows, done
 
     def close(self) -> Optional[str]:
         """End the session; returns the open-transaction rollback notice."""
@@ -84,8 +91,14 @@ class EngineSessionHandler:
         batch_size = request.get("batch_size")
         before = self.store.io_snapshot()
         if request.get("mode", "full") == "partial":
-            rows = self._partial_rows(text, executor, pushdown, batch_size)
+            # Shard-side fragments are always traced: the coordinator stitches
+            # the returned span tree under its own scatter span.
+            with self.store.traced_statement(
+                text, executor=executor, query_id=self.current_query_id
+            ) as trace:
+                rows = self._partial_rows(text, executor, pushdown, batch_size)
             status = sequence = explain_text = None
+            trace_dict = trace.to_dict() if trace is not None else None
         else:
             outcome = self.session.execute(
                 text,
@@ -93,13 +106,17 @@ class EngineSessionHandler:
                 explain=request.get("explain", False),
                 pushdown=pushdown,
                 batch_size=batch_size,
+                query_id=self.current_query_id,
             )
             rows = outcome.rows
             status = outcome.status
             sequence = outcome.sequence
             explain_text = outcome.explain_text
+            trace_dict = outcome.trace if request.get("trace") else None
         delta = self.store.io_stats.delta_since(before)
         done = {"type": "done", "io": delta.as_dict()}
+        if trace_dict is not None:
+            done["trace"] = trace_dict
         if rows is not None:
             done["result"] = "rows"
             done["rows_returned"] = len(rows)
@@ -243,6 +260,10 @@ class EngineSessionHandler:
             "recovery": None if info is None else asdict(info),
         }
 
+    def _op_metrics(self, request: dict) -> Tuple[Optional[list], dict]:
+        """The store's metrics in Prometheus text exposition format."""
+        return None, {"type": "done", "text": self.store.metrics_text()}
+
 
 class _Connection:
     """Per-connection state: streams, session handler, and a write lock."""
@@ -270,6 +291,8 @@ class WireServer:
             closed — this is where the datastore's checkpoint-and-close runs.
         drain_timeout: Seconds to wait for in-flight statements on shutdown.
         executor_workers: Size of the statement-execution thread pool.
+        metrics: Registry to count wire frames/bytes against (typically the
+            backend store's); None counts nothing.
     """
 
     def __init__(
@@ -281,8 +304,16 @@ class WireServer:
         backend_close: Optional[Callable[[], None]] = None,
         drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
         executor_workers: int = DEFAULT_EXECUTOR_WORKERS,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._session_factory = session_factory
+        registry = metrics if metrics is not None else MetricsRegistry(enabled=False)
+        frames = registry.counter("repro_wire_frames_total")
+        wire_bytes = registry.counter("repro_wire_bytes_total")
+        self._frames_in = frames.labels(direction="in")
+        self._frames_out = frames.labels(direction="out")
+        self._bytes_in = wire_bytes.labels(direction="in")
+        self._bytes_out = wire_bytes.labels(direction="out")
         self.host = host
         self.port = port
         self.role = role
@@ -425,14 +456,19 @@ class WireServer:
             body = await reader.readexactly(frame_length(header))
         except (asyncio.IncompleteReadError, ConnectionResetError):
             return None
+        self._frames_in.inc()
+        self._bytes_in.inc(HEADER.size + len(body))
         return decode_body(body)
 
     async def _send(self, connection: _Connection, payload: dict) -> None:
         if connection.closed:
             return
+        encoded = encode_frame(payload)
+        self._frames_out.inc()
+        self._bytes_out.inc(len(encoded))
         async with connection.write_lock:
             try:
-                connection.writer.write(encode_frame(payload))
+                connection.writer.write(encoded)
                 await connection.writer.drain()
             except (ConnectionResetError, BrokenPipeError, OSError):
                 connection.closed = True
@@ -472,25 +508,27 @@ class WireServer:
                 self._pool, connection.handler.handle, request
             )
         except ReproError as error:
-            await self._send(
-                connection,
-                {
-                    "type": "error",
-                    "error": str(error),
-                    "code": type(error).__name__,
-                },
-            )
+            frame = {
+                "type": "error",
+                "error": str(error),
+                "code": type(error).__name__,
+            }
+            query_id = getattr(connection.handler, "current_query_id", None)
+            if query_id is not None:
+                frame["query_id"] = query_id
+            await self._send(connection, frame)
             return
         except Exception as error:  # engine bug: report, keep serving
             traceback.print_exc()
-            await self._send(
-                connection,
-                {
-                    "type": "error",
-                    "error": f"internal server error: {error}",
-                    "code": "InternalError",
-                },
-            )
+            frame = {
+                "type": "error",
+                "error": f"internal server error: {error}",
+                "code": "InternalError",
+            }
+            query_id = getattr(connection.handler, "current_query_id", None)
+            if query_id is not None:
+                frame["query_id"] = query_id
+            await self._send(connection, frame)
             return
         finally:
             self._inflight -= 1

@@ -32,6 +32,13 @@ class StatementOutcome:
     status: Optional[str] = None
     sequence: Optional[int] = None
     explain_text: Optional[str] = None
+    #: Identifier of the traced statement (queries only; None when the
+    #: store's observability is off or the statement was DML/transaction
+    #: control, where the caller's own query_id still names the request).
+    query_id: Optional[str] = None
+    #: Serialized span tree (:meth:`repro.obs.QueryTrace.to_dict`), for wire
+    #: done frames; None when not traced.
+    trace: Optional[dict] = None
 
 
 class StatementSession:
@@ -54,12 +61,21 @@ class StatementSession:
         explain: bool = False,
         pushdown: bool = True,
         batch_size: Optional[int] = None,
+        query_id: Optional[str] = None,
     ) -> StatementOutcome:
         """Parse and execute one statement of any kind.
 
+        Query statements run inside the store's
+        :meth:`~repro.store.datastore.Datastore.traced_statement` (under
+        ``query_id`` when given), so the outcome carries the serialized span
+        tree for wire clients.
+
         Raises :class:`~repro.model.errors.ReproError` subclasses on failure.
         """
+        import time
+
         from ..model.errors import SqlppError
+        from ..obs import record_span, span
         from ..sqlpp import (
             BeginStatement,
             CommitStatement,
@@ -71,7 +87,9 @@ class StatementSession:
             parse_any,
         )
 
+        parse_started = time.perf_counter()
         statement = parse_any(text)
+        parse_elapsed = time.perf_counter() - parse_started
         if isinstance(statement, BeginStatement):
             if self.txn is not None:
                 raise SqlppError(
@@ -148,14 +166,28 @@ class StatementSession:
                 return StatementOutcome(status="DELETE 1 (buffered in transaction)")
             sequence = dataset.delete(key)
             return StatementOutcome(status="DELETE 1", sequence=sequence)
-        compiled = compile_statement(statement)
-        explain_text = None
-        if explain and compiled.query is not None:
-            explain_text = compiled.explain(self.store, executor=executor)
-        rows = compiled.execute(
-            self.store, executor=executor, pushdown=pushdown, batch_size=batch_size
+        with self.store.traced_statement(
+            text, executor=executor, query_id=query_id
+        ) as trace:
+            if trace is not None:
+                record_span("parse", parse_elapsed)
+            with span("bind"):
+                compiled = compile_statement(statement)
+            explain_text = None
+            if explain and compiled.query is not None:
+                explain_text = compiled.explain(self.store, executor=executor)
+            rows = compiled.execute(
+                self.store,
+                executor=executor,
+                pushdown=pushdown,
+                batch_size=batch_size,
+            )
+        return StatementOutcome(
+            rows=rows,
+            explain_text=explain_text,
+            query_id=trace.query_id if trace is not None else query_id,
+            trace=trace.to_dict() if trace is not None else None,
         )
-        return StatementOutcome(rows=rows, explain_text=explain_text)
 
     def close(self) -> Optional[str]:
         """Roll back an open transaction; returns the rollback notice, if any.

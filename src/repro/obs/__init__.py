@@ -1,0 +1,54 @@
+"""Observability: metrics registry, per-query distributed tracing, slow-query
+log.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalog, the trace schema, and
+the slow-query log format.
+"""
+
+from .catalog import DURATION_BUCKETS, METRIC_CATALOG, MetricSpec
+from .metrics import (
+    IO_SOURCES,
+    MetricsError,
+    MetricsRegistry,
+    current_io_source,
+    io_source,
+    maintenance_io,
+)
+from .slowlog import SlowQueryLog
+from .trace import (
+    QueryTrace,
+    Span,
+    activate,
+    annotate,
+    current_span,
+    current_trace,
+    new_query_id,
+    record_span,
+    render_trace,
+    render_trace_dict,
+    span,
+)
+
+__all__ = [
+    "DURATION_BUCKETS",
+    "METRIC_CATALOG",
+    "MetricSpec",
+    "IO_SOURCES",
+    "MetricsError",
+    "MetricsRegistry",
+    "current_io_source",
+    "io_source",
+    "maintenance_io",
+    "SlowQueryLog",
+    "QueryTrace",
+    "Span",
+    "activate",
+    "annotate",
+    "current_span",
+    "current_trace",
+    "new_query_id",
+    "record_span",
+    "render_trace",
+    "render_trace_dict",
+    "span",
+]

@@ -1,0 +1,108 @@
+"""The metric catalog: every metric the engine may emit, declared up front.
+
+The registry (:mod:`repro.obs.metrics`) refuses to create an instrument whose
+name, kind, or label set is not declared here, and ``tools/check_metrics.py``
+lints the source tree so that every ``repro_*`` metric referenced at runtime
+exists in this catalog (and vice versa).  ``docs/OBSERVABILITY.md`` carries a
+human-readable rendering of the same table and is checked against it too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Default histogram bucket upper bounds, in seconds (plus an implicit +Inf).
+DURATION_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declaration of one metric family."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    help: str
+    unit: str
+    labels: Tuple[str, ...] = ()
+    buckets: Tuple[float, ...] = field(default=DURATION_BUCKETS)
+
+
+def _spec(name, kind, help_text, unit, labels=()):
+    return MetricSpec(name=name, kind=kind, help=help_text, unit=unit,
+                      labels=tuple(labels))
+
+
+#: name -> MetricSpec for every metric the engine emits.
+METRIC_CATALOG: Dict[str, MetricSpec] = {
+    spec.name: spec
+    for spec in (
+        # -- storage device ---------------------------------------------------
+        _spec("repro_io_pages_total", "counter",
+              "Pages read/written on the storage device, split by whether the "
+              "I/O was issued on behalf of a query or by background "
+              "flush/merge maintenance.", "pages", ("op", "source")),
+        _spec("repro_io_bytes_total", "counter",
+              "Bytes read/written on the storage device.", "bytes",
+              ("op", "source")),
+        _spec("repro_wal_appends_total", "counter",
+              "Records appended to the write-ahead log.", "records"),
+        _spec("repro_wal_bytes_total", "counter",
+              "Bytes appended to the write-ahead log (framing included).",
+              "bytes"),
+        _spec("repro_wal_fsyncs_total", "counter",
+              "WAL appends flushed through to the OS (on-disk devices only).",
+              "flushes"),
+        # -- buffer cache -----------------------------------------------------
+        _spec("repro_cache_requests_total", "counter",
+              "Buffer-cache page requests by outcome.", "requests",
+              ("result",)),
+        _spec("repro_cache_evictions_total", "counter",
+              "Pages evicted from the buffer cache.", "pages"),
+        # -- LSM maintenance --------------------------------------------------
+        _spec("repro_memtable_rotations_total", "counter",
+              "Memtable rotations (mutable memtable frozen for flushing).",
+              "rotations", ("dataset",)),
+        _spec("repro_backpressure_stalls_total", "counter",
+              "Writer stalls waiting for frozen memtables to drain "
+              "(max_frozen_memtables backpressure).", "stalls", ("dataset",)),
+        _spec("repro_flush_seconds", "histogram",
+              "Wall-clock duration of one memtable flush to an on-disk "
+              "component.", "seconds", ("dataset", "layout")),
+        _spec("repro_merge_seconds", "histogram",
+              "Wall-clock duration of one LSM component merge.", "seconds",
+              ("dataset", "layout")),
+        # -- background scheduler ---------------------------------------------
+        _spec("repro_background_queue_depth", "gauge",
+              "Background flush/merge tasks submitted but not yet finished.",
+              "tasks"),
+        _spec("repro_background_tasks_total", "counter",
+              "Background scheduler task outcomes.", "tasks", ("event",)),
+        # -- query layer ------------------------------------------------------
+        _spec("repro_queries_total", "counter",
+              "Statements executed, by executor.", "queries", ("executor",)),
+        _spec("repro_query_seconds", "histogram",
+              "End-to-end statement latency (parse through result "
+              "materialization).", "seconds", ("executor",)),
+        _spec("repro_slow_queries_total", "counter",
+              "Statements that exceeded the slow-query-log threshold.",
+              "queries"),
+        # -- wire server ------------------------------------------------------
+        _spec("repro_wire_frames_total", "counter",
+              "Wire-protocol frames sent/received by the server.", "frames",
+              ("direction",)),
+        _spec("repro_wire_bytes_total", "counter",
+              "Wire-protocol bytes sent/received by the server (header "
+              "included).", "bytes", ("direction",)),
+        # -- shard coordinator ------------------------------------------------
+        _spec("repro_shard_requests_total", "counter",
+              "Requests the coordinator fanned out, per shard.", "requests",
+              ("shard",)),
+        _spec("repro_shard_rows_transferred_total", "counter",
+              "Rows shipped from shards to the coordinator, per shard.",
+              "rows", ("shard",)),
+    )
+}

@@ -1,0 +1,52 @@
+"""Structured slow-query log.
+
+Statements whose end-to-end latency reaches the configured threshold
+(``StoreConfig.slow_query_log_s``) are recorded as JSON lines — query text,
+``query_id``, duration, the full span tree, and I/O attribution — both in an
+in-memory ring (``entries()``, for tests and the shell) and, when a path is
+configured, appended to a JSONL file for offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Deque, List, Optional
+
+
+class SlowQueryLog:
+    """Threshold filter + bounded in-memory ring + optional JSONL sink."""
+
+    def __init__(self, threshold_s: Optional[float] = None,
+                 path: Optional[str] = None, capacity: int = 128) -> None:
+        self.threshold_s = threshold_s
+        self.path = path
+        self._lock = threading.Lock()
+        self._entries: Deque[dict] = deque(maxlen=capacity)
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_s is not None
+
+    def should_log(self, duration_s: float) -> bool:
+        return self.threshold_s is not None and duration_s >= self.threshold_s
+
+    def record(self, entry: dict) -> None:
+        """Append one slow-statement record (already past the threshold)."""
+        line = None
+        if self.path is not None:
+            line = json.dumps(entry, sort_keys=True, default=str)
+        with self._lock:
+            self._entries.append(entry)
+            if line is not None:
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+
+    def entries(self) -> List[dict]:
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

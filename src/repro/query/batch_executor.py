@@ -28,6 +28,7 @@ row-at-a-time executor stays untouched as the correctness oracle.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..columnar.base import ColumnarComponent
@@ -41,10 +42,13 @@ from .executor import (
     _Aggregator,
     _hashable,
     _none_if_missing,
+    op_span_name,
     rep_ranks,
     run_breakers,
     source_rows,
+    traced_batch_source,
 )
+from ..obs import current_trace, record_span
 from .expressions import (
     And,
     Call,
@@ -361,11 +365,35 @@ def _binding_batches(rows: Iterable[dict], batch_size: int) -> Iterator[ColumnBa
 def run_batch_pipeline(
     batches: Iterable[ColumnBatch], pipeline: List
 ) -> Iterator[ColumnBatch]:
-    """Apply ASSIGN/UNNEST/FILTER vector-at-a-time, batch by batch."""
+    """Apply ASSIGN/UNNEST/FILTER vector-at-a-time, batch by batch.
+
+    When a trace is active, one span per pipeline operator (rows out and
+    cumulative operator time) is recorded as the generator finishes.
+    """
+    tracing = current_trace() is not None
+    counts = [0] * len(pipeline)
+    elapsed = [0.0] * len(pipeline)
+    try:
+        yield from _run_batch_pipeline(batches, pipeline, tracing, counts,
+                                       elapsed)
+    finally:
+        if tracing:
+            for op, rows_out, seconds in zip(pipeline, counts, elapsed):
+                record_span(op_span_name(op), seconds, rows_out=rows_out)
+
+
+def _run_batch_pipeline(
+    batches: Iterable[ColumnBatch],
+    pipeline: List,
+    tracing: bool,
+    counts: List[int],
+    elapsed: List[float],
+) -> Iterator[ColumnBatch]:
     for batch in batches:
-        for op in pipeline:
+        for index, op in enumerate(pipeline):
             if batch.length == 0:
                 break
+            started = time.perf_counter() if tracing else 0.0
             if isinstance(op, FilterNode):
                 mask = op.predicate.evaluate_batch(batch)
                 selection = kernels.selection_from_mask(mask)
@@ -379,25 +407,28 @@ def run_batch_pipeline(
                 vector = op.expression.evaluate_batch(batch)
                 indices: List[int] = []
                 items: list = []
-                for index, value in enumerate(vector):
+                for row_index, value in enumerate(vector):
                     if isinstance(value, (list, tuple)):
                         for item in value:
-                            indices.append(index)
+                            indices.append(row_index)
                             items.append(item)
                 batch = batch.take(indices, extra_vars={op.variable: items})
             elif isinstance(op, JoinNode):
                 vector = op.probe_key.evaluate_batch(batch)
                 indices = []
                 items = []
-                for index, value in enumerate(vector):
+                for row_index, value in enumerate(vector):
                     key = join_key(value)
                     matches = op.table.get(key) if key is not None else None
                     if not matches:
                         continue
                     for document in matches:
-                        indices.append(index)
+                        indices.append(row_index)
                         items.append(document)
                 batch = batch.take(indices, extra_vars={op.variable: items})
+            if tracing:
+                elapsed[index] += time.perf_counter() - started
+                counts[index] += batch.length
         if batch.length:
             yield batch
 
@@ -484,6 +515,7 @@ def run_batch_breakers(batches: Iterable[ColumnBatch], breakers: List) -> List[d
     if not breakers:
         return [row for batch in batches for row in batch.iter_rows()]
     first = breakers[0]
+    started = time.perf_counter()
     if isinstance(first, GroupByNode):
         rows = _batch_group_by(batches, first)
     elif isinstance(first, AggregateNode):
@@ -494,6 +526,15 @@ def run_batch_breakers(batches: Iterable[ColumnBatch], breakers: List) -> List[d
         # ORDER BY / LIMIT first: materialize rows and share the engine code.
         rows = [row for batch in batches for row in batch.iter_rows()]
         return run_breakers(rows, breakers)
+    if current_trace() is not None:
+        # The natively-consumed first breaker never reaches run_breakers, so
+        # its span (vectorized=True) is recorded here.
+        record_span(
+            op_span_name(first),
+            time.perf_counter() - started,
+            rows_out=len(rows),
+            vectorized=True,
+        )
     return run_breakers(rows, breakers[1:])
 
 
@@ -517,9 +558,18 @@ def run_batch_plan(
     """
     size = batch_size or DEFAULT_BATCH_SIZE
     batches = source_batches(store, plan, size)
+    tracing = current_trace() is not None
+    if tracing:
+        batches = traced_batch_source(batches, plan.source)
     if fused:
         from .codegen import run_generated_batches
 
+        if tracing:
+            # The fused pipeline runs as one generated function, so per-op
+            # timings are unobservable; marker spans keep every plan node
+            # represented exactly once in the trace.
+            for op in plan.pipeline:
+                record_span(op_span_name(op), 0.0, fused=True)
         piped = run_generated_batches(batches, plan)
     else:
         piped = run_batch_pipeline(batches, plan.pipeline)

@@ -15,10 +15,12 @@ executed by the shared engine code below.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from ..model.errors import QueryError
 from ..model.values import MISSING
+from ..obs import annotate, current_trace, record_span, span
 from .expressions import Expression, Subquery, join_key, truthy
 from .plan import (
     AggregateNode,
@@ -185,6 +187,69 @@ def _build_join_table(store, plan: QueryPlan, node: JoinNode) -> None:
     node.table = table
 
 
+# -- tracing helpers ---------------------------------------------------------------------
+
+
+def op_span_name(node) -> str:
+    """The span name of a plan node: its class name (e.g. ``FilterNode``)."""
+    return type(node).__name__
+
+
+def traced_row_source(rows: Iterable[dict], source_node) -> Iterator[dict]:
+    """Count rows and producer-side time of a source iterator; on exhaustion
+    (or early close, e.g. under a LIMIT) records the source node's span."""
+    count = 0
+    elapsed = 0.0
+    iterator = iter(rows)
+    try:
+        while True:
+            started = time.perf_counter()
+            try:
+                row = next(iterator)
+            except StopIteration:
+                elapsed += time.perf_counter() - started
+                return
+            elapsed += time.perf_counter() - started
+            count += 1
+            yield row
+    finally:
+        record_span(
+            op_span_name(source_node),
+            elapsed,
+            dataset=getattr(source_node, "dataset", None),
+            rows_out=count,
+        )
+
+
+def traced_batch_source(batches, source_node):
+    """Like :func:`traced_row_source` but over column batches — the span
+    carries both the batch count and the total row count."""
+    row_count = 0
+    batch_count = 0
+    elapsed = 0.0
+    iterator = iter(batches)
+    try:
+        while True:
+            started = time.perf_counter()
+            try:
+                batch = next(iterator)
+            except StopIteration:
+                elapsed += time.perf_counter() - started
+                return
+            elapsed += time.perf_counter() - started
+            batch_count += 1
+            row_count += batch.length
+            yield batch
+    finally:
+        record_span(
+            op_span_name(source_node),
+            elapsed,
+            dataset=getattr(source_node, "dataset", None),
+            rows_out=row_count,
+            batches=batch_count,
+        )
+
+
 # -- interpreted pipeline ----------------------------------------------------------------
 
 
@@ -199,46 +264,70 @@ def _batched(rows: Iterable[dict], batch_size: int) -> Iterator[List[dict]]:
         yield batch
 
 
+def _apply_interpreted_op(op, current: List[dict]) -> List[dict]:
+    """Apply one pipelining operator to a materialized row batch."""
+    materialized: List[dict] = []
+    if isinstance(op, AssignNode):
+        for row in current:
+            new_row = dict(row)  # materialization between operators
+            new_row[op.variable] = op.expression.evaluate(row)
+            materialized.append(new_row)
+    elif isinstance(op, UnnestNode):
+        for row in current:
+            value = op.expression.evaluate(row)
+            if not isinstance(value, (list, tuple)):
+                continue
+            for item in value:
+                new_row = dict(row)
+                new_row[op.variable] = item
+                materialized.append(new_row)
+    elif isinstance(op, FilterNode):
+        for row in current:
+            if truthy(op.predicate.evaluate(row)):
+                materialized.append(dict(row))
+    elif isinstance(op, JoinNode):
+        if op.table is None:
+            raise QueryError("hash join executed before prepare_plan()")
+        for row in current:
+            key = join_key(op.probe_key.evaluate(row))
+            matches = op.table.get(key) if key is not None else None
+            if not matches:
+                continue
+            for document in matches:
+                new_row = dict(row)
+                new_row[op.variable] = document
+                materialized.append(new_row)
+    else:
+        raise QueryError(f"unsupported pipeline operator {type(op).__name__}")
+    return materialized
+
+
 def run_interpreted_pipeline(rows: Iterable[dict], pipeline: List) -> Iterator[dict]:
-    """Apply the pipelining operators batch-at-a-time with materialization."""
-    for batch in _batched(rows, INTERPRETED_BATCH_SIZE):
-        current = batch
-        for op in pipeline:
-            materialized: List[dict] = []
-            if isinstance(op, AssignNode):
-                for row in current:
-                    new_row = dict(row)  # materialization between operators
-                    new_row[op.variable] = op.expression.evaluate(row)
-                    materialized.append(new_row)
-            elif isinstance(op, UnnestNode):
-                for row in current:
-                    value = op.expression.evaluate(row)
-                    if not isinstance(value, (list, tuple)):
-                        continue
-                    for item in value:
-                        new_row = dict(row)
-                        new_row[op.variable] = item
-                        materialized.append(new_row)
-            elif isinstance(op, FilterNode):
-                for row in current:
-                    if truthy(op.predicate.evaluate(row)):
-                        materialized.append(dict(row))
-            elif isinstance(op, JoinNode):
-                if op.table is None:
-                    raise QueryError("hash join executed before prepare_plan()")
-                for row in current:
-                    key = join_key(op.probe_key.evaluate(row))
-                    matches = op.table.get(key) if key is not None else None
-                    if not matches:
-                        continue
-                    for document in matches:
-                        new_row = dict(row)
-                        new_row[op.variable] = document
-                        materialized.append(new_row)
-            else:
-                raise QueryError(f"unsupported pipeline operator {type(op).__name__}")
-            current = materialized
-        yield from current
+    """Apply the pipelining operators batch-at-a-time with materialization.
+
+    When a trace is active, per-operator row counts and cumulative operator
+    time are recorded as one span per pipeline node once the generator
+    finishes (exhaustion or early close).
+    """
+    tracing = current_trace() is not None
+    counts = [0] * len(pipeline)
+    elapsed = [0.0] * len(pipeline)
+    try:
+        for batch in _batched(rows, INTERPRETED_BATCH_SIZE):
+            current = batch
+            for index, op in enumerate(pipeline):
+                if tracing:
+                    started = time.perf_counter()
+                    current = _apply_interpreted_op(op, current)
+                    elapsed[index] += time.perf_counter() - started
+                    counts[index] += len(current)
+                else:
+                    current = _apply_interpreted_op(op, current)
+            yield from current
+    finally:
+        if tracing:
+            for op, rows_out, seconds in zip(pipeline, counts, elapsed):
+                record_span(op_span_name(op), seconds, rows_out=rows_out)
 
 
 # -- breakers ------------------------------------------------------------------------------
@@ -427,10 +516,17 @@ def _run_window(rows: Iterable[dict], node: WindowNode) -> List[dict]:
 
 
 def run_breakers(rows: Iterable[dict], breakers: List) -> List[dict]:
-    """Run the pipeline-breaker suffix of a plan over the pipelined rows."""
+    """Run the pipeline-breaker suffix of a plan over the pipelined rows.
+
+    When a trace is active every breaker records one span with its duration
+    and output row count (shared by all executors and the shard
+    coordinator's merge phase).
+    """
+    tracing = current_trace() is not None
     current: Iterable[dict] = rows
     materialized: Optional[List[dict]] = None
     for op in breakers:
+        started = time.perf_counter() if tracing else 0.0
         if isinstance(op, GroupByNode):
             materialized = _run_group_by(current, op)
         elif isinstance(op, AggregateNode):
@@ -455,6 +551,12 @@ def run_breakers(rows: Iterable[dict], breakers: List) -> List[dict]:
             ]
         else:
             raise QueryError(f"unsupported breaker {type(op).__name__}")
+        if tracing:
+            record_span(
+                op_span_name(op),
+                time.perf_counter() - started,
+                rows_out=len(materialized),
+            )
         current = materialized
     if materialized is None:
         materialized = [dict(row) for row in current]
@@ -507,15 +609,22 @@ def execute_plan(
     Returns:
         The materialized result rows.
     """
-    prepare_plan(store, plan)
-    if executor == "interpreted":
-        rows = source_rows(store, plan)
-        piped = run_interpreted_pipeline(rows, plan.pipeline)
-        return run_breakers(piped, plan.breakers)
-    if executor in ("batch", "codegen", "codegen-batch"):
-        from .batch_executor import run_batch_plan
+    with span("execute", executor=executor):
+        with span("prepare"):
+            prepare_plan(store, plan)
+        if executor == "interpreted":
+            rows = source_rows(store, plan)
+            if current_trace() is not None:
+                rows = traced_row_source(rows, plan.source)
+            piped = run_interpreted_pipeline(rows, plan.pipeline)
+            result = run_breakers(piped, plan.breakers)
+        elif executor in ("batch", "codegen", "codegen-batch"):
+            from .batch_executor import run_batch_plan
 
-        return run_batch_plan(
-            store, plan, fused=executor != "batch", batch_size=batch_size
-        )
-    raise QueryError(f"unknown executor {executor!r}")
+            result = run_batch_plan(
+                store, plan, fused=executor != "batch", batch_size=batch_size
+            )
+        else:
+            raise QueryError(f"unknown executor {executor!r}")
+        annotate(rows_out=len(result))
+        return result

@@ -677,14 +677,16 @@ class Query:
         Returns:
             The result rows as a list of dicts.
         """
+        from ..obs import span
         from .executor import execute_plan
 
         if optimize is None:
             optimize = pushdown
-        if optimize and self._index is None:
-            plan = self.optimized_plan(store, pushdown=pushdown)
-        else:
-            plan = self.build_plan(pushdown=pushdown)
+        with span("optimize", cost_based=bool(optimize and self._index is None)):
+            if optimize and self._index is None:
+                plan = self.optimized_plan(store, pushdown=pushdown)
+            else:
+                plan = self.build_plan(pushdown=pushdown)
         return execute_plan(store, plan, executor=executor, batch_size=batch_size)
 
     def explain(

@@ -110,6 +110,7 @@ async def _serve(args: argparse.Namespace) -> None:
             addresses = cluster.live_addresses()
         sharded = ShardedDatastore(addresses)
         role = "coordinator"
+        metrics = sharded.metrics
 
         def backend_close() -> None:
             if cluster is not None:
@@ -125,6 +126,7 @@ async def _serve(args: argparse.Namespace) -> None:
         store = _engine_store(args)
         role = "engine"
         backend_close = store.close
+        metrics = store.metrics
 
         def session_factory() -> object:
             return EngineSessionHandler(store)
@@ -137,6 +139,7 @@ async def _serve(args: argparse.Namespace) -> None:
         backend_close=backend_close,
         drain_timeout=args.drain_timeout,
         executor_workers=args.executor_workers,
+        metrics=metrics,
     )
     await server.start()
     server.install_signal_handlers()

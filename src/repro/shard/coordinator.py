@@ -39,6 +39,17 @@ from ..lsm.keys import stable_key_hash
 from ..model.errors import DatasetError
 from ..net.client import DEFAULT_TIMEOUT, RemoteError, StatementResult, WireClient
 from ..net.protocol import WireError
+from ..obs import (
+    MetricsRegistry,
+    QueryTrace,
+    Span,
+    activate,
+    annotate,
+    current_trace,
+    new_query_id,
+    render_trace,
+    span,
+)
 from ..query.executor import run_breakers
 from ..storage.stats import IOStats
 from .partial import SplitPlan, merge_rows, referenced_datasets, split_query
@@ -186,6 +197,7 @@ class ShardedDatastore:
         pool_capacity: int = 4,
         timeout: float = DEFAULT_TIMEOUT,
         gather_workers: Optional[int] = None,
+        observability: bool = True,
     ) -> None:
         if not addresses:
             raise ValueError("at least one shard address is required")
@@ -207,6 +219,15 @@ class ShardedDatastore:
         self._pk_fields: Dict[str, str] = {}
         #: Stats of the most recent :meth:`query` (None before the first).
         self.last_query_stats: Optional[ShardQueryStats] = None
+        #: Coordinator-side metrics: per-shard request/row-transfer counters
+        #: (plus wire counters when this registry backs a WireServer).
+        self.metrics = MetricsRegistry(enabled=observability)
+        self._m_shard_requests = self.metrics.counter("repro_shard_requests_total")
+        self._m_shard_rows = self.metrics.counter(
+            "repro_shard_rows_transferred_total"
+        )
+        #: Stitched span tree of the most recent traced :meth:`query`.
+        self.last_trace: Optional[QueryTrace] = None
 
     # -- plumbing ----------------------------------------------------------------------
     @property
@@ -218,6 +239,7 @@ class ShardedDatastore:
 
     def _request(self, shard: int, payload: dict) -> StatementResult:
         pool = self._pools[shard]
+        self._m_shard_requests.labels(shard=str(shard)).inc()
         try:
             with pool.connection() as client:
                 result = client.request(payload)
@@ -226,11 +248,14 @@ class ShardedDatastore:
                 raise RemoteError(
                     f"shard {shard} ({pool.host}:{pool.port}): {error}",
                     code=error.code,
+                    query_id=error.query_id,
                 ) from error
             raise
         io = result.io
         if io:
             self._io.add(IOStats.from_dict(io))
+        if result.rows:
+            self._m_shard_rows.labels(shard=str(shard)).inc(len(result.rows))
         return result
 
     def _scatter(self, payload: dict) -> List[StatementResult]:
@@ -241,6 +266,56 @@ class ShardedDatastore:
         ]
         return [future.result() for future in futures]
 
+    # -- observability -----------------------------------------------------------------
+    @contextmanager
+    def traced_statement(self, text: str, executor: str = "codegen",
+                         query_id: Optional[str] = None):
+        """Trace one coordinator statement (the distributed counterpart of
+        :meth:`repro.store.datastore.Datastore.traced_statement`).
+
+        Yields None when observability is off; re-yields the active trace
+        when called reentrantly.  On exit records the query counter/latency
+        histogram and publishes ``self.last_trace``.
+        """
+        if not self.metrics.enabled:
+            yield None
+            return
+        existing = current_trace()
+        if existing is not None:
+            yield existing
+            return
+        trace = QueryTrace(query_id=query_id, text=text)
+        try:
+            with activate(trace):
+                yield trace
+        finally:
+            trace.root.attrs.setdefault("executor", executor)
+            trace.root.attrs.setdefault("shards", self.num_shards)
+            self.metrics.counter("repro_queries_total").labels(
+                executor=executor
+            ).inc()
+            self.metrics.histogram("repro_query_seconds").labels(
+                executor=executor
+            ).observe(trace.root.duration_s)
+            self.last_trace = trace
+
+    def metrics_text(self) -> str:
+        """The coordinator's metrics in Prometheus text exposition format."""
+        return self.metrics.render_text()
+
+    @staticmethod
+    def _stitch_shard_trace(scatter_span, shard: int, done: dict) -> None:
+        """Attach one shard's serialized span tree under the scatter span."""
+        if scatter_span is None:
+            return
+        trace_dict = done.get("trace")
+        if not trace_dict:
+            return
+        shard_span = Span.from_dict(trace_dict.get("root") or {"name": "statement"})
+        shard_span.name = "shard"
+        shard_span.attrs["shard"] = shard
+        scatter_span.add_child(shard_span)
+
     # -- queries -----------------------------------------------------------------------
     def query(
         self,
@@ -248,54 +323,77 @@ class ShardedDatastore:
         executor: str = "codegen",
         pushdown: bool = True,
         batch_size: Optional[int] = None,
+        query_id: Optional[str] = None,
     ) -> list:
-        """Run one SQL++ SELECT as scatter-gather with partial-agg pushdown."""
+        """Run one SQL++ SELECT as scatter-gather with partial-agg pushdown.
+
+        When observability is on the whole statement is traced: the shards'
+        span trees (returned inside their done frames) are stitched under the
+        coordinator's ``scatter`` span, and the merge fragment's breakers are
+        recorded under ``merge`` — one tree for the distributed query,
+        published as ``self.last_trace``.
+        """
         from ..sqlpp import compile_query
 
-        compiled = compile_query(text)
-        if compiled.query is None:
-            # FROM-less: evaluated locally, no shard touches a dataset.
-            rows = compiled.execute(None, executor=executor)
+        with self.traced_statement(
+            text, executor=executor, query_id=query_id
+        ) as trace:
+            compiled = compile_query(text)
+            if compiled.query is None:
+                # FROM-less: evaluated locally, no shard touches a dataset.
+                rows = compiled.execute(None, executor=executor)
+                self.last_query_stats = ShardQueryStats(
+                    kind="local",
+                    shards=0,
+                    rows_transferred=0,
+                    rows_returned=len(rows),
+                    pages_read=0,
+                )
+                return rows
+            with span("optimize", distributed=True):
+                split = split_query(
+                    compiled.query, pk_fields=self._split_pk_fields(compiled)
+                )
+            if split.kind == "fetch":
+                return self._fetch_and_execute(
+                    compiled, split, executor, pushdown, batch_size
+                )
+            payload = {
+                "op": "statement",
+                "text": text,
+                "mode": "partial",
+                "executor": executor,
+                "pushdown": pushdown,
+            }
+            if trace is not None:
+                payload["query_id"] = trace.query_id
+            if batch_size is not None:
+                payload["batch_size"] = batch_size
+            with span("scatter", shards=self.num_shards) as scatter_span:
+                results = self._scatter(payload)
+                for shard, result in enumerate(results):
+                    self._stitch_shard_trace(scatter_span, shard, result.done)
+            shard_rows = [result.rows for result in results]
+            pages = sum(
+                int(result.io.get("pages_read", 0))
+                + int(result.io.get("cache_hits", 0))
+                for result in results
+            )
+            transferred = sum(len(rows) for rows in shard_rows)
+            with span("merge", kind=split.kind):
+                merged = merge_rows(split, shard_rows)
+                rows = run_breakers(iter(merged), split.post_breakers)
+                if compiled.select_value:
+                    rows = [row[compiled.value_column] for row in rows]
+                annotate(rows_in=transferred, rows_out=len(rows))
             self.last_query_stats = ShardQueryStats(
-                kind="local",
-                shards=0,
-                rows_transferred=0,
+                kind=split.kind,
+                shards=self.num_shards,
+                rows_transferred=transferred,
                 rows_returned=len(rows),
-                pages_read=0,
+                pages_read=pages,
             )
             return rows
-        split = split_query(compiled.query, pk_fields=self._split_pk_fields(compiled))
-        if split.kind == "fetch":
-            return self._fetch_and_execute(
-                compiled, split, executor, pushdown, batch_size
-            )
-        payload = {
-            "op": "statement",
-            "text": text,
-            "mode": "partial",
-            "executor": executor,
-            "pushdown": pushdown,
-        }
-        if batch_size is not None:
-            payload["batch_size"] = batch_size
-        results = self._scatter(payload)
-        shard_rows = [result.rows for result in results]
-        pages = sum(
-            int(result.io.get("pages_read", 0)) + int(result.io.get("cache_hits", 0))
-            for result in results
-        )
-        merged = merge_rows(split, shard_rows)
-        rows = run_breakers(iter(merged), split.post_breakers)
-        if compiled.select_value:
-            rows = [row[compiled.value_column] for row in rows]
-        self.last_query_stats = ShardQueryStats(
-            kind=split.kind,
-            shards=self.num_shards,
-            rows_transferred=sum(len(rows) for rows in shard_rows),
-            rows_returned=len(rows),
-            pages_read=pages,
-        )
-        return rows
 
     def _split_pk_fields(self, compiled) -> Dict[str, str]:
         """Primary keys of every dataset the query references.
@@ -387,6 +485,10 @@ class ShardedDatastore:
             lines.append("COORDINATOR PLAN (over the fetched datasets):")
             lines.extend("  " + line for line in compiled.explain(None).splitlines())
             return "\n".join(lines)
+        # With observability on, ANALYZE runs the real scatter-gather below
+        # and renders the stitched trace — the shard fragment is then shown
+        # without its own per-shard analyze run.
+        stitch = analyze and self.metrics.enabled
         shard_plan = self._request(
             0,
             {
@@ -394,7 +496,7 @@ class ShardedDatastore:
                 "text": text,
                 "mode": "partial",
                 "executor": executor,
-                "analyze": analyze,
+                "analyze": analyze and not stitch,
             },
         ).done["text"]
         lines = [
@@ -405,6 +507,12 @@ class ShardedDatastore:
         lines.extend("  " + line for line in split.describe().splitlines())
         lines.append("SHARD FRAGMENT (every shard; shard 0 shown):")
         lines.extend("  " + line for line in shard_plan.splitlines())
+        if stitch:
+            self.query(text, executor=executor)
+            if self.last_trace is not None:
+                lines.append("")
+                lines.append("ANALYZE TRACE:")
+                lines.extend(render_trace(self.last_trace).splitlines())
         return "\n".join(lines)
 
     def split_for(self, text: str) -> Optional[SplitPlan]:
@@ -580,13 +688,18 @@ class CoordinatorSessionHandler:
 
     def __init__(self, sharded: ShardedDatastore) -> None:
         self.sharded = sharded
+        #: The in-flight request's query identifier (see EngineSessionHandler).
+        self.current_query_id: Optional[str] = None
 
     def handle(self, request: dict) -> Tuple[Optional[list], dict]:
         op = request.get("op", "statement")
+        self.current_query_id = request.get("query_id") or new_query_id()
         handler = getattr(self, f"_op_{op}", None)
         if handler is None:
             raise WireError(f"unknown request op {op!r}")
-        return handler(request)
+        rows, done = handler(request)
+        done.setdefault("query_id", self.current_query_id)
+        return rows, done
 
     def close(self) -> Optional[str]:
         return None  # no per-session transaction state on the coordinator
@@ -653,12 +766,14 @@ class CoordinatorSessionHandler:
                 statement.dataset, constant_value(statement.key)
             )
             status = "DELETE 1"
-        else:
+        trace_dict = None
+        if not isinstance(statement, (InsertStatement, DeleteStatement)):
             rows = self.sharded.query(
                 text,
                 executor=executor,
                 pushdown=request.get("pushdown", True),
                 batch_size=request.get("batch_size"),
+                query_id=self.current_query_id,
             )
             if request.get("explain"):
                 explain_text = self.sharded.explain(text, executor=executor)
@@ -669,8 +784,12 @@ class CoordinatorSessionHandler:
                     "shards": stats.shards,
                     "rows_transferred": stats.rows_transferred,
                 }
+            if request.get("trace") and self.sharded.last_trace is not None:
+                trace_dict = self.sharded.last_trace.to_dict()
         delta = self.sharded.io_stats.delta_since(before)
         done = {"type": "done", "io": delta.as_dict(), "shards": self.sharded.num_shards}
+        if trace_dict is not None:
+            done["trace"] = trace_dict
         if rows is not None:
             done["result"] = "rows"
             done["rows_returned"] = len(rows)
@@ -752,6 +871,10 @@ class CoordinatorSessionHandler:
             "type": "done",
             "recovery": self.sharded.recovery_info(shard),
         }
+
+    def _op_metrics(self, request: dict) -> Tuple[Optional[list], dict]:
+        """Coordinator-side metrics (per-shard routing/transfer + wire)."""
+        return None, {"type": "done", "text": self.sharded.metrics_text()}
 
 
 class ShardCluster:

@@ -21,6 +21,8 @@ session:
 ``\\explain``    Toggle printing the optimizer-explained plan per query.
 ``\\timing``     Toggle printing wall-clock time per query.
 ``\\executor``   Show or set the executor (codegen / batch / interpreted).
+``\\trace``      Show the last query's span tree (``\\trace json`` for JSON).
+``\\metrics``    Dump the server's Prometheus metrics text.
 ``\\q``          Quit.
 ==============  ========================================================
 
@@ -145,6 +147,8 @@ class Shell:
         self.show_explain = False
         self.show_timing = False
         self.executor = "codegen"
+        #: Serialized span tree of the last query statement (for ``\\trace``).
+        self.last_trace: Optional[dict] = None
         self.session = None
         if store is not None:
             from .net.session import StatementSession
@@ -181,6 +185,9 @@ class Shell:
                 f"{'on' if self.show_timing else 'off'})\n"
                 "\\executor [NAME]  show or set the executor (currently "
                 f"{self.executor}; codegen | batch | interpreted)\n"
+                "\\trace [json] show the last query's span tree "
+                "(json: raw trace export)\n"
+                "\\metrics      dump Prometheus metrics text\n"
                 "\\q            quit\n"
                 "Statements end with ';' and may span lines.\n"
                 "BEGIN; ... COMMIT; groups INSERT/DELETE statements into an\n"
@@ -225,6 +232,21 @@ class Shell:
         elif command == "\\timing":
             self.show_timing = not self.show_timing
             self.print(f"timing is {'on' if self.show_timing else 'off'}")
+        elif command == "\\trace":
+            rest = line.split(" ", 1)[1].strip() if " " in line else ""
+            if self.last_trace is None:
+                self.print("(no traced statement yet — run a query first)")
+            elif rest == "json":
+                self.print(json.dumps(self.last_trace, sort_keys=True))
+            else:
+                from .obs import render_trace_dict
+
+                self.print(render_trace_dict(self.last_trace))
+        elif command == "\\metrics":
+            if self.client is not None:
+                self.print(self.client.metrics().rstrip("\n"))
+            else:
+                self.print(self.store.metrics_text().rstrip("\n"))
         elif command == "\\executor":
             from .query.executor import EXECUTORS
 
@@ -262,8 +284,11 @@ class Shell:
                 text,
                 executor=self.executor,
                 explain=self.show_explain,
+                trace=True,
                 on_notice=lambda message: self.print(message),
             )
+            if result.trace is not None:
+                self.last_trace = result.trace
             explained = result.done.get("explain")
             if explained:
                 self.print(explained)
@@ -273,6 +298,8 @@ class Shell:
         outcome = self.session.execute(
             text, executor=self.executor, explain=self.show_explain
         )
+        if outcome.trace is not None:
+            self.last_trace = outcome.trace
         if outcome.explain_text is not None:
             self.print(outcome.explain_text)
         if outcome.rows is not None:

@@ -124,7 +124,12 @@ def compile_query(text: str) -> CompiledQuery:
         AGGREGATE count=count(*)
         EXECUTOR codegen (fused column batches of 1024)
     """
-    return compile_statement(parse(text), text)
+    from ..obs import span
+
+    with span("parse"):
+        statement = parse(text)
+    with span("bind"):
+        return compile_statement(statement, text)
 
 
 def compile_statement(

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional
 from urllib.parse import quote, unquote
 
 from ..model.errors import StorageError
+from ..obs.metrics import MetricsRegistry, current_io_source
 from .stats import DiskModel, IOStats
 
 #: Per-page / per-record on-disk header: uint32 payload length + uint32 CRC-32.
@@ -87,6 +88,7 @@ class ComponentFile:
         self._write_slot(page_id, data)
         cost = self.device.disk_model.write_cost(len(data))
         self.device.stats.record_write(self.device.page_size, cost)
+        self.device.note_page_io("write", self.device.page_size)
         self.device.disk_model.charge(cost)
         return page_id
 
@@ -104,6 +106,7 @@ class ComponentFile:
         self._write_slot(page_id, data)
         cost = self.device.disk_model.write_cost(len(data))
         self.device.stats.record_write(self.device.page_size, cost)
+        self.device.note_page_io("write", self.device.page_size)
         self.device.disk_model.charge(cost)
 
     @property
@@ -155,6 +158,7 @@ class ComponentFile:
             self.device.stats.record_read(
                 self.device.page_size, self.device.disk_model.read_cost(length)
             )
+            self.device.note_page_io("read", self.device.page_size)
             offset += stride
         self._pages = pages
 
@@ -170,6 +174,7 @@ class ComponentFile:
         data = self._pages[page_id]
         cost = self.device.disk_model.read_cost(len(data))
         self.device.stats.record_read(self.device.page_size, cost)
+        self.device.note_page_io("read", self.device.page_size)
         self.device.disk_model.charge(cost)
         return data
 
@@ -230,6 +235,9 @@ class LogFile:
         self._records.append(bytes(payload))
         cost = self.device.disk_model.write_cost(len(payload) + _HEADER.size)
         self.device.stats.record_wal_append(len(payload) + _HEADER.size, cost)
+        self.device.note_wal_append(
+            len(payload) + _HEADER.size, fsynced=self._on_disk_path is not None
+        )
         self.device.disk_model.charge(cost)
         if self._on_disk_path is None:
             return
@@ -307,6 +315,7 @@ class StorageDevice:
         page_size: int = 128 * 1024,
         directory: Optional[str] = None,
         disk_model: Optional[DiskModel] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if page_size <= 0:
             raise StorageError("page size must be positive")
@@ -316,6 +325,10 @@ class StorageDevice:
             os.makedirs(directory, exist_ok=True)
         self.disk_model = disk_model or DiskModel()
         self.stats = IOStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry(
+            enabled=False
+        )
+        self._init_metric_children()
         self._files: Dict[str, ComponentFile] = {}
         self._log_files: Dict[str, LogFile] = {}
         self._disk_paths: Dict[str, str] = {}  # on-disk path -> component name
@@ -323,6 +336,50 @@ class StorageDevice:
         #: Guards the file registries: background flush/merge workers create
         #: and delete component files concurrently with readers and writers.
         self._lock = threading.Lock()
+
+    # -- metrics ----------------------------------------------------------------
+    def _init_metric_children(self) -> None:
+        """Pre-resolve labeled children so hot paths pay one dict lookup."""
+        if not self.metrics.enabled:
+            self._page_counters = None
+            return
+        pages = self.metrics.counter("repro_io_pages_total")
+        io_bytes = self.metrics.counter("repro_io_bytes_total")
+        self._page_counters = {
+            (op, source): (
+                pages.labels(op=op, source=source),
+                io_bytes.labels(op=op, source=source),
+            )
+            for op in ("read", "write")
+            for source in ("query", "maintenance")
+        }
+        self._wal_appends = self.metrics.counter("repro_wal_appends_total")
+        self._wal_bytes = self.metrics.counter("repro_wal_bytes_total")
+        self._wal_fsyncs = self.metrics.counter("repro_wal_fsyncs_total")
+        cache = self.metrics.counter("repro_cache_requests_total")
+        self._cache_hits = cache.labels(result="hit")
+        self._cache_misses = cache.labels(result="miss")
+
+    def note_page_io(self, op: str, nbytes: int) -> None:
+        """Record one page read/write, attributed to the thread's I/O source."""
+        if self._page_counters is None:
+            return
+        pages, io_bytes = self._page_counters[(op, current_io_source())]
+        pages.inc()
+        io_bytes.inc(nbytes)
+
+    def note_wal_append(self, nbytes: int, fsynced: bool) -> None:
+        if self._page_counters is None:
+            return
+        self._wal_appends.inc()
+        self._wal_bytes.inc(nbytes)
+        if fsynced:
+            self._wal_fsyncs.inc()
+
+    def note_cache(self, hit: bool) -> None:
+        if self._page_counters is None:
+            return
+        (self._cache_hits if hit else self._cache_misses).inc()
 
     def create_file(self, name: Optional[str] = None) -> ComponentFile:
         with self._lock:

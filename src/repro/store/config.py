@@ -62,6 +62,16 @@ class StoreConfig:
     #: the NVMe default).  Raising it models slower devices — e.g. ~1 ms for
     #: cloud block storage — where overlapping I/O matters most.
     device_latency_s: Optional[float] = None
+    #: Observability master switch: the metrics registry and per-statement
+    #: tracing (repro/obs).  Off turns every instrument into a no-op, which
+    #: is what bench_observability.py compares against.
+    observability: bool = True
+    #: Statements at least this slow (seconds) are recorded in the structured
+    #: slow-query log; None disables the log entirely.
+    slow_query_log_s: Optional[float] = None
+    #: Optional JSONL file the slow-query log appends to (None keeps entries
+    #: in memory only, readable via ``Datastore.slow_log.entries()``).
+    slow_query_log_path: Optional[str] = None
 
     @property
     def total_partitions(self) -> int:
@@ -87,6 +97,12 @@ class StoreConfig:
             raise ValueError("flush_queue_capacity must be >= 1")
         if self.max_frozen_memtables < 1:
             raise ValueError("max_frozen_memtables must be >= 1")
+        if self.slow_query_log_s is not None and self.slow_query_log_s < 0:
+            raise ValueError("slow_query_log_s must be >= 0")
+        if self.slow_query_log_path is not None and self.slow_query_log_s is None:
+            raise ValueError(
+                "slow_query_log_path requires slow_query_log_s to be set"
+            )
 
     # -- serialization (the datastore root manifest) -------------------------------
     def to_dict(self) -> dict:

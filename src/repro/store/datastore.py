@@ -20,12 +20,21 @@ import os
 import tempfile
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
 
 from ..lsm.scheduler import BackgroundScheduler
 from ..lsm.wal import AUTO_COMMIT, CommitRecord, LogManager
 from ..model.errors import DatasetError
+from ..obs import (
+    MetricsRegistry,
+    QueryTrace,
+    SlowQueryLog,
+    activate,
+    current_trace,
+    render_trace,
+)
 from ..storage.buffer_cache import BufferCache
 from ..storage.device import StorageDevice
 from ..storage.stats import DiskModel, IOStats
@@ -70,6 +79,9 @@ class Datastore:
             )
         self.config = config
         self.config.validate()
+        #: Engine-wide metrics registry (see docs/OBSERVABILITY.md); disabled
+        #: instruments are no-ops when ``config.observability`` is off.
+        self.metrics = MetricsRegistry(enabled=self.config.observability)
         disk_model = DiskModel(wall_clock=self.config.simulate_device_latency)
         if self.config.device_latency_s is not None:
             disk_model.per_operation_latency_s = self.config.device_latency_s
@@ -77,8 +89,13 @@ class Datastore:
             page_size=self.config.page_size,
             directory=self.config.storage_directory,
             disk_model=disk_model,
+            metrics=self.metrics,
         )
         self.buffer_cache = BufferCache(capacity_pages=self.config.buffer_cache_pages)
+        if self.config.observability:
+            self.buffer_cache._eviction_counter = self.metrics.counter(
+                "repro_cache_evictions_total"
+            )._unlabeled()
         #: Background flush/merge pool shared by every dataset; None keeps
         #: the engine fully synchronous (the default).
         self.scheduler: Optional[BackgroundScheduler] = None
@@ -87,6 +104,22 @@ class Datastore:
                 workers=self.config.background_workers,
                 queue_capacity=self.config.flush_queue_capacity,
             )
+        if self.config.observability and self.scheduler is not None:
+            # Absorb the scheduler's live counters without touching its hot
+            # paths: the registry reads them through callbacks at render time.
+            scheduler = self.scheduler
+            self.metrics.register_callback(
+                "repro_background_queue_depth", lambda: scheduler.in_flight
+            )
+            for event in ("submitted", "completed", "deduplicated",
+                          "rejected", "failed"):
+                self.metrics.register_callback(
+                    "repro_background_tasks_total",
+                    (lambda attr: lambda: getattr(scheduler, attr))(
+                        f"tasks_{event}"
+                    ),
+                    event=event,
+                )
         #: Thread pool for parallel multi-partition scans (None = sequential).
         self.scan_executor: Optional[ThreadPoolExecutor] = None
         if self.config.parallel_scan_workers > 0:
@@ -114,6 +147,13 @@ class Datastore:
         self._txn_handles = itertools.count(1)
         #: Populated by :meth:`open`; None for a freshly created store.
         self.last_recovery: Optional[RecoveryInfo] = None
+        #: Structured slow-query log (see docs/OBSERVABILITY.md).
+        self.slow_log = SlowQueryLog(
+            threshold_s=self.config.slow_query_log_s,
+            path=self.config.slow_query_log_path,
+        )
+        #: Span tree of the most recent traced statement (QueryTrace or None).
+        self.last_trace: Optional[QueryTrace] = None
         if self.is_durable and not os.path.exists(self._root_manifest_path()):
             self._persist_root_manifest()
 
@@ -350,6 +390,77 @@ class Datastore:
         if dataset.primary_key_index is not None:
             dataset.primary_key_index.destroy()
 
+    # -- observability -------------------------------------------------------------------
+    @contextmanager
+    def traced_statement(
+        self,
+        text: str,
+        executor: str = "codegen",
+        query_id: Optional[str] = None,
+    ) -> Iterator[Optional[QueryTrace]]:
+        """Trace one statement: activates a fresh :class:`QueryTrace` on the
+        calling thread, then records latency/IO metrics, the slow-query log,
+        and ``self.last_trace`` when the statement finishes.
+
+        Yields None (and does nothing) when observability is off; re-yields
+        the already-active trace when called reentrantly, so nested execution
+        layers never double-count a statement.
+        """
+        if not self.config.observability:
+            yield None
+            return
+        existing = current_trace()
+        if existing is not None:
+            yield existing
+            return
+        trace = QueryTrace(query_id=query_id, text=text)
+        pages_read_before = self.metrics.get_value(
+            "repro_io_pages_total", op="read", source="query"
+        )
+        pages_written_before = self.metrics.get_value(
+            "repro_io_pages_total", op="write", source="query"
+        )
+        try:
+            with activate(trace):
+                yield trace
+        finally:
+            duration = trace.root.duration_s
+            io_attribution = {
+                "pages_read": int(
+                    self.metrics.get_value(
+                        "repro_io_pages_total", op="read", source="query"
+                    ) - pages_read_before
+                ),
+                "pages_written": int(
+                    self.metrics.get_value(
+                        "repro_io_pages_total", op="write", source="query"
+                    ) - pages_written_before
+                ),
+            }
+            trace.root.attrs.setdefault("executor", executor)
+            trace.root.attrs["io"] = io_attribution
+            self.metrics.counter("repro_queries_total").labels(
+                executor=executor
+            ).inc()
+            self.metrics.histogram("repro_query_seconds").labels(
+                executor=executor
+            ).observe(duration)
+            if self.slow_log.should_log(duration):
+                self.metrics.counter("repro_slow_queries_total").inc()
+                self.slow_log.record({
+                    "query_id": trace.query_id,
+                    "text": text,
+                    "duration_s": round(duration, 6),
+                    "executor": executor,
+                    "io": io_attribution,
+                    "trace": trace.root.to_dict(),
+                })
+            self.last_trace = trace
+
+    def metrics_text(self) -> str:
+        """The metrics registry in Prometheus text exposition format."""
+        return self.metrics.render_text()
+
     # -- SQL++ ---------------------------------------------------------------------------
     def query(
         self,
@@ -389,13 +500,14 @@ class Datastore:
         """
         from ..sqlpp import compile_query
 
-        return compile_query(text).execute(
-            self,
-            executor=executor,
-            pushdown=pushdown,
-            optimize=optimize,
-            batch_size=batch_size,
-        )
+        with self.traced_statement(text, executor=executor):
+            return compile_query(text).execute(
+                self,
+                executor=executor,
+                pushdown=pushdown,
+                optimize=optimize,
+                batch_size=batch_size,
+            )
 
     def explain(
         self,
@@ -419,6 +531,20 @@ class Datastore:
         """
         from ..sqlpp import compile_query
 
+        if analyze and self.config.observability:
+            # Render the plan (with candidate-path probing) untraced, then
+            # run the statement through the real executor so the appended
+            # span tree shows one clean execution — every operator exactly
+            # once, with actual row counts.
+            rendering = compile_query(text).explain(
+                self, pushdown=pushdown, analyze=True, executor=executor
+            )
+            self.query(text, executor=executor, pushdown=pushdown)
+            if self.last_trace is not None:
+                rendering += "\n\nANALYZE TRACE:\n" + render_trace(
+                    self.last_trace
+                )
+            return rendering
         return compile_query(text).explain(
             self, pushdown=pushdown, analyze=analyze, executor=executor
         )

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Metric-catalog drift lint.
+
+Every metric the engine emits must be declared in
+``repro.obs.catalog.METRIC_CATALOG``, and every declared metric must be
+referenced somewhere in ``src/`` — an undeclared name means the registry
+will raise :class:`MetricsError` at runtime, an unreferenced one means the
+catalog (and ``docs/OBSERVABILITY.md``) promises a series that never
+appears.  The check is textual on purpose: it catches names in code paths
+the test suite never exercises.
+
+Also smoke-parses a live ``metrics_text()`` dump so the Prometheus
+exposition stays machine-readable, and checks that every catalog name is
+documented in ``docs/OBSERVABILITY.md``.
+
+Run from the repo root: ``PYTHONPATH=src python tools/check_metrics.py``
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs import METRIC_CATALOG  # noqa: E402
+
+SRC = ROOT / "src"
+DOCS = ROOT / "docs" / "OBSERVABILITY.md"
+NAME_RE = re.compile(r'"(repro_[a-z0-9_]+)"')
+
+# The catalog module itself declares every name; skip it when collecting
+# references so a catalog-only metric still counts as unreferenced.
+CATALOG_FILE = SRC / "repro" / "obs" / "catalog.py"
+
+
+def collect_referenced_names() -> dict:
+    """Map each repro_* string literal in src/ to the files citing it."""
+    referenced = {}
+    for path in sorted(SRC.rglob("*.py")):
+        if path == CATALOG_FILE:
+            continue
+        for name in NAME_RE.findall(path.read_text()):
+            referenced.setdefault(name, []).append(
+                str(path.relative_to(ROOT))
+            )
+    return referenced
+
+
+def check_drift() -> list:
+    errors = []
+    referenced = collect_referenced_names()
+    declared = set(METRIC_CATALOG)
+    for name, files in sorted(referenced.items()):
+        if name not in declared:
+            errors.append(
+                f"undeclared metric {name!r} used in {files[0]} "
+                f"(add it to repro/obs/catalog.py)"
+            )
+    for name in sorted(declared - set(referenced)):
+        errors.append(
+            f"catalog metric {name!r} is never referenced in src/ "
+            f"(remove it or instrument the subsystem)"
+        )
+    return errors
+
+
+def check_docs() -> list:
+    if not DOCS.exists():
+        return [f"missing {DOCS.relative_to(ROOT)}"]
+    text = DOCS.read_text()
+    return [
+        f"metric {name!r} is not documented in docs/OBSERVABILITY.md"
+        for name in sorted(METRIC_CATALOG)
+        if name not in text
+    ]
+
+
+PROM_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [0-9.e+-]+(?: [0-9.e+-]+)?$"
+)
+
+
+def check_exposition() -> list:
+    """Exercise a live store and parse every line of its text dump."""
+    from repro.store import Datastore, StoreConfig
+
+    errors = []
+    store = Datastore(StoreConfig(partitions_per_node=1))
+    try:
+        store.create_dataset("lint", layout="amax", primary_key_field="id")
+        store.dataset("lint").insert_many(
+            [{"id": i, "v": i} for i in range(32)]
+        )
+        store.dataset("lint").flush_all()
+        store.query("SELECT COUNT(*) AS n FROM lint AS t WHERE t.v >= 0;")
+        text = store.metrics_text()
+    finally:
+        store.close()
+    seen = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            errors.append(f"metrics_text line {lineno}: blank line")
+        elif line.startswith("# HELP ") or line.startswith("# TYPE "):
+            seen.add(line.split()[2])
+        elif line.startswith("#"):
+            errors.append(f"metrics_text line {lineno}: stray comment {line!r}")
+        elif not PROM_SAMPLE_RE.match(line):
+            errors.append(f"metrics_text line {lineno}: unparseable {line!r}")
+    for name in sorted(seen):
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if base not in METRIC_CATALOG and name not in METRIC_CATALOG:
+            errors.append(f"metrics_text exposes undeclared family {name!r}")
+    return errors
+
+
+def main() -> int:
+    errors = check_drift() + check_docs() + check_exposition()
+    for error in errors:
+        print(f"check_metrics: {error}", file=sys.stderr)
+    if errors:
+        print(f"check_metrics: FAILED ({len(errors)} problem(s))",
+              file=sys.stderr)
+        return 1
+    print(
+        f"check_metrics: OK — {len(METRIC_CATALOG)} catalog metrics, "
+        f"no drift, exposition parses"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
